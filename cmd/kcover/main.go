@@ -1,0 +1,107 @@
+// Command kcover runs the paper's single-pass estimator/reporter on an
+// edge-arrival stream file (the format kcovergen emits) and prints the
+// coverage estimate, the reported k-cover, its exact coverage, and the
+// space used — optionally alongside the offline greedy baseline.
+//
+// Usage:
+//
+//	kcovergen -family planted | kcover -k 40 -alpha 4
+//	kcover -k 40 -alpha 8 -greedy stream.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"streamcover"
+	"streamcover/internal/stream"
+)
+
+func main() {
+	var (
+		k         = flag.Int("k", 10, "cover budget")
+		alpha     = flag.Float64("alpha", 4, "approximation target (>= 1)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		greedy    = flag.Bool("greedy", false, "also run the offline greedy baseline")
+		parallel  = flag.Int("parallel", 1, "worker goroutines (ladder-parallel; same result)")
+		breakdown = flag.Bool("breakdown", false, "print per-component space breakdown")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %d args", flag.NArg()))
+	}
+
+	slice, m, n, err := stream.ReadAuto(in)
+	if err != nil {
+		fatal(err)
+	}
+	edges := make([]streamcover.Edge, 0, slice.Len())
+	for _, e := range slice.Edges() {
+		edges = append(edges, streamcover.Edge{Set: e.Set, Elem: e.Elem})
+	}
+
+	est, err := streamcover.NewEstimator(m, n, *k, *alpha, streamcover.WithSeed(*seed))
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	if *parallel > 1 {
+		err = est.ProcessAllParallel(edges, *parallel)
+	} else {
+		err = est.ProcessAll(edges)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	res := est.Result()
+	elapsed := time.Since(start)
+
+	fmt.Printf("stream: m=%d n=%d edges=%d\n", m, n, len(edges))
+	fmt.Printf("estimate: %.1f (feasible=%v)\n", res.Coverage, res.Feasible)
+	fmt.Printf("space: %d words (%d bytes)\n", res.SpaceWords, res.SpaceWords*8)
+	fmt.Printf("time: %v (%.0f edges/s)\n", elapsed.Round(time.Millisecond),
+		float64(len(edges))/elapsed.Seconds())
+	if len(res.SetIDs) > 0 {
+		cov := streamcover.Coverage(edges, n, res.SetIDs)
+		fmt.Printf("reported: %d sets covering %d elements", len(res.SetIDs), cov)
+		if len(res.SetIDs) <= 20 {
+			fmt.Printf(" %v", res.SetIDs)
+		}
+		fmt.Println()
+	}
+	if *breakdown {
+		br := est.SpaceBreakdown()
+		keys := make([]string, 0, len(br))
+		for part := range br {
+			keys = append(keys, part)
+		}
+		sort.Strings(keys)
+		for _, part := range keys {
+			fmt.Printf("  space[%s]: %d words\n", part, br[part])
+		}
+	}
+	if *greedy {
+		ids, cov, err := streamcover.GreedyCover(edges, m, n, *k)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("offline greedy: %d sets covering %d elements\n", len(ids), cov)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kcover:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command kcovergen generates synthetic Max k-Cover edge-arrival stream
+// files in the text format read by cmd/kcover ("maxkcover <m> <n>" header,
+// one "set elem" pair per line).
+//
+// Usage:
+//
+//	kcovergen -family planted -n 20000 -m 2000 -k 40 -order shuffled > stream.txt
+//	kcovergen -family dsj -m 8192 -alpha 16 -no > hard.txt
+//
+// Families: uniform, zipf, planted, largesets, smallsets, commonheavy,
+// graph, dsj (the Section 5 lower-bound instance).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"streamcover/internal/disjointness"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+)
+
+func main() {
+	var (
+		family    = flag.String("family", "planted", "workload family: uniform|zipf|planted|largesets|smallsets|commonheavy|graph|dsj")
+		n         = flag.Int("n", 20000, "universe size")
+		m         = flag.Int("m", 2000, "number of sets")
+		k         = flag.Int("k", 40, "cover budget (recorded for downstream tools)")
+		frac      = flag.Float64("frac", 0.8, "planted coverage fraction")
+		order     = flag.String("order", "shuffled", "arrival order: set|shuffled|element|roundrobin")
+		seed      = flag.Int64("seed", 1, "random seed")
+		alpha     = flag.Int("alpha", 16, "dsj: players r")
+		noCase    = flag.Bool("no", false, "dsj: generate the No (unique-intersection) case")
+		binaryOut = flag.Bool("binary", false, "emit the compact binary format instead of text")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+	emit := stream.Write
+	if *binaryOut {
+		emit = stream.WriteBinary
+	}
+
+	if *family == "dsj" {
+		ins, err := disjointness.Generate(*alpha, *m, *noCase, 0.9, rng)
+		if err != nil {
+			fatal(err)
+		}
+		it := stream.FromEdges(ins.ToCoverStream())
+		if err := emit(os.Stdout, it, *m, *alpha); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dsj: r=%d m=%d no=%v OPT(1-cover)=%d edges=%d\n",
+			*alpha, *m, *noCase, ins.CoverOPT(), ins.Items())
+		return
+	}
+
+	var in *workload.Instance
+	switch *family {
+	case "uniform":
+		in = workload.Uniform(*n, *m, *k, 20, rng)
+	case "zipf":
+		in = workload.Zipf(*n, *m, *k, 1.5, *n/10, rng)
+	case "planted":
+		in = workload.PlantedCover(*n, *m, *k, *frac, 5, rng)
+	case "largesets":
+		in = workload.PlantedLargeSets(*n, *m, *k, 2, *frac, rng)
+	case "smallsets":
+		in = workload.PlantedSmallSets(*n, *m, *k, *frac, rng)
+	case "commonheavy":
+		in = workload.CommonHeavy(*n, *m, *k, *n/50, 0.3, 3, rng)
+	case "graph":
+		in = workload.GraphNeighborhoods(*n, *k, 10, rng)
+	default:
+		fatal(fmt.Errorf("unknown family %q", *family))
+	}
+
+	var ord stream.Order
+	switch *order {
+	case "set":
+		ord = stream.SetArrival
+	case "shuffled":
+		ord = stream.Shuffled
+	case "element":
+		ord = stream.ElementMajor
+	case "roundrobin":
+		ord = stream.RoundRobin
+	default:
+		fatal(fmt.Errorf("unknown order %q", *order))
+	}
+	it := stream.Linearize(in.System, ord, rng)
+	if err := emit(os.Stdout, it, in.System.M(), in.System.N); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: edges=%d", in.Name, in.System.Edges())
+	if in.PlantedIDs != nil {
+		fmt.Fprintf(os.Stderr, " plantedOPT=%d", in.PlantedCoverage)
+	}
+	fmt.Fprintln(os.Stderr)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kcovergen:", err)
+	os.Exit(1)
+}

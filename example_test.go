@@ -1,0 +1,72 @@
+package streamcover_test
+
+import (
+	"fmt"
+
+	"streamcover"
+)
+
+// ExampleNewEstimator demonstrates the core single-pass workflow: build,
+// stream edges in arbitrary order, read the estimate and the witnessing
+// sets.
+func ExampleNewEstimator() {
+	const (
+		m, n, k = 100, 1000, 4
+		alpha   = 2.0
+	)
+	// Four disjoint planted sets of 200 elements each; everything else is
+	// a singleton decoy.
+	var edges []streamcover.Edge
+	for i := 0; i < k; i++ {
+		for e := 0; e < 200; e++ {
+			edges = append(edges, streamcover.Edge{Set: uint32(i), Elem: uint32(i*200 + e)})
+		}
+	}
+	for s := k; s < m; s++ {
+		edges = append(edges, streamcover.Edge{Set: uint32(s), Elem: uint32(s)})
+	}
+
+	est, err := streamcover.NewEstimator(m, n, k, alpha, streamcover.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	if err := est.ProcessAll(edges); err != nil {
+		panic(err)
+	}
+	res := est.Result()
+	fmt.Println("feasible:", res.Feasible)
+	fmt.Println("within guarantee:", res.Coverage >= 800/(4*alpha) && res.Coverage <= 800*1.5)
+	fmt.Println("reported sets ≤ k:", len(res.SetIDs) <= k)
+	// Output:
+	// feasible: true
+	// within guarantee: true
+	// reported sets ≤ k: true
+}
+
+// ExampleGreedyCover demonstrates the offline baseline helper used to
+// validate streaming answers on small inputs.
+func ExampleGreedyCover() {
+	edges := []streamcover.Edge{
+		{Set: 0, Elem: 0}, {Set: 0, Elem: 1}, {Set: 0, Elem: 2},
+		{Set: 1, Elem: 2}, {Set: 1, Elem: 3},
+		{Set: 2, Elem: 4},
+	}
+	ids, cov, err := streamcover.GreedyCover(edges, 3, 5, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("sets:", len(ids), "coverage:", cov)
+	// Output:
+	// sets: 2 coverage: 4
+}
+
+// ExampleCoverage demonstrates exact validation of a reported solution.
+func ExampleCoverage() {
+	edges := []streamcover.Edge{
+		{Set: 0, Elem: 0}, {Set: 0, Elem: 1},
+		{Set: 1, Elem: 1}, {Set: 1, Elem: 2},
+	}
+	fmt.Println(streamcover.Coverage(edges, 3, []uint32{0, 1}))
+	// Output:
+	// 3
+}

@@ -1,0 +1,99 @@
+// Distributed estimation: the estimator is mergeable, so a partitioned
+// edge stream can be summarized by independent workers and combined. This
+// example splits one stream across four workers (by edge hash — sets end
+// up scattered across ALL workers, the hardest partition), runs four
+// same-seed estimators concurrently, merges them, and compares against a
+// single estimator that saw everything.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+
+	"streamcover"
+)
+
+func main() {
+	const (
+		m, n, k = 1000, 10000, 20
+		opt     = 8000
+		alpha   = 4.0
+		workers = 4
+	)
+	rng := rand.New(rand.NewSource(3))
+	var edges []streamcover.Edge
+	for i := 0; i < k; i++ {
+		for e := i * opt / k; e < (i+1)*opt/k; e++ {
+			edges = append(edges, streamcover.Edge{Set: uint32(i), Elem: uint32(e)})
+		}
+	}
+	for s := k; s < m; s++ {
+		for d := 0; d < 3; d++ {
+			edges = append(edges, streamcover.Edge{Set: uint32(s), Elem: uint32(rng.Intn(opt))})
+		}
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+
+	build := func() *streamcover.Estimator {
+		est, err := streamcover.NewEstimator(m, n, k, alpha, streamcover.WithSeed(17))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return est
+	}
+
+	// The reference: one estimator over the whole stream.
+	whole := build()
+	if err := whole.ProcessAll(edges); err != nil {
+		log.Fatal(err)
+	}
+
+	// Four workers over four shards, concurrently.
+	shards := make([]*streamcover.Estimator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		shards[w] = build()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(edges); i += workers {
+				if err := shards[w].Process(edges[i]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	merged := shards[0]
+	for w := 1; w < workers; w++ {
+		if err := merged.Merge(shards[w]); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	wr, mr := whole.Result(), merged.Result()
+	fmt.Printf("planted optimum:   %d\n", opt)
+	fmt.Printf("whole stream:      %.0f (1 worker, %d edges)\n", wr.Coverage, whole.Edges())
+	fmt.Printf("merged %d shards:   %.0f (%d edges total)\n", workers, mr.Coverage, merged.Edges())
+	fmt.Printf("agreement:         %.1f%%\n", 100*min64(wr.Coverage, mr.Coverage)/max64(wr.Coverage, mr.Coverage))
+	fmt.Printf("merged report covers %d elements with %d sets\n",
+		streamcover.Coverage(edges, n, mr.SetIDs), len(mr.SetIDs))
+}
+
+func min64(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+// Webgraph influencer selection — the paper's footnote-2 motivation made
+// concrete. Sets are the out-neighborhoods N⁺(u) of a directed graph
+// ("who does u reach?"); Max k-Cover picks the k accounts that jointly
+// reach the most users. The catch: the crawl delivers edges keyed by the
+// DESTINATION (each page lists its in-links), so each account's
+// neighborhood arrives scattered across the whole stream — exactly the
+// general edge-arrival model where set-arrival streaming algorithms break.
+//
+// The graph is a planted-hub digraph: a few hub accounts reach large,
+// mostly disjoint audiences; everyone else reaches a handful of users.
+//
+//	go run ./examples/webgraph
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"streamcover"
+)
+
+func main() {
+	const (
+		users = 6000 // vertices (and thus max sets)
+		hubs  = 8    // planted influencers
+		reach = 600  // audience per hub
+		k     = 8
+		alpha = 4.0
+	)
+	rng := rand.New(rand.NewSource(2026))
+
+	// Build the edge list destination-major, as an in-link crawl would
+	// deliver it: for each user, who links to them.
+	inlinks := make([][]uint32, users) // inlinks[v] = sources u with u->v
+	for h := 0; h < hubs; h++ {
+		for i := 0; i < reach; i++ {
+			v := uint32(hubs + h*reach + i) // disjoint audiences
+			inlinks[v] = append(inlinks[v], uint32(h))
+		}
+	}
+	for u := hubs; u < users; u++ { // long tail: 2 random followees each
+		for d := 0; d < 2; d++ {
+			v := uint32(rng.Intn(users))
+			if int(v) != u {
+				inlinks[v] = append(inlinks[v], uint32(u))
+			}
+		}
+	}
+	var edges []streamcover.Edge // Set = source account, Elem = reached user
+	for v, srcs := range inlinks {
+		for _, u := range srcs {
+			edges = append(edges, streamcover.Edge{Set: u, Elem: uint32(v)})
+		}
+	}
+
+	est, err := streamcover.NewEstimator(users, users, k, alpha,
+		streamcover.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := est.ProcessAll(edges); err != nil {
+		log.Fatal(err)
+	}
+	res := est.Result()
+
+	reported := append([]uint32(nil), res.SetIDs...)
+	sort.Slice(reported, func(i, j int) bool { return reported[i] < reported[j] })
+	hubsFound := 0
+	for _, id := range reported {
+		if id < hubs {
+			hubsFound++
+		}
+	}
+
+	fmt.Printf("graph: %d users, %d edges, %d planted hubs reaching %d each\n",
+		users, len(edges), hubs, reach)
+	fmt.Printf("estimated max %d-account reach: %.0f (true planted reach %d)\n",
+		k, res.Coverage, hubs*reach)
+	fmt.Printf("selected accounts: %v (%d/%d planted hubs found)\n",
+		reported, hubsFound, hubs)
+	fmt.Printf("their true reach: %d users\n",
+		streamcover.Coverage(edges, users, res.SetIDs))
+	fmt.Printf("space: %d words vs %d stored edges for the offline baseline\n",
+		res.SpaceWords, len(edges))
+
+	gIDs, gCov, err := streamcover.GreedyCover(edges, users, users, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline greedy (stores everything): %d users via %d accounts\n",
+		gCov, len(gIDs))
+}

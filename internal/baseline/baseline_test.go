@@ -1,0 +1,235 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+)
+
+func feedAll(it stream.Iterator, proc func(stream.Edge)) {
+	for {
+		e, ok := it.Next()
+		if !ok {
+			return
+		}
+		proc(e)
+	}
+}
+
+func TestOfflineGreedyMatchesSetSystemGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := workload.Uniform(2000, 300, 10, 20, rng)
+	g := NewOfflineGreedy(in.System.M(), in.System.N, in.K)
+	feedAll(stream.Linearize(in.System, stream.Shuffled, rng), g.Process)
+	_, cov := g.Result()
+	_, want := in.System.LazyGreedy(in.K)
+	if cov != want {
+		t.Errorf("streamed offline greedy %d != direct greedy %d", cov, want)
+	}
+	if g.SpaceWords() < in.System.Edges() {
+		t.Errorf("offline greedy claims %d words for %d edges", g.SpaceWords(), in.System.Edges())
+	}
+}
+
+func TestOfflineGreedyArrivalOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := workload.PlantedCover(1000, 100, 5, 0.6, 3, rng)
+	covs := map[stream.Order]int{}
+	for _, order := range []stream.Order{stream.SetArrival, stream.Shuffled, stream.ElementMajor} {
+		g := NewOfflineGreedy(in.System.M(), in.System.N, in.K)
+		feedAll(stream.Linearize(in.System, order, rng), g.Process)
+		_, cov := g.Result()
+		covs[order] = cov
+	}
+	if covs[stream.SetArrival] != covs[stream.Shuffled] || covs[stream.Shuffled] != covs[stream.ElementMajor] {
+		t.Errorf("offline greedy depends on arrival order: %v", covs)
+	}
+}
+
+func TestThresholdGreedyOnSetArrival(t *testing.T) {
+	// On set-arrival streams the threshold greedy is a (2+ε)-approximation.
+	rng := rand.New(rand.NewSource(3))
+	in := workload.PlantedCover(4000, 400, 10, 0.8, 4, rng)
+	tg := NewThresholdGreedy(in.System.N, in.K, 0.2)
+	feedAll(stream.Linearize(in.System, stream.SetArrival, nil), tg.Process)
+	ids, cov := tg.Result()
+	opt := in.PlantedCoverage
+	if float64(cov) < float64(opt)/(2.2+0.2) {
+		t.Errorf("threshold greedy coverage %d below OPT/(2+ε)-ish (OPT=%d)", cov, opt)
+	}
+	if len(ids) > in.K {
+		t.Errorf("kept %d sets > k", len(ids))
+	}
+	if cov > opt {
+		t.Errorf("coverage %d exceeds OPT %d", cov, opt)
+	}
+}
+
+func TestThresholdGreedyDegradesOnEdgeArrival(t *testing.T) {
+	// The same instance in shuffled edge order fragments every set; the
+	// set-arrival algorithm must lose badly — this is the paper's
+	// motivation for edge-arrival algorithms (footnote 2).
+	rng := rand.New(rand.NewSource(4))
+	in := workload.PlantedCover(4000, 400, 10, 0.8, 4, rng)
+	setArr := NewThresholdGreedy(in.System.N, in.K, 0.2)
+	feedAll(stream.Linearize(in.System, stream.SetArrival, nil), setArr.Process)
+	_, covSet := setArr.Result()
+
+	edgeArr := NewThresholdGreedy(in.System.N, in.K, 0.2)
+	feedAll(stream.Linearize(in.System, stream.Shuffled, rng), edgeArr.Process)
+	_, covEdge := edgeArr.Result()
+
+	if float64(covEdge) > 0.5*float64(covSet) {
+		t.Errorf("threshold greedy did not degrade on edge arrival: set=%d edge=%d", covSet, covEdge)
+	}
+}
+
+func TestThresholdGreedyGuessesAndSpace(t *testing.T) {
+	tg := NewThresholdGreedy(1<<16, 10, 0.1)
+	if g := tg.Guesses(); g < 50 {
+		t.Errorf("Guesses() = %d, want Θ(log n/ε)", g)
+	}
+	if tg.SpaceWords() <= 0 {
+		t.Error("SpaceWords not positive")
+	}
+	// Zero/negative eps falls back rather than dividing by zero.
+	tg2 := NewThresholdGreedy(100, 5, 0)
+	if tg2.Guesses() <= 0 {
+		t.Error("fallback eps broken")
+	}
+}
+
+func TestSketchGreedyOnEdgeArrival(t *testing.T) {
+	// The per-set-sketch baseline is order-invariant: shuffled edge
+	// arrival must be as good as set arrival, and within a constant factor
+	// of OPT.
+	rng := rand.New(rand.NewSource(5))
+	in := workload.PlantedCover(4000, 400, 10, 0.8, 4, rng)
+	opt := float64(in.PlantedCoverage)
+	for _, order := range []stream.Order{stream.SetArrival, stream.Shuffled} {
+		sg := NewSketchGreedy(in.System.M(), in.System.N, in.K, 0.3, rand.New(rand.NewSource(6)))
+		feedAll(stream.Linearize(in.System, order, rng), sg.Process)
+		ids, est := sg.Result()
+		if est < opt/2.5 {
+			t.Errorf("order %d: sketch greedy estimate %.0f below OPT/2.5 (OPT=%.0f)", order, est, opt)
+		}
+		if est > 1.5*opt {
+			t.Errorf("order %d: estimate %.0f wildly above OPT %.0f", order, est, opt)
+		}
+		// True coverage of chosen sets must also be near-optimal here: the
+		// planted sets are the only good choices.
+		ints := make([]int, len(ids))
+		for i, id := range ids {
+			ints[i] = int(id)
+		}
+		if cov := in.System.Coverage(ints); float64(cov) < opt/2.5 {
+			t.Errorf("order %d: chosen sets cover %d, below OPT/2.5", order, cov)
+		}
+	}
+}
+
+func TestSketchGreedySpaceLinearInM(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	build := func(m int) int {
+		in := workload.Uniform(2000, m, 5, 20, rng)
+		sg := NewSketchGreedy(in.System.M(), in.System.N, in.K, 0.5, rng)
+		feedAll(stream.Linearize(in.System, stream.Shuffled, rng), sg.Process)
+		return sg.SpaceWords()
+	}
+	s200, s800 := build(200), build(800)
+	ratio := float64(s800) / float64(s200)
+	if math.Abs(ratio-4) > 1.5 {
+		t.Errorf("sketch greedy space not ~linear in m: %d vs %d (ratio %.2f)", s200, s800, ratio)
+	}
+}
+
+func TestSketchGreedyIgnoresOutOfRangeSets(t *testing.T) {
+	sg := NewSketchGreedy(4, 10, 2, 0.5, rand.New(rand.NewSource(8)))
+	sg.Process(stream.Edge{Set: 99, Elem: 0}) // must not panic
+	sg.Process(stream.Edge{Set: 0, Elem: 1})
+	ids, est := sg.Result()
+	if len(ids) != 1 || est != 1 {
+		t.Errorf("got ids=%v est=%v, want the single valid set", ids, est)
+	}
+}
+
+func TestSketchGreedyBadEpsFallsBack(t *testing.T) {
+	sg := NewSketchGreedy(4, 10, 2, -1, rand.New(rand.NewSource(9)))
+	sg.Process(stream.Edge{Set: 0, Elem: 1})
+	if _, est := sg.Result(); est != 1 {
+		t.Errorf("fallback eps result %v", est)
+	}
+}
+
+func TestSketchGreedyExactOnSmallSets(t *testing.T) {
+	// When every set is smaller than the sketch size, estimates are exact
+	// distinct counts and greedy matches the offline answer.
+	rng := rand.New(rand.NewSource(10))
+	in := workload.Uniform(500, 50, 5, 5, rng)
+	sg := NewSketchGreedy(in.System.M(), in.System.N, in.K, 0.3, rng)
+	feedAll(stream.Linearize(in.System, stream.Shuffled, rng), sg.Process)
+	_, est := sg.Result()
+	_, want := in.System.LazyGreedy(in.K)
+	if est != float64(want) {
+		t.Errorf("small-set sketch greedy %v != offline greedy %d", est, want)
+	}
+}
+
+func TestSwapGreedyOnSetArrival(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := workload.PlantedCover(4000, 400, 10, 0.8, 4, rng)
+	sg := NewSwapGreedy(in.System.N, in.K)
+	feedAll(stream.Linearize(in.System, stream.SetArrival, nil), sg.Process)
+	ids, cov := sg.Result()
+	opt := in.PlantedCoverage
+	if float64(cov) < float64(opt)/5 {
+		t.Errorf("swap greedy coverage %d below OPT/5 (OPT=%d)", cov, opt)
+	}
+	if cov > opt {
+		t.Errorf("coverage %d exceeds OPT %d", cov, opt)
+	}
+	if len(ids) > in.K {
+		t.Errorf("kept %d sets > k", len(ids))
+	}
+}
+
+func TestSwapGreedySwapsIn(t *testing.T) {
+	// k=1: a strictly better set arriving later must displace the first
+	// when its gain doubles the incumbent's contribution.
+	sg := NewSwapGreedy(10, 1)
+	for _, e := range []stream.Edge{{Set: 0, Elem: 0}, {Set: 1, Elem: 1}, {Set: 1, Elem: 2}, {Set: 1, Elem: 3}} {
+		sg.Process(e)
+	}
+	ids, cov := sg.Result()
+	if len(ids) != 1 || ids[0] != 1 || cov != 3 {
+		t.Errorf("swap failed: ids=%v cov=%d, want set 1 covering 3", ids, cov)
+	}
+}
+
+func TestSwapGreedyKeepsIncumbentAgainstWeakUpstart(t *testing.T) {
+	sg := NewSwapGreedy(10, 1)
+	for _, e := range []stream.Edge{{Set: 0, Elem: 0}, {Set: 0, Elem: 1}, {Set: 1, Elem: 2}} {
+		sg.Process(e)
+	}
+	ids, cov := sg.Result()
+	if len(ids) != 1 || ids[0] != 0 || cov != 2 {
+		t.Errorf("incumbent lost to weak upstart: ids=%v cov=%d", ids, cov)
+	}
+}
+
+func TestSwapGreedyDegradesOnEdgeArrival(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	in := workload.PlantedCover(4000, 400, 10, 0.8, 4, rng)
+	set := NewSwapGreedy(in.System.N, in.K)
+	feedAll(stream.Linearize(in.System, stream.SetArrival, nil), set.Process)
+	_, covSet := set.Result()
+	edge := NewSwapGreedy(in.System.N, in.K)
+	feedAll(stream.Linearize(in.System, stream.Shuffled, rng), edge.Process)
+	_, covEdge := edge.Result()
+	if float64(covEdge) > 0.5*float64(covSet) {
+		t.Errorf("swap greedy did not degrade on edge arrival: %d vs %d", covSet, covEdge)
+	}
+}

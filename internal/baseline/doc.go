@@ -1,0 +1,23 @@
+// Package baseline implements the comparison algorithms from Table 1 of
+// the paper that admit an implementation (the table's remaining rows are
+// lower bounds, reproduced in internal/disjointness):
+//
+//   - OfflineGreedy — the classic 1-1/e greedy [35], run on a fully stored
+//     input; the accuracy yardstick every streaming algorithm is measured
+//     against.
+//   - ThresholdGreedy — the set-arrival streaming (2+ε)-approximation in
+//     Õ(k/ε³) space in the spirit of McGregor–Vu '17 [34] and
+//     Badanidiyuru et al. '14 [9]: parallel guesses of OPT, each keeping a
+//     set when its marginal gain clears OPT·guess/(2k). Correct only on
+//     set-arrival streams, which is exactly the limitation (footnote 2)
+//     that motivates the paper.
+//   - SketchGreedy — an edge-arrival constant-factor algorithm in Õ(m)
+//     space in the spirit of Bateni–Esfandiari–Mirrokni '17 [12] and the
+//     Õ(m/ε²) variant of [34]: one distinct-element (bottom-k) sketch per
+//     set, merged greedily for k rounds. Works in arbitrary arrival order
+//     but retains Θ(m) sketches — the baseline whose space the paper's
+//     Õ(m/α²) algorithm beats when α is super-constant.
+//
+// All three report retained words via SpaceWords, so experiments can put
+// them on the same space-accuracy axes as the paper's algorithm.
+package baseline

@@ -1,0 +1,46 @@
+package baseline
+
+import (
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// OfflineGreedy stores the entire stream and runs the classic greedy after
+// the pass. It is the accuracy yardstick (approximation factor 1-1/e, i.e.
+// ~1.58 in the paper's "factor ≥ 1" convention) and the space ceiling
+// (Θ(input) words).
+type OfflineGreedy struct {
+	m, n, k int
+	sets    map[uint32][]uint32
+	edges   int
+}
+
+// NewOfflineGreedy builds the baseline for an m×n instance with budget k.
+func NewOfflineGreedy(m, n, k int) *OfflineGreedy {
+	return &OfflineGreedy{m: m, n: n, k: k, sets: make(map[uint32][]uint32)}
+}
+
+// Process stores one edge.
+func (g *OfflineGreedy) Process(e stream.Edge) {
+	g.sets[e.Set] = append(g.sets[e.Set], e.Elem)
+	g.edges++
+}
+
+// Result runs greedy on the stored input, returning chosen set IDs and
+// their exact coverage.
+func (g *OfflineGreedy) Result() ([]uint32, int) {
+	sets := make([][]uint32, g.m)
+	for id, elems := range g.sets {
+		sets[id] = elems
+	}
+	ss := setsystem.MustNew(g.n, sets)
+	ids, cov := ss.LazyGreedy(g.k)
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		out[i] = uint32(id)
+	}
+	return out, cov
+}
+
+// SpaceWords counts one word per stored edge plus per-set bookkeeping.
+func (g *OfflineGreedy) SpaceWords() int { return g.edges + len(g.sets) + 4 }

@@ -1,0 +1,181 @@
+package baseline
+
+import (
+	"container/heap"
+	"math/rand"
+	"sort"
+
+	"streamcover/internal/hash"
+	"streamcover/internal/stream"
+)
+
+// SketchGreedy is the edge-arrival constant-factor baseline in the
+// Bateni–Esfandiari–Mirrokni '17 / McGregor–Vu '17 style (Table 1's
+// Õ(m/ε²) row): it keeps one bottom-t distinct-element sketch per set —
+// immune to arrival order and duplicates — and after the pass runs greedy
+// for k rounds directly on the sketches: the union of bottom-t sketches is
+// the bottom-t sketch of the union, so marginal coverage gains can be
+// estimated without the original sets. Space is Θ(m·t) words: linear in m,
+// the regime the paper's Õ(m/α²) algorithm improves on for α ≫ 1.
+type SketchGreedy struct {
+	m, n, k int
+	t       int
+	h       *hash.Poly
+	sets    []bottomT
+	edges   int
+}
+
+// bottomT keeps the t smallest distinct hash values of a set's elements,
+// paired with the element IDs (needed to merge unions exactly).
+type bottomT struct {
+	vals maxPairHeap
+	seen map[uint64]struct{}
+}
+
+type hashedElem struct {
+	hv   uint64
+	elem uint32
+}
+
+// NewSketchGreedy builds the baseline; eps sets the per-set sketch size
+// t = O(1/eps²).
+func NewSketchGreedy(m, n, k int, eps float64, rng *rand.Rand) *SketchGreedy {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.5
+	}
+	t := int(4.0/(eps*eps)) + 1
+	sg := &SketchGreedy{
+		m: m, n: n, k: k, t: t,
+		h:    hash.NewLogWise(m, n, rng),
+		sets: make([]bottomT, m),
+	}
+	return sg
+}
+
+// Process feeds one edge into its set's sketch.
+func (sg *SketchGreedy) Process(e stream.Edge) {
+	sg.edges++
+	if int(e.Set) >= sg.m {
+		return
+	}
+	b := &sg.sets[e.Set]
+	hv := sg.h.Eval(uint64(e.Elem))
+	if b.seen == nil {
+		b.seen = make(map[uint64]struct{}, sg.t)
+	}
+	if _, ok := b.seen[hv]; ok {
+		return
+	}
+	if len(b.vals) < sg.t {
+		b.seen[hv] = struct{}{}
+		heap.Push(&b.vals, hashedElem{hv: hv, elem: e.Elem})
+		return
+	}
+	if hv >= b.vals[0].hv {
+		return
+	}
+	delete(b.seen, b.vals[0].hv)
+	b.seen[hv] = struct{}{}
+	b.vals[0] = hashedElem{hv: hv, elem: e.Elem}
+	heap.Fix(&b.vals, 0)
+}
+
+// Result runs greedy over the per-set sketches: each round merges every
+// candidate sketch into the current union sketch and picks the largest
+// estimated union. Returns chosen set IDs and the estimated coverage.
+func (sg *SketchGreedy) Result() ([]uint32, float64) {
+	type sortedSketch struct {
+		pairs []hashedElem // ascending by hash value
+	}
+	sorted := make([]sortedSketch, sg.m)
+	for i := range sg.sets {
+		p := append([]hashedElem(nil), sg.sets[i].vals...)
+		sort.Slice(p, func(a, b int) bool { return p[a].hv < p[b].hv })
+		sorted[i] = sortedSketch{pairs: p}
+	}
+	union := []hashedElem{} // bottom-t of the union, ascending
+	estimate := func(merged []hashedElem) float64 {
+		if len(merged) < sg.t {
+			return float64(len(merged))
+		}
+		kth := merged[sg.t-1].hv
+		return float64(sg.t-1) * float64(hash.Prime) / float64(kth)
+	}
+	merge := func(a, b []hashedElem) []hashedElem {
+		out := make([]hashedElem, 0, sg.t)
+		i, j := 0, 0
+		var last uint64 = ^uint64(0)
+		for len(out) < sg.t && (i < len(a) || j < len(b)) {
+			var next hashedElem
+			switch {
+			case i == len(a):
+				next = b[j]
+				j++
+			case j == len(b):
+				next = a[i]
+				i++
+			case a[i].hv <= b[j].hv:
+				next = a[i]
+				i++
+			default:
+				next = b[j]
+				j++
+			}
+			if len(out) > 0 && next.hv == last {
+				continue
+			}
+			out = append(out, next)
+			last = next.hv
+		}
+		return out
+	}
+	taken := make([]bool, sg.m)
+	var ids []uint32
+	cur := 0.0
+	for round := 0; round < sg.k; round++ {
+		best, bestVal := -1, cur
+		var bestUnion []hashedElem
+		for i := 0; i < sg.m; i++ {
+			if taken[i] || len(sorted[i].pairs) == 0 {
+				continue
+			}
+			mg := merge(union, sorted[i].pairs)
+			if v := estimate(mg); v > bestVal {
+				best, bestVal, bestUnion = i, v, mg
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		ids = append(ids, uint32(best))
+		union = bestUnion
+		cur = bestVal
+	}
+	return ids, cur
+}
+
+// SpaceWords counts two words per retained (hash, element) pair plus the
+// shared hash function: Θ(m·t) total.
+func (sg *SketchGreedy) SpaceWords() int {
+	w := sg.h.SpaceWords() + 5
+	for i := range sg.sets {
+		w += 2 * len(sg.sets[i].vals)
+	}
+	return w
+}
+
+// maxPairHeap is a max-heap of hashedElem by hash value.
+type maxPairHeap []hashedElem
+
+func (h maxPairHeap) Len() int            { return len(h) }
+func (h maxPairHeap) Less(i, j int) bool  { return h[i].hv > h[j].hv }
+func (h maxPairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxPairHeap) Push(x interface{}) { *h = append(*h, x.(hashedElem)) }
+func (h *maxPairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

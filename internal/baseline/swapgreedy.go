@@ -1,0 +1,127 @@
+package baseline
+
+import (
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// SwapGreedy is a set-arrival streaming algorithm in the spirit of
+// Saha–Getoor '09 (Table 1's "4 [37]" row): it maintains at most k
+// candidate sets with their elements. A newly arrived set is admitted
+// while there is room; once full, it replaces the member with the
+// smallest current contribution whenever the newcomer's marginal gain is
+// at least twice that contribution. Space is Õ(k·s̄ + n) words (the kept
+// sets plus a coverage bitset) — the Õ(n) regime of the set-arrival line
+// of work. Like every set-arrival algorithm it assumes contiguous sets
+// and degrades arbitrarily on general edge-arrival streams.
+type SwapGreedy struct {
+	n, k int
+
+	members  []swapMember
+	covered  setsystem.Bitset
+	curSet   uint32
+	curElems []uint32
+	started  bool
+	edges    int
+}
+
+type swapMember struct {
+	id    uint32
+	elems []uint32
+}
+
+// NewSwapGreedy builds the baseline for an n-element universe and budget k.
+func NewSwapGreedy(n, k int) *SwapGreedy {
+	return &SwapGreedy{n: n, k: k, covered: setsystem.NewBitset(n)}
+}
+
+// Process consumes one edge, flushing the buffered set when the set ID
+// changes (set-arrival assumption).
+func (sg *SwapGreedy) Process(e stream.Edge) {
+	sg.edges++
+	if sg.started && e.Set != sg.curSet {
+		sg.flush()
+	}
+	sg.started = true
+	sg.curSet = e.Set
+	sg.curElems = append(sg.curElems, e.Elem)
+}
+
+func (sg *SwapGreedy) flush() {
+	elems := append([]uint32(nil), sg.curElems...)
+	sg.curElems = sg.curElems[:0]
+	id := sg.curSet
+	if len(sg.members) < sg.k {
+		sg.members = append(sg.members, swapMember{id: id, elems: elems})
+		sg.recompute()
+		return
+	}
+	gain := 0
+	for _, e := range elems {
+		if !sg.covered.Get(e) {
+			gain++
+		}
+	}
+	// Find the weakest member by current contribution (elements covered by
+	// that member alone), with the multiplicity map built once per flush.
+	counts := make(map[uint32]int)
+	for _, m := range sg.members {
+		seen := make(map[uint32]bool, len(m.elems))
+		for _, e := range m.elems {
+			if !seen[e] {
+				seen[e] = true
+				counts[e]++
+			}
+		}
+	}
+	weakest, weakestContrib := -1, 1<<62
+	for i := range sg.members {
+		c := 0
+		seen := make(map[uint32]bool, len(sg.members[i].elems))
+		for _, e := range sg.members[i].elems {
+			if !seen[e] && counts[e] == 1 {
+				c++
+			}
+			seen[e] = true
+		}
+		if c < weakestContrib {
+			weakest, weakestContrib = i, c
+		}
+	}
+	if weakest >= 0 && gain >= 2*weakestContrib && gain > 0 {
+		sg.members[weakest] = swapMember{id: id, elems: elems}
+		sg.recompute()
+	}
+}
+
+// recompute rebuilds the coverage bitset after membership changes.
+func (sg *SwapGreedy) recompute() {
+	sg.covered.Clear()
+	for _, m := range sg.members {
+		for _, e := range m.elems {
+			sg.covered.Set(e)
+		}
+	}
+}
+
+// Result flushes the trailing set and returns the kept set IDs and their
+// exact coverage.
+func (sg *SwapGreedy) Result() ([]uint32, int) {
+	if sg.started && len(sg.curElems) > 0 {
+		sg.flush()
+	}
+	ids := make([]uint32, len(sg.members))
+	for i, m := range sg.members {
+		ids[i] = m.id
+	}
+	return ids, sg.covered.Count()
+}
+
+// SpaceWords counts kept elements, the coverage bitset and the buffer.
+func (sg *SwapGreedy) SpaceWords() int {
+	w := len(sg.covered) + len(sg.curElems) + 6
+	for _, m := range sg.members {
+		w += len(m.elems) + 1
+	}
+	return w
+}

@@ -1,0 +1,131 @@
+package baseline
+
+import (
+	"math"
+
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// ThresholdGreedy is the set-arrival streaming (2+ε)-approximation in the
+// McGregor–Vu / Badanidiyuru style (Table 1's Õ(k/ε³) row): it runs one
+// threshold instance per geometric guess v of OPT; an instance accepts a
+// set when the set's marginal gain over the instance's current coverage is
+// at least v/(2k), and each instance keeps at most k sets plus a coverage
+// bitset. The final answer is the best instance.
+//
+// It REQUIRES set-arrival order: a set's elements must arrive
+// contiguously. Fed a general edge-arrival stream it treats each maximal
+// run of equal set IDs as a (fragment of a) set and silently degrades —
+// the experiment harness uses exactly this failure mode to demonstrate why
+// the edge-arrival model needs different techniques (paper footnote 2).
+type ThresholdGreedy struct {
+	n, k int
+	eps  float64
+
+	instances []*thresholdInstance
+
+	curSet   uint32
+	curElems []uint32
+	started  bool
+	edges    int
+}
+
+type thresholdInstance struct {
+	v       float64
+	covered setsystem.Bitset
+	count   int // covered bits, cached
+	ids     []uint32
+	k       int
+}
+
+// NewThresholdGreedy builds the baseline with guesses spanning [1, n].
+func NewThresholdGreedy(n, k int, eps float64) *ThresholdGreedy {
+	if eps <= 0 {
+		eps = 0.1
+	}
+	tg := &ThresholdGreedy{n: n, k: k, eps: eps}
+	base := 1 + eps
+	for v := 1.0; v < float64(n)*base; v *= base {
+		tg.instances = append(tg.instances, &thresholdInstance{
+			v:       v,
+			covered: setsystem.NewBitset(n),
+			k:       k,
+		})
+	}
+	return tg
+}
+
+// Process consumes one edge, flushing the buffered set whenever the set ID
+// changes (set-arrival assumption).
+func (tg *ThresholdGreedy) Process(e stream.Edge) {
+	tg.edges++
+	if tg.started && e.Set != tg.curSet {
+		tg.flush()
+	}
+	tg.started = true
+	tg.curSet = e.Set
+	tg.curElems = append(tg.curElems, e.Elem)
+}
+
+func (tg *ThresholdGreedy) flush() {
+	for _, inst := range tg.instances {
+		inst.offer(tg.curSet, tg.curElems)
+	}
+	tg.curElems = tg.curElems[:0]
+}
+
+func (inst *thresholdInstance) offer(id uint32, elems []uint32) {
+	if len(inst.ids) >= inst.k {
+		return
+	}
+	gain := 0
+	for _, e := range elems {
+		if !inst.covered.Get(e) {
+			gain++
+		}
+	}
+	if float64(gain) < inst.v/(2*float64(inst.k)) {
+		return
+	}
+	for _, e := range elems {
+		inst.covered.Set(e)
+	}
+	inst.count += gain
+	inst.ids = append(inst.ids, id)
+}
+
+// Result flushes the trailing set and returns the best instance's set IDs
+// and exact coverage (of the fragments it saw).
+func (tg *ThresholdGreedy) Result() ([]uint32, int) {
+	if tg.started && len(tg.curElems) > 0 {
+		tg.flush()
+	}
+	best := 0
+	var ids []uint32
+	for _, inst := range tg.instances {
+		if inst.count > best {
+			best = inst.count
+			ids = inst.ids
+		}
+	}
+	return ids, best
+}
+
+// SpaceWords counts each instance's bitset, kept IDs and the set buffer.
+// The bitsets make this Õ(k/ε + n·log(n)/ε)-ish in words; the classic
+// analysis counts Õ(k) sets retained — we report what this implementation
+// actually holds, which is what the experiments compare.
+func (tg *ThresholdGreedy) SpaceWords() int {
+	w := len(tg.curElems) + 6
+	for _, inst := range tg.instances {
+		w += len(inst.covered) + len(inst.ids) + 3
+	}
+	return w
+}
+
+// Guesses reports the number of parallel threshold instances:
+// Θ(log(n)/ε).
+func (tg *ThresholdGreedy) Guesses() int {
+	return int(math.Ceil(math.Log(float64(tg.n)) / math.Log1p(tg.eps)))
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+)
+
+// TestEstimatorOnEmbeddedDSJ drives the estimator over an instance with
+// the Section 5 adversarial structure embedded in routine mass: the
+// estimate must stay in the guarantee window — neither hallucinating
+// coverage from the singleton fringe nor missing the planted mass.
+func TestEstimatorOnEmbeddedDSJ(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := workload.EmbeddedDSJ(10000, 1200, 20, 200, 0.7, rng)
+	res, _ := runEstimator(t, in, 4, Practical(), 2)
+	if !res.Feasible {
+		t.Fatal("infeasible on embedded-DSJ instance")
+	}
+	opt := float64(in.PlantedCoverage)
+	if res.Value > 1.4*opt {
+		t.Errorf("estimate %v exceeds 1.4·OPT %v on adversarial instance", res.Value, opt)
+	}
+	if res.Value < opt/(1.5*4) {
+		t.Errorf("estimate %v below OPT/6 on adversarial instance", res.Value)
+	}
+}
+
+// TestOracleArrivalOrderExactness: the oracle's L0- and store-based parts
+// are order-insensitive by construction; with a fixed seed, the full
+// oracle estimate on the SAME edge multiset must agree across arrival
+// orders (candidate dictionaries can differ only when eviction pressure
+// occurs, which these dimensions avoid).
+func TestOracleArrivalOrderExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := workload.PlantedCover(5000, 600, 15, 0.8, 4, rng)
+	d := mustDerive(t, in, 4)
+	var values []float64
+	for _, order := range []stream.Order{stream.SetArrival, stream.Shuffled, stream.ElementMajor, stream.RoundRobin} {
+		o := NewOracle(d, rand.New(rand.NewSource(11)))
+		it := stream.Linearize(in.System, order, rng)
+		for {
+			e, ok := it.Next()
+			if !ok {
+				break
+			}
+			o.Process(e)
+		}
+		r := o.Result()
+		if !r.Feasible {
+			t.Fatalf("order %d: infeasible", order)
+		}
+		values = append(values, r.Value)
+	}
+	for i := 1; i < len(values); i++ {
+		if values[i] != values[0] {
+			t.Errorf("oracle value varies with arrival order: %v", values)
+		}
+	}
+}
+
+// TestEstimatorPreferentialAttachment: the heavy-tailed frequency profile
+// (Lemma 4.20's regime) must not break the guarantee window.
+func TestEstimatorPreferentialAttachment(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := workload.PreferentialAttachment(8000, 1000, 20, 15, 0.5, rng)
+	res, _ := runEstimator(t, in, 4, Practical(), 6)
+	up := optUpper(in)
+	if res.Feasible && res.Value > 1.4*up {
+		t.Errorf("estimate %v exceeds 1.4·OPTupper %v on preferential-attachment instance", res.Value, up)
+	}
+	if res.Feasible && res.Value < float64(in.OptLowerBound())/(3*4) {
+		t.Errorf("estimate %v below OPT/(3α) on preferential-attachment instance", res.Value)
+	}
+}
+
+// TestEstimatorLargeScale exercises a bigger configuration end to end
+// (skipped with -short).
+func TestEstimatorLargeScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale run takes ~10s")
+	}
+	rng := rand.New(rand.NewSource(7))
+	in := workload.PlantedCover(50000, 8000, 100, 0.8, 4, rng)
+	alpha := 16.0
+	res, est := runEstimator(t, in, alpha, Practical(), 8)
+	if !res.Feasible {
+		t.Fatal("infeasible at scale")
+	}
+	opt := float64(in.PlantedCoverage)
+	if res.Value > 1.4*opt || res.Value < opt/(2*alpha) {
+		t.Errorf("estimate %v outside window at scale (OPT %v, alpha %v)", res.Value, opt, alpha)
+	}
+	// Space sanity: far below storing the input.
+	if est.SpaceWords() > 40*in.System.Edges() {
+		t.Logf("note: space %d words vs %d edges (constants dominate at this m/alpha)",
+			est.SpaceWords(), in.System.Edges())
+	}
+}
+
+// TestEstimatorAllElementsUncovered: a stream whose sets never repeat an
+// element (every set disjoint) — OPT = k·setsize exactly; the estimate
+// must respect the window.
+func TestEstimatorDisjointSets(t *testing.T) {
+	const m, setSize = 400, 12
+	n := m * setSize
+	sets := make([][]uint32, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < setSize; j++ {
+			sets[i] = append(sets[i], uint32(i*setSize+j))
+		}
+	}
+	in := &workload.Instance{
+		Name:            "disjoint",
+		System:          setsystem.MustNew(n, sets),
+		K:               10,
+		PlantedIDs:      []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		PlantedCoverage: 10 * setSize,
+	}
+	res, _ := runEstimator(t, in, 4, Practical(), 9)
+	opt := float64(in.PlantedCoverage)
+	if res.Feasible && res.Value > 1.4*opt {
+		t.Errorf("estimate %v exceeds 1.4·OPT %v on disjoint sets", res.Value, opt)
+	}
+}

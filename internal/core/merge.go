@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+
+	"streamcover/internal/sketch"
+)
+
+// Distributed merging: two estimators built with the SAME dimensions,
+// parameters and seed draw identical hash functions, so each is a valid
+// summary of whatever edge shard it consumed and the pair merges into a
+// summary of the union — the edge stream may be partitioned arbitrarily
+// across workers (sharding by edge, by set, or by time all work, and
+// duplicate edges across shards are harmless for the dedup-based parts).
+//
+// Exactness notes: the L0/bitonic parts merge exactly; CountSketch-based
+// parts merge exactly at the counter level with candidate dictionaries
+// unioned and re-trimmed (heavy coordinates keep their slots); SmallSet's
+// stored pairs are a deterministic function of the hashes, so the merged
+// store equals the whole-stream store unless a shard tripped its storage
+// cap earlier than the whole stream would have (a shard marked dead stays
+// dead, which only ever makes the oracle more conservative).
+
+// Merge folds other into lc. Both must come from equal-seed constructions.
+func (lc *LargeCommon) Merge(other *LargeCommon) error {
+	if other == nil || len(lc.layers) != len(other.layers) || !lc.h.Equal(other.h) {
+		return fmt.Errorf("core: LargeCommon mismatch")
+	}
+	for i := range lc.layers {
+		if lc.layers[i].thresh != other.layers[i].thresh {
+			return fmt.Errorf("core: LargeCommon layer %d mismatch", i)
+		}
+	}
+	for i := range lc.layers {
+		if err := sketch.MergeDistinct(lc.layers[i].de, other.layers[i].de); err != nil {
+			return fmt.Errorf("core: LargeCommon layer %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Merge folds other into ls. Both must come from equal-seed constructions.
+func (ls *LargeSet) Merge(other *LargeSet) error {
+	if other == nil || len(ls.reps) != len(other.reps) || ls.rho != other.rho {
+		return fmt.Errorf("core: LargeSet mismatch")
+	}
+	for i := range ls.reps {
+		a, b := &ls.reps[i], &other.reps[i]
+		if !a.elemSamp.Equal(b.elemSamp) || !a.part.h.Equal(b.part.h) {
+			return fmt.Errorf("core: LargeSet rep %d hash mismatch", i)
+		}
+		if len(a.sampledIDs) != len(b.sampledIDs) {
+			return fmt.Errorf("core: LargeSet rep %d fallback sample mismatch", i)
+		}
+	}
+	for i := range ls.reps {
+		a, b := &ls.reps[i], &other.reps[i]
+		if err := a.cntrSmall.Merge(b.cntrSmall); err != nil {
+			return fmt.Errorf("core: LargeSet rep %d small battery: %w", i, err)
+		}
+		if err := a.cntrLarge.Merge(b.cntrLarge); err != nil {
+			return fmt.Errorf("core: LargeSet rep %d large battery: %w", i, err)
+		}
+		for _, id := range a.sampledIDs {
+			bd, ok := b.sampled[id]
+			if !ok {
+				return fmt.Errorf("core: LargeSet rep %d fallback superset %d missing", i, id)
+			}
+			if err := sketch.MergeDistinct(a.sampled[id], bd); err != nil {
+				return fmt.Errorf("core: LargeSet rep %d superset %d: %w", i, id, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Merge folds other into ss. A layer dead in either input stays dead.
+func (ss *SmallSet) Merge(other *SmallSet) error {
+	if other == nil || len(ss.layers) != len(other.layers) ||
+		ss.kPrime != other.kPrime || ss.mRate != other.mRate {
+		return fmt.Errorf("core: SmallSet mismatch")
+	}
+	if !ss.setSamp.Equal(other.setSamp) || !ss.pickSamp.Equal(other.pickSamp) ||
+		!ss.estSamp.Equal(other.estSamp) {
+		return fmt.Errorf("core: SmallSet hash mismatch")
+	}
+	for i := range ss.layers {
+		a, b := &ss.layers[i], &other.layers[i]
+		if a.thresh != b.thresh {
+			return fmt.Errorf("core: SmallSet layer %d mismatch", i)
+		}
+		if b.dead {
+			a.dead = true
+			a.pick, a.est = nil, nil
+			continue
+		}
+		if a.dead {
+			continue
+		}
+		for id, elems := range b.pick {
+			a.pick[id] = append(a.pick[id], elems...)
+		}
+		for id, elems := range b.est {
+			a.est[id] = append(a.est[id], elems...)
+		}
+		a.count += b.count
+		if a.count > 2*a.cap {
+			a.dead = true
+			a.pick, a.est = nil, nil
+		}
+	}
+	return nil
+}
+
+// Merge folds another oracle of the same construction into o.
+func (o *Oracle) Merge(other CoverageOracle) error {
+	ot, ok := other.(*Oracle)
+	if !ok {
+		return fmt.Errorf("core: cannot merge %T into *Oracle", other)
+	}
+	if err := o.lc.Merge(ot.lc); err != nil {
+		return err
+	}
+	if err := o.ls.Merge(ot.ls); err != nil {
+		return err
+	}
+	return o.ss.Merge(ot.ss)
+}
+
+// MergeableOracle is implemented by oracles that support distributed
+// merging (the built-in Oracle does).
+type MergeableOracle interface {
+	CoverageOracle
+	Merge(other CoverageOracle) error
+}
+
+// Merge folds another estimator — same dimensions, parameters and seed,
+// fed a different shard of the same edge stream — into est. After the
+// merge, est.Result() summarizes the union of both shards.
+func (est *Estimator) Merge(other *Estimator) error {
+	if other == nil || est.M != other.M || est.N != other.N || est.K != other.K ||
+		est.Alpha != other.Alpha || est.trivial != other.trivial ||
+		len(est.guesses) != len(other.guesses) {
+		return fmt.Errorf("core: estimator shape mismatch")
+	}
+	if est.trivial {
+		return nil
+	}
+	for gi := range est.guesses {
+		a, b := &est.guesses[gi], &other.guesses[gi]
+		if a.z != b.z || len(a.reps) != len(b.reps) {
+			return fmt.Errorf("core: guess %d shape mismatch", gi)
+		}
+		for ri := range a.reps {
+			if !a.reps[ri].h.Equal(b.reps[ri].h) {
+				return fmt.Errorf("core: guess %d rep %d reduction hash mismatch (different seeds?)", gi, ri)
+			}
+		}
+	}
+	for gi := range est.guesses {
+		a, b := &est.guesses[gi], &other.guesses[gi]
+		for ri := range a.reps {
+			ma, ok := a.reps[ri].oracle.(MergeableOracle)
+			if !ok {
+				return fmt.Errorf("core: oracle %T is not mergeable", a.reps[ri].oracle)
+			}
+			if err := ma.Merge(b.reps[ri].oracle); err != nil {
+				return fmt.Errorf("core: guess %d rep %d: %w", gi, ri, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+)
+
+// buildPair constructs two identically-seeded estimators.
+func buildPair(t *testing.T, in *workload.Instance, alpha float64, seed int64) (*Estimator, *Estimator) {
+	t.Helper()
+	mk := func() *Estimator {
+		e, err := NewEstimator(in.System.M(), in.System.N, in.K, alpha, Practical(),
+			NewOracleFactory(), rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	return mk(), mk()
+}
+
+func TestMergedShardsMatchWholeStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := workload.PlantedCover(8000, 800, 20, 0.8, 5, rng)
+	edges := stream.Linearize(in.System, stream.Shuffled, rng).Edges()
+
+	whole, err := NewEstimator(in.System.M(), in.System.N, in.K, 4, Practical(),
+		NewOracleFactory(), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		whole.Process(e)
+	}
+	left, right := buildPair(t, in, 4, 5)
+	for i, e := range edges {
+		if i%2 == 0 {
+			left.Process(e)
+		} else {
+			right.Process(e)
+		}
+	}
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	wr, mr := whole.Result(), left.Result()
+	if !mr.Feasible {
+		t.Fatal("merged estimator infeasible")
+	}
+	// The dedup-based parts merge exactly; candidate-dictionary timing can
+	// shift CountSketch-derived values slightly. Require 15% agreement and
+	// the same guarantee window.
+	if mr.Value < 0.85*wr.Value || mr.Value > 1.15*wr.Value {
+		t.Errorf("merged %v vs whole %v beyond 15%%", mr.Value, wr.Value)
+	}
+	opt := float64(in.PlantedCoverage)
+	if mr.Value > 1.4*opt || mr.Value < opt/(1.5*4) {
+		t.Errorf("merged estimate %v outside guarantee window (OPT %v)", mr.Value, opt)
+	}
+}
+
+func TestMergeManyShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := workload.PlantedSmallSets(6000, 900, 90, 0.8, rng)
+	edges := stream.Linearize(in.System, stream.Shuffled, rng).Edges()
+	const shards = 5
+	parts := make([]*Estimator, shards)
+	for i := range parts {
+		e, err := NewEstimator(in.System.M(), in.System.N, in.K, 4, Practical(),
+			NewOracleFactory(), rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = e
+	}
+	for i, e := range edges {
+		parts[i%shards].Process(e)
+	}
+	for i := 1; i < shards; i++ {
+		if err := parts[0].Merge(parts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := parts[0].Result()
+	if !r.Feasible {
+		t.Fatal("5-way merged estimator infeasible")
+	}
+	opt := float64(in.PlantedCoverage)
+	if r.Value > 1.4*opt || r.Value < opt/(1.5*4) {
+		t.Errorf("5-way merged estimate %v outside window (OPT %v)", r.Value, opt)
+	}
+}
+
+func TestMergeRejectsDifferentSeeds(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := workload.PlantedCover(2000, 300, 10, 0.8, 5, rng)
+	a, err := NewEstimator(in.System.M(), in.System.N, in.K, 4, Practical(),
+		NewOracleFactory(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEstimator(in.System.M(), in.System.N, in.K, 4, Practical(),
+		NewOracleFactory(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err == nil {
+		t.Error("merge of differently-seeded estimators accepted")
+	}
+}
+
+func TestMergeRejectsDifferentShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := workload.PlantedCover(2000, 300, 10, 0.8, 5, rng)
+	a, _ := NewEstimator(in.System.M(), in.System.N, in.K, 4, Practical(),
+		NewOracleFactory(), rand.New(rand.NewSource(1)))
+	b, _ := NewEstimator(in.System.M(), in.System.N, in.K, 8, Practical(),
+		NewOracleFactory(), rand.New(rand.NewSource(1)))
+	if err := a.Merge(b); err == nil {
+		t.Error("merge across alphas accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("merge with nil accepted")
+	}
+}
+
+func TestMergeTrivialEstimators(t *testing.T) {
+	a, _ := NewEstimator(10, 100, 5, 4, Practical(), NewOracleFactory(), rand.New(rand.NewSource(1)))
+	b, _ := NewEstimator(10, 100, 5, 4, Practical(), NewOracleFactory(), rand.New(rand.NewSource(1)))
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("trivial merge failed: %v", err)
+	}
+	if r := a.Result(); !r.Feasible || r.Value != 25 {
+		t.Errorf("trivial merged result %+v", r)
+	}
+}
+
+func TestSubroutineMergeExactForDedupParts(t *testing.T) {
+	// LargeCommon is purely L0-based: merged shards must EXACTLY match the
+	// whole stream.
+	rng := rand.New(rand.NewSource(6))
+	in := workload.CommonHeavy(4000, 1000, 10, 200, 0.4, 2, rng)
+	d := mustDerive(t, in, 4)
+	mk := func() *LargeCommon { return NewLargeCommon(d, rand.New(rand.NewSource(8))) }
+	whole, left, right := mk(), mk(), mk()
+	edges := stream.Linearize(in.System, stream.Shuffled, rng).Edges()
+	for i, e := range edges {
+		whole.Process(e)
+		if i%2 == 0 {
+			left.Process(e)
+		} else {
+			right.Process(e)
+		}
+	}
+	if err := left.Merge(right); err != nil {
+		t.Fatal(err)
+	}
+	wv, wb, wok := whole.Estimate()
+	mv, mb, mok := left.Estimate()
+	if wv != mv || wb != mb || wok != mok {
+		t.Errorf("LargeCommon merge not exact: whole (%v,%v,%v) merged (%v,%v,%v)",
+			wv, wb, wok, mv, mb, mok)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeriveValidation(t *testing.T) {
+	p := Practical()
+	bad := []struct {
+		m, n, k int
+		alpha   float64
+	}{
+		{0, 10, 1, 2},
+		{10, 0, 1, 2},
+		{10, 10, 0, 2},
+		{10, 10, 1, 0.5},
+	}
+	for _, c := range bad {
+		if _, err := Derive(c.m, c.n, c.k, c.alpha, p); err == nil {
+			t.Errorf("Derive(%+v) accepted", c)
+		}
+	}
+	d, err := Derive(100, 1000, 10, 4, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.W != 4 {
+		t.Errorf("w = min(k, alpha) = %v, want 4", d.W)
+	}
+	if d.SAlpha != d.S*d.Alpha {
+		t.Errorf("SAlpha inconsistent: %v vs %v", d.SAlpha, d.S*d.Alpha)
+	}
+}
+
+func TestDeriveWBranches(t *testing.T) {
+	p := Practical()
+	// alpha < k: w = alpha.
+	d, _ := Derive(100, 1000, 50, 8, p)
+	if d.W != 8 {
+		t.Errorf("w = %v, want 8", d.W)
+	}
+	// alpha > k: w = k.
+	d, _ = Derive(100, 1000, 3, 8, p)
+	if d.W != 3 {
+		t.Errorf("w = %v, want 3", d.W)
+	}
+}
+
+func TestPaperConstantsShape(t *testing.T) {
+	// Table 2's formulas: σ shrinks with log²(mn), f grows with log(mn),
+	// s = Θ̃(w/α) is tiny.
+	small := Paper(1<<10, 1<<10)
+	big := Paper(1<<20, 1<<20)
+	if small.SigmaFrac <= big.SigmaFrac {
+		t.Errorf("paper σ should shrink with instance size: %v vs %v",
+			small.SigmaFrac, big.SigmaFrac)
+	}
+	if small.FMult >= big.FMult {
+		t.Errorf("paper f should grow with instance size: %v vs %v",
+			small.FMult, big.FMult)
+	}
+	if big.FMult != 7*math.Log2(float64(1<<20)*float64(1<<20)+2) {
+		t.Errorf("paper f formula wrong: %v", big.FMult)
+	}
+	if small.SLargeFrac >= Practical().SLargeFrac {
+		t.Error("paper s constant should be far below the practical one")
+	}
+	if small.Eta != 4 {
+		t.Errorf("paper η = %v, want 4", small.Eta)
+	}
+}
+
+func TestPracticalDefaultsSane(t *testing.T) {
+	p := Practical()
+	if p.Eta < 1 || p.Reps < 1 || p.ZBase <= 1 {
+		t.Errorf("bad structural defaults: %+v", p)
+	}
+	if p.L0Eps <= 0 || p.L0Eps >= 1 {
+		t.Errorf("bad L0Eps %v", p.L0Eps)
+	}
+	if p.SLargeFrac <= 0 || p.FMult < 1 || p.SigmaFrac <= 0 {
+		t.Errorf("bad subroutine constants: %+v", p)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+
+	"streamcover/internal/hash"
+	"streamcover/internal/sketch"
+)
+
+// newHash draws a hash function at the independence degree the params
+// prescribe (Θ(log(mn))-wise by default, per Section A.1).
+func (d Derived) newHash(rng *rand.Rand) *hash.Poly {
+	if deg := d.independence(); deg > 0 {
+		return hash.NewPoly(deg, rng)
+	}
+	return hash.NewLogWise(d.M, d.N, rng)
+}
+
+// newL0 draws a distinct-count sketch for the configured backend: the
+// bottom-k L0 by default (exact below capacity — valuable for the small
+// universes the guess ladder produces), or HyperLogLog when
+// Params.UseHLL is set (smaller at equal error on large universes;
+// experiment E20 compares them).
+func (d Derived) newL0(rng *rand.Rand) sketch.DistinctCounter {
+	if d.P.UseHLL {
+		return sketch.NewHLL(10, rng)
+	}
+	if deg := d.independence(); deg > 0 {
+		return sketch.NewL0Deg(d.P.L0Eps, deg, rng)
+	}
+	return sketch.NewL0(d.P.L0Eps, d.M, d.N, rng)
+}
+
+// SetSampler realizes the set-sampling method of Lemma 2.3 with the
+// limited-independence implementation of Section A.1: each set survives
+// with probability min(1, boost·λ/m), decided by a single retained hash
+// function, so the sampled collection F^rnd is a deterministic function of
+// Θ(log(mn)) random bits and can be re-enumerated after the pass. With
+// high probability F^rnd covers every λ-common element (Lemma A.6) and has
+// size Õ(λ) (Lemma A.5).
+type SetSampler struct {
+	h    *hash.Poly
+	rate float64
+}
+
+// NewSetSampler builds a sampler at rate min(1, boost·λ/m) for the
+// instance dimensions in d.
+func NewSetSampler(d Derived, lambda float64, rng *rand.Rand) *SetSampler {
+	rate := d.P.SetSampleBoost * lambda / float64(d.M)
+	if rate > 1 {
+		rate = 1
+	}
+	if rate < 0 {
+		rate = 0
+	}
+	return &SetSampler{h: d.newHash(rng), rate: rate}
+}
+
+// Sampled reports whether set id is in F^rnd.
+func (s *SetSampler) Sampled(set uint32) bool {
+	return s.h.Bernoulli(uint64(set), s.rate)
+}
+
+// Rate reports the sampling rate.
+func (s *SetSampler) Rate() float64 { return s.rate }
+
+// Enumerate lists every sampled set id in [0, m) — the post-pass recovery
+// that limited-independence sampling makes possible.
+func (s *SetSampler) Enumerate(m int) []uint32 {
+	var out []uint32
+	for i := 0; i < m; i++ {
+		if s.Sampled(uint32(i)) {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// SpaceWords counts the retained hash function.
+func (s *SetSampler) SpaceWords() int { return s.h.SpaceWords() + 1 }

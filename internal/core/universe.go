@@ -1,0 +1,250 @@
+package core
+
+import (
+	"sync"
+
+	"math/rand"
+
+	"streamcover/internal/hash"
+	"streamcover/internal/stream"
+)
+
+// Estimator is EstimateMaxCover (Figure 1, Theorems 3.1 and 3.6): the
+// universe-reduction wrapper that turns an (α, δ, η)-oracle into an
+// Õ(α)-approximation of the optimal coverage size with no coverage
+// promise. For every guess z of the optimal coverage (a geometric ladder
+// up to n) and every boosting repetition it draws a 4-wise hash
+// h: U → [z] — by Lemma 3.5 a set of ≥ z elements keeps ≥ z/4 distinct
+// pseudo-elements with probability ≥ 3/4 — and feeds the reduced edge
+// (S, h(e)) to a fresh oracle whose universe is [z]. A guess qualifies
+// when its best repetition reaches z/(4α); the largest qualifying
+// estimate wins. Estimates live in reduced-universe scale, which never
+// exceeds true coverage, so the result inherits the oracle's
+// no-overestimate guarantee.
+type Estimator struct {
+	M, N, K int
+	Alpha   float64
+	params  Params
+
+	trivial    bool    // kα ≥ m: n/α is already an α-approximation
+	trivialVal float64 // n/α
+
+	guesses []zGuess
+}
+
+type zGuess struct {
+	z    int
+	reps []zRep
+}
+
+type zRep struct {
+	h      *hash.Poly // 4-wise U → [z] (Lemma 3.5)
+	oracle CoverageOracle
+}
+
+// NewEstimator builds the full estimation pipeline for an m-set,
+// n-element instance with budget k and approximation target alpha, using
+// factory to instantiate the oracle per guess and repetition.
+func NewEstimator(m, n, k int, alpha float64, p Params, factory OracleFactory, rng *rand.Rand) (*Estimator, error) {
+	if _, err := Derive(m, n, k, alpha, p); err != nil {
+		return nil, err
+	}
+	est := &Estimator{M: m, N: n, K: k, Alpha: alpha, params: p}
+	if float64(k)*alpha >= float64(m) {
+		// Figure 1's first line: with kα ≥ m, picking the best of m/k ≤ α
+		// disjoint groups of k sets covers ≥ C(F)·k/m ≥ n/α when every
+		// element occurs, so n/α is a valid α-approximate answer.
+		est.trivial = true
+		est.trivialVal = float64(n) / alpha
+		return est, nil
+	}
+	reps := p.Reps
+	if reps < 1 {
+		reps = 1
+	}
+	base := p.ZBase
+	if base < 1.5 {
+		base = 2
+	}
+	for z := 4; ; z = scaleGuess(z, base) {
+		if z > n {
+			z = n
+		}
+		g := zGuess{z: z}
+		for r := 0; r < reps; r++ {
+			d, err := Derive(m, z, k, alpha, p)
+			if err != nil {
+				return nil, err
+			}
+			g.reps = append(g.reps, zRep{
+				h:      hash.New4Wise(rng),
+				oracle: factory(d, rng),
+			})
+		}
+		est.guesses = append(est.guesses, g)
+		if z == n {
+			break
+		}
+	}
+	return est, nil
+}
+
+func scaleGuess(z int, base float64) int {
+	next := int(float64(z) * base)
+	if next <= z {
+		next = z + 1
+	}
+	return next
+}
+
+// Process feeds one edge: each guess's repetitions receive the edge with
+// the element replaced by its pseudo-element h(e) ∈ [z].
+func (est *Estimator) Process(e stream.Edge) {
+	if est.trivial {
+		return
+	}
+	for gi := range est.guesses {
+		g := &est.guesses[gi]
+		for ri := range g.reps {
+			rep := &g.reps[ri]
+			reduced := stream.Edge{
+				Set:  e.Set,
+				Elem: uint32(rep.h.Range(uint64(e.Elem), uint64(g.z))),
+			}
+			rep.oracle.Process(reduced)
+		}
+	}
+}
+
+// ProcessAllParallel consumes an entire in-memory edge stream using up to
+// `workers` goroutines. Each (guess, repetition) oracle is an independent
+// single-pass structure, so the ladder is embarrassingly parallel: every
+// worker owns a disjoint subset of oracles and scans the slice on its
+// own. The result is bit-for-bit identical to feeding every edge through
+// Process sequentially (each oracle still sees the same edges in the same
+// order); only wall-clock time changes. The slice must not be mutated
+// during the call.
+func (est *Estimator) ProcessAllParallel(edges []stream.Edge, workers int) {
+	if est.trivial || len(edges) == 0 {
+		return
+	}
+	type unit struct{ gi, ri int }
+	var units []unit
+	for gi := range est.guesses {
+		for ri := range est.guesses[gi].reps {
+			units = append(units, unit{gi, ri})
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(units) {
+		workers = len(units)
+	}
+	if workers == 1 {
+		for _, e := range edges {
+			est.Process(e)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan unit, len(units))
+	for _, u := range units {
+		next <- u
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range next {
+				g := &est.guesses[u.gi]
+				rep := &g.reps[u.ri]
+				z := uint64(g.z)
+				for _, e := range edges {
+					rep.oracle.Process(stream.Edge{
+						Set:  e.Set,
+						Elem: uint32(rep.h.Range(uint64(e.Elem), z)),
+					})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Estimate is the final answer of the estimation pipeline.
+type Estimate struct {
+	// Value approximates the optimal coverage size: w.h.p.
+	// OPT/Õ(α) ≤ Value ≤ OPT. Zero with Feasible=false means no guess
+	// qualified (OPT is below the smallest detectable scale).
+	Value    float64
+	Feasible bool
+	// Z is the winning coverage guess.
+	Z int
+	// SetIDs backs the estimate for the reporting variant (may be nil).
+	SetIDs []uint32
+}
+
+// Result inspects all guesses after the pass (Figure 1's final max).
+func (est *Estimator) Result() Estimate {
+	if est.trivial {
+		return Estimate{Value: est.trivialVal, Feasible: true}
+	}
+	best := Estimate{}
+	for gi := range est.guesses {
+		g := &est.guesses[gi]
+		var estz float64
+		var ids []uint32
+		for ri := range g.reps {
+			r := g.reps[ri].oracle.Result()
+			if r.Feasible && r.Value > estz {
+				estz = r.Value
+				ids = r.SetIDs
+			}
+		}
+		if estz >= float64(g.z)/(4*est.Alpha) && estz > best.Value {
+			best = Estimate{Value: estz, Feasible: true, Z: g.z, SetIDs: ids}
+		}
+	}
+	return best
+}
+
+// SpaceWords sums every repetition's oracle and reduction hash.
+func (est *Estimator) SpaceWords() int {
+	w := 4
+	for gi := range est.guesses {
+		for ri := range est.guesses[gi].reps {
+			rep := &est.guesses[gi].reps[ri]
+			w += rep.h.SpaceWords() + rep.oracle.SpaceWords()
+		}
+	}
+	return w
+}
+
+// Guesses reports the number of coverage guesses (for tests/diagnostics).
+func (est *Estimator) Guesses() int { return len(est.guesses) }
+
+// SpaceBreakdown aggregates per-component retained words across all
+// guesses and repetitions. Oracles that expose their own breakdown (the
+// paper's three-subroutine oracle does) are split by subroutine; others
+// are lumped under "oracle". The reduction hashes appear under
+// "reduction".
+func (est *Estimator) SpaceBreakdown() map[string]int {
+	type breakable interface{ SpaceBreakdown() map[string]int }
+	out := map[string]int{}
+	for gi := range est.guesses {
+		for ri := range est.guesses[gi].reps {
+			rep := &est.guesses[gi].reps[ri]
+			out["reduction"] += rep.h.SpaceWords()
+			if br, ok := rep.oracle.(breakable); ok {
+				for part, w := range br.SpaceBreakdown() {
+					out[part] += w
+				}
+			} else {
+				out["oracle"] += rep.oracle.SpaceWords()
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+// Package disjointness implements the lower-bound apparatus of Section 5:
+// the r-player Set Disjointness problem with the unique-intersection
+// promise, its reduction to Max 1-Cover on edge-arrival streams
+// (Claims 5.3 and 5.4), a one-way communication protocol built on an
+// L2 sketch that distinguishes the two cases in O(m/α²) space (the
+// "inspiration" sketch of the paper's introduction), and the machinery
+// the experiment suite uses to exhibit the Ω(m/α²) trade-off shape:
+// the distinguisher's success probability collapses to chance once its
+// width falls well below m/α².
+//
+// Theorem 3.3 itself is information-theoretic and cannot be "measured";
+// what is reproducible is its operational content — the hard instances,
+// their α-gap, and the space at which sketches stop resolving them. See
+// DESIGN.md §3.
+package disjointness
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"streamcover/internal/sketch"
+	"streamcover/internal/stream"
+)
+
+// Instance is an r-player Set Disjointness instance under the promise:
+// either the players' sets are pairwise disjoint (Yes) or there is exactly
+// one item common to all players and the sets are otherwise disjoint (No).
+type Instance struct {
+	R    int  // players (the α of the reduction)
+	M    int  // item universe [0, M)
+	No   bool // true: unique common item exists
+	Sets [][]uint32
+	// Common is the planted common item when No (undefined otherwise).
+	Common uint32
+}
+
+// Generate builds a promise instance: items [1, M) are partitioned into r
+// contiguous blocks and each player draws `load` fraction of its block;
+// in the No case item 0 is added to every player. r ≥ 2, M > r required.
+func Generate(r, m int, no bool, load float64, rng *rand.Rand) (*Instance, error) {
+	if r < 2 {
+		return nil, fmt.Errorf("disjointness: r=%d < 2", r)
+	}
+	if m <= r {
+		return nil, fmt.Errorf("disjointness: m=%d must exceed r=%d", m, r)
+	}
+	if load <= 0 || load > 1 {
+		return nil, fmt.Errorf("disjointness: load %v out of (0,1]", load)
+	}
+	ins := &Instance{R: r, M: m, No: no, Sets: make([][]uint32, r)}
+	pool := m - 1 // items 1..m-1 split across players
+	for i := 0; i < r; i++ {
+		lo := 1 + i*pool/r
+		hi := 1 + (i+1)*pool/r
+		for j := lo; j < hi; j++ {
+			if rng.Float64() < load {
+				ins.Sets[i] = append(ins.Sets[i], uint32(j))
+			}
+		}
+		if no {
+			ins.Sets[i] = append(ins.Sets[i], 0)
+		}
+	}
+	ins.Common = 0
+	return ins, nil
+}
+
+// CheckPromise verifies the unique-intersection promise, for tests.
+func (ins *Instance) CheckPromise() error {
+	count := make(map[uint32]int)
+	for _, s := range ins.Sets {
+		for _, j := range s {
+			count[j]++
+		}
+	}
+	var shared []uint32
+	for j, c := range count {
+		if c > 1 {
+			if c != ins.R {
+				return fmt.Errorf("item %d in %d players (neither 1 nor r)", j, c)
+			}
+			shared = append(shared, j)
+		}
+	}
+	if ins.No && len(shared) != 1 {
+		return fmt.Errorf("No instance has %d common items, want 1", len(shared))
+	}
+	if !ins.No && len(shared) != 0 {
+		return fmt.Errorf("Yes instance has %d common items, want 0", len(shared))
+	}
+	return nil
+}
+
+// ToCoverStream applies the reduction of Section 5 to a Max 1-Cover
+// instance: one element e_i per player, one set S_j per item, and an edge
+// (S_j, e_i) whenever j ∈ T_i. In the No case the common item's set covers
+// all r elements (Claim 5.3, OPT = r); in the Yes case every set is a
+// singleton (Claim 5.4, OPT = 1) — an α = r gap.
+func (ins *Instance) ToCoverStream() []stream.Edge {
+	var edges []stream.Edge
+	for i, s := range ins.Sets {
+		for _, j := range s {
+			edges = append(edges, stream.Edge{Set: j, Elem: uint32(i)})
+		}
+	}
+	return edges
+}
+
+// CoverOPT computes the exact Max 1-Cover optimum of the reduced instance
+// (the size of the largest set S_j).
+func (ins *Instance) CoverOPT() int {
+	count := make(map[uint32]int)
+	for _, s := range ins.Sets {
+		for _, j := range s {
+			count[j]++
+		}
+	}
+	best := 0
+	for _, c := range count {
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Items returns the total number of (player, item) pairs — the stream
+// length of the protocol.
+func (ins *Instance) Items() int {
+	t := 0
+	for _, s := range ins.Sets {
+		t += len(s)
+	}
+	return t
+}
+
+// Distinguisher resolves Yes vs No instances from the item stream using an
+// L2 (CountSketch) sketch of the item-frequency vector v (v[j] = number of
+// players whose set contains j): in the No case one coordinate has
+// frequency r while everything else is 0/1, so with width Θ(m/r²) the
+// per-bucket noise √(F2_rest/width) = Θ(r) sits below the signal for a
+// suitable constant — an α-approximation to L∞(v) in O(m/α²) space,
+// exactly the sketch the paper credits as the upper bound's inspiration.
+type Distinguisher struct {
+	cs    *sketch.CountSketch
+	width int
+	total int64
+}
+
+// NewDistinguisher builds the sketch with the given width (the experiment
+// sweeps width to exhibit the Θ̃(m/α²) threshold).
+func NewDistinguisher(width int, rng *rand.Rand) *Distinguisher {
+	if width < 1 {
+		width = 1
+	}
+	return &Distinguisher{cs: sketch.NewCountSketch(5, width, rng), width: width}
+}
+
+// Process feeds one (player, item) occurrence: an increment of v[item].
+func (d *Distinguisher) Process(item uint32) {
+	d.total++
+	d.cs.Add(uint64(item), 1)
+}
+
+// MaxBucket returns the median across rows of each row's largest absolute
+// counter — a proxy for L∞(v) up to bucket noise.
+func (d *Distinguisher) MaxBucket() float64 {
+	maxes := d.cs.RowMaxAbs()
+	sort.Slice(maxes, func(i, j int) bool { return maxes[i] < maxes[j] })
+	return float64(maxes[len(maxes)/2])
+}
+
+// NoiseFloor is the expected magnitude of the largest pure-noise bucket:
+// per-bucket standard deviation √(T/W) (T unit updates signed into W
+// buckets) inflated by the extreme-value factor √(2·ln W). A real common
+// item of frequency r is detectable only when r clears this floor — which
+// forces W = Ω̃(m/r²), the paper's trade-off.
+func (d *Distinguisher) NoiseFloor() float64 {
+	w := float64(d.width)
+	if w < 2 {
+		w = 2
+	}
+	sigma := math.Sqrt(float64(d.total) / w)
+	return 1.3 * sigma * math.Sqrt(2*math.Log(w))
+}
+
+// DecideNo reports whether the sketch believes a common item of frequency
+// ~r exists: the median row-max must clear both a constant fraction of the
+// signal and the noise floor. When the width is far below m/r² the floor
+// exceeds r and No instances become undetectable — the lower bound's
+// operational content.
+func (d *Distinguisher) DecideNo(r int) bool {
+	thr := 0.7 * float64(r)
+	if nf := d.NoiseFloor(); nf > thr {
+		thr = nf
+	}
+	return d.MaxBucket() >= thr
+}
+
+// SpaceWords reports retained sketch state.
+func (d *Distinguisher) SpaceWords() int { return d.cs.SpaceWords() }
+
+// Protocol runs the one-way r-player communication protocol faithfully:
+// player i adds its set to the sketch, SERIALIZES it, and hands the bytes
+// to player i+1, who deserializes and continues; the last player decides.
+// Returns the decision and the total bits actually transmitted across the
+// r-1 hops — the quantity Theorem 5.1 lower-bounds by Ω(m/r). The update
+// counter travels alongside (one extra word) so the final player can
+// compute the noise floor.
+func Protocol(ins *Instance, width int, rng *rand.Rand) (decidesNo bool, bitsCommunicated int, err error) {
+	d := NewDistinguisher(width, rng)
+	bits := 0
+	for i, s := range ins.Sets {
+		for _, j := range s {
+			d.Process(j)
+		}
+		if i == ins.R-1 {
+			break
+		}
+		blob, err := d.cs.MarshalBinary()
+		if err != nil {
+			return false, 0, err
+		}
+		bits += (len(blob) + 8) * 8 // sketch bytes + the update counter
+		next := &Distinguisher{cs: new(sketch.CountSketch), width: d.width, total: d.total}
+		if err := next.cs.UnmarshalBinary(blob); err != nil {
+			return false, 0, err
+		}
+		d = next
+	}
+	return d.DecideNo(ins.R), bits, nil
+}

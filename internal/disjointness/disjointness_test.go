@@ -1,0 +1,196 @@
+package disjointness
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamcover/internal/stream"
+)
+
+func TestGenerateKeepsPromise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, no := range []bool{true, false} {
+		for _, r := range []int{2, 8, 32} {
+			ins, err := Generate(r, 4096, no, 0.5, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ins.CheckPromise(); err != nil {
+				t.Errorf("r=%d no=%v: %v", r, no, err)
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Generate(1, 100, true, 0.5, rng); err == nil {
+		t.Error("r=1 accepted")
+	}
+	if _, err := Generate(8, 8, true, 0.5, rng); err == nil {
+		t.Error("m<=r accepted")
+	}
+	if _, err := Generate(8, 100, true, 0, rng); err == nil {
+		t.Error("load=0 accepted")
+	}
+	if _, err := Generate(8, 100, true, 1.5, rng); err == nil {
+		t.Error("load>1 accepted")
+	}
+}
+
+func TestReductionGap(t *testing.T) {
+	// Claims 5.3 / 5.4: OPT of the reduced Max 1-Cover instance is r in
+	// the No case and 1 in the Yes case — an r-factor gap.
+	rng := rand.New(rand.NewSource(3))
+	for _, r := range []int{4, 16} {
+		no, _ := Generate(r, 2048, true, 0.5, rng)
+		if got := no.CoverOPT(); got != r {
+			t.Errorf("No instance OPT = %d, want r = %d", got, r)
+		}
+		yes, _ := Generate(r, 2048, false, 0.5, rng)
+		if got := yes.CoverOPT(); got != 1 {
+			t.Errorf("Yes instance OPT = %d, want 1", got)
+		}
+	}
+}
+
+func TestToCoverStreamShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ins, _ := Generate(4, 256, true, 0.5, rng)
+	edges := ins.ToCoverStream()
+	if len(edges) != ins.Items() {
+		t.Errorf("stream has %d edges, want %d", len(edges), ins.Items())
+	}
+	// Element IDs are player indices; the common item's set covers all.
+	players := make(map[uint32]bool)
+	commonCover := make(map[uint32]bool)
+	for _, e := range edges {
+		if int(e.Elem) >= ins.R {
+			t.Fatalf("element %d out of player range", e.Elem)
+		}
+		players[e.Elem] = true
+		if e.Set == ins.Common {
+			commonCover[e.Elem] = true
+		}
+	}
+	if len(players) != ins.R || len(commonCover) != ins.R {
+		t.Errorf("common set covers %d players of %d", len(commonCover), ins.R)
+	}
+	var _ stream.Iterator = stream.FromEdges(edges)
+}
+
+func TestDistinguisherAtAdequateWidth(t *testing.T) {
+	// Width c·m/r² resolves Yes vs No with high success (E4's left side).
+	const m = 8192
+	rng := rand.New(rand.NewSource(5))
+	for _, r := range []int{16, 32} {
+		width := 32 * m / (r * r)
+		correct := 0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			no := trial%2 == 0
+			ins, _ := Generate(r, m, no, 0.9, rng)
+			d := NewDistinguisher(width, rng)
+			for _, s := range ins.Sets {
+				for _, j := range s {
+					d.Process(j)
+				}
+			}
+			if d.DecideNo(r) == no {
+				correct++
+			}
+		}
+		if correct < trials*3/4 {
+			t.Errorf("r=%d width=%d: only %d/%d correct", r, width, correct, trials)
+		}
+	}
+}
+
+func TestDistinguisherCollapsesBelowThresholdWidth(t *testing.T) {
+	// With width ≪ m/r² the noise floor √(T/width)·√(2·ln width) exceeds
+	// the signal r, so No instances become undetectable (missed) — the
+	// empirical face of the Ω(m/α²) lower bound (E4's right side).
+	const m = 8192
+	const r = 16
+	rng := rand.New(rand.NewSource(6))
+	tiny := m / (r * r * 2) // 1/64 of the width that works
+	if tiny < 2 {
+		tiny = 2
+	}
+	missed := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		ins, _ := Generate(r, m, true, 0.9, rng) // No instances
+		d := NewDistinguisher(tiny, rng)
+		for _, s := range ins.Sets {
+			for _, j := range s {
+				d.Process(j)
+			}
+		}
+		if !d.DecideNo(r) {
+			missed++
+		}
+	}
+	if missed < trials*3/4 {
+		t.Errorf("undersized sketch still detects the common item (%d/%d missed, expected near-total misses)",
+			missed, trials)
+	}
+}
+
+func TestProtocolBitsScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ins, _ := Generate(16, 4096, true, 0.9, rng)
+	decision, bits, err := Protocol(ins, 32*4096/(16*16), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decision {
+		t.Error("protocol failed to detect the common item")
+	}
+	if bits <= 0 {
+		t.Error("no bits communicated")
+	}
+	// More players at the same width communicate more total bits, because
+	// each of the r-1 hops serializes the same-width sketch.
+	ins2, _ := Generate(32, 4096, true, 0.9, rng)
+	_, bits2, err := Protocol(ins2, 32*4096/(16*16), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits2 <= bits {
+		t.Errorf("bits did not grow with players: %d vs %d", bits, bits2)
+	}
+}
+
+func TestProtocolMatchesMonolithicDistinguisher(t *testing.T) {
+	// Serializing between players must not change the decision relative to
+	// one player doing everything (same rng draw for the sketch).
+	for _, no := range []bool{true, false} {
+		rngA := rand.New(rand.NewSource(42))
+		rngB := rand.New(rand.NewSource(42))
+		insA, _ := Generate(16, 8192, no, 0.9, rngA)
+		insB, _ := Generate(16, 8192, no, 0.9, rngB)
+		width := 32 * 8192 / (16 * 16)
+		mono := NewDistinguisher(width, rngA)
+		for _, s := range insA.Sets {
+			for _, j := range s {
+				mono.Process(j)
+			}
+		}
+		got, _, err := Protocol(insB, width, rngB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != mono.DecideNo(16) {
+			t.Errorf("no=%v: protocol decision %v != monolithic %v", no, got, mono.DecideNo(16))
+		}
+	}
+}
+
+func TestDistinguisherWidthFloor(t *testing.T) {
+	d := NewDistinguisher(0, rand.New(rand.NewSource(8)))
+	d.Process(3)
+	if d.SpaceWords() <= 0 {
+		t.Error("degenerate width broke space accounting")
+	}
+}

@@ -1,0 +1,286 @@
+package expt
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func renderOK(t *testing.T, tab *Table, wantRows int) string {
+	t.Helper()
+	if len(tab.Rows) < wantRows {
+		t.Fatalf("%s: %d rows, want >= %d", tab.ID, len(tab.Rows), wantRows)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("%s row %d has %d cells, header has %d", tab.ID, i, len(row), len(tab.Header))
+		}
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, tab.ID) || !strings.Contains(out, tab.Header[0]) {
+		t.Fatalf("%s render missing id/header:\n%s", tab.ID, out)
+	}
+	return out
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "t", Note: "n", Header: []string{"a", "bb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("wide-cell", 0.125)
+	out := renderOK(t, tab, 2)
+	if !strings.Contains(out, "wide-cell") || !strings.Contains(out, "2.50") || !strings.Contains(out, "0.1250") {
+		t.Errorf("render formatting wrong:\n%s", out)
+	}
+}
+
+func TestFitSlope(t *testing.T) {
+	if s := fitSlope([]float64{0, 1, 2}, []float64{5, 3, 1}); s != -2 {
+		t.Errorf("fitSlope = %v, want -2", s)
+	}
+	if s := fitSlope([]float64{1}, []float64{1}); s != 0 {
+		t.Errorf("degenerate fitSlope = %v, want 0", s)
+	}
+	if s := fitSlope([]float64{2, 2}, []float64{1, 5}); s != 0 {
+		t.Errorf("vertical fitSlope = %v, want 0", s)
+	}
+}
+
+func TestRatioGuards(t *testing.T) {
+	if r := ratio(10, 0); r != 0 {
+		t.Errorf("ratio with zero value = %v", r)
+	}
+	if r := ratio(10, 5); r != 2 {
+		t.Errorf("ratio = %v, want 2", r)
+	}
+}
+
+func smallTradeoff() TradeoffConfig {
+	return TradeoffConfig{N: 4000, M: 600, K: 20, Alphas: []float64{2, 4}, Seed: 5}
+}
+
+func TestTable1Small(t *testing.T) {
+	tab, err := Table1(Table1Config{N: 4000, M: 600, K: 20, Alphas: []float64{4}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOK(t, tab, 5)
+	if !strings.Contains(out, "THIS PAPER") || !strings.Contains(out, "greedy (offline)") {
+		t.Errorf("Table1 missing expected rows:\n%s", out)
+	}
+	// The offline greedy row must have ratio 1 on the planted instance.
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], "greedy (offline)") && row[4] != "1" {
+			t.Errorf("offline greedy ratio %s, want 1", row[4])
+		}
+	}
+}
+
+func TestTradeoffSweepSmall(t *testing.T) {
+	tab, err := TradeoffSweep(smallTradeoff())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	// Space must decrease as alpha grows (column 3).
+	s2, _ := strconv.Atoi(tab.Rows[0][3])
+	s4, _ := strconv.Atoi(tab.Rows[1][3])
+	if s4 >= s2 {
+		t.Errorf("space did not shrink with alpha: %d -> %d", s2, s4)
+	}
+	if !strings.Contains(tab.Note, "slope") {
+		t.Error("trade-off note missing fitted slope")
+	}
+}
+
+func TestReportingSmall(t *testing.T) {
+	cfg := smallTradeoff()
+	cfg.Alphas = []float64{4}
+	tab, err := Reporting(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 3)
+}
+
+func TestSpaceVsMSmall(t *testing.T) {
+	tab, err := SpaceVsM(10, 4, []int{300, 600}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+}
+
+func TestLowerBoundSmall(t *testing.T) {
+	tab, err := LowerBound(LowerBoundConfig{M: 2048, R: 8, Trials: 5, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := renderOK(t, tab, 5)
+	if !strings.Contains(out, "EstimateMaxCover on reduction") {
+		t.Error("missing estimator-on-reduction row")
+	}
+}
+
+func TestLemmaTables(t *testing.T) {
+	renderOK(t, UniverseReduction(50, 5), 4)
+	setTab, err := SetSampling(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, setTab, 3)
+	renderOK(t, ElementSampling(5), 3)
+	params, err := ParamsTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, params, 4)
+}
+
+func TestSketchTables(t *testing.T) {
+	renderOK(t, HeavyHittersAccuracy(5), 3)
+	renderOK(t, ContributingAccuracy(5), 4)
+	renderOK(t, L0Accuracy(5), 6)
+}
+
+func TestDispatchTable(t *testing.T) {
+	tab, err := OracleDispatch(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 3)
+}
+
+func TestAllSpecsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.ID] {
+			t.Errorf("duplicate experiment id %s", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Run == nil || s.Name == "" {
+			t.Errorf("spec %s incomplete", s.ID)
+		}
+	}
+	for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E9", "E10", "E11", "E12", "E13", "E14", "E15"} {
+		if !seen[id] {
+			t.Errorf("experiment %s missing from All()", id)
+		}
+	}
+}
+
+func TestSpaceCompositionTable(t *testing.T) {
+	tab, err := SpaceComposition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 4)
+	// LargeSet (the m/alpha^2 term) must shrink as alpha grows.
+	first, _ := strconv.Atoi(tab.Rows[0][2])
+	last, _ := strconv.Atoi(tab.Rows[len(tab.Rows)-1][2])
+	if last >= first {
+		t.Errorf("largeset words did not shrink with alpha: %d -> %d", first, last)
+	}
+}
+
+func TestArrivalOrderInvarianceTable(t *testing.T) {
+	tab, err := ArrivalOrderInvariance(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 4)
+	// Ours must be identical across orders (deterministic seed, orders
+	// only permute a multiset the sketches are order-insensitive to up to
+	// candidate-eviction timing; require equality as measured).
+	base := tab.Rows[0][1]
+	for _, row := range tab.Rows[1:] {
+		if row[1] != base {
+			t.Errorf("estimate varies with order: %s vs %s", base, row[1])
+		}
+	}
+}
+
+func TestHoldoutAblationTable(t *testing.T) {
+	tab, err := HoldoutAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	held, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	naive, _ := strconv.ParseFloat(tab.Rows[1][2], 64)
+	if naive <= held {
+		t.Errorf("naive estimate %v not above held-out %v — ablation lost its point", naive, held)
+	}
+}
+
+func TestNoiseGateAblationTable(t *testing.T) {
+	tab, err := NoiseGateAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	yes, _ := strconv.ParseFloat(tab.Rows[0][2], 64)
+	no, _ := strconv.ParseFloat(tab.Rows[1][2], 64)
+	if yes >= no {
+		t.Errorf("DSJ gap closed: yes=%v no=%v", yes, no)
+	}
+	if yes > 3 { // OPT(yes) = 1; small inflation tolerated
+		t.Errorf("Yes-instance inflation %v too high", yes)
+	}
+}
+
+func TestRenderCSVAndMarkdown(t *testing.T) {
+	tab := &Table{ID: "X", Title: "title", Note: "note", Header: []string{"a", "b"}}
+	tab.AddRow(1, "x,y") // comma must be quoted in CSV
+	var csvBuf, mdBuf bytes.Buffer
+	if err := tab.RenderCSV(&csvBuf); err != nil {
+		t.Fatal(err)
+	}
+	out := csvBuf.String()
+	if !strings.Contains(out, "# X: title — note") || !strings.Contains(out, `"x,y"`) {
+		t.Errorf("CSV output wrong:\n%s", out)
+	}
+	if err := tab.RenderMarkdown(&mdBuf); err != nil {
+		t.Fatal(err)
+	}
+	md := mdBuf.String()
+	if !strings.Contains(md, "### X: title") || !strings.Contains(md, "| a | b |") ||
+		!strings.Contains(md, "|---|---|") {
+		t.Errorf("markdown output wrong:\n%s", md)
+	}
+}
+
+func TestRepetitionBoostingTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boosting experiment runs many estimators")
+	}
+	tab, err := RepetitionBoosting(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	// Space must grow with repetitions.
+	s1, _ := strconv.Atoi(tab.Rows[0][4])
+	s3, _ := strconv.Atoi(tab.Rows[1][4])
+	if s3 <= s1 {
+		t.Errorf("space did not grow with repetitions: %d vs %d", s1, s3)
+	}
+}
+
+func TestDistinctBackendTable(t *testing.T) {
+	tab, err := DistinctBackendAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	for _, row := range tab.Rows {
+		r, _ := strconv.ParseFloat(row[2], 64)
+		if r > 4*1.2 || r <= 0 {
+			t.Errorf("backend %s ratio %v outside guarantee", row[0], r)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package expt
+
+import (
+	"math/rand"
+
+	"streamcover/internal/core"
+	"streamcover/internal/hash"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/workload"
+)
+
+// UniverseReduction is experiment E5 (Lemma 3.5): empirical probability
+// that a 4-wise hash U → [z] keeps |h(S)| ≥ z/4 for |S| = z, across z.
+// The lemma promises ≥ 3/4 for z ≥ 32.
+func UniverseReduction(trials int, seed int64) *Table {
+	t := &Table{
+		ID:     "E5",
+		Title:  "Universe reduction (Lemma 3.5)",
+		Note:   "Pr[|h(S)| >= z/4] for |S| = z, 4-wise h: U -> [z]; paper bound 3/4",
+		Header: []string{"z", "Pr[|h(S)| >= z/4]", "mean |h(S)|/z"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, z := range []uint64{32, 128, 512, 4096} {
+		good := 0
+		var meanFrac float64
+		for trial := 0; trial < trials; trial++ {
+			h := hash.New4Wise(rng)
+			distinct := make(map[uint64]struct{}, z)
+			for e := uint64(0); e < z; e++ {
+				distinct[h.Range(e, z)] = struct{}{}
+			}
+			if uint64(len(distinct)) >= z/4 {
+				good++
+			}
+			meanFrac += float64(len(distinct)) / float64(z)
+		}
+		t.AddRow(z, float64(good)/float64(trials), meanFrac/float64(trials))
+	}
+	return t
+}
+
+// SetSampling is experiment E9 (Lemma 2.3 / Section A.1): sampling sets at
+// rate λ/m covers the λ-common elements; |F^rnd| stays near λ.
+func SetSampling(seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E9",
+		Title:  "Set sampling covers common elements (Lemma 2.3, A.5, A.6)",
+		Note:   "m=2000 sets; planted commons appear in 10% of sets",
+		Header: []string{"lambda", "E|F_rnd|", "measured |F_rnd|", "commons covered", "commons total"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := workload.CommonHeavy(2000, 2000, 5, 50, 0.10, 2, rng)
+	d, err := core.Derive(in.System.M(), in.System.N, in.K, 4, core.Practical())
+	if err != nil {
+		return nil, err
+	}
+	for _, lambda := range []float64{50, 200, 800} {
+		s := core.NewSetSampler(d, lambda, rng)
+		ids := s.Enumerate(in.System.M())
+		covered := make(map[uint32]bool)
+		for _, id := range ids {
+			for _, e := range in.System.Sets[id] {
+				covered[e] = true
+			}
+		}
+		hit := 0
+		for e := uint32(0); e < 50; e++ {
+			if covered[e] {
+				hit++
+			}
+		}
+		t.AddRow(lambda, lambda, len(ids), hit, 50)
+	}
+	return t, nil
+}
+
+// ElementSampling is experiment E10 (Lemma 2.5): a constant-factor cover
+// computed on a uniform element sample is a constant-factor cover of the
+// full instance. We compare greedy-on-sample vs greedy-on-full coverage.
+func ElementSampling(seed int64) *Table {
+	t := &Table{
+		ID:     "E10",
+		Title:  "Element sampling preserves approximation (Lemma 2.5)",
+		Note:   "greedy on sampled elements, evaluated on the full universe",
+		Header: []string{"sample size", "full-greedy coverage", "sample-greedy true coverage", "retention"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	in := workload.PlantedCover(20000, 800, 20, 0.5, 8, rng)
+	_, full := in.System.Greedy(in.K)
+	for _, sampleSize := range []int{100, 400, 1600} {
+		// Sample elements, restrict the system, greedy, evaluate fully.
+		keep := make(map[uint32]bool, sampleSize)
+		for len(keep) < sampleSize {
+			keep[uint32(rng.Intn(in.System.N))] = true
+		}
+		restricted := make([][]uint32, in.System.M())
+		for i, s := range in.System.Sets {
+			for _, e := range s {
+				if keep[e] {
+					restricted[i] = append(restricted[i], e)
+				}
+			}
+		}
+		sub := setsystem.MustNew(in.System.N, restricted)
+		ids, _ := sub.LazyGreedy(in.K)
+		trueCov := in.System.Coverage(ids)
+		t.AddRow(sampleSize, full, trueCov, float64(trueCov)/float64(full))
+	}
+	return t
+}
+
+// ParamsTable is experiment E14 (Table 2): the derived parameter values at
+// representative dimensions, under both the paper's literal constants and
+// the practical preset.
+func ParamsTable() (*Table, error) {
+	t := &Table{
+		ID:     "E14",
+		Title:  "Derived parameters (Table 2)",
+		Note:   "w = min(k, alpha); s scales the OPTlarge cutoff z/(s*alpha)",
+		Header: []string{"preset", "m", "n", "k", "alpha", "w", "s", "s*alpha", "f", "sigma-frac", "eta"},
+	}
+	dims := []struct {
+		m, n, k int
+		alpha   float64
+	}{
+		{1 << 12, 1 << 14, 64, 4},
+		{1 << 16, 1 << 18, 256, 16},
+	}
+	for _, dm := range dims {
+		for _, preset := range []string{"practical", "paper"} {
+			var p core.Params
+			if preset == "paper" {
+				p = core.Paper(dm.m, dm.n)
+			} else {
+				p = core.Practical()
+			}
+			d, err := core.Derive(dm.m, dm.n, dm.k, dm.alpha, p)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(preset, dm.m, dm.n, dm.k, dm.alpha, d.W, d.S, d.SAlpha,
+				p.FMult, p.SigmaFrac, p.Eta)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,61 @@
+package expt
+
+import (
+	"math/rand"
+
+	"streamcover/internal/core"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+)
+
+// ours runs the paper's estimator on an instance and reports what the
+// experiments need.
+type oursResult struct {
+	Estimate   float64
+	Feasible   bool
+	SpaceWords int
+	// ReportedCoverage is the true coverage of the reported set IDs
+	// (the Theorem 3.2 reporting quality), 0 if nothing was reported.
+	ReportedCoverage int
+	ReportedSets     int
+}
+
+func runOurs(in *workload.Instance, alpha float64, p core.Params, seed int64) (oursResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	est, err := core.NewEstimator(in.System.M(), in.System.N, in.K, alpha, p, core.NewOracleFactory(), rng)
+	if err != nil {
+		return oursResult{}, err
+	}
+	it := stream.Linearize(in.System, stream.Shuffled, rng)
+	for {
+		e, ok := it.Next()
+		if !ok {
+			break
+		}
+		est.Process(e)
+	}
+	r := est.Result()
+	out := oursResult{
+		Estimate:   r.Value,
+		Feasible:   r.Feasible,
+		SpaceWords: est.SpaceWords(),
+	}
+	if len(r.SetIDs) > 0 {
+		ids := make([]int, len(r.SetIDs))
+		for i, id := range r.SetIDs {
+			ids[i] = int(id)
+		}
+		out.ReportedCoverage = in.System.Coverage(ids)
+		out.ReportedSets = len(r.SetIDs)
+	}
+	return out, nil
+}
+
+// ratio returns opt/value, the approximation factor in the paper's
+// "factor ≥ 1" convention (+Inf guarded as 0-value → ratio 0 means n/a).
+func ratio(opt int, value float64) float64 {
+	if value <= 0 {
+		return 0
+	}
+	return float64(opt) / value
+}

@@ -1,0 +1,120 @@
+package expt
+
+import (
+	"math"
+	"math/rand"
+
+	"streamcover/internal/sketch"
+)
+
+// HeavyHittersAccuracy is experiment E11 (Theorem 2.10): recall and
+// frequency accuracy of the F2 heavy-hitter sketch on planted-heavy
+// streams across φ.
+func HeavyHittersAccuracy(seed int64) *Table {
+	t := &Table{
+		ID:     "E11",
+		Title:  "F2 heavy hitters (Theorem 2.10)",
+		Note:   "one key at sqrt(share*F2), light tail; (1±1/2)-accurate frequencies expected",
+		Header: []string{"phi", "heavy share", "recalled", "freq rel err", "space (words)"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, phi := range []float64{0.2, 0.05, 0.01} {
+		heavy := 2000
+		tail := 3000
+		hh := sketch.NewF2HeavyHitters(phi, rng)
+		var updates []uint64
+		for i := 0; i < heavy; i++ {
+			updates = append(updates, 7)
+		}
+		for k := 0; k < tail; k++ {
+			for i := 0; i < 3; i++ {
+				updates = append(updates, uint64(100+k))
+			}
+		}
+		rng.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+		for _, u := range updates {
+			hh.Add(u)
+		}
+		f2 := float64(heavy)*float64(heavy) + float64(tail)*9
+		share := float64(heavy) * float64(heavy) / f2
+		recalled := false
+		var relErr float64
+		for _, it := range hh.Report() {
+			if it.ID == 7 {
+				recalled = true
+				relErr = math.Abs(it.Weight-float64(heavy)) / float64(heavy)
+			}
+		}
+		t.AddRow(phi, share, recalled, relErr, hh.SpaceWords())
+	}
+	return t
+}
+
+// ContributingAccuracy is experiment E12 (Theorem 2.11): detection of a
+// planted γ-contributing class across class sizes.
+func ContributingAccuracy(seed int64) *Table {
+	t := &Table{
+		ID:     "E12",
+		Title:  "F2-contributing classes (Theorem 2.11)",
+		Note:   "planted class carries >~60% of F2; one representative must be reported",
+		Header: []string{"class size", "freq", "detected", "reported freq", "space (words)"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, classSize := range []int{1, 8, 64, 256} {
+		freq := 6400 / classSize
+		c := sketch.NewF2Contributing(0.25, 1024, 1<<16, sketch.DefaultContribConfig(), rng)
+		var updates []uint64
+		for j := 0; j < classSize; j++ {
+			for i := 0; i < freq; i++ {
+				updates = append(updates, uint64(500000+j))
+			}
+		}
+		for k := 0; k < 2000; k++ {
+			for i := 0; i < 3; i++ {
+				updates = append(updates, uint64(k))
+			}
+		}
+		rng.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+		for _, u := range updates {
+			c.Add(u)
+		}
+		detected := false
+		var reported float64
+		for _, it := range c.Report() {
+			if it.ID >= 500000 && it.ID < uint64(500000+classSize) {
+				detected = true
+				reported = it.Weight
+				break
+			}
+		}
+		t.AddRow(classSize, freq, detected, reported, c.SpaceWords())
+	}
+	return t
+}
+
+// L0Accuracy is experiment E13 (Theorem 2.12): relative error of the
+// bottom-k distinct-elements sketch across cardinalities, with heavy
+// duplication.
+func L0Accuracy(seed int64) *Table {
+	t := &Table{
+		ID:     "E13",
+		Title:  "L0 / distinct elements (Theorem 2.12)",
+		Note:   "every key repeated 5x; (1±1/2) accuracy expected at eps=0.5",
+		Header: []string{"distinct", "eps", "estimate", "rel err", "space (words)"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, distinct := range []int{100, 10000, 200000} {
+		for _, eps := range []float64{0.5, 0.25} {
+			s := sketch.NewL0(eps, distinct, distinct, rng)
+			for rep := 0; rep < 5; rep++ {
+				for x := 0; x < distinct; x++ {
+					s.Add(uint64(x))
+				}
+			}
+			est := s.Estimate()
+			t.AddRow(distinct, eps, est,
+				math.Abs(est-float64(distinct))/float64(distinct), s.SpaceWords())
+		}
+	}
+	return t
+}

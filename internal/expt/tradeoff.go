@@ -1,0 +1,128 @@
+package expt
+
+import (
+	"math"
+	"math/rand"
+
+	"streamcover/internal/core"
+	"streamcover/internal/workload"
+)
+
+// TradeoffConfig sizes the E2/E3 sweeps.
+type TradeoffConfig struct {
+	N, M, K int
+	Alphas  []float64
+	Seed    int64
+}
+
+// DefaultTradeoffConfig spans a factor-8 α range so the α² law is visible.
+func DefaultTradeoffConfig() TradeoffConfig {
+	return TradeoffConfig{N: 20000, M: 4000, K: 64, Alphas: []float64{2, 4, 8, 16}, Seed: 2}
+}
+
+// TradeoffSweep is experiment E2 (Theorem 3.1): at fixed (m, n, k) it
+// sweeps α and reports measured ratio and space. The last column gives
+// space·α²/m — flat-ish when the Õ(m/α²) law holds (the Õ's log factors
+// and the +k term keep it from being exactly constant).
+func TradeoffSweep(cfg TradeoffConfig) (*Table, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	in := workload.PlantedCover(cfg.N, cfg.M, cfg.K, 0.8, 5, rng)
+	opt := in.PlantedCoverage
+	t := &Table{
+		ID:    "E2",
+		Title: "Space/approximation trade-off (Theorem 3.1)",
+		Note:  in.Name + ", OPT=" + trimFloat(float64(opt)),
+		Header: []string{
+			"alpha", "measured ratio", "ratio/alpha", "space (words)", "space*alpha^2/m",
+		},
+	}
+	var logA, logS []float64
+	for _, alpha := range cfg.Alphas {
+		res, err := runOurs(in, alpha, core.Practical(), cfg.Seed+int64(alpha*10))
+		if err != nil {
+			return nil, err
+		}
+		r := ratio(opt, res.Estimate)
+		t.AddRow(alpha, r, r/alpha, res.SpaceWords,
+			float64(res.SpaceWords)*alpha*alpha/float64(cfg.M))
+		logA = append(logA, math.Log(alpha))
+		logS = append(logS, math.Log(float64(res.SpaceWords)))
+	}
+	slope := fitSlope(logA, logS)
+	t.Note += ", log-log space-vs-alpha slope = " + trimFloat(slope) +
+		" (theory: -2 for the sketch term)"
+	return t, nil
+}
+
+// fitSlope computes the least-squares slope of y on x.
+func fitSlope(x, y []float64) float64 {
+	n := float64(len(x))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// SpaceVsM is the companion sweep: at fixed α it doubles m and reports
+// space, exhibiting the linear-in-m factor of Õ(m/α²).
+func SpaceVsM(k int, alpha float64, ms []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E2b",
+		Title:  "Space vs m at fixed alpha (Theorem 3.1)",
+		Note:   "alpha=" + trimFloat(alpha),
+		Header: []string{"m", "space (words)", "space/m"},
+	}
+	for _, m := range ms {
+		rng := rand.New(rand.NewSource(seed + int64(m)))
+		in := workload.PlantedCover(5*m, m, k, 0.8, 5, rng)
+		res, err := runOurs(in, alpha, core.Practical(), seed+int64(m))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(m, res.SpaceWords, float64(res.SpaceWords)/float64(m))
+	}
+	return t, nil
+}
+
+// Reporting is experiment E3 (Theorem 3.2): the reported k-cover's true
+// coverage ratio across α and workload families, plus the space including
+// the +k reporting term.
+func Reporting(cfg TradeoffConfig) (*Table, error) {
+	t := &Table{
+		ID:    "E3",
+		Title: "Reporting variant quality (Theorem 3.2)",
+		Note:  "reported = true coverage of the returned <=k sets",
+		Header: []string{
+			"workload", "alpha", "OPT", "reported coverage", "true ratio", "#sets", "space (words)",
+		},
+	}
+	for _, alpha := range cfg.Alphas {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		families := []*workload.Instance{
+			workload.PlantedCover(cfg.N, cfg.M, cfg.K, 0.8, 5, rng),
+			workload.PlantedLargeSets(cfg.N, cfg.M, cfg.K, 2, 0.8, rng),
+			workload.PlantedSmallSets(cfg.N, cfg.M, 4*cfg.K, 0.8, rng),
+		}
+		for _, in := range families {
+			res, err := runOurs(in, alpha, core.Practical(), cfg.Seed+int64(alpha))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(in.Name, alpha, in.PlantedCoverage, res.ReportedCoverage,
+				ratio(in.PlantedCoverage, float64(res.ReportedCoverage)),
+				res.ReportedSets, res.SpaceWords)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,51 @@
+package hash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzEval checks the field-arithmetic invariants on arbitrary inputs:
+// values stay in [0, Prime), keys congruent mod Prime collide, and Range
+// respects its bound.
+func FuzzEval(f *testing.F) {
+	f.Add(int64(1), uint64(0), uint64(7))
+	f.Add(int64(-5), uint64(Prime), uint64(1))
+	f.Add(int64(99), ^uint64(0), uint64(1<<32))
+	f.Fuzz(func(t *testing.T, seed int64, x uint64, n uint64) {
+		p := NewPoly(4+int(x%5), rand.New(rand.NewSource(seed)))
+		v := p.Eval(x)
+		if v >= Prime {
+			t.Fatalf("Eval(%d) = %d out of field", x, v)
+		}
+		if x < Prime {
+			if p.Eval(x) != p.Eval(x+Prime) {
+				t.Fatalf("congruent keys differ at %d", x)
+			}
+		}
+		if n == 0 {
+			n = 1
+		}
+		if r := p.Range(x, n); r >= n {
+			t.Fatalf("Range(%d, %d) = %d", x, n, r)
+		}
+		// Bernoulli must be monotone in the rate.
+		if p.Bernoulli(x, 0.2) && !p.Bernoulli(x, 0.9) {
+			t.Fatalf("Bernoulli not monotone in rate at %d", x)
+		}
+	})
+}
+
+// FuzzMulMod cross-checks the Mersenne fold against double-and-add.
+func FuzzMulMod(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(Prime-1, Prime-1)
+	f.Add(uint64(1)<<60, uint64(3))
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		a %= Prime
+		b %= Prime
+		if got, want := mulMod(a, b), slowMulMod(a, b); got != want {
+			t.Fatalf("mulMod(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	})
+}

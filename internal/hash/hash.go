@@ -1,0 +1,160 @@
+// Package hash provides k-wise independent hash families over the Mersenne
+// prime field GF(2^61 - 1), plus helpers for range mapping, subset sampling
+// and random signs.
+//
+// The paper (Indyk–Vakilian, PODS'19) uses hash functions drawn from
+// families of bounded independence everywhere randomness is needed:
+// 4-wise functions for the universe reduction (Lemma 3.5) and
+// Θ(log(mn))-wise functions for set sampling (Section A.1), superset
+// partitioning (Section 4.2) and substream sampling (Section 2.2).
+// Lemma A.2 (Vadhan, Corollary 3.34) stores a d-wise independent function
+// in d·log(mn) bits; the classic construction is a degree-(d-1) polynomial
+// with uniform coefficients over a prime field, which is what we implement.
+package hash
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Prime is the Mersenne prime 2^61 - 1 used as the field modulus. Every
+// hash value produced by Poly.Eval lies in [0, Prime).
+const Prime uint64 = 1<<61 - 1
+
+// addMod returns a+b mod Prime for a, b < Prime.
+func addMod(a, b uint64) uint64 {
+	s := a + b // < 2^62, no overflow
+	if s >= Prime {
+		s -= Prime
+	}
+	return s
+}
+
+// mulMod returns a*b mod Prime for a, b < Prime, using the Mersenne fold:
+// with p = 2^61-1, (hi·2^64 + lo) ≡ hi·8 + (lo >> 61)·1 + (lo & p).
+func mulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*2^3*2^61 + lo ≡ hi*8 + lo (mod 2^61-1),
+	// with lo itself folded as (lo >> 61) + (lo & Prime).
+	r := (hi << 3) | (lo >> 61) // < 2^64 since hi < 2^58 for a,b < 2^61
+	r += lo & Prime
+	// r < 2^61 + 2^61 = 2^62, fold once more.
+	r = (r >> 61) + (r & Prime)
+	if r >= Prime {
+		r -= Prime
+	}
+	return r
+}
+
+// Poly is a hash function drawn from a d-wise independent family,
+// realised as a degree-(d-1) polynomial with coefficients uniform in
+// GF(2^61-1). It is safe for concurrent use after construction.
+type Poly struct {
+	coef []uint64 // coef[i] multiplies x^i; len(coef) == degree of independence
+}
+
+// NewPoly draws a hash function from a d-wise independent family using rng.
+// d must be at least 1. The leading coefficient is forced nonzero so the
+// polynomial has full degree (this does not affect independence).
+func NewPoly(d int, rng *rand.Rand) *Poly {
+	if d < 1 {
+		panic(fmt.Sprintf("hash: independence degree %d < 1", d))
+	}
+	coef := make([]uint64, d)
+	for i := range coef {
+		coef[i] = uint64(rng.Int63n(int64(Prime)))
+	}
+	if d > 1 && coef[d-1] == 0 {
+		coef[d-1] = 1
+	}
+	return &Poly{coef: coef}
+}
+
+// Degree reports the independence degree d of the family the function was
+// drawn from.
+func (p *Poly) Degree() int { return len(p.coef) }
+
+// Eval returns the hash of x, uniform in [0, Prime). Inputs are reduced
+// modulo Prime first, so callers may pass arbitrary uint64 keys; keys that
+// collide mod Prime hash identically (the paper's universes are far below
+// 2^61, so this never matters in practice).
+func (p *Poly) Eval(x uint64) uint64 {
+	if x >= Prime {
+		x -= Prime // x < 2^64 < 2*Prime+6; one conditional handles all but 7 values
+		if x >= Prime {
+			x -= Prime
+		}
+	}
+	// Horner evaluation.
+	acc := p.coef[len(p.coef)-1]
+	for i := len(p.coef) - 2; i >= 0; i-- {
+		acc = addMod(mulMod(acc, x), p.coef[i])
+	}
+	return acc
+}
+
+// Range maps the hash of x to [0, n) using the multiply-high trick, which
+// preserves near-uniformity (bias O(n/Prime)). n must be positive.
+func (p *Poly) Range(x, n uint64) uint64 {
+	if n == 0 {
+		panic("hash: Range with n == 0")
+	}
+	hi, _ := bits.Mul64(p.Eval(x)<<3, n) // <<3 scales [0,2^61) to fill [0,2^64)
+	return hi
+}
+
+// Bernoulli reports whether x is sampled at rate prob ∈ [0, 1]. The decision
+// is a deterministic function of x, so a fixed Poly yields a fixed sampled
+// subset — exactly the "pick h from a family and keep {x : h(x)=1}" pattern
+// the paper uses for set and element sampling.
+func (p *Poly) Bernoulli(x uint64, prob float64) bool {
+	if prob <= 0 {
+		return false
+	}
+	if prob >= 1 {
+		return true
+	}
+	threshold := uint64(prob * float64(Prime))
+	return p.Eval(x) < threshold
+}
+
+// Sign returns +1 or -1 depending on one bit of the hash of x. Drawn from a
+// 4-wise family this provides the random signs CountSketch requires.
+func (p *Poly) Sign(x uint64) int {
+	if p.Eval(x)&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// SpaceWords reports the number of 64-bit words retained by the function,
+// matching Lemma A.2's d·log(mn)-bit bound (one word per coefficient).
+func (p *Poly) SpaceWords() int { return len(p.coef) }
+
+// LogDegree returns the Θ(log(mn)) independence degree the paper prescribes
+// for universe sizes m and n: ⌈log2(m·n)⌉ + 2, minimum 4.
+func LogDegree(m, n int) int {
+	if m < 1 {
+		m = 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	d := bits.Len(uint(m)) + bits.Len(uint(n)) + 2
+	if d < 4 {
+		d = 4
+	}
+	return d
+}
+
+// NewPairwise draws from a 2-wise independent family.
+func NewPairwise(rng *rand.Rand) *Poly { return NewPoly(2, rng) }
+
+// New4Wise draws from a 4-wise independent family (universe reduction,
+// CountSketch signs).
+func New4Wise(rng *rand.Rand) *Poly { return NewPoly(4, rng) }
+
+// NewLogWise draws from a Θ(log(mn))-wise independent family, the degree
+// used throughout Sections 2.2, 4.1, 4.2 and A.1.
+func NewLogWise(m, n int, rng *rand.Rand) *Poly { return NewPoly(LogDegree(m, n), rng) }

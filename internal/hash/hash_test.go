@@ -1,0 +1,299 @@
+package hash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddModBounds(t *testing.T) {
+	cases := [][3]uint64{
+		{0, 0, 0},
+		{Prime - 1, 1, 0},
+		{Prime - 1, Prime - 1, Prime - 2},
+		{1, 2, 3},
+	}
+	for _, c := range cases {
+		if got := addMod(c[0], c[1]); got != c[2] {
+			t.Errorf("addMod(%d,%d) = %d, want %d", c[0], c[1], got, c[2])
+		}
+	}
+}
+
+func TestMulModAgainstBigIntSemantics(t *testing.T) {
+	// Verify mulMod against the definition using 128-bit arithmetic done by
+	// repeated addition on small operands and random spot checks via
+	// math/bits decomposition.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		a := uint64(rng.Int63n(int64(Prime)))
+		b := uint64(rng.Int63n(int64(Prime)))
+		got := mulMod(a, b)
+		want := slowMulMod(a, b)
+		if got != want {
+			t.Fatalf("mulMod(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+	// Edge values.
+	edges := []uint64{0, 1, 2, Prime - 1, Prime - 2, Prime / 2, Prime/2 + 1}
+	for _, a := range edges {
+		for _, b := range edges {
+			if got, want := mulMod(a, b), slowMulMod(a, b); got != want {
+				t.Fatalf("mulMod(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+// slowMulMod computes a*b mod Prime via double-and-add, avoiding overflow.
+func slowMulMod(a, b uint64) uint64 {
+	var acc uint64
+	for b > 0 {
+		if b&1 == 1 {
+			acc = addMod(acc, a)
+		}
+		a = addMod(a, a)
+		b >>= 1
+	}
+	return acc
+}
+
+func TestMulModProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		a %= Prime
+		b %= Prime
+		return mulMod(a, b) == slowMulMod(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalDeterministic(t *testing.T) {
+	p := NewPoly(6, rand.New(rand.NewSource(7)))
+	q := NewPoly(6, rand.New(rand.NewSource(7)))
+	for x := uint64(0); x < 1000; x++ {
+		if p.Eval(x) != q.Eval(x) {
+			t.Fatalf("same seed gave different hashes at x=%d", x)
+		}
+	}
+	r := NewPoly(6, rand.New(rand.NewSource(8)))
+	same := 0
+	for x := uint64(0); x < 1000; x++ {
+		if p.Eval(x) == r.Eval(x) {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds collided on %d of 1000 inputs", same)
+	}
+}
+
+func TestEvalInField(t *testing.T) {
+	f := func(seed int64, x uint64, dRaw uint8) bool {
+		d := int(dRaw%8) + 1
+		p := NewPoly(d, rand.New(rand.NewSource(seed)))
+		return p.Eval(x) < Prime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRangeBounds(t *testing.T) {
+	p := NewPoly(4, rand.New(rand.NewSource(3)))
+	for _, n := range []uint64{1, 2, 3, 17, 1 << 20} {
+		for x := uint64(0); x < 2000; x++ {
+			if v := p.Range(x, n); v >= n {
+				t.Fatalf("Range(%d, %d) = %d out of range", x, n, v)
+			}
+		}
+	}
+}
+
+func TestRangeUniformity(t *testing.T) {
+	// Chi-squared style sanity check: hashing 1<<16 keys into 16 buckets
+	// should put roughly 4096 in each.
+	p := NewPoly(8, rand.New(rand.NewSource(11)))
+	const keys = 1 << 16
+	const buckets = 16
+	var counts [buckets]int
+	for x := uint64(0); x < keys; x++ {
+		counts[p.Range(x, buckets)]++
+	}
+	expected := float64(keys) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Errorf("bucket %d has %d keys, expected ~%.0f", b, c, expected)
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, prob := range []float64{0.01, 0.1, 0.5, 0.9} {
+		p := NewPoly(8, rng)
+		const keys = 1 << 16
+		hits := 0
+		for x := uint64(0); x < keys; x++ {
+			if p.Bernoulli(x, prob) {
+				hits++
+			}
+		}
+		got := float64(hits) / keys
+		if math.Abs(got-prob) > 0.02 {
+			t.Errorf("Bernoulli rate %.3f measured %.3f", prob, got)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	p := NewPoly(2, rand.New(rand.NewSource(9)))
+	for x := uint64(0); x < 100; x++ {
+		if p.Bernoulli(x, 0) {
+			t.Fatal("Bernoulli(_, 0) returned true")
+		}
+		if !p.Bernoulli(x, 1) {
+			t.Fatal("Bernoulli(_, 1) returned false")
+		}
+		if p.Bernoulli(x, -0.5) {
+			t.Fatal("negative probability sampled")
+		}
+		if !p.Bernoulli(x, 1.5) {
+			t.Fatal("probability > 1 rejected")
+		}
+	}
+}
+
+func TestSignBalance(t *testing.T) {
+	p := New4Wise(rand.New(rand.NewSource(13)))
+	sum := 0
+	const keys = 1 << 16
+	for x := uint64(0); x < keys; x++ {
+		s := p.Sign(x)
+		if s != 1 && s != -1 {
+			t.Fatalf("Sign returned %d", s)
+		}
+		sum += s
+	}
+	if math.Abs(float64(sum)) > 6*math.Sqrt(keys) {
+		t.Errorf("signs unbalanced: sum %d over %d keys", sum, keys)
+	}
+}
+
+func TestSignPairwiseDecorrelation(t *testing.T) {
+	// E[s(x)s(y)] should be ~0 for x != y under 4-wise independence.
+	rng := rand.New(rand.NewSource(17))
+	const trials = 4000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		p := New4Wise(rng)
+		sum += p.Sign(1) * p.Sign(2)
+	}
+	if math.Abs(float64(sum)) > 6*math.Sqrt(trials) {
+		t.Errorf("sign products correlated: sum %d over %d trials", sum, trials)
+	}
+}
+
+func TestPairwiseIndependenceEmpirical(t *testing.T) {
+	// For a pairwise family into 4 buckets, Pr[h(x)=a and h(y)=b] should be
+	// ~1/16 for each (a,b) with x != y, over random draws of h.
+	rng := rand.New(rand.NewSource(19))
+	const trials = 8000
+	var joint [4][4]int
+	for i := 0; i < trials; i++ {
+		p := NewPairwise(rng)
+		joint[p.Range(100, 4)][p.Range(200, 4)]++
+	}
+	expected := float64(trials) / 16
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if math.Abs(float64(joint[a][b])-expected) > 6*math.Sqrt(expected) {
+				t.Errorf("joint[%d][%d] = %d, expected ~%.0f", a, b, joint[a][b], expected)
+			}
+		}
+	}
+}
+
+func TestLogDegree(t *testing.T) {
+	cases := []struct {
+		m, n, min int
+	}{
+		{1, 1, 4},
+		{0, 0, 4},
+		{1024, 1024, 22},
+		{1 << 20, 1 << 20, 42},
+	}
+	for _, c := range cases {
+		if d := LogDegree(c.m, c.n); d < c.min {
+			t.Errorf("LogDegree(%d,%d) = %d, want >= %d", c.m, c.n, d, c.min)
+		}
+	}
+	if LogDegree(8, 8) >= LogDegree(1<<30, 1<<30) {
+		t.Error("LogDegree not increasing in universe size")
+	}
+}
+
+func TestNewPolyPanicsOnBadDegree(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPoly(0, _) did not panic")
+		}
+	}()
+	NewPoly(0, rand.New(rand.NewSource(1)))
+}
+
+func TestRangePanicsOnZero(t *testing.T) {
+	p := NewPairwise(rand.New(rand.NewSource(1)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Range(_, 0) did not panic")
+		}
+	}()
+	p.Range(1, 0)
+}
+
+func TestSpaceWords(t *testing.T) {
+	for d := 1; d <= 32; d++ {
+		p := NewPoly(d, rand.New(rand.NewSource(int64(d))))
+		if p.SpaceWords() != d {
+			t.Errorf("SpaceWords for degree %d = %d", d, p.SpaceWords())
+		}
+		if p.Degree() != d {
+			t.Errorf("Degree() = %d, want %d", p.Degree(), d)
+		}
+	}
+}
+
+func TestEvalLargeKeys(t *testing.T) {
+	// Keys at and beyond Prime must still evaluate in-field.
+	p := NewPoly(4, rand.New(rand.NewSource(23)))
+	for _, x := range []uint64{Prime - 1, Prime, Prime + 1, math.MaxUint64, math.MaxUint64 - 1} {
+		if v := p.Eval(x); v >= Prime {
+			t.Errorf("Eval(%d) = %d out of field", x, v)
+		}
+	}
+	// Keys congruent mod Prime hash identically.
+	if p.Eval(3) != p.Eval(3+Prime) {
+		t.Error("keys congruent mod Prime hashed differently")
+	}
+}
+
+func BenchmarkEvalDegree4(b *testing.B) {
+	p := New4Wise(rand.New(rand.NewSource(1)))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Eval(uint64(i))
+	}
+	_ = sink
+}
+
+func BenchmarkEvalDegree32(b *testing.B) {
+	p := NewPoly(32, rand.New(rand.NewSource(1)))
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Eval(uint64(i))
+	}
+	_ = sink
+}

@@ -1,0 +1,57 @@
+package hash
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Equal reports whether two functions are the same member of the same
+// family (identical coefficients). Mergeable sketches require their hash
+// functions to be Equal.
+func (p *Poly) Equal(q *Poly) bool {
+	if q == nil || len(p.coef) != len(q.coef) {
+		return false
+	}
+	for i, c := range p.coef {
+		if q.coef[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// MarshalBinary encodes the function as a length-prefixed coefficient
+// list, little endian. The encoding realizes Lemma A.2's d·log(mn)-bit
+// bound (8 bytes per coefficient plus a 4-byte header).
+func (p *Poly) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 4+8*len(p.coef))
+	binary.LittleEndian.PutUint32(out, uint32(len(p.coef)))
+	for i, c := range p.coef {
+		binary.LittleEndian.PutUint64(out[4+8*i:], c)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a function written by MarshalBinary.
+func (p *Poly) UnmarshalBinary(data []byte) error {
+	if len(data) < 4 {
+		return fmt.Errorf("hash: truncated poly header (%d bytes)", len(data))
+	}
+	d := binary.LittleEndian.Uint32(data)
+	if d < 1 || d > 1<<16 {
+		return fmt.Errorf("hash: implausible degree %d", d)
+	}
+	if len(data) != int(4+8*d) {
+		return fmt.Errorf("hash: poly payload %d bytes, want %d", len(data), 4+8*d)
+	}
+	coef := make([]uint64, d)
+	for i := range coef {
+		c := binary.LittleEndian.Uint64(data[4+8*i:])
+		if c >= Prime {
+			return fmt.Errorf("hash: coefficient %d out of field", i)
+		}
+		coef[i] = c
+	}
+	p.coef = coef
+	return nil
+}

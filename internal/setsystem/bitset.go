@@ -1,0 +1,57 @@
+package setsystem
+
+import "math/bits"
+
+// Bitset is a fixed-capacity bit vector over element IDs [0, n).
+type Bitset []uint64
+
+// NewBitset allocates a bitset with capacity for n bits.
+func NewBitset(n int) Bitset {
+	return make(Bitset, (n+63)/64)
+}
+
+// Set marks bit i.
+func (b Bitset) Set(i uint32) { b[i>>6] |= 1 << (i & 63) }
+
+// Get reports bit i.
+func (b Bitset) Get(i uint32) bool { return b[i>>6]&(1<<(i&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b Bitset) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Or sets b |= other. The bitsets must have equal capacity.
+func (b Bitset) Or(other Bitset) {
+	for i, w := range other {
+		b[i] |= w
+	}
+}
+
+// Clone returns a copy.
+func (b Bitset) Clone() Bitset {
+	c := make(Bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// Clear zeroes the bitset in place.
+func (b Bitset) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// AndNotCount returns |other \ b|: the number of bits set in other but not
+// in b — the marginal gain of adding `other` to coverage b.
+func (b Bitset) AndNotCount(other Bitset) int {
+	c := 0
+	for i, w := range other {
+		c += bits.OnesCount64(w &^ b[i])
+	}
+	return c
+}

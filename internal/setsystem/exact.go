@@ -1,0 +1,71 @@
+package setsystem
+
+import "sort"
+
+// Exact computes an optimal k-cover by branch and bound. Intended for
+// ground truth on small instances (roughly m ≤ 30 or k small); cost grows
+// as C(m, k) in the worst case but coverage-sorted pruning usually cuts
+// deep. Returns chosen set indices and the optimal coverage.
+func (ss *SetSystem) Exact(k int) ([]int, int) {
+	if k <= 0 || ss.M() == 0 {
+		return nil, 0
+	}
+	if k > ss.M() {
+		k = ss.M()
+	}
+	// Order sets by descending size; the prefix-size prune is tightest then.
+	order := make([]int, ss.M())
+	for i := range order {
+		order[i] = i
+	}
+	setBits := make([]Bitset, ss.M())
+	for i := range ss.Sets {
+		setBits[i] = ss.SetBitset(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(ss.Sets[order[a]]) > len(ss.Sets[order[b]])
+	})
+	// Greedy seeds the incumbent so pruning starts strong.
+	bestIDs, best := ss.Greedy(k)
+	bestIDs = append([]int(nil), bestIDs...)
+
+	cur := make([]int, 0, k)
+	covered := NewBitset(ss.N)
+	var rec func(pos, count, coveredCount int)
+	rec = func(pos, count, coveredCount int) {
+		if coveredCount > best {
+			best = coveredCount
+			bestIDs = append(bestIDs[:0], cur...)
+		}
+		if count == k || pos == len(order) {
+			return
+		}
+		// Upper bound: current coverage plus sizes of the next (k-count)
+		// largest remaining sets (sizes are non-increasing along order).
+		ub := coveredCount
+		for j := pos; j < len(order) && j < pos+(k-count); j++ {
+			ub += len(ss.Sets[order[j]])
+		}
+		if ub <= best {
+			return
+		}
+		id := order[pos]
+		gain := covered.AndNotCount(setBits[id])
+		if gain > 0 || count == 0 {
+			// Take id.
+			snapshot := covered.Clone()
+			covered.Or(setBits[id])
+			cur = append(cur, id)
+			rec(pos+1, count+1, coveredCount+gain)
+			cur = cur[:len(cur)-1]
+			copy(covered, snapshot)
+		}
+		// Skip id.
+		rec(pos+1, count, coveredCount)
+	}
+	rec(0, 0, 0)
+	if len(bestIDs) > k {
+		bestIDs = bestIDs[:k]
+	}
+	return bestIDs, best
+}

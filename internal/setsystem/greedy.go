@@ -1,0 +1,110 @@
+package setsystem
+
+import "container/heap"
+
+// Greedy runs the classic greedy algorithm [Nemhauser–Wolsey–Fisher '78]:
+// k rounds, each picking the set with the largest marginal coverage gain.
+// Returns the chosen set indices (in pick order) and their coverage. The
+// approximation guarantee is 1-1/e, tight under P != NP (Feige '98).
+func (ss *SetSystem) Greedy(k int) ([]int, int) {
+	if k <= 0 || ss.M() == 0 {
+		return nil, 0
+	}
+	if k > ss.M() {
+		k = ss.M()
+	}
+	covered := NewBitset(ss.N)
+	setBits := make([]Bitset, ss.M())
+	for i := range ss.Sets {
+		setBits[i] = ss.SetBitset(i)
+	}
+	picked := make([]int, 0, k)
+	taken := make([]bool, ss.M())
+	total := 0
+	for r := 0; r < k; r++ {
+		best, bestGain := -1, 0
+		for i := range setBits {
+			if taken[i] {
+				continue
+			}
+			if g := covered.AndNotCount(setBits[i]); g > bestGain {
+				best, bestGain = i, g
+			}
+		}
+		if best < 0 { // no set adds anything
+			break
+		}
+		covered.Or(setBits[best])
+		taken[best] = true
+		picked = append(picked, best)
+		total += bestGain
+	}
+	return picked, total
+}
+
+// LazyGreedy computes the same solution as Greedy using lazy marginal-gain
+// evaluation (Minoux's accelerated greedy): stale upper bounds sit in a
+// max-heap and are re-evaluated only when popped. Output is identical to
+// Greedy up to tie-breaking; coverage value always matches.
+func (ss *SetSystem) LazyGreedy(k int) ([]int, int) {
+	if k <= 0 || ss.M() == 0 {
+		return nil, 0
+	}
+	if k > ss.M() {
+		k = ss.M()
+	}
+	covered := NewBitset(ss.N)
+	setBits := make([]Bitset, ss.M())
+	h := make(gainHeap, 0, ss.M())
+	for i := range ss.Sets {
+		setBits[i] = ss.SetBitset(i)
+		h = append(h, gainEntry{set: i, gain: len(ss.Sets[i]), round: 0})
+	}
+	heap.Init(&h)
+	picked := make([]int, 0, k)
+	total := 0
+	round := 1
+	for len(picked) < k && h.Len() > 0 {
+		top := h[0]
+		if top.round == round {
+			// Fresh for this round: by submodularity every other entry's
+			// true gain is at most its (stale) key <= top.gain, so top wins.
+			heap.Pop(&h)
+			if top.gain == 0 {
+				break
+			}
+			covered.Or(setBits[top.set])
+			picked = append(picked, top.set)
+			total += top.gain
+			round++
+			continue
+		}
+		h[0].gain = covered.AndNotCount(setBits[top.set])
+		h[0].round = round
+		heap.Fix(&h, 0)
+	}
+	return picked, total
+}
+
+type gainEntry struct {
+	set, gain, round int
+}
+
+type gainHeap []gainEntry
+
+func (h gainHeap) Len() int { return len(h) }
+func (h gainHeap) Less(i, j int) bool {
+	if h[i].gain != h[j].gain {
+		return h[i].gain > h[j].gain
+	}
+	return h[i].set < h[j].set
+}
+func (h gainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *gainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *gainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,110 @@
+// Package setsystem provides the in-memory Max k-Cover instance model used
+// as ground truth across the repository: exact optima (branch and bound)
+// and the classic greedy of Nemhauser–Wolsey–Fisher with its 1-1/e
+// guarantee, which the paper's Introduction takes as the offline baseline.
+package setsystem
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SetSystem is an explicit (U, F) instance. Elements are 0..N-1; sets are
+// stored as sorted, deduplicated element-ID slices.
+type SetSystem struct {
+	N    int        // |U|
+	Sets [][]uint32 // m sets; Sets[i] sorted ascending, unique
+}
+
+// New builds a SetSystem, normalizing each set (sorting, deduplicating) and
+// validating element IDs against n.
+func New(n int, sets [][]uint32) (*SetSystem, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("setsystem: negative universe size %d", n)
+	}
+	norm := make([][]uint32, len(sets))
+	for i, s := range sets {
+		cp := append([]uint32(nil), s...)
+		sort.Slice(cp, func(a, b int) bool { return cp[a] < cp[b] })
+		out := cp[:0]
+		var prev uint32
+		for j, e := range cp {
+			if int(e) >= n {
+				return nil, fmt.Errorf("setsystem: set %d contains element %d >= n=%d", i, e, n)
+			}
+			if j > 0 && e == prev {
+				continue
+			}
+			out = append(out, e)
+			prev = e
+		}
+		norm[i] = out
+	}
+	return &SetSystem{N: n, Sets: norm}, nil
+}
+
+// MustNew is New that panics on error, for tests and generators with
+// known-valid input.
+func MustNew(n int, sets [][]uint32) *SetSystem {
+	ss, err := New(n, sets)
+	if err != nil {
+		panic(err)
+	}
+	return ss
+}
+
+// M returns the number of sets.
+func (ss *SetSystem) M() int { return len(ss.Sets) }
+
+// Edges returns the total number of (set, element) incidences — the
+// edge-arrival stream length.
+func (ss *SetSystem) Edges() int {
+	t := 0
+	for _, s := range ss.Sets {
+		t += len(s)
+	}
+	return t
+}
+
+// SetBitset materializes set i as a bitset over U.
+func (ss *SetSystem) SetBitset(i int) Bitset {
+	b := NewBitset(ss.N)
+	for _, e := range ss.Sets[i] {
+		b.Set(e)
+	}
+	return b
+}
+
+// Coverage computes |∪_{i∈ids} Sets[i]|. Duplicate IDs are harmless.
+func (ss *SetSystem) Coverage(ids []int) int {
+	b := NewBitset(ss.N)
+	for _, i := range ids {
+		for _, e := range ss.Sets[i] {
+			b.Set(e)
+		}
+	}
+	return b.Count()
+}
+
+// ElementFrequencies returns freq[e] = number of sets containing element e.
+func (ss *SetSystem) ElementFrequencies() []int {
+	freq := make([]int, ss.N)
+	for _, s := range ss.Sets {
+		for _, e := range s {
+			freq[e]++
+		}
+	}
+	return freq
+}
+
+// CommonElements returns the elements whose frequency is at least thresh —
+// the λ-common elements of Definition 2.1 for thresh = c·m·polylog/λ.
+func (ss *SetSystem) CommonElements(thresh int) []uint32 {
+	var out []uint32
+	for e, f := range ss.ElementFrequencies() {
+		if f >= thresh {
+			out = append(out, uint32(e))
+		}
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package setsystem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewNormalizes(t *testing.T) {
+	ss, err := New(10, [][]uint32{{3, 1, 3, 2, 1}, {}, {9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ss.Sets[0]; len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("set 0 not normalized: %v", got)
+	}
+	if len(ss.Sets[1]) != 0 {
+		t.Errorf("empty set mangled: %v", ss.Sets[1])
+	}
+	if ss.M() != 3 || ss.N != 10 {
+		t.Errorf("dims (%d, %d), want (3, 10)", ss.M(), ss.N)
+	}
+}
+
+func TestNewRejectsOutOfRange(t *testing.T) {
+	if _, err := New(5, [][]uint32{{5}}); err == nil {
+		t.Error("element == n accepted")
+	}
+	if _, err := New(-1, nil); err == nil {
+		t.Error("negative n accepted")
+	}
+}
+
+func TestCoverageAndEdges(t *testing.T) {
+	ss := MustNew(6, [][]uint32{{0, 1, 2}, {2, 3}, {4, 5}})
+	if c := ss.Coverage([]int{0, 1}); c != 4 {
+		t.Errorf("Coverage({0,1}) = %d, want 4", c)
+	}
+	if c := ss.Coverage([]int{0, 0}); c != 3 {
+		t.Errorf("Coverage with duplicate ids = %d, want 3", c)
+	}
+	if c := ss.Coverage(nil); c != 0 {
+		t.Errorf("Coverage(nil) = %d, want 0", c)
+	}
+	if e := ss.Edges(); e != 7 {
+		t.Errorf("Edges() = %d, want 7", e)
+	}
+}
+
+func TestElementFrequenciesAndCommon(t *testing.T) {
+	ss := MustNew(4, [][]uint32{{0, 1}, {0, 2}, {0, 3}})
+	freq := ss.ElementFrequencies()
+	want := []int{3, 1, 1, 1}
+	for e, f := range want {
+		if freq[e] != f {
+			t.Errorf("freq[%d] = %d, want %d", e, freq[e], f)
+		}
+	}
+	common := ss.CommonElements(2)
+	if len(common) != 1 || common[0] != 0 {
+		t.Errorf("CommonElements(2) = %v, want [0]", common)
+	}
+	if got := ss.CommonElements(100); got != nil {
+		t.Errorf("CommonElements(100) = %v, want nil", got)
+	}
+}
+
+func TestBitsetOps(t *testing.T) {
+	b := NewBitset(130)
+	b.Set(0)
+	b.Set(64)
+	b.Set(129)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Error("Set/Get wrong across word boundaries")
+	}
+	if b.Count() != 3 {
+		t.Errorf("Count() = %d, want 3", b.Count())
+	}
+	c := b.Clone()
+	c.Set(5)
+	if b.Get(5) {
+		t.Error("Clone aliases storage")
+	}
+	other := NewBitset(130)
+	other.Set(5)
+	other.Set(129)
+	if g := b.AndNotCount(other); g != 1 {
+		t.Errorf("AndNotCount = %d, want 1 (only bit 5 new)", g)
+	}
+	b.Or(other)
+	if b.Count() != 4 {
+		t.Errorf("after Or Count() = %d, want 4", b.Count())
+	}
+	b.Clear()
+	if b.Count() != 0 {
+		t.Error("Clear left bits set")
+	}
+}
+
+func TestGreedyKnownInstance(t *testing.T) {
+	// Classic greedy-suboptimal instance: greedy picks the big middle set
+	// first and ends below optimum for k=2.
+	ss := MustNew(8, [][]uint32{
+		{0, 1, 2, 3, 4}, // big middle
+		{0, 1, 2, 5},    // left
+		{3, 4, 6, 7},    // right
+	})
+	picked, cov := ss.Greedy(2)
+	if len(picked) != 2 || picked[0] != 0 {
+		t.Errorf("greedy picks %v, want first pick = set 0", picked)
+	}
+	if cov != 7 {
+		t.Errorf("greedy coverage %d, want 7", cov)
+	}
+	_, opt := ss.Exact(2)
+	if opt != 8 {
+		t.Errorf("exact coverage %d, want 8 (sets 1+2)", opt)
+	}
+}
+
+func TestGreedyEdgeCases(t *testing.T) {
+	ss := MustNew(3, [][]uint32{{0}, {1}})
+	if p, c := ss.Greedy(0); p != nil || c != 0 {
+		t.Error("Greedy(0) not empty")
+	}
+	if p, c := ss.Greedy(10); len(p) != 2 || c != 2 {
+		t.Errorf("Greedy(k>m) = %v cov %d, want both sets cov 2", p, c)
+	}
+	empty := MustNew(3, nil)
+	if p, c := empty.Greedy(2); p != nil || c != 0 {
+		t.Error("Greedy on empty family not empty")
+	}
+	// All-empty sets: stop early.
+	zs := MustNew(3, [][]uint32{{}, {}})
+	if p, c := zs.Greedy(2); len(p) != 0 || c != 0 {
+		t.Errorf("Greedy over empty sets picked %v cov %d", p, c)
+	}
+}
+
+func TestLazyGreedyMatchesGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(60)
+		m := 5 + rng.Intn(25)
+		sets := make([][]uint32, m)
+		for i := range sets {
+			sz := 1 + rng.Intn(n/2)
+			for j := 0; j < sz; j++ {
+				sets[i] = append(sets[i], uint32(rng.Intn(n)))
+			}
+		}
+		ss := MustNew(n, sets)
+		k := 1 + rng.Intn(m)
+		_, g := ss.Greedy(k)
+		_, l := ss.LazyGreedy(k)
+		if g != l {
+			t.Fatalf("trial %d: greedy %d != lazy %d (n=%d m=%d k=%d)", trial, g, l, n, m, k)
+		}
+	}
+}
+
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.Intn(20)
+		m := 4 + rng.Intn(8)
+		sets := make([][]uint32, m)
+		for i := range sets {
+			sz := 1 + rng.Intn(n/2)
+			for j := 0; j < sz; j++ {
+				sets[i] = append(sets[i], uint32(rng.Intn(n)))
+			}
+		}
+		ss := MustNew(n, sets)
+		k := 1 + rng.Intn(3)
+		_, got := ss.Exact(k)
+		want := bruteForce(ss, k)
+		if got != want {
+			t.Fatalf("trial %d: Exact %d != brute force %d (n=%d m=%d k=%d)",
+				trial, got, want, n, m, k)
+		}
+	}
+}
+
+// bruteForce enumerates all k-subsets.
+func bruteForce(ss *SetSystem, k int) int {
+	best := 0
+	ids := make([]int, 0, k)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(ids) == k || start == ss.M() {
+			if c := ss.Coverage(ids); c > best {
+				best = c
+			}
+			if len(ids) == k {
+				return
+			}
+		}
+		if start == ss.M() {
+			return
+		}
+		ids = append(ids, start)
+		rec(start + 1)
+		ids = ids[:len(ids)-1]
+		rec(start + 1)
+	}
+	rec(0)
+	return best
+}
+
+func TestGreedyApproximationGuarantee(t *testing.T) {
+	// Property: greedy coverage >= (1-1/e) * optimal on random small
+	// instances (greedy's guarantee; exact gives the optimum).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(20)
+		m := 4 + rng.Intn(8)
+		sets := make([][]uint32, m)
+		for i := range sets {
+			sz := 1 + rng.Intn(n/2)
+			for j := 0; j < sz; j++ {
+				sets[i] = append(sets[i], uint32(rng.Intn(n)))
+			}
+		}
+		ss := MustNew(n, sets)
+		k := 1 + rng.Intn(3)
+		_, g := ss.Greedy(k)
+		_, opt := ss.Exact(k)
+		return float64(g) >= 0.63*float64(opt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactReturnsValidIDs(t *testing.T) {
+	ss := MustNew(10, [][]uint32{{0, 1}, {2, 3}, {0, 2}, {4}})
+	ids, cov := ss.Exact(2)
+	if len(ids) > 2 {
+		t.Errorf("Exact returned %d ids for k=2", len(ids))
+	}
+	if got := ss.Coverage(ids); got != cov {
+		t.Errorf("reported coverage %d != recomputed %d for ids %v", cov, got, ids)
+	}
+}
+
+func TestSetBitsetRoundTrip(t *testing.T) {
+	ss := MustNew(70, [][]uint32{{0, 63, 64, 69}})
+	b := ss.SetBitset(0)
+	if b.Count() != 4 || !b.Get(69) || !b.Get(0) {
+		t.Errorf("SetBitset wrong: count %d", b.Count())
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 2000, 500
+	sets := make([][]uint32, m)
+	for i := range sets {
+		sz := 5 + rng.Intn(100)
+		for j := 0; j < sz; j++ {
+			sets[i] = append(sets[i], uint32(rng.Intn(n)))
+		}
+	}
+	ss := MustNew(n, sets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.Greedy(20)
+	}
+}
+
+func BenchmarkLazyGreedy(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 2000, 500
+	sets := make([][]uint32, m)
+	for i := range sets {
+		sz := 5 + rng.Intn(100)
+		for j := 0; j < sz; j++ {
+			sets[i] = append(sets[i], uint32(rng.Intn(n)))
+		}
+	}
+	ss := MustNew(n, sets)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ss.LazyGreedy(20)
+	}
+}

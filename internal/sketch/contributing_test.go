@@ -1,0 +1,145 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// plantClass builds a frequency vector with one planted class: `classSize`
+// coordinates (ids base..base+classSize-1) each of frequency `freq`, over a
+// light tail, and streams it in shuffled order.
+func plantClass(c *Contributing, classSize int, freq int, tailKeys, tailFreq int, rng *rand.Rand) float64 {
+	var ids []uint64
+	for j := 0; j < classSize; j++ {
+		for i := 0; i < freq; i++ {
+			ids = append(ids, uint64(500000+j))
+		}
+	}
+	for k := 0; k < tailKeys; k++ {
+		for i := 0; i < tailFreq; i++ {
+			ids = append(ids, uint64(k))
+		}
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		c.Add(id)
+	}
+	return float64(classSize)*float64(freq)*float64(freq) +
+		float64(tailKeys)*float64(tailFreq)*float64(tailFreq)
+}
+
+func classMemberReported(rep []WeightedItem, classSize int) (bool, float64) {
+	for _, it := range rep {
+		if it.ID >= 500000 && it.ID < uint64(500000+classSize) {
+			return true, it.Weight
+		}
+	}
+	return false, 0
+}
+
+func TestContributingDetectsSingletonClass(t *testing.T) {
+	// One coordinate carrying most of F2 is a contributing class of size 1.
+	rng := rand.New(rand.NewSource(1))
+	c := NewF2Contributing(0.3, 64, 1<<16, DefaultContribConfig(), rng)
+	plantClass(c, 1, 2000, 3000, 10, rng)
+	found, w := classMemberReported(c.Report(), 1)
+	if !found {
+		t.Fatal("singleton contributing class not detected")
+	}
+	if w < 1000 || w > 3000 {
+		t.Errorf("reported weight %v, want 2000 within factor 1±1/2", w)
+	}
+}
+
+func TestContributingDetectsWideClass(t *testing.T) {
+	// 64 coordinates of frequency 200 carry |R|*f^2 = 64*40000 = 2.56e6
+	// against a tail of 3000*100 = 3e5: strongly contributing, but no single
+	// coordinate is heavy in the raw stream — level sampling is what finds it.
+	rng := rand.New(rand.NewSource(2))
+	c := NewF2Contributing(0.3, 256, 1<<16, DefaultContribConfig(), rng)
+	f2 := plantClass(c, 64, 200, 3000, 10, rng)
+	share := 64.0 * 200 * 200 / f2
+	if share < 0.5 {
+		t.Fatalf("workload mis-specified: class share %.2f", share)
+	}
+	found, w := classMemberReported(c.Report(), 64)
+	if !found {
+		t.Fatal("wide contributing class not detected")
+	}
+	// At practical sketch widths two surviving class members occasionally
+	// share a bucket, so allow a small constant factor rather than the
+	// asymptotic 1±1/2.
+	if w < 80 || w > 500 {
+		t.Errorf("reported weight %v, want 200 within a small constant factor", w)
+	}
+}
+
+func TestContributingAcrossClassSizes(t *testing.T) {
+	// Detection must hold for class sizes spanning several levels.
+	for _, classSize := range []int{1, 4, 16, 128} {
+		classSize := classSize
+		freq := 3200 / classSize // keep |R|*f^2 comparable across sizes
+		rng := rand.New(rand.NewSource(int64(100 + classSize)))
+		c := NewF2Contributing(0.25, 512, 1<<16, DefaultContribConfig(), rng)
+		plantClass(c, classSize, freq, 1000, 3, rng)
+		if found, _ := classMemberReported(c.Report(), classSize); !found {
+			t.Errorf("class of size %d (freq %d) not detected", classSize, freq)
+		}
+	}
+}
+
+func TestContributingLevelsCoverRange(t *testing.T) {
+	c := NewF2Contributing(0.2, 1024, 1<<12, DefaultContribConfig(), rand.New(rand.NewSource(3)))
+	if c.Levels() != 11 { // sizes 1,2,...,1024
+		t.Errorf("Levels() = %d, want 11", c.Levels())
+	}
+	c1 := NewF2Contributing(0.2, 1, 1<<12, DefaultContribConfig(), rand.New(rand.NewSource(4)))
+	if c1.Levels() != 1 {
+		t.Errorf("Levels() for r=1 = %d, want 1", c1.Levels())
+	}
+}
+
+func TestContributingEmptyReport(t *testing.T) {
+	c := NewF2Contributing(0.5, 16, 1024, DefaultContribConfig(), rand.New(rand.NewSource(5)))
+	if rep := c.Report(); len(rep) != 0 {
+		t.Errorf("empty stream reported %d items", len(rep))
+	}
+}
+
+func TestContributingBadConfigFallsBack(t *testing.T) {
+	c := NewF2Contributing(0.2, 16, 1024, ContribConfig{}, rand.New(rand.NewSource(6)))
+	rng := rand.New(rand.NewSource(7))
+	plantClass(c, 1, 500, 100, 2, rng)
+	if found, _ := classMemberReported(c.Report(), 1); !found {
+		t.Error("zero-valued config did not fall back to defaults")
+	}
+}
+
+func TestContributingPanicsOnBadGamma(t *testing.T) {
+	for _, g := range []float64{0, -1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewF2Contributing(gamma=%v) did not panic", g)
+				}
+			}()
+			NewF2Contributing(g, 16, 1024, DefaultContribConfig(), rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func TestContributingSpaceGrowsWithLevels(t *testing.T) {
+	small := NewF2Contributing(0.2, 2, 1024, DefaultContribConfig(), rand.New(rand.NewSource(8)))
+	big := NewF2Contributing(0.2, 1024, 1024, DefaultContribConfig(), rand.New(rand.NewSource(9)))
+	if big.SpaceWords() <= small.SpaceWords() {
+		t.Errorf("space did not grow with levels: %d vs %d", big.SpaceWords(), small.SpaceWords())
+	}
+}
+
+func BenchmarkContributingAdd(b *testing.B) {
+	c := NewF2Contributing(0.2, 256, 1<<16, DefaultContribConfig(), rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Add(uint64(i % 4096))
+	}
+}

@@ -1,0 +1,115 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"streamcover/internal/hash"
+)
+
+// CountSketch is the Charikar–Chen–Farach-Colton sketch: depth rows of
+// width counters; each update x with weight Δ adds sign_r(x)·Δ to bucket
+// bucket_r(x) in every row r. Point estimates take the median across rows,
+// giving |est(x) − a[x]| ≤ √(F2(a)/width) per row with probability 2/3 and
+// exponentially better after the median.
+type CountSketch struct {
+	depth, width int
+	table        [][]int64
+	bucket       []*hash.Poly // 2-wise bucket hash per row
+	sign         []*hash.Poly // 4-wise sign hash per row
+}
+
+// NewCountSketch builds a sketch with the given depth (number of
+// independent rows, odd is best for medians) and width (counters per row).
+func NewCountSketch(depth, width int, rng *rand.Rand) *CountSketch {
+	if depth < 1 || width < 1 {
+		panic(fmt.Sprintf("sketch: CountSketch depth %d width %d", depth, width))
+	}
+	cs := &CountSketch{
+		depth:  depth,
+		width:  width,
+		table:  make([][]int64, depth),
+		bucket: make([]*hash.Poly, depth),
+		sign:   make([]*hash.Poly, depth),
+	}
+	for r := 0; r < depth; r++ {
+		cs.table[r] = make([]int64, width)
+		cs.bucket[r] = hash.NewPairwise(rng)
+		cs.sign[r] = hash.New4Wise(rng)
+	}
+	return cs
+}
+
+// Add applies update a[x] += delta.
+func (cs *CountSketch) Add(x uint64, delta int64) {
+	for r := 0; r < cs.depth; r++ {
+		b := cs.bucket[r].Range(x, uint64(cs.width))
+		cs.table[r][b] += int64(cs.sign[r].Sign(x)) * delta
+	}
+}
+
+// Estimate returns the median-of-rows point estimate of a[x].
+func (cs *CountSketch) Estimate(x uint64) int64 {
+	ests := make([]int64, cs.depth)
+	for r := 0; r < cs.depth; r++ {
+		b := cs.bucket[r].Range(x, uint64(cs.width))
+		ests[r] = int64(cs.sign[r].Sign(x)) * cs.table[r][b]
+	}
+	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
+	return ests[cs.depth/2]
+}
+
+// F2Estimate estimates F2(a) as the median across rows of the row's sum of
+// squared counters (each row is an AMS-style estimator when width ≥ 1; the
+// sum of squared bucket totals is an unbiased F2 estimate under 4-wise
+// signs).
+func (cs *CountSketch) F2Estimate() float64 {
+	sums := make([]float64, cs.depth)
+	for r := 0; r < cs.depth; r++ {
+		var s float64
+		for _, c := range cs.table[r] {
+			f := float64(c)
+			s += f * f
+		}
+		sums[r] = s
+	}
+	sort.Float64s(sums)
+	if cs.depth%2 == 1 {
+		return sums[cs.depth/2]
+	}
+	return (sums[cs.depth/2-1] + sums[cs.depth/2]) / 2
+}
+
+// RowMaxAbs returns, for each row, the largest absolute counter value — a
+// per-row proxy for L∞ of the sketched vector, used by the set-disjointness
+// distinguisher (Section 5's L∞-via-L2 trick).
+func (cs *CountSketch) RowMaxAbs() []int64 {
+	out := make([]int64, cs.depth)
+	for r := 0; r < cs.depth; r++ {
+		var m int64
+		for _, c := range cs.table[r] {
+			if c < 0 {
+				c = -c
+			}
+			if c > m {
+				m = c
+			}
+		}
+		out[r] = m
+	}
+	return out
+}
+
+// Depth and Width report the sketch dimensions.
+func (cs *CountSketch) Depth() int { return cs.depth }
+func (cs *CountSketch) Width() int { return cs.width }
+
+// SpaceWords counts counters plus hash coefficients.
+func (cs *CountSketch) SpaceWords() int {
+	words := cs.depth*cs.width + 2
+	for r := 0; r < cs.depth; r++ {
+		words += cs.bucket[r].SpaceWords() + cs.sign[r].SpaceWords()
+	}
+	return words
+}

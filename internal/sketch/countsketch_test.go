@@ -1,0 +1,112 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCountSketchPointEstimates(t *testing.T) {
+	// Frequencies: key i has frequency freq[i]; heavy keys should be
+	// recovered accurately by a sketch of adequate width.
+	rng := rand.New(rand.NewSource(1))
+	cs := NewCountSketch(5, 1024, rng)
+	freq := map[uint64]int64{1: 1000, 2: 500, 3: 250}
+	for x := uint64(100); x < 2100; x++ {
+		freq[x] = 5 // light tail
+	}
+	for x, f := range freq {
+		for i := int64(0); i < f; i++ {
+			cs.Add(x, 1)
+		}
+	}
+	var f2 float64
+	for _, f := range freq {
+		f2 += float64(f) * float64(f)
+	}
+	tol := 4 * math.Sqrt(f2/1024)
+	for _, x := range []uint64{1, 2, 3} {
+		est := cs.Estimate(x)
+		if math.Abs(float64(est-freq[x])) > tol {
+			t.Errorf("Estimate(%d) = %d, want %d ± %.0f", x, est, freq[x], tol)
+		}
+	}
+}
+
+func TestCountSketchWeightedAndNegativeUpdates(t *testing.T) {
+	cs := NewCountSketch(5, 256, rand.New(rand.NewSource(2)))
+	cs.Add(42, 1000)
+	cs.Add(42, -400)
+	est := cs.Estimate(42)
+	if est != 600 {
+		// With only one key in the sketch there are no collisions at all.
+		t.Errorf("Estimate(42) = %d, want exactly 600", est)
+	}
+}
+
+func TestCountSketchUnseenKeyNearZero(t *testing.T) {
+	cs := NewCountSketch(5, 512, rand.New(rand.NewSource(3)))
+	for x := uint64(0); x < 1000; x++ {
+		cs.Add(x, 3)
+	}
+	f2 := 1000 * 9.0
+	tol := 4 * math.Sqrt(f2/512)
+	if est := cs.Estimate(999999); math.Abs(float64(est)) > tol {
+		t.Errorf("Estimate(unseen) = %d, want ~0 ± %.1f", est, tol)
+	}
+}
+
+func TestCountSketchF2Estimate(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cs := NewCountSketch(7, 2048, rng)
+	var f2 float64
+	for x := uint64(0); x < 5000; x++ {
+		f := int64(1 + x%10)
+		cs.Add(x, f)
+		f2 += float64(f) * float64(f)
+	}
+	est := cs.F2Estimate()
+	if math.Abs(est-f2)/f2 > 0.25 {
+		t.Errorf("F2Estimate() = %.0f, want %.0f within 25%%", est, f2)
+	}
+}
+
+func TestCountSketchEvenDepthMedian(t *testing.T) {
+	cs := NewCountSketch(4, 256, rand.New(rand.NewSource(5)))
+	cs.Add(7, 100)
+	if est := cs.Estimate(7); est != 100 {
+		t.Errorf("single-key even-depth Estimate = %d, want 100", est)
+	}
+	_ = cs.F2Estimate() // must not panic with even depth
+}
+
+func TestCountSketchDims(t *testing.T) {
+	cs := NewCountSketch(3, 64, rand.New(rand.NewSource(6)))
+	if cs.Depth() != 3 || cs.Width() != 64 {
+		t.Errorf("dims = (%d,%d), want (3,64)", cs.Depth(), cs.Width())
+	}
+	if w := cs.SpaceWords(); w < 3*64 {
+		t.Errorf("SpaceWords() = %d, want >= table size %d", w, 3*64)
+	}
+}
+
+func TestCountSketchPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 10}, {10, 0}, {-1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCountSketch(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewCountSketch(dims[0], dims[1], rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func BenchmarkCountSketchAdd(b *testing.B) {
+	cs := NewCountSketch(5, 1024, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs.Add(uint64(i%10000), 1)
+	}
+}

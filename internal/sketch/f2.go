@@ -1,0 +1,78 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"streamcover/internal/hash"
+)
+
+// F2 is the Alon–Matias–Szegedy second-frequency-moment estimator:
+// groups × reps independent counters Z = Σ_x sign(x)·a[x]; the estimate is
+// the median over groups of the mean over reps of Z². With reps = O(1/ε²)
+// and groups = O(log 1/δ) the estimate is within (1±ε) with probability
+// 1−δ. The paper's lower-bound discussion (Section 1) uses exactly this
+// L2-norm sketch to distinguish the set-disjointness hard instances in
+// O(m/α²) space.
+type F2 struct {
+	groups, reps int
+	z            []int64      // groups*reps counters, row-major by group
+	sign         []*hash.Poly // one 4-wise sign function per counter
+}
+
+// NewF2 builds an AMS estimator with relative error target eps and failure
+// probability roughly 2^-groups.
+func NewF2(eps float64, groups int, rng *rand.Rand) *F2 {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("sketch: F2 eps %v out of (0,1)", eps))
+	}
+	if groups < 1 {
+		groups = 1
+	}
+	reps := int(6.0/(eps*eps)) + 1
+	f := &F2{
+		groups: groups,
+		reps:   reps,
+		z:      make([]int64, groups*reps),
+		sign:   make([]*hash.Poly, groups*reps),
+	}
+	for i := range f.sign {
+		f.sign[i] = hash.New4Wise(rng)
+	}
+	return f
+}
+
+// Add applies update a[x] += delta.
+func (f *F2) Add(x uint64, delta int64) {
+	for i, s := range f.sign {
+		f.z[i] += int64(s.Sign(x)) * delta
+	}
+}
+
+// Estimate returns the current F2 estimate.
+func (f *F2) Estimate() float64 {
+	means := make([]float64, f.groups)
+	for g := 0; g < f.groups; g++ {
+		var sum float64
+		for r := 0; r < f.reps; r++ {
+			v := float64(f.z[g*f.reps+r])
+			sum += v * v
+		}
+		means[g] = sum / float64(f.reps)
+	}
+	sort.Float64s(means)
+	if f.groups%2 == 1 {
+		return means[f.groups/2]
+	}
+	return (means[f.groups/2-1] + means[f.groups/2]) / 2
+}
+
+// SpaceWords counts counters plus hash coefficients.
+func (f *F2) SpaceWords() int {
+	words := len(f.z) + 2
+	for _, s := range f.sign {
+		words += s.SpaceWords()
+	}
+	return words
+}

@@ -1,0 +1,78 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestF2Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := NewF2(0.2, 5, rng)
+	var want float64
+	for x := uint64(0); x < 2000; x++ {
+		w := int64(1 + x%7)
+		f.Add(x, w)
+		want += float64(w) * float64(w)
+	}
+	est := f.Estimate()
+	if math.Abs(est-want)/want > 0.25 {
+		t.Errorf("Estimate() = %.0f, want %.0f within 25%%", est, want)
+	}
+}
+
+func TestF2SingleHeavyCoordinate(t *testing.T) {
+	// F2 of a 1-sparse vector is recovered exactly in expectation; with
+	// signs s(x)^2 = 1 each counter is ±f so every Z^2 = f^2 exactly.
+	f := NewF2(0.5, 3, rand.New(rand.NewSource(2)))
+	f.Add(99, 1234)
+	if est := f.Estimate(); est != 1234*1234 {
+		t.Errorf("1-sparse Estimate() = %v, want %d", est, 1234*1234)
+	}
+}
+
+func TestF2Deletions(t *testing.T) {
+	f := NewF2(0.3, 5, rand.New(rand.NewSource(3)))
+	f.Add(1, 100)
+	f.Add(1, -100)
+	if est := f.Estimate(); est != 0 {
+		t.Errorf("cancelled vector Estimate() = %v, want 0", est)
+	}
+}
+
+func TestF2EmptyIsZero(t *testing.T) {
+	f := NewF2(0.3, 4, rand.New(rand.NewSource(4)))
+	if est := f.Estimate(); est != 0 {
+		t.Errorf("empty Estimate() = %v, want 0", est)
+	}
+}
+
+func TestF2GroupsFloor(t *testing.T) {
+	f := NewF2(0.5, 0, rand.New(rand.NewSource(5)))
+	f.Add(1, 3)
+	if est := f.Estimate(); est != 9 {
+		t.Errorf("groups-floored Estimate() = %v, want 9", est)
+	}
+}
+
+func TestF2PanicsOnBadEps(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewF2(eps=%v) did not panic", eps)
+				}
+			}()
+			NewF2(eps, 3, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func TestF2SpaceScalesWithEps(t *testing.T) {
+	small := NewF2(0.5, 3, rand.New(rand.NewSource(6)))
+	large := NewF2(0.1, 3, rand.New(rand.NewSource(7)))
+	if small.SpaceWords() >= large.SpaceWords() {
+		t.Errorf("space did not grow as eps shrank: %d vs %d",
+			small.SpaceWords(), large.SpaceWords())
+	}
+}

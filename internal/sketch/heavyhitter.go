@@ -1,0 +1,147 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// WeightedItem is a reported coordinate together with its approximate
+// frequency.
+type WeightedItem struct {
+	ID     uint64
+	Weight float64 // (1 ± 1/2)-approximate frequency a[ID]
+}
+
+// HeavyHitters finds the φ-heavy hitters of F2: coordinates j with
+// a[j]² ≥ φ·F2(a). It instantiates Theorem 2.10 for insertion-only
+// streams: a CountSketch provides (1±1/2)-accurate point estimates, and a
+// candidate dictionary of capacity O(1/φ) is maintained on arrival — every
+// update re-estimates its own coordinate and competes for a slot, so any
+// coordinate that is heavy at the end of the stream occupies a slot (its
+// last occurrence finds its estimate already above every light candidate).
+type HeavyHitters struct {
+	phi   float64
+	cs    *CountSketch
+	cand  map[uint64]int64 // candidate id -> eviction priority (see Add)
+	cap   int
+	total int64 // number of updates (weight 1 each)
+}
+
+// NewF2HeavyHitters builds a heavy-hitter sketch with threshold phi for a
+// stream of unit-weight updates over an arbitrary uint64 key space.
+func NewF2HeavyHitters(phi float64, rng *rand.Rand) *HeavyHitters {
+	if phi <= 0 || phi > 1 {
+		panic(fmt.Sprintf("sketch: HeavyHitters phi %v out of (0,1]", phi))
+	}
+	// Per-row error is √(F2/width); we need genuinely heavy coordinates
+	// (a[j] ≥ √(φF2) = √(φ·width)·σ) to clear the extreme-value noise
+	// ceiling σ·√(2·ln width) that Report gates on, which needs
+	// φ·width ≳ 2·ln width with slack. width = 24/φ gives √(φ·width) ≈ 4.9
+	// against a gate of ~√(2·ln width) ≈ 3.3–4.5 at practical widths.
+	width := int(24.0/phi) + 1
+	depth := 5
+	capacity := int(4.0/phi) + 4
+	return &HeavyHitters{
+		phi:  phi,
+		cs:   NewCountSketch(depth, width, rng),
+		cand: make(map[uint64]int64, capacity),
+		cap:  capacity,
+	}
+}
+
+// Add feeds one unit-weight occurrence of key x. Resident candidates take
+// a cheap path (their priority is bumped by one, tracking frequency
+// accrued while resident); sketch point estimates are computed only when
+// a new key competes for a full table, and authoritative weights are
+// re-estimated from the sketch at Report time.
+func (hh *HeavyHitters) Add(x uint64) {
+	hh.total++
+	hh.cs.Add(x, 1)
+	if p, ok := hh.cand[x]; ok {
+		hh.cand[x] = p + 1
+		return
+	}
+	if len(hh.cand) < hh.cap {
+		hh.cand[x] = hh.cs.Estimate(x)
+		return
+	}
+	// Table full: refresh every candidate's priority from the sketch and
+	// evict the weaker half in one batch, then admit x. The O(cap·log cap)
+	// scan runs once per cap/2 admissions, so admission cost is amortized
+	// O(log cap); heavy coordinates always survive the batch because their
+	// refreshed estimates rank in the top half.
+	type kv struct {
+		id  uint64
+		est int64
+	}
+	all := make([]kv, 0, len(hh.cand))
+	for id := range hh.cand {
+		all = append(all, kv{id, hh.cs.Estimate(id)})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].est > all[j].est })
+	hh.cand = make(map[uint64]int64, hh.cap)
+	for _, p := range all[:hh.cap/2] {
+		hh.cand[p.id] = p.est
+	}
+	hh.cand[x] = hh.cs.Estimate(x)
+}
+
+// Total reports the number of updates fed.
+func (hh *HeavyHitters) Total() int64 { return hh.total }
+
+// F2Estimate exposes the underlying sketch's F2 estimate.
+func (hh *HeavyHitters) F2Estimate() float64 { return hh.cs.F2Estimate() }
+
+// Report returns every candidate whose estimated frequency squared clears
+// the φ threshold against the estimated F2 AND whose estimate exceeds the
+// sketch's extreme-value noise ceiling σ·√(2·ln width) (σ = per-bucket
+// noise √(F2/width)). Without the ceiling, streams with many
+// unit-frequency keys elect the largest noise fluctuation as a phantom
+// heavy hitter — exactly the failure the set-disjointness hard instances
+// provoke. Reported frequencies are (1 ± 1/2)-approximate as Theorem 2.10
+// promises.
+func (hh *HeavyHitters) Report() []WeightedItem {
+	f2 := hh.cs.F2Estimate()
+	thresh := hh.phi * f2
+	noise := hh.NoiseCeiling()
+	var out []WeightedItem
+	for id := range hh.cand {
+		est := float64(hh.cs.Estimate(id))
+		if est > 0 && est*est >= thresh/4 && est >= noise {
+			// /4 slack on the φ test: estimates may be off by 1/2 relative.
+			out = append(out, WeightedItem{ID: id, Weight: est})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Estimate exposes the point estimate for a specific key.
+func (hh *HeavyHitters) Estimate(x uint64) int64 { return hh.cs.Estimate(x) }
+
+// NoiseCeiling is the expected magnitude of the largest pure-noise point
+// estimate: per-bucket standard deviation √(F2/width) inflated by the
+// extreme-value factor √(2·ln width).
+func (hh *HeavyHitters) NoiseCeiling() float64 {
+	w := float64(hh.cs.Width())
+	if w < 2 {
+		w = 2
+	}
+	f2 := hh.cs.F2Estimate()
+	if f2 < 1 {
+		f2 = 1
+	}
+	return math.Sqrt(f2/w) * math.Sqrt(2*math.Log(w))
+}
+
+// SpaceWords counts the CountSketch plus two words per candidate slot.
+func (hh *HeavyHitters) SpaceWords() int {
+	return hh.cs.SpaceWords() + 2*hh.cap + 2
+}

@@ -1,0 +1,153 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// feedZipfWithHeavy streams a planted-heavy workload: key 7 gets `heavy`
+// occurrences amid `tail` keys of frequency `light`.
+func feedZipfWithHeavy(hh *HeavyHitters, heavy int, tail int, light int, rng *rand.Rand) (trueF2 float64) {
+	type upd struct{ id uint64 }
+	var updates []upd
+	for i := 0; i < heavy; i++ {
+		updates = append(updates, upd{7})
+	}
+	for k := 0; k < tail; k++ {
+		for i := 0; i < light; i++ {
+			updates = append(updates, upd{uint64(1000 + k)})
+		}
+	}
+	rng.Shuffle(len(updates), func(i, j int) { updates[i], updates[j] = updates[j], updates[i] })
+	for _, u := range updates {
+		hh.Add(u.id)
+	}
+	trueF2 = float64(heavy)*float64(heavy) + float64(tail)*float64(light)*float64(light)
+	return trueF2
+}
+
+func TestHeavyHittersRecallPlanted(t *testing.T) {
+	// Key 7 carries ~50% of F2; with phi=0.1 it must be reported.
+	rng := rand.New(rand.NewSource(1))
+	hh := NewF2HeavyHitters(0.1, rng)
+	f2 := feedZipfWithHeavy(hh, 1000, 2000, 10, rng)
+	heavyShare := 1000.0 * 1000.0 / f2
+	if heavyShare < 0.5 {
+		t.Fatalf("test workload mis-specified: heavy share %.2f", heavyShare)
+	}
+	rep := hh.Report()
+	found := false
+	for _, it := range rep {
+		if it.ID == 7 {
+			found = true
+			if math.Abs(it.Weight-1000)/1000 > 0.5 {
+				t.Errorf("reported weight %v for planted key, want 1000 within 50%%", it.Weight)
+			}
+		}
+	}
+	if !found {
+		t.Error("planted heavy hitter not reported")
+	}
+}
+
+func TestHeavyHittersFrequencyAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hh := NewF2HeavyHitters(0.05, rng)
+	// Three planted keys at different magnitudes over a light tail.
+	planted := map[uint64]int{11: 2000, 12: 1200, 13: 800}
+	for id, f := range planted {
+		for i := 0; i < f; i++ {
+			hh.Add(id)
+		}
+	}
+	for k := 0; k < 3000; k++ {
+		hh.Add(uint64(10000 + k))
+	}
+	for id, f := range planted {
+		est := float64(hh.Estimate(id))
+		if math.Abs(est-float64(f))/float64(f) > 0.5 {
+			t.Errorf("Estimate(%d) = %.0f, want %d within factor 1±1/2", id, est, f)
+		}
+	}
+}
+
+func TestHeavyHittersNoFalseGiants(t *testing.T) {
+	// Uniform stream: no coordinate is phi-heavy for phi=0.2, so nothing
+	// reported should claim a weight anywhere near sqrt(phi*F2)·2.
+	rng := rand.New(rand.NewSource(3))
+	hh := NewF2HeavyHitters(0.2, rng)
+	for k := 0; k < 5000; k++ {
+		hh.Add(uint64(k))
+		hh.Add(uint64(k))
+	}
+	f2 := 5000.0 * 4.0
+	for _, it := range hh.Report() {
+		if it.Weight*it.Weight > 4*0.2*f2 {
+			t.Errorf("uniform stream reported giant %v with weight %v", it.ID, it.Weight)
+		}
+	}
+}
+
+func TestHeavyHittersTotalAndSpace(t *testing.T) {
+	hh := NewF2HeavyHitters(0.1, rand.New(rand.NewSource(4)))
+	for i := 0; i < 123; i++ {
+		hh.Add(uint64(i % 7))
+	}
+	if hh.Total() != 123 {
+		t.Errorf("Total() = %d, want 123", hh.Total())
+	}
+	if hh.SpaceWords() <= 0 {
+		t.Error("SpaceWords() not positive")
+	}
+	// Space must grow as phi shrinks (O(1/phi) law).
+	big := NewF2HeavyHitters(0.01, rand.New(rand.NewSource(5)))
+	if big.SpaceWords() <= hh.SpaceWords() {
+		t.Errorf("space did not grow: phi=0.01 %d vs phi=0.1 %d",
+			big.SpaceWords(), hh.SpaceWords())
+	}
+}
+
+func TestHeavyHittersReportSortedDescending(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	hh := NewF2HeavyHitters(0.05, rng)
+	for i := 0; i < 900; i++ {
+		hh.Add(1)
+	}
+	for i := 0; i < 600; i++ {
+		hh.Add(2)
+	}
+	for i := 0; i < 300; i++ {
+		hh.Add(3)
+	}
+	rep := hh.Report()
+	for i := 1; i < len(rep); i++ {
+		if rep[i].Weight > rep[i-1].Weight {
+			t.Fatal("Report not sorted by descending weight")
+		}
+	}
+	if len(rep) == 0 || rep[0].ID != 1 {
+		t.Errorf("heaviest key should lead the report, got %+v", rep)
+	}
+}
+
+func TestHeavyHittersPanicsOnBadPhi(t *testing.T) {
+	for _, phi := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewF2HeavyHitters(phi=%v) did not panic", phi)
+				}
+			}()
+			NewF2HeavyHitters(phi, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func BenchmarkHeavyHittersAdd(b *testing.B) {
+	hh := NewF2HeavyHitters(0.05, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hh.Add(uint64(i % 4096))
+	}
+}

@@ -1,0 +1,109 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHLLAccuracyAcrossCardinalities(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, distinct := range []int{100, 5000, 200000} {
+		s := NewHLL(12, rng) // 4096 registers: ~1.6% std error
+		for rep := 0; rep < 3; rep++ {
+			for x := 0; x < distinct; x++ {
+				s.Add(uint64(x))
+			}
+		}
+		est := s.Estimate()
+		if math.Abs(est-float64(distinct))/float64(distinct) > 0.10 {
+			t.Errorf("distinct=%d: estimate %.0f off by more than 10%%", distinct, est)
+		}
+	}
+}
+
+func TestHLLEmpty(t *testing.T) {
+	s := NewHLL(8, rand.New(rand.NewSource(2)))
+	if est := s.Estimate(); est != 0 {
+		t.Errorf("empty HLL estimate %v, want 0", est)
+	}
+}
+
+func TestHLLSmallRangeCorrection(t *testing.T) {
+	// Cardinalities far below the register count must be near-exact via
+	// linear counting.
+	s := NewHLL(12, rand.New(rand.NewSource(3)))
+	for x := 0; x < 50; x++ {
+		s.Add(uint64(x))
+	}
+	est := s.Estimate()
+	if math.Abs(est-50) > 10 {
+		t.Errorf("small-range estimate %.1f, want ~50", est)
+	}
+}
+
+func TestHLLDuplicatesDoNotInflate(t *testing.T) {
+	s := NewHLL(10, rand.New(rand.NewSource(4)))
+	for rep := 0; rep < 1000; rep++ {
+		s.Add(7)
+		s.Add(8)
+	}
+	if est := s.Estimate(); est > 10 {
+		t.Errorf("2 distinct keys estimated as %.1f", est)
+	}
+	if s.Adds() != 2000 {
+		t.Errorf("Adds() = %d", s.Adds())
+	}
+}
+
+func TestHLLSpaceSmallerThanL0AtScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	hll := NewHLL(10, rng)               // 1024 regs packed -> ~130 words
+	l0 := NewL0(0.05, 1<<20, 1<<20, rng) // bottom-k with k = 1601 words once full
+	for x := 0; x < 100000; x++ {
+		hll.Add(uint64(x))
+		l0.Add(uint64(x))
+	}
+	if hll.SpaceWords() >= l0.SpaceWords() {
+		t.Errorf("HLL %d words >= L0 %d words at comparable accuracy",
+			hll.SpaceWords(), l0.SpaceWords())
+	}
+}
+
+func TestHLLPanicsOnBadPrecision(t *testing.T) {
+	for _, p := range []uint8{0, 3, 19} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHLL(%d) did not panic", p)
+				}
+			}()
+			NewHLL(p, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func TestDistinctCounterInterface(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	counters := []DistinctCounter{NewHLL(10, rng), NewL0(0.25, 1000, 1000, rng)}
+	for _, c := range counters {
+		for x := 0; x < 1000; x++ {
+			c.Add(uint64(x))
+		}
+		est := c.Estimate()
+		if math.Abs(est-1000)/1000 > 0.3 {
+			t.Errorf("%T estimate %.0f for 1000 distinct", c, est)
+		}
+		if c.SpaceWords() <= 0 {
+			t.Errorf("%T space not positive", c)
+		}
+	}
+}
+
+func BenchmarkHLLAdd(b *testing.B) {
+	s := NewHLL(12, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}

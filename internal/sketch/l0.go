@@ -1,0 +1,82 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamcover/internal/hash"
+)
+
+// L0 is a bottom-k (KMV) distinct-elements sketch. It retains the k
+// smallest distinct hash values seen; when fewer than k distinct keys have
+// arrived the count is exact, otherwise the estimate is (k-1)·P/v_k where
+// v_k is the k-th smallest hash value in [0, P).
+//
+// With k = Θ(1/ε²) the estimate is within (1±ε) with constant probability,
+// which instantiates the (1 ± 1/2)-approximation L0-estimation primitive of
+// Theorem 2.12 in Õ(1) space.
+type L0 struct {
+	h    *hash.Poly
+	k    int
+	vals maxHeap             // k smallest hash values, max at root
+	seen map[uint64]struct{} // members of vals, for dedup
+	adds uint64              // total updates fed (diagnostics only)
+}
+
+// NewL0 builds an L0 sketch with relative error target eps using a
+// Θ(log(mn))-wise hash family for universe sizes m, n.
+func NewL0(eps float64, m, n int, rng *rand.Rand) *L0 {
+	return NewL0Deg(eps, hash.LogDegree(m, n), rng)
+}
+
+// NewL0Deg builds an L0 sketch whose hash is drawn from a deg-wise
+// independent family (for callers that trade independence for speed).
+func NewL0Deg(eps float64, deg int, rng *rand.Rand) *L0 {
+	if eps <= 0 || eps >= 1 {
+		panic(fmt.Sprintf("sketch: L0 eps %v out of (0,1)", eps))
+	}
+	k := int(4.0/(eps*eps)) + 1
+	return &L0{
+		h:    hash.NewPoly(deg, rng),
+		k:    k,
+		vals: make(maxHeap, 0, k),
+		seen: make(map[uint64]struct{}, k),
+	}
+}
+
+// Add feeds one key occurrence. Duplicate keys do not change the estimate.
+func (s *L0) Add(x uint64) {
+	s.adds++
+	s.insertValue(s.h.Eval(x))
+}
+
+// Estimate returns the current distinct-count estimate.
+func (s *L0) Estimate() float64 {
+	if len(s.vals) < s.k {
+		return float64(len(s.vals))
+	}
+	return float64(s.k-1) * float64(hash.Prime) / float64(s.vals[0])
+}
+
+// Adds reports how many updates have been fed (for tests/diagnostics).
+func (s *L0) Adds() uint64 { return s.adds }
+
+// SpaceWords reports retained state: hash coefficients plus one word per
+// stored hash value (the dedup map mirrors the heap, counted once — a tight
+// implementation stores the values once in a treap).
+func (s *L0) SpaceWords() int { return s.h.SpaceWords() + len(s.vals) + 2 }
+
+// maxHeap is a max-heap of uint64 for container/heap.
+type maxHeap []uint64
+
+func (h maxHeap) Len() int            { return len(h) }
+func (h maxHeap) Less(i, j int) bool  { return h[i] > h[j] }
+func (h maxHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,118 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestL0ExactWhenSmall(t *testing.T) {
+	s := NewL0(0.5, 1000, 1000, rand.New(rand.NewSource(1)))
+	for x := uint64(0); x < 10; x++ {
+		s.Add(x)
+		s.Add(x) // duplicates must not count
+	}
+	if got := s.Estimate(); got != 10 {
+		t.Errorf("Estimate() = %v, want exactly 10 below capacity", got)
+	}
+	if s.Adds() != 20 {
+		t.Errorf("Adds() = %d, want 20", s.Adds())
+	}
+}
+
+func TestL0Empty(t *testing.T) {
+	s := NewL0(0.5, 10, 10, rand.New(rand.NewSource(2)))
+	if got := s.Estimate(); got != 0 {
+		t.Errorf("empty sketch Estimate() = %v, want 0", got)
+	}
+}
+
+func TestL0AccuracyLarge(t *testing.T) {
+	// Distinct count 50000 with eps=0.25: expect within 1±0.25 nearly always,
+	// check a loose 30% envelope over several seeds.
+	const distinct = 50000
+	failures := 0
+	for seed := int64(0); seed < 10; seed++ {
+		s := NewL0(0.25, distinct, distinct, rand.New(rand.NewSource(seed)))
+		for x := uint64(0); x < distinct; x++ {
+			s.Add(x)
+		}
+		est := s.Estimate()
+		if math.Abs(est-distinct)/distinct > 0.30 {
+			failures++
+		}
+	}
+	if failures > 1 {
+		t.Errorf("%d/10 runs exceeded 30%% error", failures)
+	}
+}
+
+func TestL0DuplicateHeavyStream(t *testing.T) {
+	// A stream with massive duplication must still estimate the distinct
+	// count, not the stream length.
+	s := NewL0(0.25, 1000, 1000, rand.New(rand.NewSource(3)))
+	for rep := 0; rep < 200; rep++ {
+		for x := uint64(0); x < 300; x++ {
+			s.Add(x)
+		}
+	}
+	est := s.Estimate()
+	if math.Abs(est-300)/300 > 0.35 {
+		t.Errorf("Estimate() = %v, want ~300", est)
+	}
+}
+
+func TestL0SpaceBounded(t *testing.T) {
+	s := NewL0(0.5, 1<<20, 1<<20, rand.New(rand.NewSource(4)))
+	for x := uint64(0); x < 1<<16; x++ {
+		s.Add(x)
+	}
+	// k = 4/eps^2+1 = 17 values plus hash coefficients: well under 200 words.
+	if w := s.SpaceWords(); w > 200 {
+		t.Errorf("SpaceWords() = %d, want O(1/eps^2)", w)
+	}
+}
+
+func TestL0MonotoneNondecreasing(t *testing.T) {
+	// Estimates never decrease as more distinct keys arrive (bottom-k value
+	// v_k only shrinks, estimate only grows), checked as a property.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewL0(0.4, 4096, 4096, rng)
+		prev := 0.0
+		for x := uint64(0); x < 4096; x++ {
+			s.Add(x)
+			est := s.Estimate()
+			if est < prev-1e-9 {
+				return false
+			}
+			prev = est
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestL0PanicsOnBadEps(t *testing.T) {
+	for _, eps := range []float64{0, -1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewL0(eps=%v) did not panic", eps)
+				}
+			}()
+			NewL0(eps, 10, 10, rand.New(rand.NewSource(1)))
+		}()
+	}
+}
+
+func BenchmarkL0Add(b *testing.B) {
+	s := NewL0(0.25, 1<<20, 1<<20, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(uint64(i))
+	}
+}

@@ -1,0 +1,167 @@
+package sketch
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Mergeability: all three sketches are linear (CountSketch) or
+// lattice-style (L0 bottom-k, HLL max-registers) summaries, so two
+// sketches built with the SAME hash functions over disjoint (or even
+// overlapping) substreams merge into the sketch of the combined stream.
+// This is what lets the Section 5 one-way protocol forward state between
+// players, and what makes the sketches usable for partitioned/distributed
+// streams. Merging sketches with different hash functions is an error.
+
+// Merge folds other into cs. Both must have identical dimensions and hash
+// functions (i.e. be copies created from the same seed, or decoded from
+// the same serialized ancestor).
+func (cs *CountSketch) Merge(other *CountSketch) error {
+	if other == nil || cs.depth != other.depth || cs.width != other.width {
+		return fmt.Errorf("sketch: CountSketch dimension mismatch")
+	}
+	for r := 0; r < cs.depth; r++ {
+		if !cs.bucket[r].Equal(other.bucket[r]) || !cs.sign[r].Equal(other.sign[r]) {
+			return fmt.Errorf("sketch: CountSketch hash mismatch in row %d", r)
+		}
+	}
+	for r := 0; r < cs.depth; r++ {
+		for b := 0; b < cs.width; b++ {
+			cs.table[r][b] += other.table[r][b]
+		}
+	}
+	return nil
+}
+
+// Merge folds other into s: the union's bottom-k is the bottom-k of the
+// merged value sets. Both sketches must share the hash function and
+// capacity.
+func (s *L0) Merge(other *L0) error {
+	if other == nil || s.k != other.k {
+		return fmt.Errorf("sketch: L0 capacity mismatch")
+	}
+	if !s.h.Equal(other.h) {
+		return fmt.Errorf("sketch: L0 hash mismatch")
+	}
+	for _, v := range other.vals {
+		s.insertValue(v)
+	}
+	s.adds += other.adds
+	return nil
+}
+
+// insertValue inserts a pre-hashed value into the bottom-k structure.
+func (s *L0) insertValue(v uint64) {
+	if _, ok := s.seen[v]; ok {
+		return
+	}
+	if len(s.vals) < s.k {
+		s.seen[v] = struct{}{}
+		heap.Push(&s.vals, v)
+		return
+	}
+	if v >= s.vals[0] {
+		return
+	}
+	delete(s.seen, s.vals[0])
+	s.seen[v] = struct{}{}
+	s.vals[0] = v
+	heap.Fix(&s.vals, 0)
+}
+
+// MergeDistinct folds b into a when both are the same distinct-counter
+// implementation built from the same hash function.
+func MergeDistinct(a, b DistinctCounter) error {
+	switch x := a.(type) {
+	case *L0:
+		y, ok := b.(*L0)
+		if !ok {
+			return fmt.Errorf("sketch: cannot merge %T into *L0", b)
+		}
+		return x.Merge(y)
+	case *HLL:
+		y, ok := b.(*HLL)
+		if !ok {
+			return fmt.Errorf("sketch: cannot merge %T into *HLL", b)
+		}
+		return x.Merge(y)
+	default:
+		return fmt.Errorf("sketch: unmergeable distinct counter %T", a)
+	}
+}
+
+// Merge folds other into hh: the CountSketches add, the totals add, and
+// the candidate dictionaries union (trimmed back to capacity by post-merge
+// estimates, so coordinates that are heavy in the combined stream keep
+// their slots). The result matches a single sketch over the concatenated
+// streams up to candidate-eviction timing; Report re-estimates weights
+// from the merged CountSketch, so reported values are unaffected.
+func (hh *HeavyHitters) Merge(other *HeavyHitters) error {
+	if other == nil || hh.phi != other.phi || hh.cap != other.cap {
+		return fmt.Errorf("sketch: HeavyHitters parameter mismatch")
+	}
+	if err := hh.cs.Merge(other.cs); err != nil {
+		return err
+	}
+	hh.total += other.total
+	for id := range other.cand {
+		if _, ok := hh.cand[id]; !ok {
+			hh.cand[id] = hh.cs.Estimate(id)
+		}
+	}
+	if len(hh.cand) > hh.cap {
+		type kv struct {
+			id  uint64
+			est int64
+		}
+		all := make([]kv, 0, len(hh.cand))
+		for id := range hh.cand {
+			all = append(all, kv{id, hh.cs.Estimate(id)})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].est > all[j].est })
+		hh.cand = make(map[uint64]int64, hh.cap)
+		for _, p := range all[:hh.cap] {
+			hh.cand[p.id] = p.est
+		}
+	}
+	return nil
+}
+
+// Merge folds other into c level by level. Both batteries must have been
+// built with the same parameters and seed (equal samplers).
+func (c *Contributing) Merge(other *Contributing) error {
+	if other == nil || c.gamma != other.gamma || len(c.levels) != len(other.levels) {
+		return fmt.Errorf("sketch: Contributing parameter mismatch")
+	}
+	for i := range c.levels {
+		if c.levels[i].rate != other.levels[i].rate ||
+			!c.levels[i].sampler.Equal(other.levels[i].sampler) {
+			return fmt.Errorf("sketch: Contributing level %d mismatch", i)
+		}
+	}
+	for i := range c.levels {
+		if err := c.levels[i].hh.Merge(other.levels[i].hh); err != nil {
+			return fmt.Errorf("sketch: Contributing level %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Merge folds other into s by register-wise maximum. Both sketches must
+// share precision and hash function.
+func (s *HLL) Merge(other *HLL) error {
+	if other == nil || s.p != other.p {
+		return fmt.Errorf("sketch: HLL precision mismatch")
+	}
+	if !s.h.Equal(other.h) {
+		return fmt.Errorf("sketch: HLL hash mismatch")
+	}
+	for i, r := range other.regs {
+		if r > s.regs[i] {
+			s.regs[i] = r
+		}
+	}
+	s.adds += other.adds
+	return nil
+}

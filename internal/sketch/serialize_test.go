@@ -1,0 +1,199 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCountSketchRoundTripAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewCountSketch(5, 128, rng)
+	for x := uint64(0); x < 500; x++ {
+		a.Add(x, int64(1+x%5))
+	}
+	blob, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode twice: one copy continues the stream, one stays at the split.
+	var b, c CountSketch
+	if err := b.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 500; x++ {
+		if a.Estimate(x) != b.Estimate(x) {
+			t.Fatalf("decoded sketch diverges at %d", x)
+		}
+	}
+	// b absorbs a second half; merging the halves must equal the whole.
+	for x := uint64(500); x < 1000; x++ {
+		b.Add(x, 2)
+		a.Add(x, 2)
+	}
+	var secondHalf CountSketch
+	if err := secondHalf.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	// secondHalf currently equals the first half; subtract it from b to
+	// isolate the delta... simpler: fresh empty clone via zeroing c and
+	// merging: build the delta by merging c (first half) into nothing.
+	if err := c.Merge(&secondHalf); err != nil {
+		t.Fatal(err)
+	}
+	// c is now 2x the first half; sanity: estimates double.
+	if c.Estimate(3) != 2*secondHalf.Estimate(3) {
+		t.Errorf("merge arithmetic wrong: %d vs %d", c.Estimate(3), secondHalf.Estimate(3))
+	}
+	// Full-stream equivalence: b (decoded + second half) matches a.
+	for _, x := range []uint64{0, 250, 750, 999} {
+		if a.Estimate(x) != b.Estimate(x) {
+			t.Errorf("continued sketch diverges at %d: %d vs %d", x, a.Estimate(x), b.Estimate(x))
+		}
+	}
+}
+
+func TestCountSketchMergeRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := NewCountSketch(5, 128, rng)
+	b := NewCountSketch(5, 128, rng) // different hashes (same rng stream)
+	if err := a.Merge(b); err == nil {
+		t.Error("merge with different hashes accepted")
+	}
+	c := NewCountSketch(3, 128, rng)
+	if err := a.Merge(c); err == nil {
+		t.Error("merge with different depth accepted")
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("merge with nil accepted")
+	}
+}
+
+func TestL0RoundTripAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	whole := NewL0(0.25, 10000, 10000, rng)
+	blob0, err := whole.MarshalBinary() // empty sketch snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	var left, right L0
+	if err := left.UnmarshalBinary(blob0); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.UnmarshalBinary(blob0); err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 4000; x++ {
+		whole.Add(x)
+		if x%2 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	if err := left.Merge(&right); err != nil {
+		t.Fatal(err)
+	}
+	if left.Estimate() != whole.Estimate() {
+		t.Errorf("merged halves %v != whole %v", left.Estimate(), whole.Estimate())
+	}
+	if left.Adds() != whole.Adds() {
+		t.Errorf("adds %d != %d", left.Adds(), whole.Adds())
+	}
+	// Round trip a filled sketch.
+	blob, err := whole.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back L0
+	if err := back.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if back.Estimate() != whole.Estimate() {
+		t.Errorf("decoded estimate %v != %v", back.Estimate(), whole.Estimate())
+	}
+}
+
+func TestL0MergeRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := NewL0(0.25, 100, 100, rng)
+	b := NewL0(0.25, 100, 100, rng)
+	if err := a.Merge(b); err == nil {
+		t.Error("merge with different hash accepted")
+	}
+	c := NewL0(0.5, 100, 100, rng)
+	if err := a.Merge(c); err == nil {
+		t.Error("merge with different capacity accepted")
+	}
+}
+
+func TestHLLRoundTripAndMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	whole := NewHLL(11, rng)
+	blob0, _ := whole.MarshalBinary()
+	var left, right HLL
+	if err := left.UnmarshalBinary(blob0); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.UnmarshalBinary(blob0); err != nil {
+		t.Fatal(err)
+	}
+	for x := uint64(0); x < 30000; x++ {
+		whole.Add(x)
+		if x < 20000 {
+			left.Add(x)
+		}
+		if x >= 10000 { // overlapping halves: union still correct
+			right.Add(x)
+		}
+	}
+	if err := left.Merge(&right); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(left.Estimate()-whole.Estimate()) > 1e-9 {
+		t.Errorf("merged overlapping halves %v != whole %v", left.Estimate(), whole.Estimate())
+	}
+}
+
+func TestHLLMergeRejectsMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := NewHLL(10, rng)
+	b := NewHLL(10, rng)
+	if err := a.Merge(b); err == nil {
+		t.Error("different hash accepted")
+	}
+	c := NewHLL(11, rng)
+	if err := a.Merge(c); err == nil {
+		t.Error("different precision accepted")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	garbage := [][]byte{nil, {1}, {255, 255, 255, 255}, make([]byte, 64)}
+	for _, g := range garbage {
+		if err := new(CountSketch).UnmarshalBinary(g); err == nil {
+			t.Errorf("CountSketch accepted %v", g)
+		}
+		if err := new(L0).UnmarshalBinary(g); err == nil {
+			t.Errorf("L0 accepted %v", g)
+		}
+		if err := new(HLL).UnmarshalBinary(g); err == nil {
+			t.Errorf("HLL accepted %v", g)
+		}
+	}
+}
+
+func TestPolyEqualAndRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := NewF2HeavyHitters(0.1, rng) // exercise an unrelated constructor path
+	_ = p
+	a := NewL0(0.5, 10, 10, rand.New(rand.NewSource(8)))
+	b := NewL0(0.5, 10, 10, rand.New(rand.NewSource(8)))
+	// Same seed => equal hash => mergeable.
+	if err := a.Merge(b); err != nil {
+		t.Errorf("same-seed sketches failed to merge: %v", err)
+	}
+}

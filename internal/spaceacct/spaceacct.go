@@ -1,0 +1,32 @@
+// Package spaceacct defines the space-accounting contract shared by every
+// sketch and streaming structure in this repository.
+//
+// The paper's results are space bounds (Θ̃(m/α²) words, etc.), so the
+// experiment harness must report the number of machine words each structure
+// actually retains — not Go heap size, which is dominated by allocator and
+// header overheads. Every sketch implements Sized and reports the words of
+// state that a careful C implementation would keep: counters, stored
+// (set, element) pairs, hash-function coefficients and candidate tables.
+package spaceacct
+
+// Sized is implemented by any structure that can report its retained state
+// in 64-bit machine words.
+type Sized interface {
+	// SpaceWords returns the number of 64-bit words of state retained by
+	// the structure at the moment of the call.
+	SpaceWords() int
+}
+
+// Total sums the space of several structures, skipping nils.
+func Total(parts ...Sized) int {
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += p.SpaceWords()
+		}
+	}
+	return total
+}
+
+// Bytes converts a word count to bytes.
+func Bytes(words int) int { return words * 8 }

@@ -1,0 +1,25 @@
+package spaceacct
+
+import "testing"
+
+type fixed int
+
+func (f fixed) SpaceWords() int { return int(f) }
+
+func TestTotal(t *testing.T) {
+	if got := Total(); got != 0 {
+		t.Errorf("Total() = %d, want 0", got)
+	}
+	if got := Total(fixed(3), nil, fixed(4)); got != 7 {
+		t.Errorf("Total(3, nil, 4) = %d, want 7", got)
+	}
+}
+
+func TestBytes(t *testing.T) {
+	if got := Bytes(10); got != 80 {
+		t.Errorf("Bytes(10) = %d, want 80", got)
+	}
+	if got := Bytes(0); got != 0 {
+		t.Errorf("Bytes(0) = %d, want 0", got)
+	}
+}

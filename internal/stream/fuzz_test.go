@@ -1,0 +1,43 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzRead drives the text codec with arbitrary bytes: it must never
+// panic, and any stream it accepts must re-encode to something it accepts
+// again with identical edges (decode∘encode = identity on the accepted
+// language).
+func FuzzRead(f *testing.F) {
+	f.Add("maxkcover 2 3\n0 0\n1 2\n")
+	f.Add("maxkcover 1 1\n")
+	f.Add("")
+	f.Add("maxkcover 2 2\n9 9\n")
+	f.Add("not a stream at all")
+	f.Add("maxkcover -1 -1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, m, n, err := Read(strings.NewReader(input))
+		if err != nil {
+			return // rejected input: fine, as long as no panic
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, s, m, n); err != nil {
+			t.Fatalf("accepted stream failed to encode: %v", err)
+		}
+		s.Reset()
+		want := Collect(s)
+		s2, m2, n2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded stream rejected: %v", err)
+		}
+		if m2 != m || n2 != n {
+			t.Fatalf("dims changed: (%d,%d) -> (%d,%d)", m, n, m2, n2)
+		}
+		if got := Collect(s2); !reflect.DeepEqual(got, want) && (len(got) != 0 || len(want) != 0) {
+			t.Fatalf("edges changed after round trip")
+		}
+	})
+}

@@ -1,0 +1,221 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"streamcover/internal/setsystem"
+)
+
+func testSystem() *setsystem.SetSystem {
+	return setsystem.MustNew(5, [][]uint32{{0, 1, 2}, {2, 3}, {4}})
+}
+
+func sortedEdges(edges []Edge) []Edge {
+	cp := append([]Edge(nil), edges...)
+	sort.Slice(cp, func(i, j int) bool {
+		if cp[i].Set != cp[j].Set {
+			return cp[i].Set < cp[j].Set
+		}
+		return cp[i].Elem < cp[j].Elem
+	})
+	return cp
+}
+
+func TestLinearizeOrdersSameMultiset(t *testing.T) {
+	ss := testSystem()
+	want := sortedEdges(Collect(Linearize(ss, SetArrival, nil)))
+	if len(want) != ss.Edges() {
+		t.Fatalf("set-arrival stream has %d edges, want %d", len(want), ss.Edges())
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, order := range []Order{Shuffled, ElementMajor, RoundRobin} {
+		got := sortedEdges(Collect(Linearize(ss, order, rng)))
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("order %d yields different edge multiset", order)
+		}
+	}
+}
+
+func TestLinearizeSetArrivalContiguous(t *testing.T) {
+	edges := Collect(Linearize(testSystem(), SetArrival, nil))
+	lastSeen := -1
+	seen := map[uint32]bool{}
+	for _, e := range edges {
+		if int(e.Set) != lastSeen {
+			if seen[e.Set] {
+				t.Fatalf("set %d appears non-contiguously", e.Set)
+			}
+			seen[e.Set] = true
+			lastSeen = int(e.Set)
+		}
+	}
+}
+
+func TestLinearizeElementMajorGrouped(t *testing.T) {
+	edges := Collect(Linearize(testSystem(), ElementMajor, nil))
+	lastElem := -1
+	seen := map[uint32]bool{}
+	for _, e := range edges {
+		if int(e.Elem) != lastElem {
+			if seen[e.Elem] {
+				t.Fatalf("element %d appears non-contiguously", e.Elem)
+			}
+			seen[e.Elem] = true
+			lastElem = int(e.Elem)
+		}
+	}
+}
+
+func TestLinearizeRoundRobinInterleaves(t *testing.T) {
+	edges := Collect(Linearize(testSystem(), RoundRobin, nil))
+	// First cycle must deal one edge from each of the three sets.
+	if edges[0].Set != 0 || edges[1].Set != 1 || edges[2].Set != 2 {
+		t.Errorf("round-robin first cycle: %+v", edges[:3])
+	}
+}
+
+func TestLinearizeShuffledNeedsRng(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Shuffled without rng did not panic")
+		}
+	}()
+	Linearize(testSystem(), Shuffled, nil)
+}
+
+func TestLinearizeUnknownOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown order did not panic")
+		}
+	}()
+	Linearize(testSystem(), Order(99), nil)
+}
+
+func TestToSetSystemRoundTrip(t *testing.T) {
+	ss := testSystem()
+	rng := rand.New(rand.NewSource(2))
+	it := Linearize(ss, Shuffled, rng)
+	back, err := ToSetSystem(it, ss.M(), ss.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Sets, ss.Sets) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", back.Sets, ss.Sets)
+	}
+}
+
+func TestToSetSystemRejectsOutOfBounds(t *testing.T) {
+	if _, err := ToSetSystem(FromEdges([]Edge{{Set: 5, Elem: 0}}), 3, 3); err == nil {
+		t.Error("set id out of bounds accepted")
+	}
+	if _, err := ToSetSystem(FromEdges([]Edge{{Set: 0, Elem: 7}}), 3, 3); err == nil {
+		t.Error("element id out of bounds accepted")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	ss := testSystem()
+	it := Linearize(ss, SetArrival, nil)
+	var buf bytes.Buffer
+	if err := Write(&buf, it, ss.M(), ss.N); err != nil {
+		t.Fatal(err)
+	}
+	got, m, n, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != ss.M() || n != ss.N {
+		t.Errorf("dims (%d,%d), want (%d,%d)", m, n, ss.M(), ss.N)
+	}
+	it.Reset()
+	if !reflect.DeepEqual(got.Edges(), Collect(it)) {
+		t.Error("codec round trip changed edges")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n",
+		"maxkcover 2 2\n0 zebra\n",
+		"maxkcover 2 2\n5 0\n",
+		"maxkcover 2 2\n0 5\n",
+	}
+	for _, c := range cases {
+		if _, _, _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read accepted %q", c)
+		}
+	}
+}
+
+func TestSliceIterator(t *testing.T) {
+	s := FromEdges([]Edge{{0, 1}, {1, 2}})
+	if s.Len() != 2 {
+		t.Errorf("Len() = %d", s.Len())
+	}
+	e, ok := s.Next()
+	if !ok || e != (Edge{0, 1}) {
+		t.Errorf("first Next = %+v, %v", e, ok)
+	}
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Error("Next past end returned ok")
+	}
+	s.Reset()
+	if e, ok := s.Next(); !ok || e != (Edge{0, 1}) {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestCountingPasses(t *testing.T) {
+	c := NewCounting(FromEdges([]Edge{{0, 0}, {1, 1}}))
+	if c.Passes != 0 {
+		t.Fatal("fresh counter nonzero")
+	}
+	for {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	if c.Passes != 1 {
+		t.Errorf("after one drain Passes = %d, want 1", c.Passes)
+	}
+	// Extra Next calls at exhaustion must not double count.
+	c.Next()
+	c.Next()
+	if c.Passes != 1 {
+		t.Errorf("exhausted Next inflated Passes to %d", c.Passes)
+	}
+	c.Reset()
+	for {
+		if _, ok := c.Next(); !ok {
+			break
+		}
+	}
+	if c.Passes != 2 {
+		t.Errorf("after second drain Passes = %d, want 2", c.Passes)
+	}
+	// Partial pass then Reset counts the partial pass.
+	c.Reset()
+	c.Next()
+	c.Reset()
+	if c.Passes != 3 {
+		t.Errorf("partial pass not counted: Passes = %d, want 3", c.Passes)
+	}
+}
+
+func TestCountingEmptyStream(t *testing.T) {
+	c := NewCounting(FromEdges(nil))
+	if _, ok := c.Next(); ok {
+		t.Fatal("empty stream yielded an edge")
+	}
+	if c.Passes != 0 {
+		t.Errorf("empty stream counted a pass: %d", c.Passes)
+	}
+}

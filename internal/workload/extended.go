@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamcover/internal/setsystem"
+)
+
+// PreferentialAttachment builds a bipartite set system by cumulative
+// advantage: each of m sets draws `perSet` elements, each chosen as an
+// existing popular element with probability `rich` (proportional to
+// current frequency) or a fresh uniform element otherwise. The result has
+// the heavy-tailed element-frequency profile of real incidence data
+// (authors–papers, users–items), the regime where frequency-partitioned
+// arguments (Lemma 4.20's W_i classes) actually bite.
+func PreferentialAttachment(n, m, k, perSet int, rich float64, rng *rand.Rand) *Instance {
+	validate(n, m, k)
+	if perSet < 1 {
+		perSet = 1
+	}
+	if rich < 0 {
+		rich = 0
+	}
+	if rich > 1 {
+		rich = 1
+	}
+	var history []uint32 // one entry per incidence: sampling uniformly from it is frequency-proportional sampling
+	sets := make([][]uint32, m)
+	for i := range sets {
+		for j := 0; j < perSet; j++ {
+			var e uint32
+			if len(history) > 0 && rng.Float64() < rich {
+				e = history[rng.Intn(len(history))]
+			} else {
+				e = uint32(rng.Intn(n))
+			}
+			sets[i] = append(sets[i], e)
+			history = append(history, e)
+		}
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("prefattach(n=%d,m=%d,k=%d,rich=%.2f)", n, m, k, rich),
+		System: setsystem.MustNew(n, sets),
+		K:      k,
+	}
+}
+
+// EmbeddedDSJ plants the Section 5 hard structure inside a benign
+// instance: `gapSize` elements are each covered by a single "needle" set
+// (the unique-intersection pattern), while the rest of the universe is
+// routine planted-cover mass. A correct α-estimator must neither miss the
+// planted mass nor hallucinate coverage from the adversarial singleton
+// fringe. Returns the instance; the needle set's ID is k (the first
+// decoy slot).
+func EmbeddedDSJ(n, m, k, gapSize int, coverFrac float64, rng *rand.Rand) *Instance {
+	validate(n, m, k)
+	if gapSize < 1 || gapSize >= n/2 {
+		panic(fmt.Sprintf("workload: gapSize %d out of [1, n/2)", gapSize))
+	}
+	base := PlantedCover(n-gapSize, m-1-gapSize, k, coverFrac, 3, rng)
+	sets := make([][]uint32, 0, m)
+	sets = append(sets, base.System.Sets...)
+	// The needle: one set covering all gap elements (the No-case common
+	// item's set in the reduction).
+	needle := make([]uint32, 0, gapSize)
+	for g := 0; g < gapSize; g++ {
+		needle = append(needle, uint32(n-gapSize+g))
+	}
+	sets = append(sets, needle)
+	// The fringe: per gap element, one singleton set (the Yes-case shape).
+	for g := 0; g < gapSize; g++ {
+		sets = append(sets, []uint32{uint32(n - gapSize + g)})
+	}
+	in := &Instance{
+		Name:   fmt.Sprintf("embeddeddsj(n=%d,m=%d,k=%d,gap=%d)", n, m, k, gapSize),
+		System: setsystem.MustNew(n, sets),
+		K:      k,
+	}
+	// Best known cover: either the planted base sets, or the base sets
+	// minus one plus the needle — whichever truly covers more.
+	in.PlantedIDs = append([]int(nil), base.PlantedIDs...)
+	in.PlantedCoverage = base.PlantedCoverage
+	if k > 1 && len(base.PlantedIDs) == k {
+		swapped := append([]int(nil), base.PlantedIDs...)
+		swapped[len(swapped)-1] = len(base.System.Sets) // the needle's ID
+		if cov := in.System.Coverage(swapped); cov > in.PlantedCoverage {
+			in.PlantedIDs = swapped
+			in.PlantedCoverage = cov
+		}
+	}
+	return in
+}

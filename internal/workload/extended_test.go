@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := PreferentialAttachment(5000, 1000, 10, 10, 0.6, rng)
+	if in.System.M() != 1000 || in.System.N != 5000 {
+		t.Fatalf("dims m=%d n=%d", in.System.M(), in.System.N)
+	}
+	freq := in.System.ElementFrequencies()
+	sort.Sort(sort.Reverse(sort.IntSlice(freq)))
+	// Cumulative advantage: the top element should be far above the
+	// median nonzero frequency.
+	nonzero := 0
+	for _, f := range freq {
+		if f > 0 {
+			nonzero++
+		}
+	}
+	if nonzero == 0 {
+		t.Fatal("no elements at all")
+	}
+	median := freq[nonzero/2]
+	if freq[0] < 5*median+5 {
+		t.Errorf("frequency profile too flat: max %d, median %d", freq[0], median)
+	}
+}
+
+func TestPreferentialAttachmentRichClamps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// rich outside [0,1] must clamp, not panic.
+	in := PreferentialAttachment(100, 20, 3, 0, -1, rng)
+	if in.System.M() != 20 {
+		t.Fatal("clamped instance broken")
+	}
+	in2 := PreferentialAttachment(100, 20, 3, 2, 2, rng)
+	if in2.System.Edges() < 20 {
+		t.Fatal("rich=1 instance broken")
+	}
+}
+
+func TestEmbeddedDSJStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := EmbeddedDSJ(5000, 600, 10, 100, 0.7, rng)
+	if in.System.M() != 600 {
+		t.Fatalf("m = %d, want 600", in.System.M())
+	}
+	// The needle set covers all gap elements.
+	needleID := in.System.M() - 1 - 100 // base sets, then needle, then fringe
+	needle := in.System.Sets[needleID]
+	if len(needle) != 100 {
+		t.Fatalf("needle has %d elements, want 100 (id %d)", len(needle), needleID)
+	}
+	// Fringe sets are singletons over the gap.
+	for i := needleID + 1; i < in.System.M(); i++ {
+		if len(in.System.Sets[i]) != 1 {
+			t.Errorf("fringe set %d has %d elements", i, len(in.System.Sets[i]))
+		}
+	}
+	// The recorded planted cover must be genuinely achievable.
+	if cov := in.System.Coverage(in.PlantedIDs); cov < in.PlantedCoverage {
+		t.Errorf("planted ids cover %d < recorded %d", cov, in.PlantedCoverage)
+	}
+	if len(in.PlantedIDs) > in.K {
+		t.Errorf("planted %d ids > k", len(in.PlantedIDs))
+	}
+}
+
+func TestEmbeddedDSJPanicsOnBadGap(t *testing.T) {
+	for _, gap := range []int{0, 2500, 5000} {
+		gap := gap
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("gapSize=%d accepted", gap)
+				}
+			}()
+			EmbeddedDSJ(5000, 600, 10, gap, 0.7, rand.New(rand.NewSource(1)))
+		}()
+	}
+}

@@ -1,0 +1,279 @@
+// Package workload generates the synthetic Max k-Cover instances used by
+// tests, examples and the experiment harness. Every generator is seeded and
+// deterministic, and — where the construction plants a known solution —
+// records that solution so experiments can report true approximation
+// ratios without exponential-time search.
+//
+// The planted families mirror the case analysis of the paper's oracle
+// (Section 4): CommonHeavy exercises case I (many β-common elements,
+// LargeCommon wins), PlantedLargeSets exercises case II (most of OPT's
+// coverage from few large sets, LargeSet wins), and PlantedSmallSets
+// exercises case III (many small sets, SmallSet wins). GraphNeighborhoods
+// realizes the paper's footnote-2 motivation: sets are vertex
+// neighborhoods of a directed graph, which arrive non-contiguously in any
+// single edge orientation.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"streamcover/internal/setsystem"
+)
+
+// Instance is a generated Max k-Cover instance with provenance.
+type Instance struct {
+	Name   string
+	System *setsystem.SetSystem
+	K      int
+	// PlantedIDs is a known good k-cover (nil if none was planted);
+	// PlantedCoverage is its coverage. OPT >= PlantedCoverage always.
+	PlantedIDs      []int
+	PlantedCoverage int
+}
+
+// OptLowerBound returns the best known coverage: the planted solution if
+// recorded, otherwise the greedy value (a (1-1/e)-approximation, so
+// OPT <= OptLowerBound/(1-1/e)).
+func (in *Instance) OptLowerBound() int {
+	if in.PlantedIDs != nil {
+		return in.PlantedCoverage
+	}
+	_, g := in.System.Greedy(in.K)
+	return g
+}
+
+// Uniform draws m sets, each of size drawn uniformly in [1, 2·avgSize),
+// with elements uniform over [0, n).
+func Uniform(n, m, k, avgSize int, rng *rand.Rand) *Instance {
+	validate(n, m, k)
+	if avgSize < 1 {
+		avgSize = 1
+	}
+	sets := make([][]uint32, m)
+	for i := range sets {
+		sz := 1 + rng.Intn(2*avgSize-1)
+		sets[i] = randomSubset(n, sz, rng)
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("uniform(n=%d,m=%d,k=%d,avg=%d)", n, m, k, avgSize),
+		System: setsystem.MustNew(n, sets),
+		K:      k,
+	}
+}
+
+// Zipf draws m sets whose sizes follow a power law with the given exponent
+// (capped at maxSize) and whose elements are Zipf-popular, so a few
+// elements appear in many sets — the skewed regime common in real set
+// systems (information retrieval, blog-watch).
+func Zipf(n, m, k int, exponent float64, maxSize int, rng *rand.Rand) *Instance {
+	validate(n, m, k)
+	if maxSize < 1 {
+		maxSize = 1
+	}
+	if exponent < 1.01 {
+		exponent = 1.01
+	}
+	elemZipf := rand.NewZipf(rng, exponent, 1, uint64(n-1))
+	sets := make([][]uint32, m)
+	for i := range sets {
+		// Power-law set size via inverse transform on a Pareto tail.
+		sz := int(math.Ceil(1.0 / math.Pow(1-rng.Float64(), 1/exponent)))
+		if sz > maxSize {
+			sz = maxSize
+		}
+		seen := make(map[uint32]struct{}, sz)
+		for len(seen) < sz {
+			seen[uint32(elemZipf.Uint64())] = struct{}{}
+		}
+		for e := range seen {
+			sets[i] = append(sets[i], e)
+		}
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("zipf(n=%d,m=%d,k=%d,s=%.2f)", n, m, k, exponent),
+		System: setsystem.MustNew(n, sets),
+		K:      k,
+	}
+}
+
+// PlantedCover builds an instance whose optimum is known by construction:
+// k disjoint planted sets jointly cover coverFrac·n elements; the other
+// m-k sets are decoys of size decoySize drawn only from the planted sets'
+// footprint (so they can never beat the planted cover; any k of them cover
+// at most k·decoySize elements).
+func PlantedCover(n, m, k int, coverFrac float64, decoySize int, rng *rand.Rand) *Instance {
+	validate(n, m, k)
+	if coverFrac <= 0 || coverFrac > 1 {
+		panic(fmt.Sprintf("workload: coverFrac %v out of (0,1]", coverFrac))
+	}
+	covered := int(coverFrac * float64(n))
+	if covered < k {
+		covered = k
+	}
+	if covered > n {
+		covered = n
+	}
+	perm := rng.Perm(n)
+	sets := make([][]uint32, m)
+	ids := make([]int, 0, k)
+	// Planted sets partition the first `covered` permuted elements.
+	for i := 0; i < k; i++ {
+		lo, hi := i*covered/k, (i+1)*covered/k
+		for _, e := range perm[lo:hi] {
+			sets[i] = append(sets[i], uint32(e))
+		}
+		ids = append(ids, i)
+	}
+	if decoySize < 1 {
+		decoySize = 1
+	}
+	if decoySize > covered {
+		decoySize = covered
+	}
+	for i := k; i < m; i++ {
+		for j := 0; j < decoySize; j++ {
+			sets[i] = append(sets[i], uint32(perm[rng.Intn(covered)]))
+		}
+	}
+	return &Instance{
+		Name:            fmt.Sprintf("planted(n=%d,m=%d,k=%d,frac=%.2f)", n, m, k, coverFrac),
+		System:          setsystem.MustNew(n, sets),
+		K:               k,
+		PlantedIDs:      ids,
+		PlantedCoverage: covered,
+	}
+}
+
+// PlantedLargeSets builds a case-II instance: `large` planted sets (large
+// ≤ k) each covering covered/large elements dominate the optimal coverage,
+// the remaining m-large sets are tiny decoys. Most of OPT's coverage comes
+// from few, large sets — the regime where the heavy-hitter subroutine
+// (LargeSet) must win.
+func PlantedLargeSets(n, m, k, large int, coverFrac float64, rng *rand.Rand) *Instance {
+	validate(n, m, k)
+	if large < 1 || large > k {
+		panic(fmt.Sprintf("workload: large=%d out of [1,k=%d]", large, k))
+	}
+	covered := int(coverFrac * float64(n))
+	if covered < large {
+		covered = large
+	}
+	if covered > n {
+		covered = n
+	}
+	perm := rng.Perm(n)
+	sets := make([][]uint32, m)
+	ids := make([]int, 0, k)
+	for i := 0; i < large; i++ {
+		lo, hi := i*covered/large, (i+1)*covered/large
+		for _, e := range perm[lo:hi] {
+			sets[i] = append(sets[i], uint32(e))
+		}
+		ids = append(ids, i)
+	}
+	// Tiny decoys: singletons inside the planted footprint.
+	for i := large; i < m; i++ {
+		sets[i] = []uint32{uint32(perm[rng.Intn(covered)])}
+		if len(ids) < k {
+			ids = append(ids, i)
+		}
+	}
+	return &Instance{
+		Name:            fmt.Sprintf("largesets(n=%d,m=%d,k=%d,large=%d)", n, m, k, large),
+		System:          setsystem.MustNew(n, sets),
+		K:               k,
+		PlantedIDs:      ids,
+		PlantedCoverage: covered,
+	}
+}
+
+// PlantedSmallSets builds a case-III instance: the optimal k-cover is k
+// equal small sets, each contributing covered/k ≪ covered/(sα); no single
+// set is large. Decoys duplicate planted sets' elements.
+func PlantedSmallSets(n, m, k int, coverFrac float64, rng *rand.Rand) *Instance {
+	// Same construction as PlantedCover, whose planted sets all have equal
+	// contribution covered/k; with k large each contribution is small.
+	in := PlantedCover(n, m, k, coverFrac, 1, rng)
+	in.Name = fmt.Sprintf("smallsets(n=%d,m=%d,k=%d,frac=%.2f)", n, m, k, coverFrac)
+	return in
+}
+
+// CommonHeavy builds a case-I instance: a pool of `commons` elements each
+// appearing in a constant fraction of all m sets (β-common for small β),
+// plus per-set private elements. Set sampling alone covers the commons.
+func CommonHeavy(n, m, k, commons int, commonFrac float64, privates int, rng *rand.Rand) *Instance {
+	validate(n, m, k)
+	if commons < 0 || commons > n {
+		panic(fmt.Sprintf("workload: commons=%d out of [0,n=%d]", commons, n))
+	}
+	sets := make([][]uint32, m)
+	for i := range sets {
+		for e := 0; e < commons; e++ {
+			if rng.Float64() < commonFrac {
+				sets[i] = append(sets[i], uint32(e))
+			}
+		}
+		for j := 0; j < privates; j++ {
+			sets[i] = append(sets[i], uint32(commons+rng.Intn(n-commons)))
+		}
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("commonheavy(n=%d,m=%d,k=%d,commons=%d)", n, m, k, commons),
+		System: setsystem.MustNew(n, sets),
+		K:      k,
+	}
+}
+
+// GraphNeighborhoods builds sets as out-neighborhoods of a random directed
+// graph on `nodes` vertices with expected out-degree avgDeg: set i is
+// N⁺(i) ⊆ U = vertex set. Max k-Cover here is the k most covering
+// "influencer" selection; in an edge stream keyed by in-edges each set
+// arrives scattered (footnote 2 of the paper).
+func GraphNeighborhoods(nodes, k, avgDeg int, rng *rand.Rand) *Instance {
+	validate(nodes, nodes, k)
+	p := float64(avgDeg) / float64(nodes)
+	if p > 1 {
+		p = 1
+	}
+	sets := make([][]uint32, nodes)
+	for u := 0; u < nodes; u++ {
+		for v := 0; v < nodes; v++ {
+			if u != v && rng.Float64() < p {
+				sets[u] = append(sets[u], uint32(v))
+			}
+		}
+	}
+	return &Instance{
+		Name:   fmt.Sprintf("graph(nodes=%d,k=%d,deg=%d)", nodes, k, avgDeg),
+		System: setsystem.MustNew(nodes, sets),
+		K:      k,
+	}
+}
+
+func validate(n, m, k int) {
+	if n < 1 || m < 1 || k < 1 {
+		panic(fmt.Sprintf("workload: bad dims n=%d m=%d k=%d", n, m, k))
+	}
+}
+
+// randomSubset draws sz distinct elements of [0, n) (or all n if sz >= n).
+func randomSubset(n, sz int, rng *rand.Rand) []uint32 {
+	if sz >= n {
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = uint32(i)
+		}
+		return out
+	}
+	seen := make(map[uint32]struct{}, sz)
+	for len(seen) < sz {
+		seen[uint32(rng.Intn(n))] = struct{}{}
+	}
+	out := make([]uint32, 0, sz)
+	for e := range seen {
+		out = append(out, e)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestUniformShape(t *testing.T) {
+	in := Uniform(100, 50, 5, 10, rand.New(rand.NewSource(1)))
+	if in.System.M() != 50 || in.System.N != 100 || in.K != 5 {
+		t.Fatalf("dims wrong: m=%d n=%d k=%d", in.System.M(), in.System.N, in.K)
+	}
+	for i, s := range in.System.Sets {
+		if len(s) < 1 || len(s) >= 20 {
+			t.Errorf("set %d size %d outside [1, 20)", i, len(s))
+		}
+	}
+	if in.PlantedIDs != nil {
+		t.Error("uniform should not plant a solution")
+	}
+	if in.OptLowerBound() <= 0 {
+		t.Error("OptLowerBound (greedy fallback) not positive")
+	}
+}
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(100, 30, 3, 8, rand.New(rand.NewSource(9)))
+	b := Uniform(100, 30, 3, 8, rand.New(rand.NewSource(9)))
+	if a.System.Edges() != b.System.Edges() {
+		t.Error("same seed, different instance")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	in := Zipf(1000, 300, 10, 1.5, 200, rand.New(rand.NewSource(2)))
+	freq := in.System.ElementFrequencies()
+	// Element popularity must be skewed: the most popular element should
+	// appear in far more sets than the median element.
+	max, nonzero := 0, 0
+	for _, f := range freq {
+		if f > max {
+			max = f
+		}
+		if f > 0 {
+			nonzero++
+		}
+	}
+	if max < 10 {
+		t.Errorf("zipf max frequency %d too flat", max)
+	}
+	if nonzero == 0 {
+		t.Fatal("zipf produced empty system")
+	}
+}
+
+func TestPlantedCoverKnownOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := PlantedCover(500, 100, 10, 0.8, 3, rng)
+	if len(in.PlantedIDs) != 10 {
+		t.Fatalf("planted %d ids, want 10", len(in.PlantedIDs))
+	}
+	cov := in.System.Coverage(in.PlantedIDs)
+	if cov != in.PlantedCoverage {
+		t.Errorf("planted coverage %d, recorded %d", cov, in.PlantedCoverage)
+	}
+	if cov != 400 {
+		t.Errorf("planted coverage %d, want 0.8*500 = 400", cov)
+	}
+	// Decoys live inside the planted footprint, so planted is optimal:
+	// greedy cannot beat it.
+	_, g := in.System.Greedy(in.K)
+	if g > cov {
+		t.Errorf("greedy %d beat planted %d — construction broken", g, cov)
+	}
+}
+
+func TestPlantedCoverDisjointPlants(t *testing.T) {
+	in := PlantedCover(200, 20, 5, 1.0, 2, rand.New(rand.NewSource(4)))
+	total := 0
+	for _, id := range in.PlantedIDs {
+		total += len(in.System.Sets[id])
+	}
+	if total != in.PlantedCoverage {
+		t.Errorf("planted sets overlap: sizes sum %d, coverage %d", total, in.PlantedCoverage)
+	}
+}
+
+func TestPlantedLargeSetsShape(t *testing.T) {
+	in := PlantedLargeSets(1000, 200, 50, 2, 0.6, rand.New(rand.NewSource(5)))
+	big := 0
+	for _, s := range in.System.Sets {
+		if len(s) > 100 {
+			big++
+		}
+	}
+	if big != 2 {
+		t.Errorf("%d large sets, want exactly 2", big)
+	}
+	if got := in.System.Coverage(in.PlantedIDs); got < in.PlantedCoverage {
+		t.Errorf("planted ids cover %d < recorded %d", got, in.PlantedCoverage)
+	}
+	if len(in.PlantedIDs) > in.K {
+		t.Errorf("planted %d ids > k=%d", len(in.PlantedIDs), in.K)
+	}
+}
+
+func TestPlantedSmallSetsContributions(t *testing.T) {
+	in := PlantedSmallSets(1000, 300, 100, 0.5, rand.New(rand.NewSource(6)))
+	// Every planted set must be small: coverage/k each.
+	for _, id := range in.PlantedIDs {
+		if sz := len(in.System.Sets[id]); sz > 2*in.PlantedCoverage/in.K+1 {
+			t.Errorf("planted set %d size %d too large for small-sets regime", id, sz)
+		}
+	}
+}
+
+func TestCommonHeavyFrequencies(t *testing.T) {
+	in := CommonHeavy(500, 400, 10, 20, 0.5, 2, rand.New(rand.NewSource(7)))
+	freq := in.System.ElementFrequencies()
+	for e := 0; e < 20; e++ {
+		if freq[e] < 100 { // expect ~200 of 400 sets
+			t.Errorf("common element %d frequency %d, want ~200", e, freq[e])
+		}
+	}
+	for e := 20; e < 500; e++ {
+		if freq[e] > 50 {
+			t.Errorf("private element %d frequency %d unexpectedly common", e, freq[e])
+		}
+	}
+}
+
+func TestGraphNeighborhoods(t *testing.T) {
+	in := GraphNeighborhoods(300, 5, 10, rand.New(rand.NewSource(8)))
+	if in.System.M() != 300 || in.System.N != 300 {
+		t.Fatalf("graph dims m=%d n=%d", in.System.M(), in.System.N)
+	}
+	edges := in.System.Edges()
+	if edges < 1500 || edges > 6000 { // expect ~3000
+		t.Errorf("graph has %d edges, want ~3000", edges)
+	}
+	// No self loops.
+	for u, s := range in.System.Sets {
+		for _, v := range s {
+			if int(v) == u {
+				t.Fatalf("self loop at %d", u)
+			}
+		}
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	cases := []func(){
+		func() { Uniform(0, 5, 1, 2, rand.New(rand.NewSource(1))) },
+		func() { Uniform(5, 0, 1, 2, rand.New(rand.NewSource(1))) },
+		func() { Uniform(5, 5, 0, 2, rand.New(rand.NewSource(1))) },
+		func() { PlantedCover(10, 5, 2, 0, 1, rand.New(rand.NewSource(1))) },
+		func() { PlantedCover(10, 5, 2, 1.5, 1, rand.New(rand.NewSource(1))) },
+		func() { PlantedLargeSets(10, 5, 2, 3, 0.5, rand.New(rand.NewSource(1))) },
+		func() { CommonHeavy(10, 5, 2, 11, 0.5, 1, rand.New(rand.NewSource(1))) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRandomSubsetFullUniverse(t *testing.T) {
+	s := randomSubset(5, 10, rand.New(rand.NewSource(1)))
+	if len(s) != 5 {
+		t.Errorf("sz >= n should return the whole universe, got %d", len(s))
+	}
+}

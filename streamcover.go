@@ -1,0 +1,233 @@
+package streamcover
+
+import (
+	"fmt"
+	"math/rand"
+
+	"streamcover/internal/core"
+	"streamcover/internal/setsystem"
+	"streamcover/internal/stream"
+)
+
+// Edge is one (set, element) arrival: element Elem belongs to set Set.
+// Set IDs must lie in [0, m) and element IDs in [0, n) as declared to
+// NewEstimator.
+type Edge struct {
+	Set  uint32
+	Elem uint32
+}
+
+// Result is the outcome of a completed pass.
+type Result struct {
+	// Coverage estimates the optimal k-cover's size: with high
+	// probability OPT/Õ(α) ≤ Coverage ≤ OPT.
+	Coverage float64
+	// Feasible is false when the optimum is below the smallest detectable
+	// scale (Coverage is then 0).
+	Feasible bool
+	// SetIDs are up to k set IDs whose true coverage backs the estimate —
+	// the α-approximate solution of the paper's reporting variant
+	// (Theorem 3.2). May be shorter than k; padding with arbitrary
+	// additional sets never decreases coverage.
+	SetIDs []uint32
+	// SpaceWords is the number of 64-bit words of state the estimator
+	// retained — the quantity the paper's Õ(m/α² + k) bound governs.
+	SpaceWords int
+}
+
+// Option customizes an Estimator.
+type Option func(*config)
+
+type config struct {
+	seed   int64
+	params core.Params
+}
+
+// WithSeed fixes the random seed (default 1). Two estimators with equal
+// dimensions, options and seed process identically.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithRepetitions sets the number of independent boosting repetitions per
+// coverage guess (the paper's log(1/δ) loop; default 1). More repetitions
+// lower the failure probability at proportional space and time cost.
+func WithRepetitions(reps int) Option {
+	return func(c *config) {
+		if reps > 0 {
+			c.params.Reps = reps
+		}
+	}
+}
+
+// WithGuessBase sets the ratio of the coverage-guess ladder (default 4;
+// the paper uses 2). A smaller base tightens the approximation constant
+// and increases space and time by the number of extra guesses.
+func WithGuessBase(base float64) Option {
+	return func(c *config) {
+		if base > 1 {
+			c.params.ZBase = base
+		}
+	}
+}
+
+// WithHLLBackend switches the distinct-count sketches from the default
+// bottom-k L0 to HyperLogLog. Both satisfy the paper's Theorem 2.12
+// contract; HLL is smaller at equal error on large universes, the bottom-k
+// sketch is exact below its capacity (see experiment E20).
+func WithHLLBackend() Option {
+	return func(c *config) { c.params.UseHLL = true }
+}
+
+// Estimator is the single-pass Max k-Cover estimator/reporter
+// (Theorems 3.1 and 3.2 of the paper). It is not safe for concurrent use.
+type Estimator struct {
+	m, n, k int
+	alpha   float64
+	inner   *core.Estimator
+	edges   int
+}
+
+// NewEstimator builds an estimator for a stream over m sets and n elements
+// with cover budget k and approximation target alpha ≥ 1. Space scales as
+// Õ(m/α² + k): doubling alpha quarters the sketching state.
+func NewEstimator(m, n, k int, alpha float64, opts ...Option) (*Estimator, error) {
+	cfg := config{seed: 1, params: core.Practical()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	rng := rand.New(rand.NewSource(cfg.seed))
+	inner, err := core.NewEstimator(m, n, k, alpha, cfg.params, core.NewOracleFactory(), rng)
+	if err != nil {
+		return nil, fmt.Errorf("streamcover: %w", err)
+	}
+	return &Estimator{m: m, n: n, k: k, alpha: alpha, inner: inner}, nil
+}
+
+// Process consumes one edge. Edges may arrive in any order and repeat;
+// out-of-range IDs are rejected.
+func (e *Estimator) Process(edge Edge) error {
+	if int(edge.Set) >= e.m {
+		return fmt.Errorf("streamcover: set id %d >= m=%d", edge.Set, e.m)
+	}
+	if int(edge.Elem) >= e.n {
+		return fmt.Errorf("streamcover: element id %d >= n=%d", edge.Elem, e.n)
+	}
+	e.inner.Process(stream.Edge(edge))
+	e.edges++
+	return nil
+}
+
+// ProcessAll consumes a slice of edges, stopping at the first invalid one.
+func (e *Estimator) ProcessAll(edges []Edge) error {
+	for _, edge := range edges {
+		if err := e.Process(edge); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ProcessAllParallel consumes an in-memory edge slice using up to
+// `workers` goroutines (the coverage-guess ladder is embarrassingly
+// parallel). The outcome is bit-for-bit identical to ProcessAll; only
+// wall-clock time changes. The slice must not be mutated during the call,
+// and must not be interleaved with concurrent Process calls.
+func (e *Estimator) ProcessAllParallel(edges []Edge, workers int) error {
+	converted := make([]stream.Edge, len(edges))
+	for i, edge := range edges {
+		if int(edge.Set) >= e.m {
+			return fmt.Errorf("streamcover: set id %d >= m=%d", edge.Set, e.m)
+		}
+		if int(edge.Elem) >= e.n {
+			return fmt.Errorf("streamcover: element id %d >= n=%d", edge.Elem, e.n)
+		}
+		converted[i] = stream.Edge(edge)
+	}
+	e.inner.ProcessAllParallel(converted, workers)
+	e.edges += len(edges)
+	return nil
+}
+
+// Edges reports how many edges have been consumed.
+func (e *Estimator) Edges() int { return e.edges }
+
+// Result finalizes the pass. It may be called repeatedly; further Process
+// calls after Result are permitted but unusual.
+func (e *Estimator) Result() Result {
+	r := e.inner.Result()
+	return Result{
+		Coverage:   r.Value,
+		Feasible:   r.Feasible,
+		SetIDs:     r.SetIDs,
+		SpaceWords: e.inner.SpaceWords(),
+	}
+}
+
+// Merge folds another estimator into this one. Both must have been
+// created with identical dimensions, options and seed; each may have
+// consumed a different shard of the same logical edge stream (partitioned
+// by edge, by set, or by time — duplicates across shards are harmless).
+// After the merge, Result summarizes the union of the shards: this is how
+// the estimator runs over partitioned or distributed streams.
+func (e *Estimator) Merge(other *Estimator) error {
+	if other == nil {
+		return fmt.Errorf("streamcover: merge with nil estimator")
+	}
+	if err := e.inner.Merge(other.inner); err != nil {
+		return fmt.Errorf("streamcover: %w", err)
+	}
+	e.edges += other.edges
+	return nil
+}
+
+// SpaceBreakdown reports where the estimator's retained words live, keyed
+// by component ("largecommon", "largeset", "smallset", "reduction") —
+// useful for understanding which part of the Õ(m/α²) bound dominates at a
+// given configuration.
+func (e *Estimator) SpaceBreakdown() map[string]int { return e.inner.SpaceBreakdown() }
+
+// Coverage computes the exact number of distinct elements covered by the
+// chosen sets in a stored edge list — a convenience for validating
+// reported solutions in examples and tests. It is NOT streaming: it scans
+// the provided edges.
+func Coverage(edges []Edge, n int, setIDs []uint32) int {
+	chosen := make(map[uint32]bool, len(setIDs))
+	for _, id := range setIDs {
+		chosen[id] = true
+	}
+	covered := setsystem.NewBitset(n)
+	for _, e := range edges {
+		if chosen[e.Set] && int(e.Elem) < n {
+			covered.Set(e.Elem)
+		}
+	}
+	return covered.Count()
+}
+
+// GreedyCover runs the classic offline greedy (the 1-1/e baseline the
+// paper's Introduction starts from) on a stored edge list, returning the
+// chosen set IDs and their exact coverage. It is NOT streaming; use it as
+// ground truth on inputs small enough to hold in memory.
+func GreedyCover(edges []Edge, m, n, k int) ([]uint32, int, error) {
+	sets := make([][]uint32, m)
+	for _, e := range edges {
+		if int(e.Set) >= m {
+			return nil, 0, fmt.Errorf("streamcover: set id %d >= m=%d", e.Set, m)
+		}
+		if int(e.Elem) >= n {
+			return nil, 0, fmt.Errorf("streamcover: element id %d >= n=%d", e.Elem, n)
+		}
+		sets[e.Set] = append(sets[e.Set], e.Elem)
+	}
+	ss, err := setsystem.New(n, sets)
+	if err != nil {
+		return nil, 0, err
+	}
+	ids, cov := ss.LazyGreedy(k)
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		out[i] = uint32(id)
+	}
+	return out, cov, nil
+}

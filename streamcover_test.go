@@ -1,0 +1,289 @@
+package streamcover
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// plantedEdges builds a shuffled edge stream with a known optimal k-cover:
+// k disjoint sets covering `covered` elements plus singleton decoys.
+func plantedEdges(m, n, k, covered int, seed int64) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	var edges []Edge
+	for i := 0; i < k; i++ {
+		lo, hi := i*covered/k, (i+1)*covered/k
+		for e := lo; e < hi; e++ {
+			edges = append(edges, Edge{Set: uint32(i), Elem: uint32(e)})
+		}
+	}
+	for s := k; s < m; s++ {
+		edges = append(edges, Edge{Set: uint32(s), Elem: uint32(rng.Intn(covered))})
+	}
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	return edges
+}
+
+func TestEstimatorEndToEnd(t *testing.T) {
+	const (
+		m, n, k = 1000, 10000, 20
+		covered = 8000
+		alpha   = 4.0
+	)
+	edges := plantedEdges(m, n, k, covered, 1)
+	est, err := NewEstimator(m, n, k, alpha, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.ProcessAll(edges); err != nil {
+		t.Fatal(err)
+	}
+	if est.Edges() != len(edges) {
+		t.Errorf("Edges() = %d, want %d", est.Edges(), len(edges))
+	}
+	res := est.Result()
+	if !res.Feasible {
+		t.Fatal("infeasible on a dense planted instance")
+	}
+	if res.Coverage > 1.4*covered {
+		t.Errorf("Coverage %v exceeds 1.4·OPT = %v", res.Coverage, 1.4*covered)
+	}
+	if res.Coverage < covered/(1.5*alpha) {
+		t.Errorf("Coverage %v below OPT/(1.5α) = %v", res.Coverage, covered/(1.5*alpha))
+	}
+	if len(res.SetIDs) == 0 || len(res.SetIDs) > k {
+		t.Fatalf("reported %d sets, want 1..%d", len(res.SetIDs), k)
+	}
+	if cov := Coverage(edges, n, res.SetIDs); float64(cov) < float64(covered)/(3*alpha) {
+		t.Errorf("reported sets truly cover %d, below OPT/(3α)", cov)
+	}
+	if res.SpaceWords <= 0 {
+		t.Error("SpaceWords not positive")
+	}
+}
+
+func TestEstimatorDeterministicAcrossRuns(t *testing.T) {
+	edges := plantedEdges(300, 3000, 10, 2000, 2)
+	run := func() Result {
+		est, err := NewEstimator(300, 3000, 10, 4, WithSeed(99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := est.ProcessAll(edges); err != nil {
+			t.Fatal(err)
+		}
+		return est.Result()
+	}
+	a, b := run(), run()
+	if a.Coverage != b.Coverage || a.Feasible != b.Feasible {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestEstimatorRejectsBadInput(t *testing.T) {
+	if _, err := NewEstimator(0, 10, 1, 2); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := NewEstimator(10, 10, 1, 0.2); err == nil {
+		t.Error("alpha<1 accepted")
+	}
+	est, err := NewEstimator(10, 10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.Process(Edge{Set: 10, Elem: 0}); err == nil {
+		t.Error("out-of-range set accepted")
+	}
+	if err := est.Process(Edge{Set: 0, Elem: 10}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	if err := est.ProcessAll([]Edge{{0, 0}, {0, 99}}); err == nil {
+		t.Error("ProcessAll swallowed an invalid edge")
+	}
+}
+
+func TestEstimatorOptions(t *testing.T) {
+	edges := plantedEdges(300, 3000, 10, 2000, 3)
+	est, err := NewEstimator(300, 3000, 10, 4,
+		WithSeed(5), WithRepetitions(2), WithGuessBase(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.ProcessAll(edges); err != nil {
+		t.Fatal(err)
+	}
+	res := est.Result()
+	if !res.Feasible {
+		t.Fatal("infeasible with boosted options")
+	}
+	// Bad option values fall back to defaults rather than breaking.
+	if _, err := NewEstimator(300, 3000, 10, 4, WithRepetitions(-1), WithGuessBase(0.5)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverageHelper(t *testing.T) {
+	edges := []Edge{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}}
+	if got := Coverage(edges, 5, []uint32{0, 1}); got != 3 {
+		t.Errorf("Coverage = %d, want 3", got)
+	}
+	if got := Coverage(edges, 5, nil); got != 0 {
+		t.Errorf("Coverage(nil) = %d, want 0", got)
+	}
+	// Out-of-range element in edges is ignored rather than panicking.
+	if got := Coverage([]Edge{{0, 99}}, 5, []uint32{0}); got != 0 {
+		t.Errorf("out-of-range element counted: %d", got)
+	}
+}
+
+func TestGreedyCoverHelper(t *testing.T) {
+	edges := []Edge{
+		{0, 0}, {0, 1}, {0, 2},
+		{1, 2}, {1, 3},
+		{2, 4},
+	}
+	ids, cov, err := GreedyCover(edges, 3, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 4 { // optimal for k=2: {0,1,2} plus either other set
+		t.Errorf("greedy coverage %d, want 4", cov)
+	}
+	if len(ids) != 2 {
+		t.Errorf("greedy picked %v", ids)
+	}
+	if _, _, err := GreedyCover([]Edge{{9, 0}}, 3, 5, 1); err == nil {
+		t.Error("out-of-range set accepted")
+	}
+	if _, _, err := GreedyCover([]Edge{{0, 9}}, 3, 5, 1); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+}
+
+func TestEstimatorTrivialRegime(t *testing.T) {
+	// kα ≥ m: the answer is n/α immediately.
+	est, err := NewEstimator(10, 1000, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := est.Result()
+	if !res.Feasible || res.Coverage != 250 {
+		t.Errorf("trivial regime result %+v, want coverage 250", res)
+	}
+}
+
+func TestSpaceBreakdownSumsToTotal(t *testing.T) {
+	edges := plantedEdges(300, 3000, 10, 2000, 4)
+	est, err := NewEstimator(300, 3000, 10, 4, WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.ProcessAll(edges); err != nil {
+		t.Fatal(err)
+	}
+	br := est.SpaceBreakdown()
+	for _, part := range []string{"largecommon", "largeset", "smallset", "reduction"} {
+		if br[part] <= 0 {
+			t.Errorf("component %q has %d words", part, br[part])
+		}
+	}
+	sum := 0
+	for _, w := range br {
+		sum += w
+	}
+	total := est.Result().SpaceWords
+	// The breakdown covers all but the top-level bookkeeping constants.
+	if sum > total || total-sum > 100 {
+		t.Errorf("breakdown sums to %d, total %d", sum, total)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	edges := plantedEdges(500, 5000, 10, 4000, 8)
+	seq, err := NewEstimator(500, 5000, 10, 4, WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.ProcessAll(edges); err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewEstimator(500, 5000, 10, 4, WithSeed(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := par.ProcessAllParallel(edges, 4); err != nil {
+		t.Fatal(err)
+	}
+	sr, pr := seq.Result(), par.Result()
+	if sr.Coverage != pr.Coverage || sr.Feasible != pr.Feasible {
+		t.Errorf("parallel diverged: seq %+v vs par %+v", sr, pr)
+	}
+	if seq.Edges() != par.Edges() {
+		t.Errorf("edge counts diverged: %d vs %d", seq.Edges(), par.Edges())
+	}
+}
+
+func TestParallelValidatesInput(t *testing.T) {
+	est, err := NewEstimator(10, 10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.ProcessAllParallel([]Edge{{Set: 99, Elem: 0}}, 2); err == nil {
+		t.Error("out-of-range set accepted by parallel path")
+	}
+	if err := est.ProcessAllParallel([]Edge{{Set: 0, Elem: 99}}, 2); err == nil {
+		t.Error("out-of-range element accepted by parallel path")
+	}
+	if err := est.ProcessAllParallel(nil, 0); err != nil {
+		t.Errorf("empty parallel feed errored: %v", err)
+	}
+}
+
+func TestFacadeMergeShards(t *testing.T) {
+	edges := plantedEdges(600, 6000, 12, 4800, 10)
+	build := func() *Estimator {
+		est, err := NewEstimator(600, 6000, 12, 4, WithSeed(31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+	whole := build()
+	if err := whole.ProcessAll(edges); err != nil {
+		t.Fatal(err)
+	}
+	a, b := build(), build()
+	for i, e := range edges {
+		var err error
+		if i%2 == 0 {
+			err = a.Process(e)
+		} else {
+			err = b.Process(e)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	wr, mr := whole.Result(), a.Result()
+	if !mr.Feasible {
+		t.Fatal("merged infeasible")
+	}
+	if mr.Coverage < 0.85*wr.Coverage || mr.Coverage > 1.15*wr.Coverage {
+		t.Errorf("merged %v vs whole %v beyond 15%%", mr.Coverage, wr.Coverage)
+	}
+	if a.Edges() != whole.Edges() {
+		t.Errorf("merged edge count %d != %d", a.Edges(), whole.Edges())
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge accepted")
+	}
+	diff, err := NewEstimator(600, 6000, 12, 4, WithSeed(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(diff); err == nil {
+		t.Error("different-seed merge accepted")
+	}
+}
