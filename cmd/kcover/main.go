@@ -7,6 +7,13 @@
 //
 //	kcovergen -family planted | kcover -k 40 -alpha 4
 //	kcover -k 40 -alpha 8 -greedy stream.txt
+//	kcover -server localhost:7600 -session crawl stream.txt   # feed the daemon, then query
+//	kcover -server localhost:7600 -session crawl              # query only
+//
+// With -server, kcover talks to a kcoverd daemon instead of running the
+// estimator in-process: a file argument is streamed into the named
+// session first (created on demand with -k, -alpha, -seed); either way
+// the session is then queried and the live estimate printed.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"streamcover"
+	"streamcover/internal/client"
 	"streamcover/internal/stream"
 )
 
@@ -28,8 +36,15 @@ func main() {
 		greedy    = flag.Bool("greedy", false, "also run the offline greedy baseline")
 		parallel  = flag.Int("parallel", 1, "worker goroutines (ladder-parallel; same result)")
 		breakdown = flag.Bool("breakdown", false, "print per-component space breakdown")
+		server    = flag.String("server", "", "kcoverd address: ingest the input there and query the live session")
+		session   = flag.String("session", "kcovergen", "kcoverd session name (with -server)")
 	)
 	flag.Parse()
+
+	if *server != "" {
+		serverMode(*server, *session, *k, *alpha, *seed)
+		return
+	}
 
 	in := os.Stdin
 	if flag.NArg() == 1 {
@@ -74,7 +89,10 @@ func main() {
 	fmt.Printf("time: %v (%.0f edges/s)\n", elapsed.Round(time.Millisecond),
 		float64(len(edges))/elapsed.Seconds())
 	if len(res.SetIDs) > 0 {
-		cov := streamcover.Coverage(edges, n, res.SetIDs)
+		cov, err := streamcover.Coverage(edges, m, n, res.SetIDs)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("reported: %d sets covering %d elements", len(res.SetIDs), cov)
 		if len(res.SetIDs) <= 20 {
 			fmt.Printf(" %v", res.SetIDs)
@@ -98,6 +116,65 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("offline greedy: %d sets covering %d elements\n", len(ids), cov)
+	}
+}
+
+// serverMode feeds an optional input file into a kcoverd session and
+// prints the session's live estimate.
+func serverMode(addr, name string, k int, alpha float64, seed int64) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+
+	sess := c.Session(name)
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		slice, m, n, err := stream.ReadAuto(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sess, err = c.Create(name, m, n, k, alpha, seed)
+		if err != nil {
+			fatal(err)
+		}
+		edges := make([]streamcover.Edge, slice.Len())
+		for i, e := range slice.Edges() {
+			edges[i] = streamcover.Edge(e)
+		}
+		start := time.Now()
+		if err := sess.Send(edges); err != nil {
+			fatal(err)
+		}
+		if err := sess.Flush(); err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("ingested: %d edges into session %q (%v, %.0f edges/s)\n",
+			len(edges), name, elapsed.Round(time.Millisecond),
+			float64(len(edges))/elapsed.Seconds())
+	} else if flag.NArg() > 1 {
+		fatal(fmt.Errorf("at most one input file, got %d args", flag.NArg()))
+	}
+
+	res, err := sess.Query()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("session: %s@%s edges=%d\n", name, addr, res.Edges)
+	fmt.Printf("estimate: %.1f (feasible=%v)\n", res.Coverage, res.Feasible)
+	fmt.Printf("space: %d words (%d bytes)\n", res.SpaceWords, res.SpaceWords*8)
+	if len(res.SetIDs) > 0 {
+		fmt.Printf("reported: %d sets", len(res.SetIDs))
+		if len(res.SetIDs) <= 20 {
+			fmt.Printf(" %v", res.SetIDs)
+		}
+		fmt.Println()
 	}
 }
 

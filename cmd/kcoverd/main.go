@@ -1,0 +1,62 @@
+// Command kcoverd runs the sharded network ingest daemon for the
+// streaming Max k-Cover estimator. It accepts framed MKC1 edge batches on
+// the ingest port (the protocol in internal/wire), shards them across
+// per-session worker estimators, and serves live queries plus metrics
+// over HTTP.
+//
+// Usage:
+//
+//	kcoverd -listen :7600 -http :7601
+//	kcovergen -family planted -server localhost:7600 -session crawl
+//	curl 'localhost:7601/query?session=crawl'
+//	kcover -server localhost:7600 -session crawl
+//
+// SIGINT/SIGTERM shut down gracefully: listeners close, worker queues
+// drain, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"streamcover/internal/server"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", ":7600", "TCP ingest listen address")
+		httpA   = flag.String("http", ":7601", "HTTP query/metrics listen address (empty disables)")
+		workers = flag.Int("workers", 0, "shard workers per session (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 64, "per-worker batch queue depth (backpressure bound)")
+		drain   = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{Workers: *workers, QueueDepth: *queue})
+	if err := srv.Start(*listen, *httpA); err != nil {
+		fmt.Fprintln(os.Stderr, "kcoverd:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "kcoverd: ingest on %s", srv.TCPAddr())
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Fprintf(os.Stderr, ", http on %s", a)
+	}
+	fmt.Fprintln(os.Stderr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+
+	fmt.Fprintln(os.Stderr, "kcoverd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "kcoverd: shutdown:", err)
+		os.Exit(1)
+	}
+}

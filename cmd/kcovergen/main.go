@@ -6,9 +6,14 @@
 //
 //	kcovergen -family planted -n 20000 -m 2000 -k 40 -order shuffled > stream.txt
 //	kcovergen -family dsj -m 8192 -alpha 16 -no > hard.txt
+//	kcovergen -family planted -server localhost:7600 -session crawl
 //
 // Families: uniform, zipf, planted, largesets, smallsets, commonheavy,
 // graph, dsj (the Section 5 lower-bound instance).
+//
+// With -server, the generated stream is pushed into a kcoverd session
+// (created on demand with the generator's dims, -k, -estalpha and -seed)
+// instead of being written to stdout.
 package main
 
 import (
@@ -17,6 +22,8 @@ import (
 	"math/rand"
 	"os"
 
+	"streamcover"
+	"streamcover/internal/client"
 	"streamcover/internal/disjointness"
 	"streamcover/internal/stream"
 	"streamcover/internal/workload"
@@ -34,6 +41,9 @@ func main() {
 		alpha     = flag.Int("alpha", 16, "dsj: players r")
 		noCase    = flag.Bool("no", false, "dsj: generate the No (unique-intersection) case")
 		binaryOut = flag.Bool("binary", false, "emit the compact binary format instead of text")
+		server    = flag.String("server", "", "stream into a kcoverd session at this address instead of stdout")
+		session   = flag.String("session", "kcovergen", "kcoverd session name (with -server)")
+		estAlpha  = flag.Float64("estalpha", 4, "estimator approximation target for the kcoverd session (with -server)")
 	)
 	flag.Parse()
 	rng := rand.New(rand.NewSource(*seed))
@@ -47,8 +57,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		it := stream.FromEdges(ins.ToCoverStream())
-		if err := emit(os.Stdout, it, *m, *alpha); err != nil {
+		edges := ins.ToCoverStream()
+		if *server != "" {
+			if err := sendToServer(*server, *session, edges, *m, *alpha, *k, *estAlpha, *seed); err != nil {
+				fatal(err)
+			}
+		} else if err := emit(os.Stdout, stream.FromEdges(edges), *m, *alpha); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "dsj: r=%d m=%d no=%v OPT(1-cover)=%d edges=%d\n",
@@ -90,7 +104,13 @@ func main() {
 		fatal(fmt.Errorf("unknown order %q", *order))
 	}
 	it := stream.Linearize(in.System, ord, rng)
-	if err := emit(os.Stdout, it, in.System.M(), in.System.N); err != nil {
+	if *server != "" {
+		err := sendToServer(*server, *session, it.Edges(), in.System.M(), in.System.N,
+			*k, *estAlpha, *seed)
+		if err != nil {
+			fatal(err)
+		}
+	} else if err := emit(os.Stdout, it, in.System.M(), in.System.N); err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "%s: edges=%d", in.Name, in.System.Edges())
@@ -98,6 +118,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, " plantedOPT=%d", in.PlantedCoverage)
 	}
 	fmt.Fprintln(os.Stderr)
+}
+
+// sendToServer creates (idempotently) a kcoverd session and streams the
+// generated edges into it with the client library's batching writer.
+func sendToServer(addr, name string, edges []stream.Edge, m, n, k int, alpha float64, seed int64) error {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	sess, err := c.Create(name, m, n, k, alpha, seed)
+	if err != nil {
+		return err
+	}
+	converted := make([]streamcover.Edge, len(edges))
+	for i, e := range edges {
+		converted[i] = streamcover.Edge(e)
+	}
+	if err := sess.Send(converted); err != nil {
+		return err
+	}
+	if err := sess.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sent %d edges to session %q at %s\n", len(edges), name, addr)
+	return nil
 }
 
 func fatal(err error) {

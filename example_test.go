@@ -66,7 +66,11 @@ func ExampleCoverage() {
 		{Set: 0, Elem: 0}, {Set: 0, Elem: 1},
 		{Set: 1, Elem: 1}, {Set: 1, Elem: 2},
 	}
-	fmt.Println(streamcover.Coverage(edges, 3, []uint32{0, 1}))
+	cov, err := streamcover.Coverage(edges, 2, 3, []uint32{0, 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cov)
 	// Output:
 	// 3
 }

@@ -64,7 +64,11 @@ func main() {
 		len(posts), blogs, topics)
 	fmt.Printf("estimated best %d-blog topic coverage: %.0f\n", k, res.Coverage)
 	fmt.Printf("subscribe to blogs %v\n", res.SetIDs)
+	trueCover, err := streamcover.Coverage(posts, blogs, topics, res.SetIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("they truly cover %d topics (planted aggregators cover %d)\n",
-		streamcover.Coverage(posts, topics, res.SetIDs), aggregators*breadth)
+		trueCover, aggregators*breadth)
 	fmt.Printf("space: %d words, single pass\n", res.SpaceWords)
 }

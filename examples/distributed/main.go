@@ -80,8 +80,12 @@ func main() {
 	fmt.Printf("whole stream:      %.0f (1 worker, %d edges)\n", wr.Coverage, whole.Edges())
 	fmt.Printf("merged %d shards:   %.0f (%d edges total)\n", workers, mr.Coverage, merged.Edges())
 	fmt.Printf("agreement:         %.1f%%\n", 100*min64(wr.Coverage, mr.Coverage)/max64(wr.Coverage, mr.Coverage))
+	trueCover, err := streamcover.Coverage(edges, m, n, mr.SetIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("merged report covers %d elements with %d sets\n",
-		streamcover.Coverage(edges, n, mr.SetIDs), len(mr.SetIDs))
+		trueCover, len(mr.SetIDs))
 }
 
 func min64(a, b float64) float64 {

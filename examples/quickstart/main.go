@@ -55,8 +55,11 @@ func main() {
 	fmt.Printf("planted optimum:    %d elements\n", opt)
 	fmt.Printf("coverage estimate:  %.0f (feasible=%v)\n", res.Coverage, res.Feasible)
 	fmt.Printf("reported sets:      %v\n", res.SetIDs)
-	fmt.Printf("their true cover:   %d elements\n",
-		streamcover.Coverage(edges, n, res.SetIDs))
+	trueCover, err := streamcover.Coverage(edges, m, n, res.SetIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("their true cover:   %d elements\n", trueCover)
 	fmt.Printf("space used:         %d words (stream had %d edges)\n",
 		res.SpaceWords, len(edges))
 }

@@ -80,8 +80,11 @@ func main() {
 		k, res.Coverage, hubs*reach)
 	fmt.Printf("selected accounts: %v (%d/%d planted hubs found)\n",
 		reported, hubsFound, hubs)
-	fmt.Printf("their true reach: %d users\n",
-		streamcover.Coverage(edges, users, res.SetIDs))
+	trueReach, err := streamcover.Coverage(edges, users, users, res.SetIDs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("their true reach: %d users\n", trueReach)
 	fmt.Printf("space: %d words vs %d stored edges for the offline baseline\n",
 		res.SpaceWords, len(edges))
 

@@ -1,0 +1,341 @@
+// Package client is the Go client for kcoverd (internal/server). It wraps
+// dialing, session setup, batched edge ingest and queries behind a small
+// API:
+//
+//	c, _ := client.Dial(addr)
+//	sess, _ := c.Create("crawl", m, n, k, alpha, seed)
+//	sess.Send(edges)   // buffers; flushes full batches automatically
+//	res, _ := sess.Query()
+//
+// Ingest is pipelined: Send writes full batches without waiting for acks,
+// a background reader matches the server's strictly ordered responses to
+// outstanding requests, and the bounded in-flight window (WithMaxPending)
+// plus the server's bounded worker queues give end-to-end backpressure.
+// Batch errors surface on the next Send, Flush or Query.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"streamcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/wire"
+)
+
+// Result is a queried coverage estimate, mirroring streamcover.Result
+// plus the server-side edge count.
+type Result struct {
+	Coverage   float64
+	Feasible   bool
+	SetIDs     []uint32
+	SpaceWords int
+	Edges      int
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithBatchSize sets how many edges Send accumulates before writing one
+// ingest frame (default 4096).
+func WithBatchSize(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.batchSize = n
+		}
+	}
+}
+
+// WithMaxPending bounds the number of unacknowledged frames in flight
+// (default 64). Smaller values tighten client memory and backpressure;
+// larger values hide more network latency.
+func WithMaxPending(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxPending = n
+		}
+	}
+}
+
+// Client is one connection to a kcoverd server. It is safe for concurrent
+// use; each Session's buffer is owned by its caller.
+type Client struct {
+	batchSize  int
+	maxPending int
+
+	conn net.Conn
+	bw   *bufio.Writer
+
+	mu      sync.Mutex // serializes frame writes and pending enqueues
+	pending chan waiter
+
+	readerDone chan struct{}
+
+	errMu    sync.Mutex
+	firstErr error // first async (ack) or transport error
+}
+
+// waiter matches one outstanding request to its in-order response. ch is
+// nil for fire-and-forget frames (ingest): their errors are recorded
+// rather than delivered.
+type waiter struct {
+	ch chan response
+}
+
+type response struct {
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// Dial connects to a kcoverd ingest address.
+func Dial(addr string, opts ...Option) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		batchSize:  4096,
+		maxPending: 64,
+		conn:       conn,
+		bw:         bufio.NewWriterSize(conn, 1<<16),
+		readerDone: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.pending = make(chan waiter, c.maxPending)
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop drains responses, pairing each with the oldest waiter.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReaderSize(c.conn, 1<<16)
+	scratch := make([]byte, 4096)
+	for {
+		typ, payload, err := wire.ReadFrame(br, scratch)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			// Unblock everyone still waiting.
+			for {
+				select {
+				case w := <-c.pending:
+					if w.ch != nil {
+						w.ch <- response{err: c.err()}
+					}
+				default:
+					return
+				}
+			}
+		}
+		select {
+		case w := <-c.pending:
+			if w.ch != nil {
+				// Responses alias scratch; copy for the waiter.
+				w.ch <- response{typ: typ, payload: append([]byte(nil), payload...)}
+			} else if typ == wire.TErr {
+				// The payload already carries the "server:" prefix.
+				c.fail(fmt.Errorf("client: %s", payload))
+			}
+		default:
+			c.fail(fmt.Errorf("client: unexpected frame 0x%02x with no request outstanding", typ))
+			return
+		}
+	}
+}
+
+func (c *Client) fail(err error) {
+	c.errMu.Lock()
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+	c.errMu.Unlock()
+}
+
+func (c *Client) err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.firstErr
+}
+
+// send writes one frame, registering its waiter first so the reader can
+// never see an unmatched response. Blocks when maxPending frames are
+// unacknowledged (backpressure).
+func (c *Client) send(typ byte, payload []byte, w waiter) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.err(); err != nil {
+		return err
+	}
+	select {
+	case c.pending <- w:
+	default:
+		// The in-flight window is full. Flush buffered frames first so
+		// the server can ack them — blocking with frames stuck in our
+		// own write buffer would deadlock the pipeline.
+		if err := c.bw.Flush(); err != nil {
+			c.fail(err)
+			return err
+		}
+		select {
+		case c.pending <- w:
+		case <-c.readerDone:
+			return c.err()
+		}
+	}
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// roundTrip sends one frame and waits for its response, flushing first.
+func (c *Client) roundTrip(typ byte, payload []byte) (response, error) {
+	ch := make(chan response, 1)
+	if err := c.send(typ, payload, waiter{ch: ch}); err != nil {
+		return response{}, err
+	}
+	c.mu.Lock()
+	err := c.bw.Flush()
+	c.mu.Unlock()
+	if err != nil {
+		c.fail(err)
+		return response{}, err
+	}
+	resp := <-ch
+	if resp.err != nil {
+		return response{}, resp.err
+	}
+	if resp.typ == wire.TErr {
+		return response{}, fmt.Errorf("client: %s", resp.payload)
+	}
+	return resp, nil
+}
+
+// Create opens (or idempotently re-opens) a named session on the server
+// and returns a handle to it.
+func (c *Client) Create(name string, m, n, k int, alpha float64, seed int64) (*Session, error) {
+	create := wire.Create{Name: name, M: m, N: n, K: k, Alpha: alpha, Seed: seed}
+	if _, err := c.roundTrip(wire.TCreate, create.Encode()); err != nil {
+		return nil, err
+	}
+	return &Session{c: c, name: name, m: m, n: n}, nil
+}
+
+// Session attaches to an existing session for querying (dims unknown, so
+// Send is not available until set via Create).
+func (c *Client) Session(name string) *Session {
+	return &Session{c: c, name: name, m: -1, n: -1}
+}
+
+// Close flushes and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.bw.Flush()
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// Session is a handle to one named estimation run. A Session is not safe
+// for concurrent use (its batch buffer is unguarded); open one Session
+// per goroutine — they may all target the same server-side session name.
+type Session struct {
+	c       *Client
+	name    string
+	m, n    int
+	buf     []stream.Edge
+	scratch []byte
+}
+
+// Name returns the server-side session name.
+func (s *Session) Name() string { return s.name }
+
+// Send buffers edges for ingest, flushing a frame each time the batch
+// size is reached. Errors from earlier batches surface here.
+func (s *Session) Send(edges []streamcover.Edge) error {
+	if s.m < 0 {
+		return fmt.Errorf("client: session %q attached without dims; use Create", s.name)
+	}
+	for _, e := range edges {
+		if int(e.Set) >= s.m {
+			return fmt.Errorf("client: set id %d >= m=%d", e.Set, s.m)
+		}
+		if int(e.Elem) >= s.n {
+			return fmt.Errorf("client: element id %d >= n=%d", e.Elem, s.n)
+		}
+		s.buf = append(s.buf, stream.Edge(e))
+		if len(s.buf) >= s.c.batchSize {
+			if err := s.flushBatch(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// flushBatch writes the buffered edges as one pipelined ingest frame.
+func (s *Session) flushBatch() error {
+	if len(s.buf) == 0 {
+		return nil
+	}
+	s.scratch = wire.EncodeIngest(s.scratch, s.name, s.buf, s.m, s.n)
+	s.buf = s.buf[:0]
+	return s.c.send(wire.TIngest, s.scratch, waiter{})
+}
+
+// Flush pushes any buffered edges to the wire and then waits until every
+// outstanding batch has been acknowledged, returning the first error the
+// server reported.
+func (s *Session) Flush() error {
+	if err := s.flushBatch(); err != nil {
+		return err
+	}
+	// A ping after the pipelined batches: its in-order ack proves all
+	// earlier batch responses arrived (and were error-checked).
+	if _, err := s.c.roundTrip(wire.TPing, nil); err != nil {
+		return err
+	}
+	return s.c.err()
+}
+
+// Query flushes buffered edges and returns the live coverage estimate
+// over everything this and every other client has fed the session.
+func (s *Session) Query() (Result, error) {
+	if err := s.flushBatch(); err != nil {
+		return Result{}, err
+	}
+	resp, err := s.c.roundTrip(wire.TQuery, wire.EncodeRef(s.name))
+	if err != nil {
+		return Result{}, err
+	}
+	if resp.typ != wire.TResult {
+		return Result{}, fmt.Errorf("client: unexpected response 0x%02x to query", resp.typ)
+	}
+	wr, err := wire.DecodeResult(resp.payload)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Coverage:   wr.Coverage,
+		Feasible:   wr.Feasible,
+		SetIDs:     wr.SetIDs,
+		SpaceWords: wr.SpaceWords,
+		Edges:      wr.Edges,
+	}, nil
+}
+
+// CloseSession flushes buffered edges and deletes the session server-side.
+func (s *Session) CloseSession() error {
+	if err := s.flushBatch(); err != nil {
+		return err
+	}
+	_, err := s.c.roundTrip(wire.TClose, wire.EncodeRef(s.name))
+	return err
+}

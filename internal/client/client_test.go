@@ -1,0 +1,144 @@
+package client_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"streamcover"
+	"streamcover/internal/client"
+	"streamcover/internal/server"
+)
+
+func startServer(t *testing.T) *server.Server {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2, QueueDepth: 2})
+	if err := s.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s
+}
+
+// TestBatchingWriter verifies Send coalesces edges into batch-sized
+// frames: 10 batch-fulls of edges plus a remainder must reach the server
+// as exactly 11 ingest frames.
+func TestBatchingWriter(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(s.TCPAddr().String(),
+		client.WithBatchSize(64), client.WithMaxPending(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Create("b", 100, 1000, 5, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([]streamcover.Edge, 64*10+7)
+	for i := range edges {
+		edges[i] = streamcover.Edge{Set: uint32(i % 100), Elem: uint32(i % 1000)}
+	}
+	// Feed in awkward chunk sizes; batching is by edge count, not call.
+	for lo := 0; lo < len(edges); lo += 100 {
+		hi := lo + 100
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		if err := sess.Send(edges[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().Batches.Load(); got != 11 {
+		t.Errorf("server received %d batches, want 11", got)
+	}
+	if got := s.Metrics().EdgesIngested.Load(); got != int64(len(edges)) {
+		t.Errorf("server received %d edges, want %d", got, len(edges))
+	}
+	// Flush with nothing buffered is a no-op barrier.
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Metrics().Batches.Load(); got != 11 {
+		t.Errorf("empty flush sent a batch: %d", got)
+	}
+}
+
+// TestAsyncErrorSurfaces checks that an error the server reports for a
+// pipelined batch surfaces on a later call, not silently.
+func TestAsyncErrorSurfaces(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(s.TCPAddr().String(), client.WithBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Create("x", 100, 1000, 5, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	// An attached session bypasses client-side dim validation, so a bad
+	// batch reaches the server… except Send without dims is refused.
+	bad := c.Session("x")
+	if err := bad.Send([]streamcover.Edge{{Set: 0, Elem: 0}}); err == nil {
+		t.Error("Send on attached session without dims succeeded")
+	}
+	// Target a session that doesn't exist: the server rejects each batch;
+	// the error must surface by Flush at the latest.
+	ghost, err := c.Create("ghost-keeper", 100, 1000, 5, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ghost.CloseSession(); err != nil {
+		t.Fatal(err)
+	}
+	err = ghost.Send(make([]streamcover.Edge, 40)) // 10 pipelined batches
+	if err == nil {
+		err = ghost.Flush()
+	}
+	if err == nil {
+		t.Error("ingest into deleted session reported no error")
+	}
+}
+
+func TestQueryViaAttachedSession(t *testing.T) {
+	s := startServer(t)
+	c, err := client.Dial(s.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Create("q", 100, 1000, 5, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([]streamcover.Edge, 500)
+	for i := range edges {
+		edges[i] = streamcover.Edge{Set: uint32(i % 100), Elem: uint32(i % 1000)}
+	}
+	if err := sess.Send(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// A second client attaches by name and queries without knowing dims.
+	c2, err := client.Dial(s.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res, err := c2.Session("q").Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Edges != len(edges) {
+		t.Errorf("attached query saw %d edges, want %d", res.Edges, len(edges))
+	}
+}

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// sessionInfo is one row of the /sessions listing.
+type sessionInfo struct {
+	Name        string  `json:"name"`
+	M           int     `json:"m"`
+	N           int     `json:"n"`
+	K           int     `json:"k"`
+	Alpha       float64 `json:"alpha"`
+	Seed        int64   `json:"seed"`
+	Edges       int64   `json:"edges"`
+	Batches     int64   `json:"batches"`
+	Queries     int64   `json:"queries"`
+	QueueDepths []int   `json:"queue_depths"`
+}
+
+// queryResponse is the JSON shape of /query.
+type queryResponse struct {
+	Session    string   `json:"session"`
+	Coverage   float64  `json:"coverage"`
+	Feasible   bool     `json:"feasible"`
+	SetIDs     []uint32 `json:"set_ids"`
+	SpaceWords int      `json:"space_words"`
+	Edges      int      `json:"edges"`
+}
+
+// httpHandler builds the live query/observability endpoint: /query runs
+// the same snapshot-merge path as the TCP protocol, /sessions inventories
+// the live sessions, /metrics dumps the counters.
+func (s *Server) httpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("session")
+		if name == "" {
+			http.Error(w, "missing ?session=", http.StatusBadRequest)
+			return
+		}
+		res, err := s.querySession(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, queryResponse{
+			Session:    name,
+			Coverage:   res.Coverage,
+			Feasible:   res.Feasible,
+			SetIDs:     res.SetIDs,
+			SpaceWords: res.SpaceWords,
+			Edges:      res.Edges,
+		})
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		infos := make([]sessionInfo, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			infos = append(infos, sessionInfo{
+				Name:        sess.name,
+				M:           sess.m,
+				N:           sess.n,
+				K:           sess.k,
+				Alpha:       sess.alpha,
+				Seed:        sess.seed,
+				Edges:       sess.edges.Load(),
+				Batches:     sess.batches.Load(),
+				Queries:     sess.queries.Load(),
+				QueueDepths: sess.queueDepths(),
+			})
+		}
+		s.mu.Unlock()
+		sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+		writeJSON(w, infos)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		counters := s.metrics.snapshot()
+		queues := map[string][]int{}
+		s.mu.Lock()
+		for name, sess := range s.sessions {
+			queues[name] = sess.queueDepths()
+		}
+		s.mu.Unlock()
+		writeJSON(w, map[string]any{"counters": counters, "queue_depths": queues})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

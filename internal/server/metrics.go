@@ -1,0 +1,35 @@
+package server
+
+import "sync/atomic"
+
+// Metrics are plain expvar-style counters updated with atomics on the hot
+// path and snapshotted by the /metrics HTTP handler. No histogram
+// machinery: edges, batches, queries, connection counts, and merge
+// latency (total + last) cover the questions a dashboard asks of an
+// ingest daemon.
+type Metrics struct {
+	EdgesIngested  atomic.Int64
+	Batches        atomic.Int64
+	Queries        atomic.Int64
+	Conns          atomic.Int64 // currently open TCP connections
+	ConnsTotal     atomic.Int64
+	Frames         atomic.Int64 // frames handled (all types)
+	Errors         atomic.Int64 // error responses sent
+	MergeNanos     atomic.Int64 // cumulative query merge+finalize time
+	LastMergeNanos atomic.Int64
+}
+
+// snapshot flattens the counters for JSON encoding.
+func (m *Metrics) snapshot() map[string]int64 {
+	return map[string]int64{
+		"edges_ingested":   m.EdgesIngested.Load(),
+		"batches":          m.Batches.Load(),
+		"queries":          m.Queries.Load(),
+		"conns_open":       m.Conns.Load(),
+		"conns_total":      m.ConnsTotal.Load(),
+		"frames":           m.Frames.Load(),
+		"errors":           m.Errors.Load(),
+		"merge_nanos":      m.MergeNanos.Load(),
+		"last_merge_nanos": m.LastMergeNanos.Load(),
+	}
+}

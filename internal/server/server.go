@@ -1,0 +1,371 @@
+// Package server implements kcoverd: a sharded network ingest daemon for
+// the streaming Max k-Cover estimator. Clients open named sessions, push
+// framed MKC1 batches of (set, element) edges over TCP, and query a live
+// coverage estimate at any time; an HTTP sidecar exposes queries, session
+// listings and metrics to humans and scrapers.
+//
+// Concurrency model: each session shards edges by hash across a fixed set
+// of worker goroutines, each owning a same-seed streamcover.Estimator
+// behind a bounded queue (backpressure). Queries snapshot the workers via
+// Estimator.Clone and merge the clones off the ingest path, so a slow
+// merge never stalls arriving edges. Connections are handled serially
+// (read frame → handle → respond), which gives clients strictly ordered
+// responses to pipeline against.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"streamcover/internal/wire"
+)
+
+// Config sizes a Server. Zero values pick sane defaults.
+type Config struct {
+	// Workers is the number of shard workers (and estimator replicas)
+	// per session. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth is each worker's batch-queue capacity; full queues block
+	// ingest dispatch (backpressure). Default: 64.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	return c
+}
+
+// Server is a kcoverd instance.
+type Server struct {
+	cfg     Config
+	metrics Metrics
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	closed   bool
+	tcpLn    net.Listener
+	httpSrv  *http.Server
+	httpLn   net.Listener
+	conns    map[net.Conn]struct{}
+
+	connWG   sync.WaitGroup
+	acceptWG sync.WaitGroup
+}
+
+// New builds a server; call Start (or ServeTCP with your own listener)
+// to begin accepting.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*session),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Metrics exposes the live counters (read with atomic loads).
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Start listens on tcpAddr for the ingest protocol and, when httpAddr is
+// non-empty, on httpAddr for the HTTP endpoint, then serves both in
+// background goroutines until Shutdown.
+func (s *Server) Start(tcpAddr, httpAddr string) error {
+	ln, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.tcpLn = ln
+	s.mu.Unlock()
+	s.acceptWG.Add(1)
+	go func() {
+		defer s.acceptWG.Done()
+		s.serveTCP(ln)
+	}()
+	if httpAddr != "" {
+		hln, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		srv := &http.Server{Handler: s.httpHandler()}
+		s.mu.Lock()
+		s.httpSrv, s.httpLn = srv, hln
+		s.mu.Unlock()
+		s.acceptWG.Add(1)
+		go func() {
+			defer s.acceptWG.Done()
+			srv.Serve(hln)
+		}()
+	}
+	return nil
+}
+
+// TCPAddr returns the ingest listener's address (useful with ":0").
+func (s *Server) TCPAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tcpLn == nil {
+		return nil
+	}
+	return s.tcpLn.Addr()
+}
+
+// HTTPAddr returns the HTTP listener's address, or nil when disabled.
+func (s *Server) HTTPAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+func (s *Server) serveTCP(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed (Shutdown) or fatal
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.Conns.Add(1)
+		s.metrics.ConnsTotal.Add(1)
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.metrics.Conns.Add(-1)
+				conn.Close()
+			}()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// handleConn runs the serial frame loop for one connection.
+func (s *Server) handleConn(conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	scratch := make([]byte, 1<<16)
+	respond := func(typ byte, payload []byte) bool {
+		if typ == wire.TErr {
+			s.metrics.Errors.Add(1)
+		}
+		if err := wire.WriteFrame(bw, typ, payload); err != nil {
+			return false
+		}
+		// Flush only when no further request is already buffered: acks
+		// for a pipelined burst coalesce into one write.
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		typ, payload, err := wire.ReadFrame(br, scratch)
+		if err != nil {
+			return // EOF, peer reset, or garbage — drop the connection
+		}
+		s.metrics.Frames.Add(1)
+		switch typ {
+		case wire.TCreate:
+			c, err := wire.DecodeCreate(payload)
+			if err == nil {
+				err = s.createSession(c)
+			}
+			if !s.ack(respond, err) {
+				return
+			}
+		case wire.TIngest:
+			err := s.handleIngest(payload)
+			if !s.ack(respond, err) {
+				return
+			}
+		case wire.TQuery:
+			name, err := wire.DecodeRef(payload)
+			var res wire.Result
+			if err == nil {
+				res, err = s.querySession(name)
+			}
+			if err != nil {
+				if !respond(wire.TErr, []byte(err.Error())) {
+					return
+				}
+			} else if !respond(wire.TResult, res.Encode()) {
+				return
+			}
+		case wire.TPing:
+			if !respond(wire.TOK, nil) {
+				return
+			}
+		case wire.TClose:
+			name, err := wire.DecodeRef(payload)
+			if err == nil {
+				err = s.closeSession(name)
+			}
+			if !s.ack(respond, err) {
+				return
+			}
+		default:
+			if !respond(wire.TErr, []byte(fmt.Sprintf("server: unknown frame type 0x%02x", typ))) {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) ack(respond func(byte, []byte) bool, err error) bool {
+	if err != nil {
+		return respond(wire.TErr, []byte(err.Error()))
+	}
+	return respond(wire.TOK, nil)
+}
+
+// createSession makes a session, idempotently: re-creating with identical
+// parameters succeeds (so several generators can race to set up the same
+// session), differing parameters are an error.
+func (s *Server) createSession(c wire.Create) error {
+	if c.Name == "" {
+		return errors.New("server: empty session name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("server: shutting down")
+	}
+	if old, ok := s.sessions[c.Name]; ok {
+		if old.m == c.M && old.n == c.N && old.k == c.K && old.alpha == c.Alpha && old.seed == c.Seed {
+			return nil
+		}
+		return fmt.Errorf("server: session %q exists with different parameters", c.Name)
+	}
+	sess, err := newSession(c.Name, c.M, c.N, c.K, c.Alpha, c.Seed, s.cfg.Workers, s.cfg.QueueDepth)
+	if err != nil {
+		return err
+	}
+	s.sessions[c.Name] = sess
+	return nil
+}
+
+func (s *Server) session(name string) (*session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[name]
+	if !ok {
+		return nil, fmt.Errorf("server: no session %q", name)
+	}
+	return sess, nil
+}
+
+func (s *Server) handleIngest(payload []byte) error {
+	name, edges, m, n, err := wire.DecodeIngest(payload)
+	if err != nil {
+		return err
+	}
+	sess, err := s.session(name)
+	if err != nil {
+		return err
+	}
+	if m != sess.m || n != sess.n {
+		return fmt.Errorf("server: batch dims (%d,%d) != session %q dims (%d,%d)",
+			m, n, name, sess.m, sess.n)
+	}
+	if err := sess.ingest(edges); err != nil {
+		return err
+	}
+	s.metrics.EdgesIngested.Add(int64(len(edges)))
+	s.metrics.Batches.Add(1)
+	return nil
+}
+
+func (s *Server) querySession(name string) (wire.Result, error) {
+	sess, err := s.session(name)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	s.metrics.Queries.Add(1)
+	return sess.query(&s.metrics)
+}
+
+func (s *Server) closeSession(name string) error {
+	s.mu.Lock()
+	sess, ok := s.sessions[name]
+	delete(s.sessions, name)
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: no session %q", name)
+	}
+	sess.close()
+	return nil
+}
+
+// Shutdown stops the server gracefully: listeners close first, sessions
+// drain (workers consume everything already queued), then remaining
+// connections are closed. The context bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	tcpLn, httpSrv := s.tcpLn, s.httpSrv
+	sessions := make([]*session, 0, len(s.sessions))
+	for name, sess := range s.sessions {
+		sessions = append(sessions, sess)
+		delete(s.sessions, name)
+	}
+	s.mu.Unlock()
+
+	if tcpLn != nil {
+		tcpLn.Close()
+	}
+	if httpSrv != nil {
+		httpSrv.Shutdown(ctx)
+	}
+	for _, sess := range sessions {
+		sess.close()
+	}
+
+	// Connections idle-wait on reads; close them so handlers exit, then
+	// wait (bounded by ctx) for everything to unwind.
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		s.acceptWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,199 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamcover"
+	"streamcover/internal/stream"
+	"streamcover/internal/wire"
+)
+
+// A session is one named estimation run: a set of shard workers, each
+// owning a same-seed streamcover.Estimator, fed disjoint edge shards by
+// hash. Because equal-seed estimators merge into a summary of the union
+// of their shards (internal/core/merge.go), a query merges per-worker
+// clones and finalizes the merged copy — ingest never stops.
+type session struct {
+	name  string
+	m, n  int
+	k     int
+	alpha float64
+	seed  int64
+
+	workers []chan workerMsg
+	wg      sync.WaitGroup // worker goroutines
+
+	mu     sync.Mutex
+	closed bool
+	ops    sync.WaitGroup // in-flight ingest/query dispatches
+
+	edges   atomic.Int64
+	batches atomic.Int64
+	queries atomic.Int64
+}
+
+// workerMsg is either a batch of edges (clone == nil) or a snapshot
+// request. A single channel per worker keeps the two ordered: a snapshot
+// enqueued after a batch observes that batch.
+type workerMsg struct {
+	edges []stream.Edge
+	clone chan<- cloneReply
+}
+
+type cloneReply struct {
+	est *streamcover.Estimator
+	err error
+}
+
+func newSession(name string, m, n, k int, alpha float64, seed int64, workers, queueDepth int) (*session, error) {
+	s := &session{name: name, m: m, n: n, k: k, alpha: alpha, seed: seed}
+	s.workers = make([]chan workerMsg, workers)
+	for i := range s.workers {
+		est, err := streamcover.NewEstimator(m, n, k, alpha, streamcover.WithSeed(seed))
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan workerMsg, queueDepth)
+		s.workers[i] = ch
+		s.wg.Add(1)
+		go s.runWorker(est, ch)
+	}
+	return s, nil
+}
+
+func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg) {
+	defer s.wg.Done()
+	for msg := range ch {
+		if msg.clone != nil {
+			c, err := est.Clone()
+			msg.clone <- cloneReply{c, err}
+			continue
+		}
+		// Edges were validated against the session dims at decode time,
+		// so Process cannot fail here.
+		for _, e := range msg.edges {
+			est.Process(streamcover.Edge(e))
+		}
+	}
+}
+
+// splitmix64 is the edge-shard hash: cheap, stateless, and well mixed so
+// hot sets spread across workers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// begin registers an operation if the session is still open.
+func (s *session) begin() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("server: session %q closed", s.name)
+	}
+	s.ops.Add(1)
+	return nil
+}
+
+// ingest shards one validated batch across the workers. Sends block when
+// a worker's queue is full — that backpressure propagates to the TCP
+// reader, which stops acking, which stalls the client's pipeline.
+func (s *session) ingest(edges []stream.Edge) error {
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.ops.Done()
+	w := len(s.workers)
+	shards := make([][]stream.Edge, w)
+	per := len(edges)/w + 1
+	for _, e := range edges {
+		i := int(splitmix64(uint64(e.Set)<<32|uint64(e.Elem)) % uint64(w))
+		if shards[i] == nil {
+			shards[i] = make([]stream.Edge, 0, per)
+		}
+		shards[i] = append(shards[i], e)
+	}
+	for i, shard := range shards {
+		if len(shard) > 0 {
+			s.workers[i] <- workerMsg{edges: shard}
+		}
+	}
+	s.edges.Add(int64(len(edges)))
+	s.batches.Add(1)
+	return nil
+}
+
+// query snapshots every worker (a clone request rides the same queue as
+// batches, so everything acked before the query is included), then merges
+// the clones and finalizes off the ingest path.
+func (s *session) query(metrics *Metrics) (wire.Result, error) {
+	if err := s.begin(); err != nil {
+		return wire.Result{}, err
+	}
+	defer s.ops.Done()
+	s.queries.Add(1)
+	replies := make([]chan cloneReply, len(s.workers))
+	for i, ch := range s.workers {
+		r := make(chan cloneReply, 1)
+		replies[i] = r
+		ch <- workerMsg{clone: r}
+	}
+	start := time.Now()
+	var merged *streamcover.Estimator
+	for _, r := range replies {
+		rep := <-r
+		if rep.err != nil {
+			return wire.Result{}, rep.err
+		}
+		if merged == nil {
+			merged = rep.est
+		} else if err := merged.Merge(rep.est); err != nil {
+			return wire.Result{}, err
+		}
+	}
+	res := merged.Result()
+	if metrics != nil {
+		d := time.Since(start).Nanoseconds()
+		metrics.MergeNanos.Add(d)
+		metrics.LastMergeNanos.Store(d)
+	}
+	return wire.Result{
+		Coverage:   res.Coverage,
+		Feasible:   res.Feasible,
+		SpaceWords: res.SpaceWords,
+		Edges:      merged.Edges(),
+		SetIDs:     res.SetIDs,
+	}, nil
+}
+
+// close drains and stops the workers: new operations are rejected,
+// in-flight dispatches finish, then the queues close and each worker
+// exits after consuming what was already enqueued.
+func (s *session) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.ops.Wait()
+	for _, ch := range s.workers {
+		close(ch)
+	}
+	s.wg.Wait()
+}
+
+// queueDepths reports the live per-worker queue occupancy.
+func (s *session) queueDepths() []int {
+	d := make([]int, len(s.workers))
+	for i, ch := range s.workers {
+		d[i] = len(ch)
+	}
+	return d
+}

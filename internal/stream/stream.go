@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
+	"strings"
 
 	"streamcover/internal/setsystem"
 )
@@ -177,27 +179,53 @@ func Write(w io.Writer, it Iterator, m, n int) error {
 }
 
 // Read decodes a stream file written by Write, returning the edges and the
-// declared dimensions.
+// declared dimensions. It tolerates CRLF line endings and a final edge
+// line without a trailing newline (files hand-edited or produced on
+// Windows round-trip cleanly); blank lines are skipped.
 func Read(r io.Reader) (*Slice, int, int, error) {
-	br := bufio.NewReader(r)
-	var m, n int
-	if _, err := fmt.Fscanf(br, "maxkcover %d %d\n", &m, &n); err != nil {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		err := sc.Err()
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, 0, 0, fmt.Errorf("stream: bad header: %w", err)
 	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) != 3 || fields[0] != "maxkcover" {
+		return nil, 0, 0, fmt.Errorf("stream: bad header %q (want \"maxkcover <m> <n>\")", sc.Text())
+	}
+	m, errM := strconv.Atoi(fields[1])
+	n, errN := strconv.Atoi(fields[2])
+	if errM != nil || errN != nil || m < 0 || n < 0 {
+		return nil, 0, 0, fmt.Errorf("stream: bad header dims %q", sc.Text())
+	}
 	var edges []Edge
-	for {
-		var s, e uint32
-		_, err := fmt.Fscanf(br, "%d %d\n", &s, &e)
-		if err == io.EOF {
-			break
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if strings.TrimSpace(text) == "" {
+			continue
 		}
-		if err != nil {
-			return nil, 0, 0, fmt.Errorf("stream: bad edge line %d: %w", len(edges)+2, err)
+		f := strings.Fields(text)
+		if len(f) != 2 {
+			return nil, 0, 0, fmt.Errorf("stream: bad edge line %d: %q", line, text)
 		}
+		s64, errS := strconv.ParseUint(f[0], 10, 32)
+		e64, errE := strconv.ParseUint(f[1], 10, 32)
+		if errS != nil || errE != nil {
+			return nil, 0, 0, fmt.Errorf("stream: bad edge line %d: %q", line, text)
+		}
+		s, e := uint32(s64), uint32(e64)
 		if int(s) >= m || int(e) >= n {
 			return nil, 0, 0, fmt.Errorf("stream: edge (%d,%d) out of declared bounds (%d,%d)", s, e, m, n)
 		}
 		edges = append(edges, Edge{Set: s, Elem: e})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, 0, fmt.Errorf("stream: read: %w", err)
 	}
 	return FromEdges(edges), m, n, nil
 }

@@ -154,6 +154,40 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestReadFinalLineWithoutNewline(t *testing.T) {
+	s, m, n, err := Read(strings.NewReader("maxkcover 3 4\n0 1\n2 3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 3 || n != 4 || s.Len() != 2 {
+		t.Errorf("got m=%d n=%d len=%d, want 3 4 2", m, n, s.Len())
+	}
+	if e := s.Edges()[1]; e != (Edge{Set: 2, Elem: 3}) {
+		t.Errorf("final unterminated edge = %v, want {2 3}", e)
+	}
+}
+
+func TestReadToleratesCRLF(t *testing.T) {
+	s, m, n, err := Read(strings.NewReader("maxkcover 3 4\r\n0 1\r\n2 3\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 3 || n != 4 || s.Len() != 2 {
+		t.Errorf("got m=%d n=%d len=%d, want 3 4 2", m, n, s.Len())
+	}
+	if e := s.Edges()[0]; e != (Edge{Set: 0, Elem: 1}) {
+		t.Errorf("CRLF edge = %v, want {0 1}", e)
+	}
+}
+
+func TestReadRejectsTruncatedHeader(t *testing.T) {
+	for _, c := range []string{"maxkcover\n", "maxkcover 5\n", "maxkcover 5 \n", "maxkcover 5"} {
+		if _, _, _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read accepted truncated header %q", c)
+		}
+	}
+}
+
 func TestSliceIterator(t *testing.T) {
 	s := FromEdges([]Edge{{0, 1}, {1, 2}})
 	if s.Len() != 2 {

@@ -1,0 +1,260 @@
+// Package wire defines the framed TCP protocol spoken between kcoverd and
+// its clients. Every message is one frame:
+//
+//	1 byte  type
+//	4 bytes little-endian payload length
+//	payload
+//
+// Requests reference sessions by name, so connections are stateless and
+// any number of clients may feed one session. Responses arrive in request
+// order (the server handles each connection serially), which lets clients
+// pipeline ingest batches and match acks by position.
+//
+// Payloads:
+//
+//	TCreate  uvarint len(name), name, uvarint m, uvarint n, uvarint k,
+//	         8-byte LE float64 alpha, 8-byte LE int64 seed
+//	TIngest  uvarint len(name), name, MKC1 blob (stream.AppendBinary) whose
+//	         declared dims must equal the session's
+//	TQuery   uvarint len(name), name
+//	TClose   uvarint len(name), name
+//	TOK      empty
+//	TErr     UTF-8 error message
+//	TResult  8-byte LE float64 coverage, 1 byte feasible, uvarint space
+//	         words, uvarint edges, uvarint count, count × uvarint set IDs
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"streamcover/internal/stream"
+)
+
+// Frame types.
+const (
+	TCreate byte = 0x01
+	TIngest byte = 0x02
+	TQuery  byte = 0x03
+	TClose  byte = 0x04
+	// TPing (empty payload → TOK) is the pipeline barrier: because
+	// responses are strictly ordered, a ping's ack proves every earlier
+	// frame on the connection was handled.
+	TPing byte = 0x05
+
+	TOK     byte = 0x80
+	TErr    byte = 0x81
+	TResult byte = 0x82
+)
+
+// MaxFrame bounds a frame payload (64 MiB) so a corrupt length prefix
+// cannot make a peer allocate unboundedly.
+const MaxFrame = 1 << 26
+
+// MaxName bounds session names.
+const MaxName = 256
+
+// WriteFrame writes one frame. The caller batches via a bufio.Writer and
+// decides when to flush.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds limit %d", len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame, reusing scratch for the payload when it fits.
+// The returned payload aliases scratch and is only valid until the next
+// call with the same scratch.
+func ReadFrame(r io.Reader, scratch []byte) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, MaxFrame)
+	}
+	if int(n) <= len(scratch) {
+		payload = scratch[:n]
+	} else {
+		payload = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return hdr[0], payload, nil
+}
+
+func appendName(buf []byte, name string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	return append(buf, name...)
+}
+
+func decodeName(p []byte) (string, []byte, error) {
+	l, w := binary.Uvarint(p)
+	if w <= 0 || l > MaxName || uint64(len(p)-w) < l {
+		return "", nil, fmt.Errorf("wire: bad session name")
+	}
+	return string(p[w : w+int(l)]), p[w+int(l):], nil
+}
+
+// Create is the payload of a TCreate frame.
+type Create struct {
+	Name    string
+	M, N, K int
+	Alpha   float64
+	Seed    int64
+}
+
+// Encode serializes c.
+func (c Create) Encode() []byte {
+	buf := appendName(nil, c.Name)
+	buf = binary.AppendUvarint(buf, uint64(c.M))
+	buf = binary.AppendUvarint(buf, uint64(c.N))
+	buf = binary.AppendUvarint(buf, uint64(c.K))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(c.Alpha))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Seed))
+	return buf
+}
+
+// DecodeCreate parses a TCreate payload.
+func DecodeCreate(p []byte) (Create, error) {
+	var c Create
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return c, err
+	}
+	c.Name = name
+	for _, dst := range []*int{&c.M, &c.N, &c.K} {
+		v, w := binary.Uvarint(rest)
+		if w <= 0 || v > 1<<31 {
+			return c, fmt.Errorf("wire: bad create dims")
+		}
+		*dst = int(v)
+		rest = rest[w:]
+	}
+	if len(rest) != 16 {
+		return c, fmt.Errorf("wire: bad create tail (%d bytes)", len(rest))
+	}
+	c.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(rest))
+	c.Seed = int64(binary.LittleEndian.Uint64(rest[8:]))
+	return c, nil
+}
+
+// EncodeIngest frames a batch: session name followed by the edges as one
+// MKC1 blob. buf is reused when capacity allows.
+func EncodeIngest(buf []byte, name string, edges []stream.Edge, m, n int) []byte {
+	buf = appendName(buf[:0], name)
+	return stream.AppendBinary(buf, edges, m, n)
+}
+
+// DecodeIngest parses a TIngest payload. The edges are validated against
+// the blob's own declared dims; the caller checks those against the
+// session's.
+func DecodeIngest(p []byte) (name string, edges []stream.Edge, m, n int, err error) {
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return "", nil, 0, 0, err
+	}
+	edges, m, n, err = stream.DecodeBinary(rest)
+	return name, edges, m, n, err
+}
+
+// EncodeRef frames a session reference (TQuery / TClose payload).
+func EncodeRef(name string) []byte { return appendName(nil, name) }
+
+// DecodeRef parses a TQuery / TClose payload.
+func DecodeRef(p []byte) (string, error) {
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return "", err
+	}
+	if len(rest) != 0 {
+		return "", fmt.Errorf("wire: %d trailing bytes after session name", len(rest))
+	}
+	return name, nil
+}
+
+// Result is the payload of a TResult frame — the estimator's answer plus
+// the server-side edge count.
+type Result struct {
+	Coverage   float64
+	Feasible   bool
+	SpaceWords int
+	Edges      int
+	SetIDs     []uint32
+}
+
+// Encode serializes r.
+func (r Result) Encode() []byte {
+	buf := binary.LittleEndian.AppendUint64(nil, math.Float64bits(r.Coverage))
+	if r.Feasible {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.AppendUvarint(buf, uint64(r.SpaceWords))
+	buf = binary.AppendUvarint(buf, uint64(r.Edges))
+	buf = binary.AppendUvarint(buf, uint64(len(r.SetIDs)))
+	for _, id := range r.SetIDs {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	return buf
+}
+
+// DecodeResult parses a TResult payload.
+func DecodeResult(p []byte) (Result, error) {
+	var r Result
+	if len(p) < 9 {
+		return r, fmt.Errorf("wire: truncated result")
+	}
+	r.Coverage = math.Float64frombits(binary.LittleEndian.Uint64(p))
+	r.Feasible = p[8] != 0
+	rest := p[9:]
+	next := func(what string) (uint64, error) {
+		v, w := binary.Uvarint(rest)
+		if w <= 0 {
+			return 0, fmt.Errorf("wire: bad result %s", what)
+		}
+		rest = rest[w:]
+		return v, nil
+	}
+	sw, err := next("space")
+	if err != nil {
+		return r, err
+	}
+	ed, err := next("edges")
+	if err != nil {
+		return r, err
+	}
+	cnt, err := next("count")
+	if err != nil {
+		return r, err
+	}
+	if cnt > 1<<20 {
+		return r, fmt.Errorf("wire: implausible result id count %d", cnt)
+	}
+	r.SpaceWords, r.Edges = int(sw), int(ed)
+	r.SetIDs = make([]uint32, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		id, err := next("set id")
+		if err != nil {
+			return r, err
+		}
+		r.SetIDs = append(r.SetIDs, uint32(id))
+	}
+	if len(rest) != 0 {
+		return r, fmt.Errorf("wire: %d trailing bytes after result", len(rest))
+	}
+	return r, nil
+}

@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"streamcover/internal/stream"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {1}, bytes.Repeat([]byte{0xab}, 100000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scratch := make([]byte, 16)
+	for i, want := range payloads {
+		typ, got, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, want) {
+			t.Errorf("frame %d: type %d payload %d bytes, want type %d payload %d bytes",
+				i, typ, len(got), i+1, len(want))
+		}
+	}
+}
+
+func TestFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TIngest, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized write frame accepted")
+	}
+	// Corrupt length prefix beyond the cap must be rejected before any
+	// allocation.
+	bad := []byte{TIngest, 0xff, 0xff, 0xff, 0xff}
+	if _, _, err := ReadFrame(bytes.NewReader(bad), nil); err == nil {
+		t.Error("oversized read frame accepted")
+	}
+	// Truncated payload.
+	var tr bytes.Buffer
+	WriteFrame(&tr, TOK, []byte("abcdef"))
+	trunc := tr.Bytes()[:tr.Len()-2]
+	if _, _, err := ReadFrame(bytes.NewReader(trunc), nil); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestCreateRoundTrip(t *testing.T) {
+	want := Create{Name: "crawl-7", M: 2000, N: 20000, K: 40, Alpha: 4.5, Seed: -12345}
+	got, err := DecodeCreate(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("round trip %+v != %+v", got, want)
+	}
+	if _, err := DecodeCreate(want.Encode()[:5]); err == nil {
+		t.Error("truncated create accepted")
+	}
+	long := Create{Name: strings.Repeat("x", MaxName+1)}
+	if _, err := DecodeCreate(long.Encode()); err == nil {
+		t.Error("oversized name accepted")
+	}
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	edges := []stream.Edge{{Set: 0, Elem: 5}, {Set: 3, Elem: 0}, {Set: 999, Elem: 4999}}
+	payload := EncodeIngest(nil, "s1", edges, 1000, 5000)
+	name, got, m, n, err := DecodeIngest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "s1" || m != 1000 || n != 5000 {
+		t.Errorf("header (%q,%d,%d)", name, m, n)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("%d edges, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Errorf("edge %d: %v != %v", i, got[i], edges[i])
+		}
+	}
+	// Reuse must reset, not append.
+	payload2 := EncodeIngest(payload, "s1", edges[:1], 1000, 5000)
+	if _, got2, _, _, err := DecodeIngest(payload2); err != nil || len(got2) != 1 {
+		t.Errorf("buffer reuse broken: %d edges, %v", len(got2), err)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	for _, want := range []Result{
+		{Coverage: 8123.5, Feasible: true, SpaceWords: 77, Edges: 123456, SetIDs: []uint32{4, 0, 99}},
+		{Coverage: 0, Feasible: false, SetIDs: nil},
+	} {
+		got, err := DecodeResult(want.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Coverage != want.Coverage || got.Feasible != want.Feasible ||
+			got.SpaceWords != want.SpaceWords || got.Edges != want.Edges ||
+			len(got.SetIDs) != len(want.SetIDs) {
+			t.Errorf("round trip %+v != %+v", got, want)
+		}
+		for i := range want.SetIDs {
+			if got.SetIDs[i] != want.SetIDs[i] {
+				t.Errorf("set id %d: %d != %d", i, got.SetIDs[i], want.SetIDs[i])
+			}
+		}
+	}
+	if _, err := DecodeResult([]byte{1, 2, 3}); err == nil {
+		t.Error("truncated result accepted")
+	}
+}
+
+func TestRefRoundTrip(t *testing.T) {
+	name, err := DecodeRef(EncodeRef("sess"))
+	if err != nil || name != "sess" {
+		t.Errorf("ref round trip: %q, %v", name, err)
+	}
+	if _, err := DecodeRef(append(EncodeRef("sess"), 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}

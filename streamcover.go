@@ -84,6 +84,7 @@ func WithHLLBackend() Option {
 type Estimator struct {
 	m, n, k int
 	alpha   float64
+	opts    []Option
 	inner   *core.Estimator
 	edges   int
 }
@@ -101,7 +102,24 @@ func NewEstimator(m, n, k int, alpha float64, opts ...Option) (*Estimator, error
 	if err != nil {
 		return nil, fmt.Errorf("streamcover: %w", err)
 	}
-	return &Estimator{m: m, n: n, k: k, alpha: alpha, inner: inner}, nil
+	return &Estimator{m: m, n: n, k: k, alpha: alpha, opts: opts, inner: inner}, nil
+}
+
+// Clone returns a deep copy of the estimator: a fresh same-seed estimator
+// with this one's state merged in. The clone shares no mutable state with
+// the original, so one goroutine may keep processing edges into the
+// original while another finalizes the clone — this is how kcoverd
+// answers queries without stalling ingest.
+func (e *Estimator) Clone() (*Estimator, error) {
+	fresh, err := NewEstimator(e.m, e.n, e.k, e.alpha, e.opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := fresh.inner.Merge(e.inner); err != nil {
+		return nil, fmt.Errorf("streamcover: clone: %w", err)
+	}
+	fresh.edges = e.edges
+	return fresh, nil
 }
 
 // Process consumes one edge. Edges may arrive in any order and repeat;
@@ -190,19 +208,30 @@ func (e *Estimator) SpaceBreakdown() map[string]int { return e.inner.SpaceBreakd
 // Coverage computes the exact number of distinct elements covered by the
 // chosen sets in a stored edge list — a convenience for validating
 // reported solutions in examples and tests. It is NOT streaming: it scans
-// the provided edges.
-func Coverage(edges []Edge, n int, setIDs []uint32) int {
+// the provided edges. Set IDs ≥ m and out-of-range edges are rejected,
+// matching the validation style of GreedyCover (earlier versions silently
+// skipped them, which masked caller bugs).
+func Coverage(edges []Edge, m, n int, setIDs []uint32) (int, error) {
 	chosen := make(map[uint32]bool, len(setIDs))
 	for _, id := range setIDs {
+		if int(id) >= m {
+			return 0, fmt.Errorf("streamcover: set id %d >= m=%d", id, m)
+		}
 		chosen[id] = true
 	}
 	covered := setsystem.NewBitset(n)
 	for _, e := range edges {
-		if chosen[e.Set] && int(e.Elem) < n {
+		if int(e.Set) >= m {
+			return 0, fmt.Errorf("streamcover: set id %d >= m=%d", e.Set, m)
+		}
+		if int(e.Elem) >= n {
+			return 0, fmt.Errorf("streamcover: element id %d >= n=%d", e.Elem, n)
+		}
+		if chosen[e.Set] {
 			covered.Set(e.Elem)
 		}
 	}
-	return covered.Count()
+	return covered.Count(), nil
 }
 
 // GreedyCover runs the classic offline greedy (the 1-1/e baseline the

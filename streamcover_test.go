@@ -53,7 +53,11 @@ func TestEstimatorEndToEnd(t *testing.T) {
 	if len(res.SetIDs) == 0 || len(res.SetIDs) > k {
 		t.Fatalf("reported %d sets, want 1..%d", len(res.SetIDs), k)
 	}
-	if cov := Coverage(edges, n, res.SetIDs); float64(cov) < float64(covered)/(3*alpha) {
+	cov, err := Coverage(edges, m, n, res.SetIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(cov) < float64(covered)/(3*alpha) {
 		t.Errorf("reported sets truly cover %d, below OPT/(3α)", cov)
 	}
 	if res.SpaceWords <= 0 {
@@ -123,15 +127,21 @@ func TestEstimatorOptions(t *testing.T) {
 
 func TestCoverageHelper(t *testing.T) {
 	edges := []Edge{{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 4}}
-	if got := Coverage(edges, 5, []uint32{0, 1}); got != 3 {
-		t.Errorf("Coverage = %d, want 3", got)
+	if got, err := Coverage(edges, 3, 5, []uint32{0, 1}); err != nil || got != 3 {
+		t.Errorf("Coverage = %d, %v, want 3", got, err)
 	}
-	if got := Coverage(edges, 5, nil); got != 0 {
-		t.Errorf("Coverage(nil) = %d, want 0", got)
+	if got, err := Coverage(edges, 3, 5, nil); err != nil || got != 0 {
+		t.Errorf("Coverage(nil) = %d, %v, want 0", got, err)
 	}
-	// Out-of-range element in edges is ignored rather than panicking.
-	if got := Coverage([]Edge{{0, 99}}, 5, []uint32{0}); got != 0 {
-		t.Errorf("out-of-range element counted: %d", got)
+	// Out-of-range IDs are errors, matching GreedyCover's validation.
+	if _, err := Coverage([]Edge{{0, 99}}, 5, 5, []uint32{0}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	if _, err := Coverage(edges, 3, 5, []uint32{7}); err == nil {
+		t.Error("set id >= m accepted")
+	}
+	if _, err := Coverage([]Edge{{9, 0}}, 3, 5, nil); err == nil {
+		t.Error("edge set id >= m accepted")
 	}
 }
 
@@ -286,4 +296,61 @@ func TestFacadeMergeShards(t *testing.T) {
 	if err := a.Merge(diff); err == nil {
 		t.Error("different-seed merge accepted")
 	}
+}
+
+func TestCloneSnapshotsState(t *testing.T) {
+	const (
+		m, n, k = 600, 6000, 12
+		alpha   = 4.0
+	)
+	edges := plantedEdges(m, n, k, 4800, 11)
+	est, err := NewEstimator(m, n, k, alpha, WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := len(edges) / 2
+	if err := est.ProcessAll(edges[:half]); err != nil {
+		t.Fatal(err)
+	}
+	snap := est.Result()
+	clone, err := est.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone.Edges() != est.Edges() {
+		t.Errorf("clone edge count %d != %d", clone.Edges(), est.Edges())
+	}
+	// The original keeps ingesting; the clone must be unaffected (this is
+	// kcoverd's query path: snapshot, then finalize off the ingest path).
+	if err := est.ProcessAll(edges[half:]); err != nil {
+		t.Fatal(err)
+	}
+	// SpaceWords may differ slightly (the clone's candidate dictionaries
+	// are re-trimmed on merge); the estimate itself must not.
+	cr := clone.Result()
+	if cr.Coverage != snap.Coverage || cr.Feasible != snap.Feasible ||
+		!equalIDs(cr.SetIDs, snap.SetIDs) {
+		t.Errorf("clone drifted after original kept processing: %+v vs snapshot %+v", cr, snap)
+	}
+	// And the clone still works as a live estimator: feeding it the rest
+	// reconverges with the original.
+	if err := clone.ProcessAll(edges[half:]); err != nil {
+		t.Fatal(err)
+	}
+	fr, or := clone.Result(), est.Result()
+	if fr.Coverage != or.Coverage || !equalIDs(fr.SetIDs, or.SetIDs) {
+		t.Errorf("clone+rest %+v != original %+v", fr, or)
+	}
+}
+
+func equalIDs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
