@@ -1,0 +1,77 @@
+package streamcover
+
+// Hot-path benchmarks: the per-edge ingest loop vs the batched one on the
+// default kcovergen workload (planted, n=20000 m=2000 k=40 frac=0.8,
+// estimator alpha 4 — the same instance `kcovergen | kcover` processes out
+// of the box). Both benchmarks stream into a pre-warmed estimator, so they
+// measure steady-state ingest cost, not sketch construction. The headline
+// numbers live in BENCH_hotpath.json; regenerate with
+//
+//	go test -run=NONE -bench='ProcessEdge|ProcessBatch$' -benchtime=3x .
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+)
+
+// hotpathBatchSize matches the kcoverd client's default ingest batch.
+const hotpathBatchSize = 8192
+
+// hotpathStream builds the default kcovergen planted instance in shuffled
+// arrival order and an estimator already warmed on one full pass (steady
+// state: samples taken, layers routed, maps at working size).
+func hotpathStream(b *testing.B) ([]Edge, *Estimator) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	in := workload.PlantedCover(20000, 2000, 40, 0.8, 5, rng)
+	raw := stream.Linearize(in.System, stream.Shuffled, rng).Edges()
+	edges := make([]Edge, len(raw))
+	for i, e := range raw {
+		edges[i] = Edge{Set: e.Set, Elem: e.Elem}
+	}
+	est, err := NewEstimator(in.System.M(), in.System.N, in.K, 4, WithSeed(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := est.ProcessBatch(edges); err != nil {
+		b.Fatal(err)
+	}
+	return edges, est
+}
+
+// BenchmarkProcessEdge is the sequential baseline: one Process call per
+// edge, every sub-sketch re-hashing the edge's IDs itself.
+func BenchmarkProcessEdge(b *testing.B) {
+	edges, est := hotpathStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range edges {
+			if err := est.Process(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkProcessBatch streams the same edges through the memoized batch
+// path in kcoverd-sized batches.
+func BenchmarkProcessBatch(b *testing.B) {
+	edges, est := hotpathStream(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for off := 0; off < len(edges); off += hotpathBatchSize {
+			end := off + hotpathBatchSize
+			if end > len(edges) {
+				end = len(edges)
+			}
+			if err := est.ProcessBatch(edges[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"streamcover/internal/hash"
+	"streamcover/internal/stream"
+)
+
+// Batched ingest: the per-edge cost of the estimator is dominated by
+// polynomial hashes whose input is ONLY the edge's set ID or ONLY its
+// element ID (LargeCommon's layer routing, LargeSet's element sampling
+// and superset partition, SmallSet's three samplers, and the universe
+// reduction itself). Within one batch those inputs repeat — a batch
+// touches far fewer distinct sets than edges, and a small reduced
+// universe [z] collapses the element column to at most z values — so the
+// batch path computes every ID-keyed hash decision once per distinct ID
+// per batch and replays the edges in arrival order against the memoized
+// values.
+//
+// The batch path is bit-for-bit identical to feeding every edge through
+// Process sequentially: the memo tables cache pure functions of the IDs
+// (identical field reductions, identical thresholds), every stateful
+// structure (distinct counters, contributing batteries, stored pairs)
+// still receives exactly the same updates in exactly the same order, and
+// subroutines are mutually independent so running them batch-at-a-time
+// instead of edge-interleaved leaves their post-pass state unchanged.
+//
+// Space accounting: BatchScratch is transient working memory, not sketch
+// state. It holds no information that survives the current batch (every
+// table is rebuilt from the batch's own edges), so it is deliberately
+// EXCLUDED from every SpaceWords() sum — the paper's Õ(m/α² + k) bound
+// governs what the algorithm retains across the stream, and counting
+// per-batch scratch would conflate the streaming space with the caller's
+// choice of batch size. See internal/spaceacct for the contract.
+
+// maxBatchChunk bounds the number of edges indexed at once, which bounds
+// the scratch tables to O(chunk) memory regardless of caller batch size.
+const maxBatchChunk = 1 << 15
+
+// BatchScratch is the reusable per-batch working memory of the batched
+// ingest path: dedup tables for the two ID columns plus value buffers for
+// memoized hash decisions. A scratch may be reused across batches (Index
+// resets it) but never shared between concurrent goroutines.
+type BatchScratch struct {
+	sets  hash.Interner // distinct set IDs + per-edge positions
+	elems hash.Interner // distinct element IDs + per-edge positions
+
+	// Element view consumed by Oracle.ProcessBatch: elemKeys holds the
+	// distinct hash-input keys for the element column of the edges being
+	// processed (the raw element IDs, or the deduped reduced
+	// pseudo-elements when the estimator drives the batch), and
+	// elemRef[j] indexes edge j's key within it. Both may alias the
+	// interner's Keys/Pos; Oracle.ProcessBatch only reads them.
+	elemKeys []uint64
+	elemRef  []int32
+
+	// Estimator-owned buffers for the universe-reduction step.
+	rawVals  []uint64      // per distinct raw element: reduced pseudo-element
+	redKeys  []uint64      // deduped reduced pseudo-elements
+	redPos   []int32       // per distinct raw element: index into redKeys
+	dense    []int32       // size-z dense dedup table (index or -1)
+	redEdges []stream.Edge // reduced-edge replay buffer
+	refBuf   []int32       // estimator-side elemRef storage
+
+	// Subroutine value buffers (memoized hash decisions per distinct key).
+	hv   []uint64
+	hv2  []uint64
+	bits []bool
+
+	// LargeSet superset-dedup buffers: distinct superset IDs of the
+	// chunk's distinct sets plus the sampled-edge occurrence sequence,
+	// feeding the contributing batteries' batch path.
+	ssDense []int32  // size-q dense dedup table (index or -1)
+	ssKeys  []uint64 // distinct superset IDs, first-appearance order
+	ssPos   []int32  // per distinct set: index into ssKeys
+	occ     []int32  // per sampled edge, in order: index into ssKeys
+}
+
+// NewBatchScratch returns an empty scratch; buffers grow on first use.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+
+// Index dedups both ID columns of the batch and exposes the identity
+// element view (elemKeys = the distinct raw element IDs), which is what
+// Oracle.ProcessBatch expects when it is driven directly rather than
+// through the estimator's universe reduction.
+func (sc *BatchScratch) Index(edges []stream.Edge) {
+	sc.sets.Reset()
+	sc.elems.Reset()
+	for _, e := range edges {
+		sc.sets.Add(e.Set)
+		sc.elems.Add(e.Elem)
+	}
+	sc.elemKeys = sc.elems.Keys
+	sc.elemRef = sc.elems.Pos
+}
+
+// BatchOracle is a CoverageOracle with a batched ingest path.
+// ProcessBatch(edges, sc) must leave the oracle in exactly the state a
+// Process call per edge (in order) would, with sc indexed over edges
+// (sc.Index, or the estimator's reduced view).
+type BatchOracle interface {
+	CoverageOracle
+	ProcessBatch(edges []stream.Edge, sc *BatchScratch)
+}
+
+// ProcessBatch fans the batch out to all three subroutines. Each
+// subroutine consumes the whole batch before the next starts; because the
+// subroutines share no state, this is indistinguishable from the
+// edge-interleaved sequential fan-out.
+func (o *Oracle) ProcessBatch(edges []stream.Edge, sc *BatchScratch) {
+	o.lc.processBatch(edges, sc)
+	o.ls.processBatch(edges, sc)
+	o.ss.processBatch(edges, sc)
+}
+
+// processBatch evaluates the shared set hash once per distinct set and
+// replays the edges against the layer thresholds in arrival order.
+func (lc *LargeCommon) processBatch(edges []stream.Edge, sc *BatchScratch) {
+	sc.hv = lc.h.EvalBatch(sc.sets.Keys, sc.hv)
+	setPos := sc.sets.Pos
+	for j := range edges {
+		v := sc.hv[setPos[j]]
+		for i := range lc.layers {
+			if v < lc.layers[i].thresh {
+				lc.layers[i].de.Add(uint64(edges[j].Elem))
+			}
+		}
+	}
+}
+
+// processBatch memoizes, per repetition, the element-sampling bit per
+// distinct element and the superset per distinct set, then replays the
+// edges in arrival order. The sequential path computes a superset only
+// for sampled edges while the batch path computes one per distinct set;
+// the values are pure functions of the set ID, so the replayed updates
+// are identical. The supersets of the sampled edges are deduped once more
+// (they live in [0, q), far fewer values than sets) and handed to the
+// contributing batteries as a distinct-key occurrence sequence, so the
+// batteries' per-occurrence hashing collapses to one evaluation per
+// distinct superset per chunk. The batteries and the sampled-superset
+// fallback are independent structures, so updating them battery-major
+// instead of edge-major changes no state.
+func (ls *LargeSet) processBatch(edges []stream.Edge, sc *BatchScratch) {
+	setPos, elemRef := sc.sets.Pos, sc.elemRef
+	for i := range ls.reps {
+		rep := &ls.reps[i]
+		sc.bits = rep.elemSamp.BernoulliBatch(sc.elemKeys, ls.rho, sc.bits)
+		sc.hv = rep.part.h.RangeBatch(sc.sets.Keys, uint64(rep.part.q), sc.hv)
+		ssPos := sc.dedupSupersets(rep.part.q)
+		occ := sc.occ[:0]
+		for j := range edges {
+			if sc.bits[elemRef[j]] {
+				occ = append(occ, ssPos[setPos[j]])
+			}
+		}
+		sc.occ = occ
+		rep.cntrSmall.AddBatch(sc.ssKeys, occ)
+		rep.cntrLarge.AddBatch(sc.ssKeys, occ)
+		if len(rep.sampled) > 0 {
+			for j := range edges {
+				if !sc.bits[elemRef[j]] {
+					continue
+				}
+				if de, ok := rep.sampled[sc.hv[setPos[j]]]; ok {
+					de.Add(uint64(edges[j].Elem))
+				}
+			}
+		}
+	}
+}
+
+// dedupSupersets collapses sc.hv (superset IDs in [0, q), one per distinct
+// set) to its distinct values via a dense table, filling sc.ssKeys with
+// the distinct IDs in first-appearance order and returning the
+// per-distinct-set position array.
+func (sc *BatchScratch) dedupSupersets(q int) []int32 {
+	if cap(sc.ssDense) < q {
+		sc.ssDense = make([]int32, q)
+	}
+	dense := sc.ssDense[:q]
+	for i := range dense {
+		dense[i] = -1
+	}
+	if cap(sc.ssPos) < len(sc.hv) {
+		sc.ssPos = make([]int32, len(sc.hv))
+	}
+	sc.ssKeys = sc.ssKeys[:0]
+	pos := sc.ssPos[:len(sc.hv)]
+	for i, v := range sc.hv {
+		d := dense[v]
+		if d < 0 {
+			d = int32(len(sc.ssKeys))
+			dense[v] = d
+			sc.ssKeys = append(sc.ssKeys, v)
+		}
+		pos[i] = d
+	}
+	return pos
+}
+
+// processBatch memoizes the set-membership bit per distinct set and the
+// two element-sample hashes per distinct element, then replays the edges
+// in arrival order through the same layer logic as Process. Dead layers
+// can only accumulate (a layer may die mid-batch), so the replay
+// re-checks liveness exactly like the sequential path does.
+func (ss *SmallSet) processBatch(edges []stream.Edge, sc *BatchScratch) {
+	if ss.live == 0 {
+		return
+	}
+	sc.bits = ss.setSamp.BernoulliBatch(sc.sets.Keys, ss.mRate, sc.bits)
+	sc.hv = ss.pickSamp.EvalBatch(sc.elemKeys, sc.hv)
+	sc.hv2 = ss.estSamp.EvalBatch(sc.elemKeys, sc.hv2)
+	setPos, elemRef := sc.sets.Pos, sc.elemRef
+	for j := range edges {
+		if !sc.bits[setPos[j]] {
+			continue
+		}
+		ss.store(edges[j], sc.hv[elemRef[j]], sc.hv2[elemRef[j]])
+		if ss.live == 0 {
+			return
+		}
+	}
+}
+
+// ProcessBatch consumes a batch of edges through the batched hot path,
+// chunking internally so scratch memory stays O(maxBatchChunk) regardless
+// of batch size. It is bit-for-bit identical to calling Process on every
+// edge in order and, like Process, not safe for concurrent use.
+func (est *Estimator) ProcessBatch(edges []stream.Edge) {
+	if est.trivial || len(edges) == 0 {
+		return
+	}
+	if est.scratch == nil {
+		est.scratch = NewBatchScratch()
+	}
+	for start := 0; start < len(edges); start += maxBatchChunk {
+		end := start + maxBatchChunk
+		if end > len(edges) {
+			end = len(edges)
+		}
+		est.processChunk(edges[start:end], est.scratch)
+	}
+}
+
+// processChunk indexes one chunk and feeds it to every (guess, rep) unit.
+func (est *Estimator) processChunk(chunk []stream.Edge, sc *BatchScratch) {
+	sc.Index(chunk)
+	for gi := range est.guesses {
+		g := &est.guesses[gi]
+		for ri := range g.reps {
+			est.processChunkUnit(chunk, sc, g, &g.reps[ri])
+		}
+	}
+}
+
+// processChunkUnit applies one repetition's universe reduction to the
+// chunk — one Range per distinct element instead of one per edge — and
+// hands the reduced edges to the oracle's batch path. When z is smaller
+// than the chunk's distinct-element count the reduced values are deduped
+// again (dense table over [z]), so downstream element-keyed hashes run
+// once per distinct PSEUDO-element: the small guesses at the bottom of
+// the ladder collapse to at most z evaluations per hash per chunk.
+func (est *Estimator) processChunkUnit(chunk []stream.Edge, sc *BatchScratch, g *zGuess, rep *zRep) {
+	z := uint64(g.z)
+	sc.rawVals = rep.h.RangeBatch(sc.elems.Keys, z, sc.rawVals)
+
+	keys, pos := sc.rawVals, []int32(nil) // identity: key i is distinct raw elem i
+	if g.z < len(sc.elems.Keys) {
+		keys, pos = sc.dedupReduced(g.z)
+	}
+
+	if cap(sc.redEdges) < len(chunk) {
+		sc.redEdges = make([]stream.Edge, len(chunk))
+		sc.refBuf = make([]int32, len(chunk))
+	}
+	red, ref := sc.redEdges[:len(chunk)], sc.refBuf[:len(chunk)]
+	for j := range chunk {
+		oi := sc.elems.Pos[j]
+		red[j] = stream.Edge{Set: chunk[j].Set, Elem: uint32(sc.rawVals[oi])}
+		if pos != nil {
+			ref[j] = pos[oi]
+		} else {
+			ref[j] = oi
+		}
+	}
+	sc.elemKeys, sc.elemRef = keys, ref
+
+	if bo, ok := rep.oracle.(BatchOracle); ok {
+		bo.ProcessBatch(red, sc)
+	} else {
+		for _, e := range red {
+			rep.oracle.Process(e)
+		}
+	}
+}
+
+// dedupReduced collapses rawVals (reduced pseudo-elements in [0, z)) to
+// their distinct values via a dense table, returning the distinct keys in
+// first-appearance order and the per-raw-element position array.
+func (sc *BatchScratch) dedupReduced(z int) ([]uint64, []int32) {
+	if cap(sc.dense) < z {
+		sc.dense = make([]int32, z)
+	}
+	dense := sc.dense[:z]
+	for i := range dense {
+		dense[i] = -1
+	}
+	if cap(sc.redPos) < len(sc.rawVals) {
+		sc.redPos = make([]int32, len(sc.rawVals))
+	}
+	sc.redKeys = sc.redKeys[:0]
+	pos := sc.redPos[:len(sc.rawVals)]
+	for i, v := range sc.rawVals {
+		d := dense[v]
+		if d < 0 {
+			d = int32(len(sc.redKeys))
+			dense[v] = d
+			sc.redKeys = append(sc.redKeys, v)
+		}
+		pos[i] = d
+	}
+	return sc.redKeys, pos
+}

@@ -90,8 +90,9 @@ func (ss *SmallSet) Merge(other *SmallSet) error {
 			return fmt.Errorf("core: SmallSet layer %d mismatch", i)
 		}
 		if b.dead {
-			a.dead = true
-			a.pick, a.est = nil, nil
+			if !a.dead {
+				ss.kill(a)
+			}
 			continue
 		}
 		if a.dead {
@@ -105,8 +106,7 @@ func (ss *SmallSet) Merge(other *SmallSet) error {
 		}
 		a.count += b.count
 		if a.count > 2*a.cap {
-			a.dead = true
-			a.pick, a.est = nil, nil
+			ss.kill(a)
 		}
 	}
 	return nil

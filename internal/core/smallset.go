@@ -46,6 +46,7 @@ type SmallSet struct {
 	pickSamp *hash.Poly
 	estSamp  *hash.Poly
 	layers   []ssLayer
+	live     int // layers not yet dead; 0 short-circuits Process entirely
 }
 
 type ssLayer struct {
@@ -100,6 +101,7 @@ func NewSmallSet(d Derived, rng *rand.Rand) *SmallSet {
 		})
 		frac /= 2
 	}
+	ss.live = len(ss.layers)
 	return ss
 }
 
@@ -111,13 +113,22 @@ func (ss *SmallSet) MRate() float64 { return ss.mRate }
 
 // Process stores the edge in every live layer whose element samples keep
 // it, provided the set is in M. A layer that exceeds its Õ(m/α²) storage
-// cap is abandoned, as Figure 5's terminate branch prescribes.
+// cap is abandoned, as Figure 5's terminate branch prescribes. Once every
+// layer is dead no edge can change any state, so processing returns
+// before evaluating any of the three hashes.
 func (ss *SmallSet) Process(e stream.Edge) {
+	if ss.live == 0 {
+		return
+	}
 	if !ss.setSamp.Bernoulli(uint64(e.Set), ss.mRate) {
 		return
 	}
-	pv := ss.pickSamp.Eval(uint64(e.Elem))
-	ev := ss.estSamp.Eval(uint64(e.Elem))
+	ss.store(e, ss.pickSamp.Eval(uint64(e.Elem)), ss.estSamp.Eval(uint64(e.Elem)))
+}
+
+// store applies one sampled edge's pick/est hash values to every live
+// layer — the per-edge logic shared by the sequential and batch paths.
+func (ss *SmallSet) store(e stream.Edge, pv, ev uint64) {
 	for i := range ss.layers {
 		l := &ss.layers[i]
 		if l.dead {
@@ -132,10 +143,17 @@ func (ss *SmallSet) Process(e stream.Edge) {
 			l.count++
 		}
 		if l.count > 2*l.cap {
-			l.dead = true
-			l.pick, l.est = nil, nil
+			ss.kill(l)
 		}
 	}
+}
+
+// kill abandons a layer (Figure 5's terminate branch) and maintains the
+// live-layer count backing the all-dead short-circuit.
+func (ss *SmallSet) kill(l *ssLayer) {
+	l.dead = true
+	l.pick, l.est = nil, nil
+	ss.live--
 }
 
 // SmallSetResult is the subroutine's estimate with its backing cover.

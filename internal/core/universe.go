@@ -30,6 +30,12 @@ type Estimator struct {
 	trivialVal float64 // n/α
 
 	guesses []zGuess
+
+	// scratch is the batched ingest path's transient working memory,
+	// lazily allocated by ProcessBatch. It is not sketch state: it holds
+	// nothing beyond the current batch and is excluded from SpaceWords
+	// (see internal/core/batch.go).
+	scratch *BatchScratch
 }
 
 type zGuess struct {
@@ -120,19 +126,25 @@ func (est *Estimator) Process(e stream.Edge) {
 // `workers` goroutines. Each (guess, repetition) oracle is an independent
 // single-pass structure, so the ladder is embarrassingly parallel: every
 // worker owns a disjoint subset of oracles and scans the slice on its
-// own. The result is bit-for-bit identical to feeding every edge through
-// Process sequentially (each oracle still sees the same edges in the same
-// order); only wall-clock time changes. The slice must not be mutated
-// during the call.
+// own, through the batched hot path with a private BatchScratch (scratch
+// is per-worker transient memory, so the parallel path composes with
+// batching without sharing mutable state). The result is bit-for-bit
+// identical to feeding every edge through Process sequentially (each
+// oracle still sees the same edges in the same order); only wall-clock
+// time changes. The slice must not be mutated during the call.
 func (est *Estimator) ProcessAllParallel(edges []stream.Edge, workers int) {
 	if est.trivial || len(edges) == 0 {
 		return
 	}
-	type unit struct{ gi, ri int }
+	type unit struct {
+		g   *zGuess
+		rep *zRep
+	}
 	var units []unit
 	for gi := range est.guesses {
-		for ri := range est.guesses[gi].reps {
-			units = append(units, unit{gi, ri})
+		g := &est.guesses[gi]
+		for ri := range g.reps {
+			units = append(units, unit{g, &g.reps[ri]})
 		}
 	}
 	if workers < 1 {
@@ -142,33 +154,31 @@ func (est *Estimator) ProcessAllParallel(edges []stream.Edge, workers int) {
 		workers = len(units)
 	}
 	if workers == 1 {
-		for _, e := range edges {
-			est.Process(e)
-		}
+		est.ProcessBatch(edges)
 		return
 	}
 	var wg sync.WaitGroup
-	next := make(chan unit, len(units))
-	for _, u := range units {
-		next <- u
-	}
-	close(next)
 	for w := 0; w < workers; w++ {
+		var mine []unit
+		for u := w; u < len(units); u += workers {
+			mine = append(mine, units[u])
+		}
 		wg.Add(1)
-		go func() {
+		go func(mine []unit) {
 			defer wg.Done()
-			for u := range next {
-				g := &est.guesses[u.gi]
-				rep := &g.reps[u.ri]
-				z := uint64(g.z)
-				for _, e := range edges {
-					rep.oracle.Process(stream.Edge{
-						Set:  e.Set,
-						Elem: uint32(rep.h.Range(uint64(e.Elem), z)),
-					})
+			sc := NewBatchScratch()
+			for start := 0; start < len(edges); start += maxBatchChunk {
+				end := start + maxBatchChunk
+				if end > len(edges) {
+					end = len(edges)
+				}
+				chunk := edges[start:end]
+				sc.Index(chunk)
+				for _, u := range mine {
+					est.processChunkUnit(chunk, sc, u.g, u.rep)
 				}
 			}
-		}()
+		}(mine)
 	}
 	wg.Wait()
 }

@@ -1,0 +1,146 @@
+package hash
+
+import "math/bits"
+
+// Batched evaluation and ID interning for the hot ingest path.
+//
+// The estimator's per-edge cost is dominated by re-evaluating
+// Θ(log(mn))-degree polynomials whose inputs are only the set ID or only
+// the element ID of the arriving edge. Within one batch of edges those
+// inputs repeat heavily (a batch touches far fewer distinct sets than
+// edges, and small reduced universes collapse the element column), so the
+// batch path dedups each ID column once with an Interner and evaluates
+// every polynomial once per distinct input instead of once per edge.
+//
+// Every function here is bit-for-bit equivalent to calling the scalar
+// counterpart (Eval, Range, Bernoulli) element-wise: same field
+// reduction, same thresholds, same outputs. Callers rely on that to keep
+// the batched estimator identical to the sequential one.
+
+// EvalBatch evaluates the polynomial on every input, writing hashes into
+// dst (grown as needed) and returning it. dst[i] == p.Eval(xs[i]) for all
+// i; the two differ only in call overhead.
+func (p *Poly) EvalBatch(xs []uint64, dst []uint64) []uint64 {
+	dst = growU64(dst, len(xs))
+	coef := p.coef
+	top := len(coef) - 1
+	for i, x := range xs {
+		if x >= Prime {
+			x -= Prime
+			if x >= Prime {
+				x -= Prime
+			}
+		}
+		acc := coef[top]
+		for c := top - 1; c >= 0; c-- {
+			acc = addMod(mulMod(acc, x), coef[c])
+		}
+		dst[i] = acc
+	}
+	return dst
+}
+
+// RangeBatch maps every input's hash to [0, n) with the same multiply-high
+// trick as Range. dst[i] == p.Range(xs[i], n). n must be positive.
+func (p *Poly) RangeBatch(xs []uint64, n uint64, dst []uint64) []uint64 {
+	if n == 0 {
+		panic("hash: RangeBatch with n == 0")
+	}
+	dst = p.EvalBatch(xs, dst)
+	for i, v := range dst {
+		hi, _ := bits.Mul64(v<<3, n)
+		dst[i] = hi
+	}
+	return dst
+}
+
+// BernoulliBatch writes each input's sampling decision at rate prob into
+// dst (grown as needed). dst[i] == p.Bernoulli(xs[i], prob), including the
+// prob ≤ 0 and prob ≥ 1 short-circuits that skip hashing entirely.
+func (p *Poly) BernoulliBatch(xs []uint64, prob float64, dst []bool) []bool {
+	dst = growBool(dst, len(xs))
+	if prob <= 0 {
+		for i := range dst {
+			dst[i] = false
+		}
+		return dst
+	}
+	if prob >= 1 {
+		for i := range dst {
+			dst[i] = true
+		}
+		return dst
+	}
+	threshold := uint64(prob * float64(Prime))
+	coef := p.coef
+	top := len(coef) - 1
+	for i, x := range xs {
+		if x >= Prime {
+			x -= Prime
+			if x >= Prime {
+				x -= Prime
+			}
+		}
+		acc := coef[top]
+		for c := top - 1; c >= 0; c-- {
+			acc = addMod(mulMod(acc, x), coef[c])
+		}
+		dst[i] = acc < threshold
+	}
+	return dst
+}
+
+// Interner dedups one ID column of an edge batch: Add records each
+// occurrence and returns a dense index in first-appearance order, so an
+// ID-keyed hash decision can be computed once per distinct ID (over Keys)
+// and looked up per occurrence (via Pos). It is reusable working memory —
+// Reset keeps the allocations — and is NOT sketch state: it holds no
+// information beyond the current batch, so it is excluded from every
+// SpaceWords accounting (see internal/spaceacct).
+type Interner struct {
+	idx map[uint32]int32
+	// Keys holds the distinct IDs in first-appearance order, widened to
+	// uint64 so they can feed EvalBatch directly.
+	Keys []uint64
+	// Pos holds, for every Add in order, the index of that ID in Keys.
+	Pos []int32
+}
+
+// Reset clears the interner for a new batch, retaining capacity.
+func (it *Interner) Reset() {
+	if it.idx == nil {
+		it.idx = make(map[uint32]int32)
+	} else {
+		clear(it.idx)
+	}
+	it.Keys = it.Keys[:0]
+	it.Pos = it.Pos[:0]
+}
+
+// Add records one occurrence of id and returns its dense index.
+func (it *Interner) Add(id uint32) int32 {
+	i, ok := it.idx[id]
+	if !ok {
+		i = int32(len(it.Keys))
+		it.idx[id] = i
+		it.Keys = append(it.Keys, uint64(id))
+	}
+	it.Pos = append(it.Pos, i)
+	return i
+}
+
+// growU64 returns a slice of length n reusing dst's storage when possible.
+func growU64(dst []uint64, n int) []uint64 {
+	if cap(dst) < n {
+		return make([]uint64, n)
+	}
+	return dst[:n]
+}
+
+// growBool returns a slice of length n reusing dst's storage when possible.
+func growBool(dst []bool, n int) []bool {
+	if cap(dst) < n {
+		return make([]bool, n)
+	}
+	return dst[:n]
+}

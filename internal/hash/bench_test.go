@@ -1,0 +1,62 @@
+package hash
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchInputs builds a deterministic input column shaped like one ID
+// column of an ingest batch: IDs drawn from a universe much smaller than
+// the batch, so the interned/deduped case has something to win.
+func benchInputs(n int, universe uint32) []uint64 {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = uint64(rng.Uint32() % universe)
+	}
+	return xs
+}
+
+// BenchmarkPolyEval is the scalar baseline: one Eval call per input at
+// the sampling degree used by Practical-parameter estimators.
+func BenchmarkPolyEval(b *testing.B) {
+	p := NewPoly(8, rand.New(rand.NewSource(1)))
+	xs := benchInputs(1<<14, 1<<20)
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		for _, x := range xs {
+			sink ^= p.Eval(x)
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}
+
+// BenchmarkPolyEvalBatch evaluates the same column through EvalBatch
+// (same field arithmetic, amortized call and bounds overhead).
+func BenchmarkPolyEvalBatch(b *testing.B) {
+	p := NewPoly(8, rand.New(rand.NewSource(1)))
+	xs := benchInputs(1<<14, 1<<20)
+	dst := make([]uint64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = p.EvalBatch(xs, dst)
+	}
+	b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "evals/s")
+}
+
+// BenchmarkInterner measures the dedup cost the batch path pays before
+// it can win: interning one 16k-edge column with ~2k distinct IDs.
+func BenchmarkInterner(b *testing.B) {
+	xs := benchInputs(1<<14, 2048)
+	var it Interner
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it.Reset()
+		for _, x := range xs {
+			it.Add(uint32(x))
+		}
+	}
+	b.ReportMetric(float64(len(xs))*float64(b.N)/b.Elapsed().Seconds(), "adds/s")
+}

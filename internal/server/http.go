@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 )
 
@@ -32,9 +33,17 @@ type queryResponse struct {
 
 // httpHandler builds the live query/observability endpoint: /query runs
 // the same snapshot-merge path as the TCP protocol, /sessions inventories
-// the live sessions, /metrics dumps the counters.
+// the live sessions, /metrics dumps the counters, and /debug/pprof/*
+// exposes the standard Go profiler so ingest hot paths can be profiled
+// in production (mounted explicitly — the server uses its own mux, so
+// net/http/pprof's DefaultServeMux registration would not be reachable).
 func (s *Server) httpHandler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		name := r.URL.Query().Get("session")
 		if name == "" {

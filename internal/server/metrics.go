@@ -1,12 +1,16 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Metrics are plain expvar-style counters updated with atomics on the hot
 // path and snapshotted by the /metrics HTTP handler. No histogram
-// machinery: edges, batches, queries, connection counts, and merge
-// latency (total + last) cover the questions a dashboard asks of an
-// ingest daemon.
+// machinery: edges, batches, queries, connection counts, merge latency
+// and per-batch ingest latency cover the questions a dashboard asks of an
+// ingest daemon; the snapshot derives ingest edges/sec from the edge
+// counter and the server's uptime.
 type Metrics struct {
 	EdgesIngested  atomic.Int64
 	Batches        atomic.Int64
@@ -17,19 +21,45 @@ type Metrics struct {
 	Errors         atomic.Int64 // error responses sent
 	MergeNanos     atomic.Int64 // cumulative query merge+finalize time
 	LastMergeNanos atomic.Int64
+
+	// Batched-ingest latency, measured around each worker's ProcessBatch
+	// call (post-shard, so one wire batch contributes one sample per
+	// worker that received a shard of it).
+	BatchesProcessed atomic.Int64
+	BatchNanos       atomic.Int64 // cumulative worker batch-processing time
+	LastBatchNanos   atomic.Int64
+
+	start time.Time // set by Server.New; anchors the edges/sec rate
 }
 
-// snapshot flattens the counters for JSON encoding.
+// snapshot flattens the counters for JSON encoding, adding the derived
+// ingest rate and mean per-batch latency.
 func (m *Metrics) snapshot() map[string]int64 {
-	return map[string]int64{
-		"edges_ingested":   m.EdgesIngested.Load(),
-		"batches":          m.Batches.Load(),
-		"queries":          m.Queries.Load(),
-		"conns_open":       m.Conns.Load(),
-		"conns_total":      m.ConnsTotal.Load(),
-		"frames":           m.Frames.Load(),
-		"errors":           m.Errors.Load(),
-		"merge_nanos":      m.MergeNanos.Load(),
-		"last_merge_nanos": m.LastMergeNanos.Load(),
+	s := map[string]int64{
+		"edges_ingested":    m.EdgesIngested.Load(),
+		"batches":           m.Batches.Load(),
+		"queries":           m.Queries.Load(),
+		"conns_open":        m.Conns.Load(),
+		"conns_total":       m.ConnsTotal.Load(),
+		"frames":            m.Frames.Load(),
+		"errors":            m.Errors.Load(),
+		"merge_nanos":       m.MergeNanos.Load(),
+		"last_merge_nanos":  m.LastMergeNanos.Load(),
+		"batches_processed": m.BatchesProcessed.Load(),
+		"batch_nanos":       m.BatchNanos.Load(),
+		"last_batch_nanos":  m.LastBatchNanos.Load(),
 	}
+	if n := m.BatchesProcessed.Load(); n > 0 {
+		s["avg_batch_nanos"] = m.BatchNanos.Load() / n
+	} else {
+		s["avg_batch_nanos"] = 0
+	}
+	if !m.start.IsZero() {
+		up := time.Since(m.start)
+		s["uptime_seconds"] = int64(up.Seconds())
+		if up > 0 {
+			s["ingest_edges_per_sec"] = int64(float64(m.EdgesIngested.Load()) / up.Seconds())
+		}
+	}
+	return s
 }

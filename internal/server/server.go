@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"streamcover/internal/wire"
 )
@@ -66,11 +67,13 @@ type Server struct {
 // New builds a server; call Start (or ServeTCP with your own listener)
 // to begin accepting.
 func New(cfg Config) *Server {
-	return &Server{
+	s := &Server{
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[string]*session),
 		conns:    make(map[net.Conn]struct{}),
 	}
+	s.metrics.start = time.Now()
+	return s
 }
 
 // Metrics exposes the live counters (read with atomic loads).
@@ -261,7 +264,7 @@ func (s *Server) createSession(c wire.Create) error {
 		}
 		return fmt.Errorf("server: session %q exists with different parameters", c.Name)
 	}
-	sess, err := newSession(c.Name, c.M, c.N, c.K, c.Alpha, c.Seed, s.cfg.Workers, s.cfg.QueueDepth)
+	sess, err := newSession(c.Name, c.M, c.N, c.K, c.Alpha, c.Seed, s.cfg.Workers, s.cfg.QueueDepth, &s.metrics)
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,7 @@ type session struct {
 
 	workers []chan workerMsg
 	wg      sync.WaitGroup // worker goroutines
+	metrics *Metrics       // server-wide counters (batch latency); may be nil in tests
 
 	mu     sync.Mutex
 	closed bool
@@ -48,8 +49,8 @@ type cloneReply struct {
 	err error
 }
 
-func newSession(name string, m, n, k int, alpha float64, seed int64, workers, queueDepth int) (*session, error) {
-	s := &session{name: name, m: m, n: n, k: k, alpha: alpha, seed: seed}
+func newSession(name string, m, n, k int, alpha float64, seed int64, workers, queueDepth int, metrics *Metrics) (*session, error) {
+	s := &session{name: name, m: m, n: n, k: k, alpha: alpha, seed: seed, metrics: metrics}
 	s.workers = make([]chan workerMsg, workers)
 	for i := range s.workers {
 		est, err := streamcover.NewEstimator(m, n, k, alpha, streamcover.WithSeed(seed))
@@ -66,16 +67,29 @@ func newSession(name string, m, n, k int, alpha float64, seed int64, workers, qu
 
 func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg) {
 	defer s.wg.Done()
+	var buf []streamcover.Edge // reusable shard conversion buffer
 	for msg := range ch {
 		if msg.clone != nil {
 			c, err := est.Clone()
 			msg.clone <- cloneReply{c, err}
 			continue
 		}
+		if cap(buf) < len(msg.edges) {
+			buf = make([]streamcover.Edge, len(msg.edges))
+		}
+		b := buf[:len(msg.edges)]
+		for i, e := range msg.edges {
+			b[i] = streamcover.Edge(e)
+		}
+		start := time.Now()
 		// Edges were validated against the session dims at decode time,
-		// so Process cannot fail here.
-		for _, e := range msg.edges {
-			est.Process(streamcover.Edge(e))
+		// so the batched ingest cannot fail here.
+		est.ProcessBatch(b)
+		if s.metrics != nil {
+			d := time.Since(start).Nanoseconds()
+			s.metrics.BatchNanos.Add(d)
+			s.metrics.LastBatchNanos.Store(d)
+			s.metrics.BatchesProcessed.Add(1)
 		}
 	}
 }

@@ -31,6 +31,7 @@ type contribLevel struct {
 	rate    float64
 	sampler *hash.Poly
 	hh      *HeavyHitters
+	bits    []bool // batch scratch: sampling bit per distinct key
 }
 
 // ContribConfig tunes the practical constants of the construction. The
@@ -105,6 +106,33 @@ func (c *Contributing) Add(x uint64) {
 		if lv.rate >= 1 || lv.sampler.Bernoulli(x, lv.rate) {
 			lv.hh.Add(x)
 		}
+	}
+}
+
+// AddBatch feeds the occurrence sequence occ — each entry an index into
+// keys, in arrival order — to every level. It is bit-for-bit equivalent to
+// calling Add per occurrence: the coordinate-sampling bit is a pure
+// function of the key, so it is computed once per distinct key instead of
+// once per occurrence, and CountSketch updates are deferred per distinct
+// key through the HeavyHitters batch API. Levels are independent, so
+// running them level-major instead of occurrence-major changes no state.
+func (c *Contributing) AddBatch(keys []uint64, occ []int32) {
+	for i := range c.levels {
+		lv := &c.levels[i]
+		lv.hh.BeginBatch(keys)
+		if lv.rate >= 1 {
+			for _, ki := range occ {
+				lv.hh.AddBatched(ki)
+			}
+		} else {
+			lv.bits = lv.sampler.BernoulliBatch(keys, lv.rate, lv.bits)
+			for _, ki := range occ {
+				if lv.bits[ki] {
+					lv.hh.AddBatched(ki)
+				}
+			}
+		}
+		lv.hh.EndBatch()
 	}
 }
 

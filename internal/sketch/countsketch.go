@@ -18,6 +18,15 @@ type CountSketch struct {
 	table        [][]int64
 	bucket       []*hash.Poly // 2-wise bucket hash per row
 	sign         []*hash.Poly // 4-wise sign hash per row
+
+	// Per-batch hash memos (see BeginBatch): bucket index and sign per
+	// (key, row), computed lazily on a key's first batched update. Purely
+	// transient working memory — excluded from SpaceWords, never
+	// serialized or merged.
+	bKeys   []uint64
+	bBucket []int32 // ki*depth + r
+	bSign   []int8  // ki*depth + r
+	bReady  []bool  // per key: memo row filled
 }
 
 // NewCountSketch builds a sketch with the given depth (number of
@@ -49,16 +58,98 @@ func (cs *CountSketch) Add(x uint64, delta int64) {
 	}
 }
 
-// Estimate returns the median-of-rows point estimate of a[x].
+// Estimate returns the median-of-rows point estimate of a[x]. It sits on
+// the ingest hot path (every heavy-hitter admission and refresh calls it),
+// so the median runs over a stack buffer with inline insertion sort
+// rather than an allocated slice and sort.Slice's reflection.
 func (cs *CountSketch) Estimate(x uint64) int64 {
-	ests := make([]int64, cs.depth)
+	var buf [15]int64
+	ests := buf[:0]
+	if cs.depth > len(buf) {
+		ests = make([]int64, 0, cs.depth)
+	}
 	for r := 0; r < cs.depth; r++ {
 		b := cs.bucket[r].Range(x, uint64(cs.width))
-		ests[r] = int64(cs.sign[r].Sign(x)) * cs.table[r][b]
+		e := int64(cs.sign[r].Sign(x)) * cs.table[r][b]
+		i := len(ests)
+		ests = append(ests, e)
+		for ; i > 0 && ests[i-1] > e; i-- {
+			ests[i] = ests[i-1]
+		}
+		ests[i] = e
 	}
-	sort.Slice(ests, func(i, j int) bool { return ests[i] < ests[j] })
 	return ests[cs.depth/2]
 }
+
+// BeginBatch enters batched mode for a set of distinct keys: bucket
+// indices and signs — pure functions of (key, row) — are memoized per key
+// on first use, so repeated updates and estimates of the same key within
+// the batch hash it once. Results are bit-identical to the scalar calls.
+// The keys slice is only read and must stay valid until EndBatch.
+func (cs *CountSketch) BeginBatch(keys []uint64) {
+	cs.bKeys = keys
+	n := len(keys) * cs.depth
+	if cap(cs.bBucket) < n {
+		cs.bBucket = make([]int32, n)
+		cs.bSign = make([]int8, n)
+	}
+	cs.bBucket, cs.bSign = cs.bBucket[:n], cs.bSign[:n]
+	if cap(cs.bReady) < len(keys) {
+		cs.bReady = make([]bool, len(keys))
+	}
+	cs.bReady = cs.bReady[:len(keys)]
+	for i := range cs.bReady {
+		cs.bReady[i] = false
+	}
+}
+
+// memo fills key ki's memo row on first use.
+func (cs *CountSketch) memo(ki int32) {
+	if cs.bReady[ki] {
+		return
+	}
+	x := cs.bKeys[ki]
+	base := int(ki) * cs.depth
+	for r := 0; r < cs.depth; r++ {
+		cs.bBucket[base+r] = int32(cs.bucket[r].Range(x, uint64(cs.width)))
+		cs.bSign[base+r] = int8(cs.sign[r].Sign(x))
+	}
+	cs.bReady[ki] = true
+}
+
+// AddBatched applies a[keys[ki]] += delta via the batch memos; identical
+// to Add(keys[ki], delta).
+func (cs *CountSketch) AddBatched(ki int32, delta int64) {
+	cs.memo(ki)
+	base := int(ki) * cs.depth
+	for r := 0; r < cs.depth; r++ {
+		cs.table[r][cs.bBucket[base+r]] += int64(cs.bSign[base+r]) * delta
+	}
+}
+
+// EstimateBatched is Estimate(keys[ki]) via the batch memos.
+func (cs *CountSketch) EstimateBatched(ki int32) int64 {
+	cs.memo(ki)
+	var buf [15]int64
+	ests := buf[:0]
+	if cs.depth > len(buf) {
+		ests = make([]int64, 0, cs.depth)
+	}
+	base := int(ki) * cs.depth
+	for r := 0; r < cs.depth; r++ {
+		e := int64(cs.bSign[base+r]) * cs.table[r][cs.bBucket[base+r]]
+		i := len(ests)
+		ests = append(ests, e)
+		for ; i > 0 && ests[i-1] > e; i-- {
+			ests[i] = ests[i-1]
+		}
+		ests[i] = e
+	}
+	return ests[cs.depth/2]
+}
+
+// EndBatch leaves batched mode.
+func (cs *CountSketch) EndBatch() { cs.bKeys = nil }
 
 // F2Estimate estimates F2(a) as the median across rows of the row's sum of
 // squared counters (each row is an AMS-style estimator when width ≥ 1; the

@@ -27,6 +27,42 @@ type HeavyHitters struct {
 	cand  map[uint64]int64 // candidate id -> eviction priority (see Add)
 	cap   int
 	total int64 // number of updates (weight 1 each)
+
+	// Transient batch/refresh working memory (see BeginBatch). None of it
+	// survives a batch or refresh, so it is excluded from SpaceWords, never
+	// serialized, and never merged.
+	refresh     []hhKV
+	batchKeys   []uint64
+	pending     []int64 // deferred CountSketch deltas, indexed like batchKeys
+	touched     []int32 // indices with pending[i] != 0
+	bump        []int64 // deferred priority bumps for resident keys
+	bumpTouched []int32 // indices with bump[i] != 0
+	resident    []bool  // per key: known resident since the last refresh
+
+	// keyIdx maps batch key -> index, built lazily on the first refresh of
+	// a batch so refresh estimates can reuse the CountSketch memos. Empty
+	// outside batches and on churn-free batches.
+	keyIdx      map[uint64]int32
+	keyIdxBuilt bool
+}
+
+// hhKVs sorts by estimate descending, id ascending — a deterministic
+// total order (concrete type: this sort runs on the ingest hot path and
+// sort.Slice's reflection-based swaps were measurable).
+type hhKVs []hhKV
+
+func (s hhKVs) Len() int      { return len(s) }
+func (s hhKVs) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s hhKVs) Less(i, j int) bool {
+	if s[i].est != s[j].est {
+		return s[i].est > s[j].est
+	}
+	return s[i].id < s[j].id
+}
+
+type hhKV struct {
+	id  uint64
+	est int64
 }
 
 // NewF2HeavyHitters builds a heavy-hitter sketch with threshold phi for a
@@ -63,29 +99,170 @@ func (hh *HeavyHitters) Add(x uint64) {
 		hh.cand[x] = p + 1
 		return
 	}
+	hh.admit(x)
+}
+
+// admit inserts non-resident x into the candidate table. When the table is
+// full it refreshes every candidate's priority from the sketch and evicts
+// the weaker half in one batch first. The O(cap·log cap) scan runs once
+// per cap/2 admissions, so admission cost is amortized O(log cap); heavy
+// coordinates always survive the batch because their refreshed estimates
+// rank in the top half. Ties break on id so the surviving half does not
+// depend on map iteration order.
+func (hh *HeavyHitters) admit(x uint64) {
 	if len(hh.cand) < hh.cap {
 		hh.cand[x] = hh.cs.Estimate(x)
 		return
 	}
-	// Table full: refresh every candidate's priority from the sketch and
-	// evict the weaker half in one batch, then admit x. The O(cap·log cap)
-	// scan runs once per cap/2 admissions, so admission cost is amortized
-	// O(log cap); heavy coordinates always survive the batch because their
-	// refreshed estimates rank in the top half.
-	type kv struct {
-		id  uint64
-		est int64
+	hh.refreshEvict()
+	hh.cand[x] = hh.cs.Estimate(x)
+}
+
+// refreshEvict re-estimates every candidate from the sketch and keeps the
+// stronger half. It also invalidates the batch path's residency cache:
+// evictions change who is resident. During a batch, candidates that are
+// batch keys estimate through the CountSketch memos (found via keyIdx,
+// built on the batch's first refresh); the handful admitted before the
+// batch fall back to the scalar path — same values either way.
+func (hh *HeavyHitters) refreshEvict() {
+	if hh.batchKeys != nil && !hh.keyIdxBuilt {
+		if hh.keyIdx == nil {
+			hh.keyIdx = make(map[uint64]int32, len(hh.batchKeys))
+		}
+		for i, x := range hh.batchKeys {
+			hh.keyIdx[x] = int32(i)
+		}
+		hh.keyIdxBuilt = true
 	}
-	all := make([]kv, 0, len(hh.cand))
+	all := hh.refresh[:0]
 	for id := range hh.cand {
-		all = append(all, kv{id, hh.cs.Estimate(id)})
+		var est int64
+		if ki, ok := hh.keyIdx[id]; ok {
+			est = hh.cs.EstimateBatched(ki)
+		} else {
+			est = hh.cs.Estimate(id)
+		}
+		all = append(all, hhKV{id, est})
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].est > all[j].est })
-	hh.cand = make(map[uint64]int64, hh.cap)
+	if len(all) <= 32 {
+		for i := 1; i < len(all); i++ {
+			kv := all[i]
+			j := i
+			for ; j > 0 && (kv.est > all[j-1].est || (kv.est == all[j-1].est && kv.id < all[j-1].id)); j-- {
+				all[j] = all[j-1]
+			}
+			all[j] = kv
+		}
+	} else {
+		sort.Sort(hhKVs(all))
+	}
+	hh.refresh = all
+	clear(hh.cand)
 	for _, p := range all[:hh.cap/2] {
 		hh.cand[p.id] = p.est
 	}
-	hh.cand[x] = hh.cs.Estimate(x)
+	for i := range hh.resident {
+		hh.resident[i] = false
+	}
+}
+
+// BeginBatch enters deferred-update mode for a batch whose occurrences are
+// indices into keys (one entry per distinct key). While a batch is open:
+//
+//   - CountSketch deltas accumulate per distinct key (the counters are
+//     plain sums, so flushing the total in one update per key is
+//     bit-identical) and the sketch memoizes each key's bucket/sign row
+//     on first use, so a key is hashed once per batch, not per update.
+//   - Priority bumps for keys known to be resident accumulate per key and
+//     are flushed before any event that could read or evict them.
+//
+// Deferred deltas are flushed before every point estimate (admissions and
+// refreshes), so every estimate observes exactly the counters the
+// per-occurrence path would have; deferred bumps are flushed before every
+// refresh, and a refresh resets the residency cache, so the candidate
+// table evolves identically to the per-occurrence path. The keys slice is
+// only read; it must stay valid until EndBatch.
+func (hh *HeavyHitters) BeginBatch(keys []uint64) {
+	hh.batchKeys = keys
+	hh.cs.BeginBatch(keys)
+	if cap(hh.pending) < len(keys) {
+		hh.pending = make([]int64, len(keys))
+		hh.bump = make([]int64, len(keys))
+	}
+	// Invariant: every entry of the backing arrays is zero between batches
+	// (the flushes re-zero what they visit), so no clearing needed.
+	hh.pending = hh.pending[:len(keys)]
+	hh.bump = hh.bump[:len(keys)]
+	hh.touched = hh.touched[:0]
+	hh.bumpTouched = hh.bumpTouched[:0]
+	if cap(hh.resident) < len(keys) {
+		hh.resident = make([]bool, len(keys))
+	}
+	hh.resident = hh.resident[:len(keys)]
+	for i := range hh.resident {
+		hh.resident[i] = false
+	}
+}
+
+// AddBatched feeds one occurrence of batchKeys[ki]; identical to
+// Add(batchKeys[ki]) given the flush discipline above.
+func (hh *HeavyHitters) AddBatched(ki int32) {
+	hh.total++
+	if hh.pending[ki] == 0 {
+		hh.touched = append(hh.touched, ki)
+	}
+	hh.pending[ki]++
+	if hh.resident[ki] {
+		if hh.bump[ki] == 0 {
+			hh.bumpTouched = append(hh.bumpTouched, ki)
+		}
+		hh.bump[ki]++
+		return
+	}
+	x := hh.batchKeys[ki]
+	if p, ok := hh.cand[x]; ok {
+		hh.cand[x] = p + 1
+		hh.resident[ki] = true
+		return
+	}
+	hh.flushPending()
+	hh.flushBumps()
+	if len(hh.cand) >= hh.cap {
+		hh.refreshEvict()
+	}
+	hh.cand[x] = hh.cs.EstimateBatched(ki)
+	hh.resident[ki] = true
+}
+
+func (hh *HeavyHitters) flushPending() {
+	for _, ki := range hh.touched {
+		hh.cs.AddBatched(ki, hh.pending[ki])
+		hh.pending[ki] = 0
+	}
+	hh.touched = hh.touched[:0]
+}
+
+// flushBumps applies deferred priority bumps. Every bumped key is still
+// resident (bumps only accrue while resident, and residency changes only
+// at refreshes, which flush first), so these are plain updates.
+func (hh *HeavyHitters) flushBumps() {
+	for _, ki := range hh.bumpTouched {
+		hh.cand[hh.batchKeys[ki]] += hh.bump[ki]
+		hh.bump[ki] = 0
+	}
+	hh.bumpTouched = hh.bumpTouched[:0]
+}
+
+// EndBatch flushes remaining deferred state and leaves batch mode.
+func (hh *HeavyHitters) EndBatch() {
+	hh.flushPending()
+	hh.flushBumps()
+	hh.cs.EndBatch()
+	hh.batchKeys = nil
+	if hh.keyIdxBuilt {
+		clear(hh.keyIdx)
+		hh.keyIdxBuilt = false
+	}
 }
 
 // Total reports the number of updates fed.

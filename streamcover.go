@@ -87,6 +87,7 @@ type Estimator struct {
 	opts    []Option
 	inner   *core.Estimator
 	edges   int
+	conv    []stream.Edge // reusable batch conversion buffer (transient, not sketch state)
 }
 
 // NewEstimator builds an estimator for a stream over m sets and n elements
@@ -136,14 +137,62 @@ func (e *Estimator) Process(edge Edge) error {
 	return nil
 }
 
-// ProcessAll consumes a slice of edges, stopping at the first invalid one.
+// ProcessAll consumes a slice of edges through the batched hot path,
+// stopping at the first invalid one (the valid prefix is processed, as
+// the per-edge loop it replaces did). The outcome is bit-for-bit
+// identical to calling Process on every edge in order.
 func (e *Estimator) ProcessAll(edges []Edge) error {
-	for _, edge := range edges {
-		if err := e.Process(edge); err != nil {
-			return err
+	valid, err := edges, error(nil)
+	for i, edge := range edges {
+		if int(edge.Set) >= e.m {
+			valid, err = edges[:i], fmt.Errorf("streamcover: set id %d >= m=%d", edge.Set, e.m)
+			break
+		}
+		if int(edge.Elem) >= e.n {
+			valid, err = edges[:i], fmt.Errorf("streamcover: element id %d >= n=%d", edge.Elem, e.n)
+			break
 		}
 	}
+	e.processValidated(valid)
+	return err
+}
+
+// ProcessBatch consumes one batch of edges through the batched hot path:
+// every ID-keyed hash decision (layer routing, supersets, sampling bits,
+// pseudo-elements) is computed once per distinct set or element in the
+// batch instead of once per edge per sub-sketch, which is where most of
+// the per-edge cost lives. The resulting state is bit-for-bit identical
+// to calling Process on every edge in order. Unlike ProcessAll, the whole
+// batch is validated up front and rejected atomically: on error no edge
+// of the batch has been processed.
+func (e *Estimator) ProcessBatch(edges []Edge) error {
+	for _, edge := range edges {
+		if int(edge.Set) >= e.m {
+			return fmt.Errorf("streamcover: set id %d >= m=%d", edge.Set, e.m)
+		}
+		if int(edge.Elem) >= e.n {
+			return fmt.Errorf("streamcover: element id %d >= n=%d", edge.Elem, e.n)
+		}
+	}
+	e.processValidated(edges)
 	return nil
+}
+
+// processValidated feeds pre-validated edges to the core batch path via
+// the reusable conversion buffer.
+func (e *Estimator) processValidated(edges []Edge) {
+	if len(edges) == 0 {
+		return
+	}
+	if cap(e.conv) < len(edges) {
+		e.conv = make([]stream.Edge, len(edges))
+	}
+	buf := e.conv[:len(edges)]
+	for i, edge := range edges {
+		buf[i] = stream.Edge(edge)
+	}
+	e.inner.ProcessBatch(buf)
+	e.edges += len(edges)
 }
 
 // ProcessAllParallel consumes an in-memory edge slice using up to
