@@ -11,8 +11,15 @@
 //	curl 'localhost:7601/query?session=crawl'
 //	kcover -server localhost:7600 -session crawl
 //
+// With -data DIR the daemon is durable: sequenced ingest batches are
+// written to a per-session WAL before they are acknowledged, estimator
+// state is checkpointed on a cadence (and on shutdown), and a restart
+// recovers every session — snapshot restore plus WAL tail replay — before
+// accepting connections. A SIGKILL therefore loses nothing that was
+// acknowledged.
+//
 // SIGINT/SIGTERM shut down gracefully: listeners close, worker queues
-// drain, then the process exits.
+// drain, a final checkpoint is written, then the process exits.
 package main
 
 import (
@@ -33,11 +40,25 @@ func main() {
 		httpA   = flag.String("http", ":7601", "HTTP query/metrics listen address (empty disables)")
 		workers = flag.Int("workers", 0, "shard workers per session (0 = GOMAXPROCS)")
 		queue   = flag.Int("queue", 64, "per-worker batch queue depth (backpressure bound)")
-		drain   = flag.Duration("drain", 15*time.Second, "graceful shutdown budget")
+		drain   = flag.Duration("drain", 60*time.Second, "graceful shutdown budget (with -data this includes a final checkpoint, which scales with estimator size)")
+
+		dataDir    = flag.String("data", "", "durability directory: checkpoints + WAL per session (empty = in-memory only)")
+		checkpoint = flag.Duration("checkpoint", 30*time.Second, "checkpoint cadence (<=0 disables the timer; /checkpoint still works)")
+		walSegment = flag.Int64("wal-segment", 0, "WAL segment size in bytes (0 = default)")
+		walNoSync  = flag.Bool("wal-nosync", false, "skip fsync on WAL appends (fast, loses acked batches on power loss)")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Config{Workers: *workers, QueueDepth: *queue})
+	if *checkpoint <= 0 {
+		*checkpoint = -1 // Config treats 0 as "use default": make <=0 mean off
+	}
+	srv := server.New(server.Config{
+		Workers: *workers, QueueDepth: *queue,
+		DataDir:         *dataDir,
+		CheckpointEvery: *checkpoint,
+		WALSegmentBytes: *walSegment,
+		WALNoSync:       *walNoSync,
+	})
 	if err := srv.Start(*listen, *httpA); err != nil {
 		fmt.Fprintln(os.Stderr, "kcoverd:", err)
 		os.Exit(1)

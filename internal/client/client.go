@@ -12,18 +12,50 @@
 // outstanding requests, and the bounded in-flight window (WithMaxPending)
 // plus the server's bounded worker queues give end-to-end backpressure.
 // Batch errors surface on the next Send, Flush or Query.
+//
+// By default every batch is sequenced: the client stamps it with its
+// random source identity and a per-session sequence number (TIngestSeq)
+// and keeps it buffered until the server acknowledges it. With
+// WithReconnect the client redials on connection loss with exponential
+// backoff, re-creates its sessions (idempotent server-side) and resends
+// the unacknowledged batches; the server deduplicates on (source, seq),
+// so ingestion stays exactly-once even when the loss was a server crash
+// and the ack — not the batch — is what went missing. WithFireAndForget
+// reverts to unsequenced TIngest frames (at-most-once, lowest overhead).
+//
+// Errors caused by the far end going away wrap ErrSessionClosed, so
+// callers can tell "the server hung up" from application errors.
 package client
 
 import (
 	"bufio"
+	crand "crypto/rand"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"streamcover"
 	"streamcover/internal/stream"
 	"streamcover/internal/wire"
 )
+
+// ErrSessionClosed is wrapped into every error caused by the server going
+// away mid-conversation — a shutdown, a crash, or a network drop — so
+// callers can distinguish the far end hanging up from protocol or
+// application errors with errors.Is, and decide to redial (or let
+// WithReconnect do it for them).
+var ErrSessionClosed = errors.New("client: connection closed by server")
+
+// wrapLost tags a transport error as a lost-connection error exactly once.
+func wrapLost(err error) error {
+	if errors.Is(err, ErrSessionClosed) {
+		return err
+	}
+	return fmt.Errorf("%w (%v)", ErrSessionClosed, err)
+}
 
 // Result is a queried coverage estimate, mirroring streamcover.Result
 // plus the server-side edge count.
@@ -50,7 +82,8 @@ func WithBatchSize(n int) Option {
 
 // WithMaxPending bounds the number of unacknowledged frames in flight
 // (default 64). Smaller values tighten client memory and backpressure;
-// larger values hide more network latency.
+// larger values hide more network latency. It also bounds the resend
+// buffer: a sequenced batch occupies a window slot until acked.
 func WithMaxPending(n int) Option {
 	return func(c *Client) {
 		if n > 0 {
@@ -59,29 +92,111 @@ func WithMaxPending(n int) Option {
 	}
 }
 
-// Client is one connection to a kcoverd server. It is safe for concurrent
-// use; each Session's buffer is owned by its caller.
-type Client struct {
-	batchSize  int
-	maxPending int
-
-	conn net.Conn
-	bw   *bufio.Writer
-
-	mu      sync.Mutex // serializes frame writes and pending enqueues
-	pending chan waiter
-
-	readerDone chan struct{}
-
-	errMu    sync.Mutex
-	firstErr error // first async (ack) or transport error
+// WithFireAndForget reverts Send to unsequenced TIngest frames with no
+// resend buffer: lowest overhead, at-most-once across connection loss.
+func WithFireAndForget() Option {
+	return func(c *Client) { c.fireForget = true }
 }
 
+// WithReconnect makes the client redial with exponential backoff when the
+// connection is lost, re-create its sessions and resend unacknowledged
+// sequenced batches. maxAttempts bounds one reconnect episode (<= 0
+// keeps the default of 6); when exhausted the client fails permanently.
+func WithReconnect(maxAttempts int) Option {
+	return func(c *Client) {
+		c.reconnect = true
+		if maxAttempts > 0 {
+			c.attempts = maxAttempts
+		}
+	}
+}
+
+// WithBackoff overrides the reconnect backoff bounds (defaults 50ms, 2s).
+// The first redial is immediate; later ones double from min up to max.
+func WithBackoff(min, max time.Duration) Option {
+	return func(c *Client) {
+		if min > 0 {
+			c.backoffMin = min
+		}
+		if max >= min && max > 0 {
+			c.backoffMax = max
+		}
+	}
+}
+
+// Client is one connection to a kcoverd server (redialed transparently
+// under WithReconnect). It is safe for concurrent use; each Session's
+// buffer is owned by its caller.
+type Client struct {
+	addr       string
+	batchSize  int
+	maxPending int
+	fireForget bool
+	reconnect  bool
+	attempts   int
+	backoffMin time.Duration
+	backoffMax time.Duration
+	source     uint64 // random nonzero identity stamped on sequenced batches
+
+	mu     sync.Mutex // serializes frame writes, connection state, reconnects
+	cn     *netConn   // current connection epoch; failed epochs are replaced
+	closed bool
+	fatal  error // sticky: reconnect disabled or exhausted
+
+	amu      sync.Mutex // leaf lock: session registry, seq counters, unacked deques
+	states   map[string]*sessionState
+	asyncErr error // first error the server reported for a pipelined batch
+}
+
+// sessionState is the client-side durable view of one named session: the
+// create parameters (replayed on reconnect) and the sequenced batches the
+// server has not yet acknowledged (resent on reconnect).
+type sessionState struct {
+	create  wire.Create
+	nextSeq uint64
+	unacked []seqBatch // in sequence order; acks pop the front
+}
+
+type seqBatch struct {
+	seq     uint64
+	payload []byte // complete TIngestSeq payload, kept until acked
+}
+
+// netConn is one connection epoch: socket, write buffer, and the queue
+// pairing requests with the server's in-order responses.
+type netConn struct {
+	c          net.Conn
+	bw         *bufio.Writer
+	pending    chan waiter
+	readerDone chan struct{}
+
+	errMu   sync.Mutex
+	lostErr error
+}
+
+func (cn *netConn) lost(err error) {
+	cn.errMu.Lock()
+	if cn.lostErr == nil {
+		cn.lostErr = err
+	}
+	cn.errMu.Unlock()
+}
+
+func (cn *netConn) err() error {
+	cn.errMu.Lock()
+	defer cn.errMu.Unlock()
+	return cn.lostErr
+}
+
+func (cn *netConn) failed() bool { return cn.err() != nil }
+
 // waiter matches one outstanding request to its in-order response. ch is
-// nil for fire-and-forget frames (ingest): their errors are recorded
-// rather than delivered.
+// set for round-trip requests; ack for sequenced ingest (called with nil
+// on TOK, the server's error on TErr). Both nil: fire-and-forget ingest,
+// whose errors are recorded rather than delivered.
 type waiter struct {
-	ch chan response
+	ch  chan response
+	ack func(error)
 }
 
 type response struct {
@@ -90,42 +205,76 @@ type response struct {
 	err     error
 }
 
+// newSource draws the client's random nonzero identity. The (source, seq)
+// pair is how the server recognizes a replayed batch.
+func newSource() uint64 {
+	var b [8]byte
+	for i := 0; i < 4; i++ {
+		if _, err := crand.Read(b[:]); err != nil {
+			break
+		}
+		if v := binary.LittleEndian.Uint64(b[:]); v != 0 {
+			return v
+		}
+	}
+	return uint64(time.Now().UnixNano()) | 1
+}
+
 // Dial connects to a kcoverd ingest address.
 func Dial(addr string, opts ...Option) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
 	c := &Client{
+		addr:       addr,
 		batchSize:  4096,
 		maxPending: 64,
-		conn:       conn,
-		bw:         bufio.NewWriterSize(conn, 1<<16),
-		readerDone: make(chan struct{}),
+		attempts:   6,
+		backoffMin: 50 * time.Millisecond,
+		backoffMax: 2 * time.Second,
+		source:     newSource(),
+		states:     make(map[string]*sessionState),
 	}
 	for _, o := range opts {
 		o(c)
 	}
-	c.pending = make(chan waiter, c.maxPending)
-	go c.readLoop()
+	cn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.cn = cn
 	return c, nil
 }
 
-// readLoop drains responses, pairing each with the oldest waiter.
-func (c *Client) readLoop() {
-	defer close(c.readerDone)
-	br := bufio.NewReaderSize(c.conn, 1<<16)
+func (c *Client) dial() (*netConn, error) {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	cn := &netConn{
+		c:          conn,
+		bw:         bufio.NewWriterSize(conn, 1<<16),
+		pending:    make(chan waiter, c.maxPending),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop(cn)
+	return cn, nil
+}
+
+// readLoop drains one epoch's responses, pairing each with the oldest
+// waiter. On transport failure it fails the round-trip waiters but drops
+// sequenced-ingest waiters silently: their batches stay in the unacked
+// deques and are resent on the next epoch.
+func (c *Client) readLoop(cn *netConn) {
+	defer close(cn.readerDone)
+	br := bufio.NewReaderSize(cn.c, 1<<16)
 	scratch := make([]byte, 4096)
 	for {
 		typ, payload, err := wire.ReadFrame(br, scratch)
 		if err != nil {
-			c.fail(fmt.Errorf("client: connection lost: %w", err))
-			// Unblock everyone still waiting.
+			cn.lost(wrapLost(err))
 			for {
 				select {
-				case w := <-c.pending:
+				case w := <-cn.pending:
 					if w.ch != nil {
-						w.ch <- response{err: c.err()}
+						w.ch <- response{err: cn.err()}
 					}
 				default:
 					return
@@ -133,83 +282,317 @@ func (c *Client) readLoop() {
 			}
 		}
 		select {
-		case w := <-c.pending:
-			if w.ch != nil {
+		case w := <-cn.pending:
+			switch {
+			case w.ch != nil:
 				// Responses alias scratch; copy for the waiter.
 				w.ch <- response{typ: typ, payload: append([]byte(nil), payload...)}
-			} else if typ == wire.TErr {
-				// The payload already carries the "server:" prefix.
-				c.fail(fmt.Errorf("client: %s", payload))
+			case w.ack != nil:
+				if typ == wire.TErr {
+					// The payload already carries the "server:" prefix.
+					w.ack(fmt.Errorf("client: %s", payload))
+				} else {
+					w.ack(nil)
+				}
+			case typ == wire.TErr:
+				c.failAsync(fmt.Errorf("client: %s", payload))
 			}
 		default:
-			c.fail(fmt.Errorf("client: unexpected frame 0x%02x with no request outstanding", typ))
+			cn.lost(fmt.Errorf("client: unexpected frame 0x%02x with no request outstanding", typ))
+			cn.c.Close()
 			return
 		}
 	}
 }
 
-func (c *Client) fail(err error) {
-	c.errMu.Lock()
-	if c.firstErr == nil {
-		c.firstErr = err
+func (c *Client) failAsync(err error) {
+	c.amu.Lock()
+	if c.asyncErr == nil {
+		c.asyncErr = err
 	}
-	c.errMu.Unlock()
+	c.amu.Unlock()
 }
 
-func (c *Client) err() error {
-	c.errMu.Lock()
-	defer c.errMu.Unlock()
-	return c.firstErr
+func (c *Client) asyncError() error {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	return c.asyncErr
 }
 
-// send writes one frame, registering its waiter first so the reader can
-// never see an unmatched response. Blocks when maxPending frames are
-// unacknowledged (backpressure).
-func (c *Client) send(typ byte, payload []byte, w waiter) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.err(); err != nil {
-		return err
+// ackFunc builds the acknowledgement callback for one sequenced batch:
+// pop it from the session's resend deque (acks arrive in sequence order)
+// and record a server-side rejection as the sticky async error.
+func (c *Client) ackFunc(st *sessionState, seq uint64) func(error) {
+	return func(serverErr error) {
+		c.amu.Lock()
+		if len(st.unacked) > 0 && st.unacked[0].seq == seq {
+			st.unacked = st.unacked[1:]
+		}
+		if serverErr != nil && c.asyncErr == nil {
+			c.asyncErr = serverErr
+		}
+		c.amu.Unlock()
 	}
-	select {
-	case c.pending <- w:
-	default:
-		// The in-flight window is full. Flush buffered frames first so
-		// the server can ack them — blocking with frames stuck in our
-		// own write buffer would deadlock the pipeline.
-		if err := c.bw.Flush(); err != nil {
-			c.fail(err)
+}
+
+// connLocked returns a healthy connection, redialing (and replaying
+// session state) when the current one was lost. Called with c.mu held;
+// the reconnect backoff sleeps with the lock held, which is what stalls
+// every other sender until the link is back.
+func (c *Client) connLocked() (*netConn, error) {
+	if c.closed {
+		return nil, errors.New("client: closed")
+	}
+	if c.fatal != nil {
+		return nil, c.fatal
+	}
+	if c.cn != nil && !c.cn.failed() {
+		return c.cn, nil
+	}
+	var lostErr error
+	if c.cn != nil {
+		lostErr = c.cn.err()
+		c.cn.c.Close()
+		c.cn = nil
+	}
+	if lostErr == nil {
+		lostErr = ErrSessionClosed
+	}
+	if !c.reconnect {
+		c.fatal = lostErr
+		return nil, c.fatal
+	}
+	backoff := c.backoffMin
+	dialErr := lostErr
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > c.backoffMax {
+				backoff = c.backoffMax
+			}
+		}
+		cn, err := c.dial()
+		if err != nil {
+			dialErr = err
+			continue
+		}
+		if err := c.reestablish(cn); err != nil {
+			dialErr = err
+			cn.c.Close()
+			<-cn.readerDone
+			continue
+		}
+		c.cn = cn
+		return cn, nil
+	}
+	c.fatal = fmt.Errorf("client: reconnect to %s gave up after %d attempts (%w; last: %v)",
+		c.addr, c.attempts, ErrSessionClosed, dialErr)
+	return nil, c.fatal
+}
+
+// reestablish replays client state onto a fresh connection: every
+// registered session is re-created (idempotent server-side), then its
+// unacknowledged sequenced batches are resent verbatim. Batches the
+// server had already applied before the old connection died are
+// deduplicated there by (source, seq), so the replay cannot double-count.
+// Called with c.mu held; cn is not yet published to other goroutines.
+func (c *Client) reestablish(cn *netConn) error {
+	type replay struct {
+		st     *sessionState
+		create []byte
+		seqs   []uint64
+		resend [][]byte
+	}
+	c.amu.Lock()
+	all := make([]replay, 0, len(c.states))
+	for _, st := range c.states {
+		r := replay{st: st, create: st.create.Encode()}
+		for _, b := range st.unacked {
+			r.seqs = append(r.seqs, b.seq)
+			r.resend = append(r.resend, b.payload)
+		}
+		all = append(all, r)
+	}
+	c.amu.Unlock()
+	for _, r := range all {
+		if err := c.roundTripOn(cn, wire.TCreate, r.create); err != nil {
 			return err
 		}
-		select {
-		case c.pending <- w:
-		case <-c.readerDone:
-			return c.err()
+		for i, payload := range r.resend {
+			w := waiter{ack: c.ackFunc(r.st, r.seqs[i])}
+			if err := writeOn(cn, wire.TIngestSeq, payload, w); err != nil {
+				return err
+			}
 		}
 	}
-	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
-		c.fail(err)
+	if err := cn.bw.Flush(); err != nil {
+		err = wrapLost(err)
+		cn.lost(err)
 		return err
 	}
 	return nil
 }
 
-// roundTrip sends one frame and waits for its response, flushing first.
-func (c *Client) roundTrip(typ byte, payload []byte) (response, error) {
-	ch := make(chan response, 1)
-	if err := c.send(typ, payload, waiter{ch: ch}); err != nil {
-		return response{}, err
+// writeOn registers the waiter and writes one frame on a specific epoch,
+// blocking when maxPending frames are unacknowledged (backpressure). The
+// caller holds c.mu.
+func writeOn(cn *netConn, typ byte, payload []byte, w waiter) error {
+	select {
+	case cn.pending <- w:
+	default:
+		// The in-flight window is full. Flush buffered frames first so
+		// the server can ack them — blocking with frames stuck in our
+		// own write buffer would deadlock the pipeline.
+		if err := cn.bw.Flush(); err != nil {
+			err = wrapLost(err)
+			cn.lost(err)
+			return err
+		}
+		select {
+		case cn.pending <- w:
+		case <-cn.readerDone:
+			return cn.err()
+		}
 	}
+	if err := wire.WriteFrame(cn.bw, typ, payload); err != nil {
+		err = wrapLost(err)
+		cn.lost(err)
+		return err
+	}
+	return nil
+}
+
+// send writes one fire-and-forget frame on the current epoch.
+func (c *Client) send(typ byte, payload []byte, w waiter) error {
 	c.mu.Lock()
-	err := c.bw.Flush()
-	c.mu.Unlock()
-	if err != nil {
-		c.fail(err)
-		return response{}, err
+	defer c.mu.Unlock()
+	if err := c.asyncError(); err != nil {
+		return err
 	}
-	resp := <-ch
+	cn, err := c.connLocked()
+	if err != nil {
+		return err
+	}
+	return writeOn(cn, typ, payload, w)
+}
+
+// sendSequenced stamps the batch with the next sequence number, parks a
+// copy in the session's resend deque, and writes it as one TIngestSeq
+// frame. The deque entry is released by the server's in-order ack.
+func (c *Client) sendSequenced(st *sessionState, name string, edges []stream.Edge, m, n int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.asyncError(); err != nil {
+		return err
+	}
+	cn, err := c.connLocked()
+	if err != nil {
+		return err
+	}
+	c.amu.Lock()
+	st.nextSeq++
+	seq := st.nextSeq
+	payload := wire.EncodeIngestSeq(nil, name, c.source, seq, edges, m, n)
+	st.unacked = append(st.unacked, seqBatch{seq: seq, payload: payload})
+	c.amu.Unlock()
+	err = writeOn(cn, wire.TIngestSeq, payload, waiter{ack: c.ackFunc(st, seq)})
+	if err != nil && c.reconnect && errors.Is(err, ErrSessionClosed) {
+		// The batch is already parked in the resend deque, so a successful
+		// reconnect replays it as part of reestablish; recovering the
+		// connection is all that's left to do here.
+		if _, err2 := c.connLocked(); err2 != nil {
+			return err2
+		}
+		return nil
+	}
+	return err
+}
+
+func (c *Client) unackedLen(st *sessionState) int {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	return len(st.unacked)
+}
+
+// roundTripOn sends one frame on a specific epoch and waits for its
+// response, with the caller holding c.mu (reconnect path only).
+func (c *Client) roundTripOn(cn *netConn, typ byte, payload []byte) error {
+	ch := make(chan response, 1)
+	if err := writeOn(cn, typ, payload, waiter{ch: ch}); err != nil {
+		return err
+	}
+	if err := cn.bw.Flush(); err != nil {
+		err = wrapLost(err)
+		cn.lost(err)
+		return err
+	}
+	resp, err := awaitResponse(cn, ch)
+	if err != nil {
+		return err
+	}
+	if resp.typ == wire.TErr {
+		return fmt.Errorf("client: %s", resp.payload)
+	}
+	return nil
+}
+
+// awaitResponse waits for the reader to deliver, guarding against the
+// epoch dying with the waiter still queued.
+func awaitResponse(cn *netConn, ch chan response) (response, error) {
+	var resp response
+	select {
+	case resp = <-ch:
+	case <-cn.readerDone:
+		// The reader exited; it may have delivered just before.
+		select {
+		case resp = <-ch:
+		default:
+			return response{}, cn.err()
+		}
+	}
 	if resp.err != nil {
 		return response{}, resp.err
+	}
+	return resp, nil
+}
+
+// roundTrip sends one frame and waits for its response, flushing first.
+// Under WithReconnect a lost connection is retried on a fresh epoch (the
+// redial replays session state first), since every round-trip request
+// type — create, ping, query, close — is idempotent.
+func (c *Client) roundTrip(typ byte, payload []byte) (response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTripOnce(typ, payload)
+		if err == nil {
+			return resp, nil
+		}
+		if !c.reconnect || attempt >= 2 || !errors.Is(err, ErrSessionClosed) {
+			return response{}, err
+		}
+	}
+}
+
+func (c *Client) roundTripOnce(typ byte, payload []byte) (response, error) {
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	cn, err := c.connLocked()
+	if err == nil {
+		err = writeOn(cn, typ, payload, waiter{ch: ch})
+	}
+	if err == nil {
+		if err = cn.bw.Flush(); err != nil {
+			err = wrapLost(err)
+			cn.lost(err)
+		}
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return response{}, err
+	}
+	resp, err := awaitResponse(cn, ch)
+	if err != nil {
+		return response{}, err
 	}
 	if resp.typ == wire.TErr {
 		return response{}, fmt.Errorf("client: %s", resp.payload)
@@ -218,13 +601,25 @@ func (c *Client) roundTrip(typ byte, payload []byte) (response, error) {
 }
 
 // Create opens (or idempotently re-opens) a named session on the server
-// and returns a handle to it.
+// and returns a handle to it. Unless the client is in fire-and-forget
+// mode, the session is registered for replay: a reconnect re-creates it
+// before resending any of its batches.
 func (c *Client) Create(name string, m, n, k int, alpha float64, seed int64) (*Session, error) {
 	create := wire.Create{Name: name, M: m, N: n, K: k, Alpha: alpha, Seed: seed}
 	if _, err := c.roundTrip(wire.TCreate, create.Encode()); err != nil {
 		return nil, err
 	}
-	return &Session{c: c, name: name, m: m, n: n}, nil
+	var st *sessionState
+	if !c.fireForget {
+		c.amu.Lock()
+		st = c.states[name]
+		if st == nil {
+			st = &sessionState{create: create}
+			c.states[name] = st
+		}
+		c.amu.Unlock()
+	}
+	return &Session{c: c, name: name, m: m, n: n, st: st}, nil
 }
 
 // Session attaches to an existing session for querying (dims unknown, so
@@ -236,10 +631,18 @@ func (c *Client) Session(name string) *Session {
 // Close flushes and closes the connection.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	c.bw.Flush()
+	c.closed = true
+	cn := c.cn
+	c.cn = nil
+	if cn != nil {
+		cn.bw.Flush()
+	}
 	c.mu.Unlock()
-	err := c.conn.Close()
-	<-c.readerDone
+	if cn == nil {
+		return nil
+	}
+	err := cn.c.Close()
+	<-cn.readerDone
 	return err
 }
 
@@ -252,6 +655,7 @@ type Session struct {
 	m, n    int
 	buf     []stream.Edge
 	scratch []byte
+	st      *sessionState // nil: fire-and-forget or attached session
 }
 
 // Name returns the server-side session name.
@@ -285,9 +689,12 @@ func (s *Session) flushBatch() error {
 	if len(s.buf) == 0 {
 		return nil
 	}
-	s.scratch = wire.EncodeIngest(s.scratch, s.name, s.buf, s.m, s.n)
-	s.buf = s.buf[:0]
-	return s.c.send(wire.TIngest, s.scratch, waiter{})
+	defer func() { s.buf = s.buf[:0] }()
+	if s.st == nil {
+		s.scratch = wire.EncodeIngest(s.scratch, s.name, s.buf, s.m, s.n)
+		return s.c.send(wire.TIngest, s.scratch, waiter{})
+	}
+	return s.c.sendSequenced(s.st, s.name, s.buf, s.m, s.n)
 }
 
 // Flush pushes any buffered edges to the wire and then waits until every
@@ -297,12 +704,22 @@ func (s *Session) Flush() error {
 	if err := s.flushBatch(); err != nil {
 		return err
 	}
-	// A ping after the pipelined batches: its in-order ack proves all
-	// earlier batch responses arrived (and were error-checked).
-	if _, err := s.c.roundTrip(wire.TPing, nil); err != nil {
-		return err
+	for {
+		// A ping after the pipelined batches: its in-order ack proves all
+		// earlier batch responses on this epoch arrived (and were
+		// error-checked).
+		if _, err := s.c.roundTrip(wire.TPing, nil); err != nil {
+			return err
+		}
+		if err := s.c.asyncError(); err != nil {
+			return err
+		}
+		if s.st == nil || s.c.unackedLen(s.st) == 0 {
+			return nil
+		}
+		// The connection died between our batches and the ping; the
+		// redial resent them on a fresh epoch, so barrier again.
 	}
-	return s.c.err()
 }
 
 // Query flushes buffered edges and returns the live coverage estimate
@@ -331,11 +748,19 @@ func (s *Session) Query() (Result, error) {
 	}, nil
 }
 
-// CloseSession flushes buffered edges and deletes the session server-side.
+// CloseSession flushes buffered edges and deletes the session server-side
+// (and drops it from the client's replay registry).
 func (s *Session) CloseSession() error {
 	if err := s.flushBatch(); err != nil {
 		return err
 	}
-	_, err := s.c.roundTrip(wire.TClose, wire.EncodeRef(s.name))
-	return err
+	if _, err := s.c.roundTrip(wire.TClose, wire.EncodeRef(s.name)); err != nil {
+		return err
+	}
+	if s.st != nil {
+		s.c.amu.Lock()
+		delete(s.c.states, s.name)
+		s.c.amu.Unlock()
+	}
+	return nil
 }

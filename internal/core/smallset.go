@@ -149,10 +149,16 @@ func (ss *SmallSet) store(e stream.Edge, pv, ev uint64) {
 }
 
 // kill abandons a layer (Figure 5's terminate branch) and maintains the
-// live-layer count backing the all-dead short-circuit.
+// live-layer count backing the all-dead short-circuit. The pair count is
+// zeroed along with the stores: a dead layer retains nothing, so charging
+// its terminal count in SpaceWords would count freed memory — and would
+// make the count depend on whether the layer died in-stream or during a
+// merge, breaking the snapshot codec's rule that behaviorally equal
+// states encode equally.
 func (ss *SmallSet) kill(l *ssLayer) {
 	l.dead = true
 	l.pick, l.est = nil, nil
+	l.count = 0
 	ss.live--
 }
 

@@ -1,0 +1,411 @@
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"streamcover"
+	"streamcover/internal/snapshot"
+	"streamcover/internal/stream"
+	"streamcover/internal/wal"
+	"streamcover/internal/wire"
+)
+
+// durability is one session's crash-safety state: a checkpoint snapshot
+// of every worker estimator plus a WAL of the batches acknowledged since.
+//
+// The invariant tying the two together: an ingest holds pmu.RLock across
+// its dedup update, WAL append and worker dispatch, and a checkpoint
+// holds pmu.Lock while it reads the WAL position, copies the dedup map
+// and enqueues clone requests on every worker queue. Everything logged at
+// or below the recorded position is therefore already in the queues ahead
+// of the clone requests, so the snapshot contains exactly the WAL prefix
+// it claims to — recovery restores the snapshot and replays only the tail.
+type durability struct {
+	dir string
+	wal *wal.Log
+
+	pmu    sync.RWMutex // ingest RLock / checkpoint Lock
+	ckptMu sync.Mutex   // serializes whole checkpoints (ticker, HTTP, shutdown)
+
+	lastCkptNanos atomic.Int64  // wall clock of the last completed checkpoint
+	ckptPos       atomic.Uint64 // last WAL position folded into the snapshot
+}
+
+const checkpointFile = "checkpoint.scsn"
+
+// sessionDirName maps a session name to a filesystem-safe directory name.
+// Unsafe bytes are masked and an FNV-64a of the full name keeps distinct
+// sessions distinct; the authoritative name lives inside the checkpoint.
+func sessionDirName(name string) string {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	safe := make([]byte, 0, 64)
+	for i := 0; i < len(name) && len(safe) < 64; i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '.', c == '_':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	return fmt.Sprintf("s-%s-%016x", safe, h.Sum64())
+}
+
+// openDurability prepares (or reopens) a session's data directory.
+func openDurability(dataDir, name string, segBytes int64, noSync bool) (*durability, error) {
+	dir := filepath.Join(dataDir, sessionDirName(name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{SegmentBytes: segBytes, NoSync: noSync})
+	if err != nil {
+		return nil, err
+	}
+	return &durability{dir: dir, wal: log}, nil
+}
+
+func (d *durability) close() {
+	if d == nil {
+		return
+	}
+	d.wal.Close()
+}
+
+// destroy closes the WAL and removes the session's data directory (the
+// session was deleted; recovery must not resurrect it).
+func (d *durability) destroy() {
+	if d == nil {
+		return
+	}
+	d.wal.Close()
+	os.RemoveAll(d.dir)
+}
+
+// checkpointState is the decoded form of a checkpoint.scsn payload.
+type checkpointState struct {
+	name    string
+	m, n, k int
+	alpha   float64
+	seed    int64
+	walPos  uint64
+	dedup   map[uint64]uint64
+	parts   [][]byte // one sealed Estimator.Encode blob per worker
+}
+
+// encodeCheckpoint serializes a checkpoint payload (the caller seals it).
+// Dedup entries are sorted by source so equal states encode equally.
+func encodeCheckpoint(st checkpointState) []byte {
+	buf := binary.AppendUvarint(nil, uint64(len(st.name)))
+	buf = append(buf, st.name...)
+	buf = binary.AppendUvarint(buf, uint64(st.m))
+	buf = binary.AppendUvarint(buf, uint64(st.n))
+	buf = binary.AppendUvarint(buf, uint64(st.k))
+	buf = binary.AppendUvarint(buf, math.Float64bits(st.alpha))
+	buf = binary.AppendVarint(buf, st.seed)
+	buf = binary.AppendUvarint(buf, st.walPos)
+	sources := make([]uint64, 0, len(st.dedup))
+	for src := range st.dedup {
+		sources = append(sources, src)
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i] < sources[j] })
+	buf = binary.AppendUvarint(buf, uint64(len(sources)))
+	for _, src := range sources {
+		buf = binary.AppendUvarint(buf, src)
+		buf = binary.AppendUvarint(buf, st.dedup[src])
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(st.parts)))
+	for _, p := range st.parts {
+		buf = binary.AppendUvarint(buf, uint64(len(p)))
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// decodeCheckpoint parses a checkpoint payload.
+func decodeCheckpoint(data []byte) (checkpointState, error) {
+	var st checkpointState
+	bad := func(what string) (checkpointState, error) {
+		return st, fmt.Errorf("server: corrupt checkpoint: bad %s", what)
+	}
+	next := func() (uint64, bool) {
+		v, w := binary.Uvarint(data)
+		if w <= 0 {
+			return 0, false
+		}
+		data = data[w:]
+		return v, true
+	}
+	nameLen, ok := next()
+	if !ok || nameLen > wire.MaxName || uint64(len(data)) < nameLen {
+		return bad("name")
+	}
+	st.name = string(data[:nameLen])
+	data = data[nameLen:]
+	for _, dst := range []*int{&st.m, &st.n, &st.k} {
+		v, ok := next()
+		if !ok || v > 1<<31 {
+			return bad("dims")
+		}
+		*dst = int(v)
+	}
+	alphaBits, ok := next()
+	if !ok {
+		return bad("alpha")
+	}
+	st.alpha = math.Float64frombits(alphaBits)
+	seed, w := binary.Varint(data)
+	if w <= 0 {
+		return bad("seed")
+	}
+	data = data[w:]
+	st.seed = seed
+	if st.walPos, ok = next(); !ok {
+		return bad("wal position")
+	}
+	nDedup, ok := next()
+	if !ok || nDedup > uint64(len(data)) {
+		return bad("dedup count")
+	}
+	st.dedup = make(map[uint64]uint64, nDedup)
+	for i := uint64(0); i < nDedup; i++ {
+		src, ok := next()
+		if !ok {
+			return bad("dedup source")
+		}
+		seq, ok := next()
+		if !ok {
+			return bad("dedup sequence")
+		}
+		if _, dup := st.dedup[src]; dup {
+			return bad("duplicate dedup source")
+		}
+		st.dedup[src] = seq
+	}
+	nParts, ok := next()
+	if !ok || nParts == 0 || nParts > 1<<16 {
+		return bad("worker count")
+	}
+	st.parts = make([][]byte, 0, nParts)
+	for i := uint64(0); i < nParts; i++ {
+		l, ok := next()
+		if !ok || uint64(len(data)) < l {
+			return bad("estimator blob")
+		}
+		st.parts = append(st.parts, data[:l])
+		data = data[l:]
+	}
+	if len(data) != 0 {
+		return bad("trailing bytes")
+	}
+	return st, nil
+}
+
+// checkpoint snapshots the session atomically: freeze ingest, record the
+// WAL position and dedup map, enqueue a clone request behind every queued
+// batch, unfreeze, then encode and write the snapshot off the ingest path
+// and drop WAL segments the snapshot has subsumed.
+func (s *session) checkpoint(metrics *Metrics) error {
+	d := s.dur
+	if d == nil {
+		return nil
+	}
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.ops.Done()
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	start := time.Now()
+
+	d.pmu.Lock()
+	pos := d.wal.LastPos()
+	s.dmu.Lock()
+	dedup := make(map[uint64]uint64, len(s.dedup))
+	for src, seq := range s.dedup {
+		dedup[src] = seq
+	}
+	s.dmu.Unlock()
+	replies := make([]chan cloneReply, len(s.workers))
+	for i, ch := range s.workers {
+		r := make(chan cloneReply, 1)
+		replies[i] = r
+		ch <- workerMsg{clone: r}
+	}
+	d.pmu.Unlock()
+
+	parts := make([][]byte, len(replies))
+	for i, r := range replies {
+		rep := <-r
+		if rep.err != nil {
+			return rep.err
+		}
+		blob, err := rep.est.Encode()
+		if err != nil {
+			return err
+		}
+		parts[i] = blob
+	}
+	payload := encodeCheckpoint(checkpointState{
+		name: s.name, m: s.m, n: s.n, k: s.k, alpha: s.alpha, seed: s.seed,
+		walPos: pos, dedup: dedup, parts: parts,
+	})
+	if err := snapshot.WriteFile(filepath.Join(d.dir, checkpointFile), payload); err != nil {
+		return err
+	}
+	if err := d.wal.TruncateBefore(pos + 1); err != nil {
+		return err
+	}
+	d.ckptPos.Store(pos)
+	d.lastCkptNanos.Store(time.Now().UnixNano())
+	if metrics != nil {
+		metrics.Checkpoints.Add(1)
+		metrics.CheckpointNanos.Add(time.Since(start).Nanoseconds())
+	}
+	return nil
+}
+
+// recoverSession rebuilds one session from its data directory: decode the
+// checkpoint into per-worker estimators, then replay the WAL tail through
+// the same shard-and-batch path the live server uses. Returns nil (no
+// error) for directories without a checkpoint — a crash between directory
+// creation and the initial checkpoint left nothing acknowledged to lose.
+func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) {
+	payload, err := snapshot.ReadFile(filepath.Join(dir, checkpointFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: %s: %w", dir, err)
+	}
+	st, err := decodeCheckpoint(payload)
+	if err != nil {
+		return nil, fmt.Errorf("server: %s: %w", dir, err)
+	}
+	ests := make([]*streamcover.Estimator, 0, len(st.parts))
+	for i, part := range st.parts {
+		est, err := streamcover.DecodeEstimator(part)
+		if err != nil {
+			return nil, fmt.Errorf("server: %s: worker %d: %w", dir, i, err)
+		}
+		ests = append(ests, est)
+	}
+	// The snapshot is per-worker. With the same worker count the restored
+	// daemon is bit-identical to the uninterrupted one; with a different
+	// count, merge everything into one worker and let fresh same-seed
+	// estimators absorb the future shards (still a correct summary — the
+	// query path merges all workers anyway).
+	if cfg.Workers != len(ests) {
+		merged := ests[0]
+		for _, est := range ests[1:] {
+			if err := merged.Merge(est); err != nil {
+				return nil, fmt.Errorf("server: %s: merging snapshot parts: %w", dir, err)
+			}
+		}
+		ests = make([]*streamcover.Estimator, cfg.Workers)
+		ests[0] = merged
+		for i := 1; i < cfg.Workers; i++ {
+			est, err := streamcover.NewEstimator(st.m, st.n, st.k, st.alpha, streamcover.WithSeed(st.seed))
+			if err != nil {
+				return nil, err
+			}
+			ests[i] = est
+		}
+	}
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{SegmentBytes: cfg.WALSegmentBytes, NoSync: cfg.WALNoSync})
+	if err != nil {
+		return nil, fmt.Errorf("server: %s: %w", dir, err)
+	}
+	start := time.Now()
+	var batches, edgesReplayed int64
+	err = log.Replay(st.walPos+1, func(pos uint64, rec []byte) error {
+		edges, source, seq, err := decodeWALRecord(rec, st.name, st.m, st.n)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", pos, err)
+		}
+		if source != 0 {
+			if seq <= st.dedup[source] {
+				return nil // duplicate was logged and skipped live, skip again
+			}
+			st.dedup[source] = seq
+		}
+		replayBatch(ests, edges)
+		batches++
+		edgesReplayed += int64(len(edges))
+		return nil
+	})
+	if err != nil {
+		log.Close()
+		return nil, fmt.Errorf("server: %s: wal replay: %w", dir, err)
+	}
+	if metrics != nil {
+		metrics.ReplayBatches.Add(batches)
+		metrics.ReplayEdges.Add(edgesReplayed)
+		metrics.ReplayNanos.Add(time.Since(start).Nanoseconds())
+	}
+	d := &durability{dir: dir, wal: log}
+	d.ckptPos.Store(st.walPos)
+	d.lastCkptNanos.Store(time.Now().UnixNano())
+	sess := newSessionWith(st.name, st.m, st.n, st.k, st.alpha, st.seed, cfg.QueueDepth, metrics, ests)
+	sess.dur = d
+	sess.dedup = st.dedup
+	var total int64
+	for _, est := range ests {
+		total += int64(est.Edges())
+	}
+	sess.edges.Store(total)
+	return sess, nil
+}
+
+// decodeWALRecord parses one logged batch: a frame-type byte followed by
+// the original wire payload. source is 0 for unsequenced batches.
+func decodeWALRecord(rec []byte, wantName string, wantM, wantN int) (edges []stream.Edge, source, seq uint64, err error) {
+	if len(rec) == 0 {
+		return nil, 0, 0, fmt.Errorf("empty record")
+	}
+	var name string
+	var m, n int
+	switch rec[0] {
+	case wire.TIngest:
+		name, edges, m, n, err = wire.DecodeIngest(rec[1:])
+	case wire.TIngestSeq:
+		name, source, seq, edges, m, n, err = wire.DecodeIngestSeq(rec[1:])
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown record type 0x%02x", rec[0])
+	}
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	if name != wantName || m != wantM || n != wantN {
+		return nil, 0, 0, fmt.Errorf("record for session %q dims (%d,%d), want %q (%d,%d)",
+			name, m, n, wantName, wantM, wantN)
+	}
+	return edges, source, seq, nil
+}
+
+// replayBatch applies one batch synchronously with exactly the sharding
+// the live dispatch path uses, so a recovered worker sees the same edge
+// sequence it would have seen without the crash.
+func replayBatch(ests []*streamcover.Estimator, edges []stream.Edge) {
+	w := len(ests)
+	shards := make([][]streamcover.Edge, w)
+	for _, e := range edges {
+		i := int(splitmix64(uint64(e.Set)<<32|uint64(e.Elem)) % uint64(w))
+		shards[i] = append(shards[i], streamcover.Edge(e))
+	}
+	for i, shard := range shards {
+		if len(shard) > 0 {
+			ests[i].ProcessBatch(shard)
+		}
+	}
+}

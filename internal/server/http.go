@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sort"
+	"time"
 )
 
 // sessionInfo is one row of the /sessions listing.
@@ -88,14 +89,45 @@ func (s *Server) httpHandler() http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		counters := s.metrics.snapshot()
 		queues := map[string][]int{}
+		durability := map[string]durabilityInfo{}
 		s.mu.Lock()
 		for name, sess := range s.sessions {
 			queues[name] = sess.queueDepths()
+			if d := sess.dur; d != nil {
+				ckptPos := d.ckptPos.Load()
+				durability[name] = durabilityInfo{
+					WALLastPos:    d.wal.LastPos(),
+					CheckpointPos: ckptPos,
+					WALDepth:      d.wal.Depth(ckptPos + 1),
+					CheckpointAge: time.Since(time.Unix(0, d.lastCkptNanos.Load())).Seconds(),
+				}
+			}
 		}
 		s.mu.Unlock()
-		writeJSON(w, map[string]any{"counters": counters, "queue_depths": queues})
+		out := map[string]any{"counters": counters, "queue_depths": queues}
+		if len(durability) > 0 {
+			out["durability"] = durability
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.CheckpointAll(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeJSON(w, map[string]any{"checkpointed": true})
 	})
 	return mux
+}
+
+// durabilityInfo is the per-session durability row in /metrics: how far
+// the WAL has grown past the last checkpoint, and how stale that
+// checkpoint is.
+type durabilityInfo struct {
+	WALLastPos    uint64  `json:"wal_last_pos"`
+	CheckpointPos uint64  `json:"checkpoint_pos"`
+	WALDepth      uint64  `json:"wal_depth"`
+	CheckpointAge float64 `json:"checkpoint_age_seconds"`
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -29,6 +29,16 @@ type Metrics struct {
 	BatchNanos       atomic.Int64 // cumulative worker batch-processing time
 	LastBatchNanos   atomic.Int64
 
+	// Durability counters. DupBatches counts sequenced batches dropped by
+	// (source, seq) dedup — a reconnecting client resending unacked work.
+	// The replay counters cover WAL tail replay during crash recovery.
+	DupBatches      atomic.Int64
+	Checkpoints     atomic.Int64
+	CheckpointNanos atomic.Int64
+	ReplayBatches   atomic.Int64
+	ReplayEdges     atomic.Int64
+	ReplayNanos     atomic.Int64
+
 	start time.Time // set by Server.New; anchors the edges/sec rate
 }
 
@@ -48,6 +58,15 @@ func (m *Metrics) snapshot() map[string]int64 {
 		"batches_processed": m.BatchesProcessed.Load(),
 		"batch_nanos":       m.BatchNanos.Load(),
 		"last_batch_nanos":  m.LastBatchNanos.Load(),
+		"dup_batches":       m.DupBatches.Load(),
+		"checkpoints":       m.Checkpoints.Load(),
+		"checkpoint_nanos":  m.CheckpointNanos.Load(),
+		"replay_batches":    m.ReplayBatches.Load(),
+		"replay_edges":      m.ReplayEdges.Load(),
+		"replay_nanos":      m.ReplayNanos.Load(),
+	}
+	if n := m.ReplayNanos.Load(); n > 0 {
+		s["replay_edges_per_sec"] = int64(float64(m.ReplayEdges.Load()) / (float64(n) / 1e9))
 	}
 	if n := m.BatchesProcessed.Load(); n > 0 {
 		s["avg_batch_nanos"] = m.BatchNanos.Load() / n

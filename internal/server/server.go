@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
@@ -35,6 +37,20 @@ type Config struct {
 	// QueueDepth is each worker's batch-queue capacity; full queues block
 	// ingest dispatch (backpressure). Default: 64.
 	QueueDepth int
+	// DataDir enables durability: each session keeps a checkpoint
+	// snapshot plus a WAL of acknowledged batches under this directory,
+	// and Start recovers every session found there before accepting
+	// connections. Empty: in-memory only.
+	DataDir string
+	// CheckpointEvery is the background checkpoint cadence. Default 30s;
+	// negative disables the ticker (checkpoints still happen on shutdown
+	// and via the /checkpoint HTTP endpoint).
+	CheckpointEvery time.Duration
+	// WALSegmentBytes caps one WAL segment file (default 64 MiB).
+	WALSegmentBytes int64
+	// WALNoSync skips the fsync before each ingest ack. Acknowledged
+	// batches may be lost in a crash; for tests and bulk loads.
+	WALNoSync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -43,6 +59,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 30 * time.Second
 	}
 	return c
 }
@@ -62,6 +81,9 @@ type Server struct {
 
 	connWG   sync.WaitGroup
 	acceptWG sync.WaitGroup
+
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
 }
 
 // New builds a server; call Start (or ServeTCP with your own listener)
@@ -83,9 +105,29 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // non-empty, on httpAddr for the HTTP endpoint, then serves both in
 // background goroutines until Shutdown.
 func (s *Server) Start(tcpAddr, httpAddr string) error {
+	if err := s.recover(); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", tcpAddr)
 	if err != nil {
 		return err
+	}
+	if s.cfg.DataDir != "" && s.cfg.CheckpointEvery > 0 {
+		s.ckptStop = make(chan struct{})
+		s.ckptWG.Add(1)
+		go func() {
+			defer s.ckptWG.Done()
+			t := time.NewTicker(s.cfg.CheckpointEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.CheckpointAll()
+				case <-s.ckptStop:
+					return
+				}
+			}
+		}()
 	}
 	s.mu.Lock()
 	s.tcpLn = ln
@@ -206,6 +248,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			if !s.ack(respond, err) {
 				return
 			}
+		case wire.TIngestSeq:
+			err := s.handleIngestSeq(payload)
+			if !s.ack(respond, err) {
+				return
+			}
 		case wire.TQuery:
 			name, err := wire.DecodeRef(payload)
 			var res wire.Result
@@ -268,8 +315,74 @@ func (s *Server) createSession(c wire.Create) error {
 	if err != nil {
 		return err
 	}
+	if s.cfg.DataDir != "" {
+		dur, err := openDurability(s.cfg.DataDir, c.Name, s.cfg.WALSegmentBytes, s.cfg.WALNoSync)
+		if err != nil {
+			sess.close()
+			return err
+		}
+		sess.dur = dur
+		// An initial params-only checkpoint, so a crash before the first
+		// cadence tick still recovers the session (and its WAL tail).
+		if err := sess.checkpoint(&s.metrics); err != nil {
+			sess.close()
+			dur.close()
+			return err
+		}
+	}
 	s.sessions[c.Name] = sess
 	return nil
+}
+
+// recover rebuilds every session found under the data dir: snapshot
+// restore plus WAL tail replay. Called by Start before listening, so a
+// client reconnecting after a crash finds its sessions (and every batch
+// the old process acknowledged) already in place.
+func (s *Server) recover() error {
+	if s.cfg.DataDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.DataDir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(s.cfg.DataDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sess, err := recoverSession(filepath.Join(s.cfg.DataDir, e.Name()), s.cfg, &s.metrics)
+		if err != nil {
+			return err
+		}
+		if sess == nil {
+			continue
+		}
+		s.mu.Lock()
+		s.sessions[sess.name] = sess
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// CheckpointAll snapshots every live session, returning the first error.
+// Also reachable over HTTP as /checkpoint.
+func (s *Server) CheckpointAll() error {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	var first error
+	for _, sess := range sessions {
+		if err := sess.checkpoint(&s.metrics); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (s *Server) session(name string) (*session, error) {
@@ -295,12 +408,53 @@ func (s *Server) handleIngest(payload []byte) error {
 		return fmt.Errorf("server: batch dims (%d,%d) != session %q dims (%d,%d)",
 			m, n, name, sess.m, sess.n)
 	}
-	if err := sess.ingest(edges); err != nil {
+	if err := sess.ingest(edges, walRecord(sess, wire.TIngest, payload)); err != nil {
 		return err
 	}
 	s.metrics.EdgesIngested.Add(int64(len(edges)))
 	s.metrics.Batches.Add(1)
 	return nil
+}
+
+// handleIngestSeq is handleIngest with replay protection: the ack it
+// leads to means "durably logged and applied (or a recognized replay)".
+func (s *Server) handleIngestSeq(payload []byte) error {
+	name, source, seq, edges, m, n, err := wire.DecodeIngestSeq(payload)
+	if err != nil {
+		return err
+	}
+	sess, err := s.session(name)
+	if err != nil {
+		return err
+	}
+	if m != sess.m || n != sess.n {
+		return fmt.Errorf("server: batch dims (%d,%d) != session %q dims (%d,%d)",
+			m, n, name, sess.m, sess.n)
+	}
+	applied, err := sess.ingestSeq(source, seq, walRecord(sess, wire.TIngestSeq, payload), edges)
+	if err != nil {
+		return err
+	}
+	if !applied {
+		s.metrics.DupBatches.Add(1)
+		return nil
+	}
+	s.metrics.EdgesIngested.Add(int64(len(edges)))
+	s.metrics.Batches.Add(1)
+	return nil
+}
+
+// walRecord prefixes the wire payload with its frame type, forming the
+// session's WAL record. Nil when the session keeps no WAL (payload
+// aliases the connection's read scratch, so the copy is also what makes
+// the record safe to hand to the log).
+func walRecord(sess *session, typ byte, payload []byte) []byte {
+	if sess.dur == nil {
+		return nil
+	}
+	rec := make([]byte, 0, 1+len(payload))
+	rec = append(rec, typ)
+	return append(rec, payload...)
 }
 
 func (s *Server) querySession(name string) (wire.Result, error) {
@@ -321,12 +475,15 @@ func (s *Server) closeSession(name string) error {
 		return fmt.Errorf("server: no session %q", name)
 	}
 	sess.close()
+	sess.dur.destroy()
 	return nil
 }
 
-// Shutdown stops the server gracefully: listeners close first, sessions
-// drain (workers consume everything already queued), then remaining
-// connections are closed. The context bounds the wait.
+// Shutdown stops the server gracefully: listeners close first, every
+// session is checkpointed (so a restart recovers from the snapshot alone,
+// without WAL replay), sessions drain (workers consume everything already
+// queued), then remaining connections are closed. The context bounds the
+// wait.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
@@ -342,6 +499,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		s.ckptWG.Wait()
+	}
 	if tcpLn != nil {
 		tcpLn.Close()
 	}
@@ -349,7 +510,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		httpSrv.Shutdown(ctx)
 	}
 	for _, sess := range sessions {
+		sess.checkpoint(&s.metrics) // best effort; WAL still has the tail
 		sess.close()
+		sess.dur.close()
 	}
 
 	// Connections idle-wait on reads; close them so handlers exit, then
@@ -365,10 +528,52 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.acceptWG.Wait()
 		close(done)
 	}()
+	// The final checkpoint above is not context-bounded (abandoning it
+	// half-done buys nothing: the write is atomic and the WAL covers the
+	// tail either way), so a large session can eat the whole budget.
+	// Don't report failure for that alone — if the handlers have in fact
+	// unwound, the shutdown succeeded.
 	select {
 	case <-done:
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		select {
+		case <-done:
+			return nil
+		case <-time.After(100 * time.Millisecond):
+			return ctx.Err()
+		}
+	}
+}
+
+// Abort simulates a crash for durability tests: listeners and connections
+// close immediately, with no checkpoint, no queue drain and no WAL
+// truncation. Everything the server acknowledged must still be
+// recoverable by a fresh Server starting on the same data dir.
+func (s *Server) Abort() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	tcpLn, httpLn := s.tcpLn, s.httpLn
+	conns := make([]net.Conn, 0, len(s.conns))
+	for conn := range s.conns {
+		conns = append(conns, conn)
+	}
+	s.mu.Unlock()
+	if s.ckptStop != nil {
+		close(s.ckptStop)
+		s.ckptWG.Wait()
+	}
+	if tcpLn != nil {
+		tcpLn.Close()
+	}
+	if httpLn != nil {
+		httpLn.Close()
+	}
+	for _, conn := range conns {
+		conn.Close()
 	}
 }

@@ -27,6 +27,11 @@ type session struct {
 	wg      sync.WaitGroup // worker goroutines
 	metrics *Metrics       // server-wide counters (batch latency); may be nil in tests
 
+	dur *durability // nil without a data dir
+
+	dmu   sync.Mutex
+	dedup map[uint64]uint64 // client source → highest applied sequence
+
 	mu     sync.Mutex
 	closed bool
 	ops    sync.WaitGroup // in-flight ingest/query dispatches
@@ -50,19 +55,32 @@ type cloneReply struct {
 }
 
 func newSession(name string, m, n, k int, alpha float64, seed int64, workers, queueDepth int, metrics *Metrics) (*session, error) {
-	s := &session{name: name, m: m, n: n, k: k, alpha: alpha, seed: seed, metrics: metrics}
-	s.workers = make([]chan workerMsg, workers)
-	for i := range s.workers {
+	ests := make([]*streamcover.Estimator, workers)
+	for i := range ests {
 		est, err := streamcover.NewEstimator(m, n, k, alpha, streamcover.WithSeed(seed))
 		if err != nil {
 			return nil, err
 		}
+		ests[i] = est
+	}
+	return newSessionWith(name, m, n, k, alpha, seed, queueDepth, metrics, ests), nil
+}
+
+// newSessionWith builds a session around pre-made worker estimators —
+// fresh ones for a new session, restored ones during crash recovery.
+func newSessionWith(name string, m, n, k int, alpha float64, seed int64, queueDepth int, metrics *Metrics, ests []*streamcover.Estimator) *session {
+	s := &session{
+		name: name, m: m, n: n, k: k, alpha: alpha, seed: seed,
+		metrics: metrics, dedup: make(map[uint64]uint64),
+	}
+	s.workers = make([]chan workerMsg, len(ests))
+	for i, est := range ests {
 		ch := make(chan workerMsg, queueDepth)
 		s.workers[i] = ch
 		s.wg.Add(1)
 		go s.runWorker(est, ch)
 	}
-	return s, nil
+	return s
 }
 
 func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg) {
@@ -114,14 +132,67 @@ func (s *session) begin() error {
 	return nil
 }
 
-// ingest shards one validated batch across the workers. Sends block when
-// a worker's queue is full — that backpressure propagates to the TCP
-// reader, which stops acking, which stalls the client's pipeline.
-func (s *session) ingest(edges []stream.Edge) error {
+// ingest logs and shards one validated unsequenced batch. rec is the
+// WAL record for the batch (type byte + wire payload); ignored when the
+// session has no durability.
+func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 	if err := s.begin(); err != nil {
 		return err
 	}
 	defer s.ops.Done()
+	if d := s.dur; d != nil {
+		d.pmu.RLock()
+		defer d.pmu.RUnlock()
+		if _, err := d.wal.Append(rec); err != nil {
+			return err
+		}
+	}
+	s.dispatch(edges)
+	return nil
+}
+
+// ingestSeq is the exactly-once ingest path: drop the batch if this
+// (source, seq) was already applied, otherwise log it durably and shard
+// it. The ack the caller sends on a nil error therefore promises the
+// batch survives a crash, and a client replaying unacknowledged batches
+// after a reconnect cannot double-count. Returns whether the batch was
+// applied (false: recognized duplicate, still acknowledged).
+func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge) (bool, error) {
+	if err := s.begin(); err != nil {
+		return false, err
+	}
+	defer s.ops.Done()
+	d := s.dur
+	if d != nil {
+		d.pmu.RLock()
+		defer d.pmu.RUnlock()
+	}
+	s.dmu.Lock()
+	last := s.dedup[source]
+	if seq <= last {
+		s.dmu.Unlock()
+		return false, nil
+	}
+	s.dedup[source] = seq
+	s.dmu.Unlock()
+	if d != nil {
+		if _, err := d.wal.Append(rec); err != nil {
+			// The batch is not durable and was not applied; forget it so
+			// a retry (or a later checkpoint) doesn't claim otherwise.
+			s.dmu.Lock()
+			s.dedup[source] = last
+			s.dmu.Unlock()
+			return false, err
+		}
+	}
+	s.dispatch(edges)
+	return true, nil
+}
+
+// dispatch shards one batch across the workers. Sends block when a
+// worker's queue is full — that backpressure propagates to the TCP
+// reader, which stops acking, which stalls the client's pipeline.
+func (s *session) dispatch(edges []stream.Edge) {
 	w := len(s.workers)
 	shards := make([][]stream.Edge, w)
 	per := len(edges)/w + 1
@@ -139,7 +210,6 @@ func (s *session) ingest(edges []stream.Edge) error {
 	}
 	s.edges.Add(int64(len(edges)))
 	s.batches.Add(1)
-	return nil
 }
 
 // query snapshots every worker (a clone request rides the same queue as

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"streamcover/internal/hash"
 )
@@ -118,7 +119,11 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-// MarshalBinary encodes the hash, capacity and retained values.
+// MarshalBinary encodes the hash, capacity and retained values. The
+// retained values are written in sorted order, not heap-array order: the
+// heap layout depends on insertion history (stream order vs merge order)
+// while the retained SET is what defines behavior, so sorting makes
+// behaviorally equal sketches encode identically.
 func (s *L0) MarshalBinary() ([]byte, error) {
 	var buf bytes.Buffer
 	if err := writePoly(&buf, s.h); err != nil {
@@ -129,8 +134,10 @@ func (s *L0) MarshalBinary() ([]byte, error) {
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(s.vals)))
 	binary.LittleEndian.PutUint64(hdr[8:], s.adds)
 	buf.Write(hdr[:])
+	vals := append([]uint64(nil), s.vals...)
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	var cell [8]byte
-	for _, v := range s.vals {
+	for _, v := range vals {
 		binary.LittleEndian.PutUint64(cell[:], v)
 		buf.Write(cell[:])
 	}

@@ -1,0 +1,129 @@
+// Package snapshot frames serialized estimator state (and any other
+// durable kcoverd artifact) in a versioned, checksummed envelope and
+// writes it to disk atomically. The envelope is deliberately payload
+// agnostic: the root facade's Estimator.Encode produces the payload, this
+// package guarantees that whatever comes back out of Open/ReadFile is
+// byte-identical to what went in or an error — torn writes, truncation
+// and bit rot all fail the CRC before a decoder ever sees the bytes.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Envelope layout: magic (4) | version (1) | payload CRC-32C (4, LE) |
+// payload length (8, LE) | payload.
+const (
+	magic      = "SCSN"
+	headerSize = 4 + 1 + 4 + 8
+
+	// Version is the current envelope version. Decoders reject other
+	// versions outright: payload formats are not self-describing, so a
+	// version bump is the only safe evolution mechanism.
+	Version = 1
+
+	// MaxPayload bounds how large a payload ReadFile/Open will accept, so
+	// a corrupt length field cannot trigger an absurd allocation. Sized
+	// against real server checkpoints, which bundle one estimator blob per
+	// shard worker: a single m=2000, n=20000, alpha=4 estimator encodes to
+	// ~65 MiB, so a multi-worker checkpoint of a large session runs to a
+	// few hundred MiB.
+	MaxPayload = 1 << 30
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Seal wraps a payload in the envelope.
+func Seal(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out, magic)
+	out[4] = Version
+	binary.LittleEndian.PutUint32(out[5:9], crc32.Checksum(payload, castagnoli))
+	binary.LittleEndian.PutUint64(out[9:17], uint64(len(payload)))
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Open validates an envelope and returns the payload (aliasing data).
+func Open(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("snapshot: truncated envelope (%d bytes)", len(data))
+	}
+	if string(data[:4]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", data[:4])
+	}
+	if v := data[4]; v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", v, Version)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[5:9])
+	n := binary.LittleEndian.Uint64(data[9:17])
+	if n > MaxPayload {
+		return nil, fmt.Errorf("snapshot: implausible payload length %d", n)
+	}
+	if uint64(len(data)-headerSize) != n {
+		return nil, fmt.Errorf("snapshot: payload is %d bytes, header says %d", len(data)-headerSize, n)
+	}
+	payload := data[headerSize:]
+	if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+		return nil, fmt.Errorf("snapshot: payload CRC mismatch (got %08x, want %08x)", got, wantCRC)
+	}
+	return payload, nil
+}
+
+// WriteFile seals the payload and writes it to path atomically: the
+// envelope goes to a temporary file in the same directory, is fsynced,
+// renamed over path, and the directory is fsynced so the rename itself is
+// durable. A crash at any point leaves either the old snapshot or the new
+// one, never a torn file at path.
+func WriteFile(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(Seal(payload)); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	return syncDir(dir)
+}
+
+// ReadFile reads path and returns the validated payload.
+func ReadFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return payload, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapshot: fsync %s: %w", dir, err)
+	}
+	return nil
+}

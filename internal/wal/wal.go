@@ -1,0 +1,496 @@
+// Package wal implements a segmented, CRC-checked write-ahead log for
+// kcoverd's ingest path. Each session logs the batches it has accepted
+// BEFORE acknowledging them; after a crash, replaying the log tail beyond
+// the last snapshot through the normal batch path reconstructs the exact
+// in-memory state (the batch path is bit-identical to per-edge
+// processing, so batch boundaries are irrelevant).
+//
+// Layout: a log is a directory of segment files named
+// wal-<firstPos:016x>.seg, where positions are 1-based and monotone
+// across the whole log. Each segment is a sequence of records:
+//
+//	[4-byte LE payload length][4-byte LE CRC-32C of payload][payload]
+//
+// Records are opaque to the WAL (kcoverd stores framed batch payloads).
+// Appends go to the newest segment until it exceeds the configured size,
+// then a new segment starts. Sync uses leader-based group commit: all
+// appends that arrived while the current fsync was in flight ride the
+// next one, so sustained multi-client load pays ~one fsync per queue
+// drain rather than one per batch.
+//
+// Recovery tolerates a torn tail: a truncated or corrupt record at the
+// END of the LAST segment is discarded (the write never completed, so it
+// was never acknowledged). Corruption anywhere else is an error — those
+// records were acknowledged, so losing them must be loud.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+const (
+	segPrefix  = "wal-"
+	segSuffix  = ".seg"
+	recHeader  = 8
+	defaultSeg = 64 << 20
+
+	// MaxRecord bounds a single record (16 MiB: comfortably above the wire
+	// protocol's frame limit) so a corrupt length cannot cause an absurd
+	// allocation during recovery.
+	MaxRecord = 16 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a log.
+type Options struct {
+	// SegmentBytes rotates to a new segment once the current one exceeds
+	// this size (default 64 MiB).
+	SegmentBytes int64
+	// NoSync disables fsync on Append (for tests and benchmarks only;
+	// rename-durability of TruncateBefore is unaffected).
+	NoSync bool
+}
+
+// Log is an append-only record log. Append is safe for concurrent use;
+// Replay and TruncateBefore must not race with Append (kcoverd replays
+// before serving and truncates under its checkpoint lock).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex // guards file, size, next and rotation
+	file    *os.File
+	size    int64 // bytes in the active segment
+	segPos  uint64
+	next    uint64 // position the next Append receives
+	syncErr error  // sticky: a failed sync poisons the log
+
+	// Group commit: appenders enqueue under mu, one leader fsyncs.
+	syncMu     sync.Mutex // serializes fsyncs
+	flushCond  *sync.Cond // signaled when synced advances
+	synced     uint64     // highest position known durable
+	appended   uint64     // highest position written to the OS
+	syncActive bool
+}
+
+// Open opens (or creates) the log in dir and prepares it for appending.
+// It scans existing segments, truncates a torn tail in the last one, and
+// positions the next append after the last intact record.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSeg
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, next: 1, segPos: 1}
+	l.flushCond = sync.NewCond(&l.mu)
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		count, intact, err := scanSegment(filepath.Join(dir, last.name), true, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := truncateFile(filepath.Join(dir, last.name), intact); err != nil {
+			return nil, err
+		}
+		l.segPos = last.firstPos
+		l.next = last.firstPos + uint64(count)
+		l.size = intact
+		f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+		l.file = f
+	}
+	l.synced = l.next - 1
+	l.appended = l.next - 1
+	return l, nil
+}
+
+type segment struct {
+	name     string
+	firstPos uint64
+}
+
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		hexPos := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		pos, err := strconv.ParseUint(hexPos, 16, 64)
+		if err != nil || pos == 0 {
+			return nil, fmt.Errorf("wal: alien segment file %q", name)
+		}
+		segs = append(segs, segment{name: name, firstPos: pos})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstPos < segs[j].firstPos })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].firstPos <= segs[i-1].firstPos {
+			return nil, fmt.Errorf("wal: duplicate segment position %d", segs[i].firstPos)
+		}
+	}
+	return segs, nil
+}
+
+// scanSegment walks a segment's records. With tolerateTail, a torn record
+// at EOF stops the scan cleanly; otherwise it is an error. Returns the
+// number of intact records and the byte offset after the last one. fn, if
+// non-nil, receives each record's payload (valid only during the call).
+func scanSegment(path string, tolerateTail bool, fn func([]byte) error) (int, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("wal: %w", err)
+	}
+	var off int64
+	count := 0
+	for int64(len(data))-off >= recHeader {
+		n := binary.LittleEndian.Uint32(data[off:])
+		wantCRC := binary.LittleEndian.Uint32(data[off+4:])
+		if n > MaxRecord {
+			if tolerateTail {
+				break
+			}
+			return 0, 0, fmt.Errorf("wal: %s: implausible record length %d at offset %d", path, n, off)
+		}
+		if int64(len(data))-off-recHeader < int64(n) {
+			if tolerateTail {
+				break
+			}
+			return 0, 0, fmt.Errorf("wal: %s: truncated record at offset %d", path, off)
+		}
+		payload := data[off+recHeader : off+recHeader+int64(n)]
+		if crc32.Checksum(payload, castagnoli) != wantCRC {
+			if tolerateTail {
+				break
+			}
+			return 0, 0, fmt.Errorf("wal: %s: CRC mismatch at offset %d", path, off)
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return 0, 0, err
+			}
+		}
+		off += recHeader + int64(n)
+		count++
+	}
+	if !tolerateTail && off != int64(len(data)) {
+		return 0, 0, fmt.Errorf("wal: %s: %d trailing bytes", path, int64(len(data))-off)
+	}
+	return count, off, nil
+}
+
+func truncateFile(path string, size int64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if info.Size() == size {
+		return nil
+	}
+	if err := os.Truncate(path, size); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+func segName(firstPos uint64) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, firstPos, segSuffix)
+}
+
+// Append writes one record and returns its position (1-based, monotone).
+// When the log is in sync mode (the default), Append returns only after
+// the record is durable — possibly having ridden another appender's
+// fsync.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > MaxRecord {
+		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
+	}
+	var hdr [recHeader]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, castagnoli))
+
+	l.mu.Lock()
+	if l.syncErr != nil {
+		err := l.syncErr
+		l.mu.Unlock()
+		return 0, err
+	}
+	if err := l.ensureSegmentLocked(); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	pos := l.next
+	file := l.file
+	if _, err := file.Write(hdr[:]); err != nil {
+		l.syncErr = fmt.Errorf("wal: %w", err)
+		l.mu.Unlock()
+		return 0, l.syncErr
+	}
+	if _, err := file.Write(payload); err != nil {
+		l.syncErr = fmt.Errorf("wal: %w", err)
+		l.mu.Unlock()
+		return 0, l.syncErr
+	}
+	l.next++
+	l.size += recHeader + int64(len(payload))
+	l.appended = pos
+	l.mu.Unlock()
+
+	if l.opts.NoSync {
+		return pos, nil
+	}
+	return pos, l.waitDurable(pos, file)
+}
+
+// waitDurable blocks until pos is durable, electing this goroutine as the
+// fsync leader when none is active (group commit).
+func (l *Log) waitDurable(pos uint64, file *os.File) error {
+	l.mu.Lock()
+	for {
+		if l.syncErr != nil {
+			err := l.syncErr
+			l.mu.Unlock()
+			return err
+		}
+		if l.synced >= pos {
+			l.mu.Unlock()
+			return nil
+		}
+		if !l.syncActive {
+			break
+		}
+		l.flushCond.Wait()
+	}
+	l.syncActive = true
+	target := l.appended // everything written so far rides this fsync
+	l.mu.Unlock()
+
+	err := file.Sync()
+
+	l.mu.Lock()
+	l.syncActive = false
+	if err != nil {
+		l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+	} else if target > l.synced {
+		l.synced = target
+	}
+	l.flushCond.Broadcast()
+	if l.syncErr != nil {
+		err = l.syncErr
+	} else if l.synced < pos {
+		// Rotation happened between our write and leadership; retry on the
+		// (rare) new file.
+		next := l.file
+		l.mu.Unlock()
+		return l.waitDurable(pos, next)
+	}
+	l.mu.Unlock()
+	return err
+}
+
+// ensureSegmentLocked opens the active segment, rotating first if full.
+func (l *Log) ensureSegmentLocked() error {
+	if l.file != nil && l.size < l.opts.SegmentBytes {
+		return nil
+	}
+	if l.file != nil {
+		// Rotation: the old segment must be fully durable before records
+		// start landing in a new one, or recovery could see a gap.
+		if !l.opts.NoSync {
+			if err := l.file.Sync(); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+			l.synced = l.next - 1
+		}
+		if err := l.file.Close(); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.file = nil
+	}
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.next)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.file = f
+	l.segPos = l.next
+	l.size = 0
+	return nil
+}
+
+// Replay streams every record with position >= from, in order, to fn.
+// Positions below the first retained segment are expected to be gone
+// (truncated after a checkpoint); asking for them is an error only if
+// they should still exist.
+func (l *Log) Replay(from uint64, fn func(pos uint64, payload []byte) error) error {
+	if from == 0 {
+		from = 1
+	}
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	next := l.next
+	l.mu.Unlock()
+	for i, seg := range segs {
+		segEnd := next // exclusive
+		if i+1 < len(segs) {
+			segEnd = segs[i+1].firstPos
+		}
+		if segEnd <= from {
+			continue
+		}
+		pos := seg.firstPos
+		last := i == len(segs)-1
+		_, _, err := scanSegment(filepath.Join(l.dir, seg.name), last, func(payload []byte) error {
+			defer func() { pos++ }()
+			if pos < from {
+				return nil
+			}
+			return fn(pos, payload)
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TruncateBefore deletes whole segments every record of which has
+// position < pos. Records at or above pos are always retained; some
+// records below pos usually survive in the segment that straddles the
+// boundary.
+func (l *Log) TruncateBefore(pos uint64) error {
+	segs, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	activePos, next, hasFile := l.segPos, l.next, l.file != nil
+	l.mu.Unlock()
+	for i, seg := range segs {
+		if hasFile && seg.firstPos >= activePos {
+			break // never delete the active segment
+		}
+		segEnd := next
+		if i+1 < len(segs) {
+			segEnd = segs[i+1].firstPos
+		}
+		if segEnd > pos {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// LastPos reports the position of the most recent append (0 when empty).
+func (l *Log) LastPos() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// Depth reports how many records the retained segments hold at or above
+// from — the replay backlog a recovery starting at from would process.
+func (l *Log) Depth(from uint64) uint64 {
+	l.mu.Lock()
+	next := l.next
+	l.mu.Unlock()
+	if from == 0 {
+		from = 1
+	}
+	if next <= from {
+		return 0
+	}
+	return next - from
+}
+
+// Sync forces durability of everything appended so far (used by NoSync
+// callers at known barriers, and by checkpoints).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	file := l.file
+	target := l.appended
+	if l.syncErr != nil {
+		err := l.syncErr
+		l.mu.Unlock()
+		return err
+	}
+	l.mu.Unlock()
+	if file == nil {
+		return nil
+	}
+	if err := file.Sync(); err != nil {
+		l.mu.Lock()
+		l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+		l.mu.Unlock()
+		return l.syncErr
+	}
+	l.mu.Lock()
+	if target > l.synced {
+		l.synced = target
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// Close syncs and closes the active segment.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	var err error
+	if !l.opts.NoSync {
+		err = l.file.Sync()
+	}
+	if cerr := l.file.Close(); err == nil {
+		err = cerr
+	}
+	l.file = nil
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func collect(t *testing.T, l *Log, from uint64) map[uint64][]byte {
+	t.Helper()
+	out := map[uint64][]byte{}
+	if err := l.Replay(from, func(pos uint64, payload []byte) error {
+		out[pos] = append([]byte{}, payload...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[uint64][]byte{}
+	for i := 1; i <= 50; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, i*7)
+		pos, err := l.Append(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pos != uint64(i) {
+			t.Fatalf("position %d, want %d", pos, i)
+		}
+		want[pos] = payload
+	}
+	if l.LastPos() != 50 {
+		t.Fatalf("LastPos %d, want 50", l.LastPos())
+	}
+	got := collect(t, l, 1)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for pos, payload := range want {
+		if !bytes.Equal(got[pos], payload) {
+			t.Fatalf("record %d corrupted", pos)
+		}
+	}
+	// Partial replay.
+	if got := collect(t, l, 31); len(got) != 20 {
+		t.Fatalf("replay from 31 returned %d records, want 20", len(got))
+	}
+	if d := l.Depth(31); d != 20 {
+		t.Fatalf("Depth(31) = %d, want 20", d)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReopenContinuesPositions(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := l2.Append([]byte("after reopen"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 6 {
+		t.Fatalf("position after reopen %d, want 6", pos)
+	}
+	got := collect(t, l2, 1)
+	if len(got) != 6 || string(got[6]) != "after reopen" {
+		t.Fatalf("unexpected replay after reopen: %d records", len(got))
+	}
+	l2.Close()
+}
+
+func TestSegmentRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 256, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segsBefore) < 4 {
+		t.Fatalf("expected several segments, got %d", len(segsBefore))
+	}
+	// All records must still replay across segment boundaries.
+	if got := collect(t, l, 1); len(got) != 40 {
+		t.Fatalf("replayed %d records, want 40", len(got))
+	}
+	// Truncation below 30 removes whole older segments but keeps >= 30.
+	if err := l.TruncateBefore(30); err != nil {
+		t.Fatal(err)
+	}
+	segsAfter, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segsAfter) >= len(segsBefore) {
+		t.Fatalf("truncation removed nothing (%d -> %d segments)", len(segsBefore), len(segsAfter))
+	}
+	got := collect(t, l, 30)
+	for pos := uint64(30); pos <= 40; pos++ {
+		if _, ok := got[pos]; !ok {
+			t.Fatalf("record %d lost by truncation", pos)
+		}
+	}
+	// The active segment survives even if fully below the cutoff.
+	if err := l.TruncateBefore(1000); err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ := listSegments(dir); len(segs) == 0 {
+		t.Fatal("truncation deleted the active segment")
+	}
+	if _, err := l.Append([]byte("still writable")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+}
+
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 10; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("record-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment: %v %v", segs, err)
+	}
+	path := filepath.Join(dir, segs[0].name)
+
+	for name, tc := range map[string]struct {
+		mutate func([]byte) []byte
+		intact int
+	}{
+		// Both truncations lose the torn record 10; trailing garbage is a
+		// torn HEADER, so all 10 complete records survive.
+		"truncated mid-record": {func(b []byte) []byte { return b[:len(b)-5] }, 9},
+		"truncated mid-header": {func(b []byte) []byte { return b[:len(b)-(len("record-10")+3)] }, 9},
+		"garbage appended":     {func(b []byte) []byte { return append(append([]byte{}, b...), 0xde, 0xad, 0xbe) }, 10},
+	} {
+		t.Run(name, func(t *testing.T) {
+			orig, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer os.WriteFile(path, orig, 0o644)
+			if err := os.WriteFile(path, tc.mutate(orig), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l2, err := Open(dir, Options{NoSync: true})
+			if err != nil {
+				t.Fatalf("torn tail must not fail open: %v", err)
+			}
+			got := collect(t, l2, 1)
+			if len(got) != tc.intact {
+				t.Fatalf("want the %d intact records, got %d", tc.intact, len(got))
+			}
+			// The next append lands right after the last intact record.
+			pos, err := l2.Append([]byte("replacement"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pos != uint64(tc.intact)+1 {
+				t.Fatalf("append after torn tail at %d, want %d", pos, tc.intact+1)
+			}
+			l2.Close()
+		})
+	}
+}
+
+func TestCorruptionInsideOlderSegmentFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 128, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		if _, err := l.Append(bytes.Repeat([]byte{byte(i)}, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("want several segments: %v %v", segs, err)
+	}
+	// Flip a payload byte in the FIRST segment: acknowledged data, must be loud.
+	path := filepath.Join(dir, segs[0].name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHeader+3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(dir, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Replay(1, func(uint64, []byte) error { return nil }); err == nil {
+		t.Fatal("corruption in an acknowledged segment must fail replay")
+	}
+	l2.Close()
+}
+
+func TestConcurrentAppendGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 4096}) // sync mode: exercises group commit
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	positions := make([][]uint64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				pos, err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					errs <- err
+					return
+				}
+				positions[w] = append(positions[w], pos)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for w := range positions {
+		for i, pos := range positions[w] {
+			if seen[pos] {
+				t.Fatalf("duplicate position %d", pos)
+			}
+			seen[pos] = true
+			if i > 0 && positions[w][i-1] >= pos {
+				t.Fatalf("writer %d positions not monotone", w)
+			}
+		}
+	}
+	if got := collect(t, l, 1); len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+	l.Close()
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("oversized record must be rejected")
+	}
+	l.Close()
+}

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"streamcover/internal/stream"
+)
+
+// FuzzReadFrame drives the frame reader with arbitrary byte streams: it
+// must never panic or over-allocate, and any frame it accepts must
+// re-encode to the same bytes. Accepted ingest-class payloads are pushed
+// through their payload decoders too, so malformed length prefixes and
+// truncated MKC1 blobs inside an intact frame are also exercised.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(typ byte, payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	edges := []stream.Edge{{Set: 1, Elem: 2}, {Set: 3, Elem: 4}}
+	f.Add(frame(TPing, nil))
+	f.Add(frame(TCreate, Create{Name: "s", M: 10, N: 10, K: 2, Alpha: 4, Seed: 1}.Encode()))
+	f.Add(frame(TIngest, EncodeIngest(nil, "s", edges, 10, 10)))
+	f.Add(frame(TIngestSeq, EncodeIngestSeq(nil, "s", 7, 1, edges, 10, 10)))
+	f.Add(frame(TResult, Result{Coverage: 5, Feasible: true, SetIDs: []uint32{1}}.Encode()))
+	f.Add([]byte{TIngest, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, payload, err := ReadFrame(bytes.NewReader(data), make([]byte, 64))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, typ, payload); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data[:buf.Len()]) {
+			t.Fatal("re-encoded frame differs from input prefix")
+		}
+		// Payload decoders must be panic-free on arbitrary accepted frames.
+		switch typ {
+		case TCreate:
+			_, _ = DecodeCreate(payload)
+		case TIngest:
+			_, _, _, _, _ = DecodeIngest(payload)
+		case TIngestSeq:
+			_, _, _, _, _, _, _ = DecodeIngestSeq(payload)
+		case TQuery, TClose:
+			_, _ = DecodeRef(payload)
+		case TResult:
+			_, _ = DecodeResult(payload)
+		}
+	})
+}

@@ -12,16 +12,23 @@
 //
 // Payloads:
 //
-//	TCreate  uvarint len(name), name, uvarint m, uvarint n, uvarint k,
-//	         8-byte LE float64 alpha, 8-byte LE int64 seed
-//	TIngest  uvarint len(name), name, MKC1 blob (stream.AppendBinary) whose
-//	         declared dims must equal the session's
-//	TQuery   uvarint len(name), name
-//	TClose   uvarint len(name), name
-//	TOK      empty
-//	TErr     UTF-8 error message
-//	TResult  8-byte LE float64 coverage, 1 byte feasible, uvarint space
-//	         words, uvarint edges, uvarint count, count × uvarint set IDs
+//	TCreate     uvarint len(name), name, uvarint m, uvarint n, uvarint k,
+//	            8-byte LE float64 alpha, 8-byte LE int64 seed
+//	TIngest     uvarint len(name), name, MKC1 blob (stream.AppendBinary)
+//	            whose declared dims must equal the session's
+//	TIngestSeq  uvarint len(name), name, uvarint source, uvarint seq,
+//	            MKC1 blob — a sequenced ingest: source is the client's
+//	            random nonzero identity, seq its per-session batch counter
+//	            starting at 1. The server logs the batch durably before
+//	            acking and dedups on (source, seq), so a client that
+//	            resends after a reconnect gets exactly-once application
+//	            even across a server crash.
+//	TQuery      uvarint len(name), name
+//	TClose      uvarint len(name), name
+//	TOK         empty
+//	TErr        UTF-8 error message
+//	TResult     8-byte LE float64 coverage, 1 byte feasible, uvarint space
+//	            words, uvarint edges, uvarint count, count × uvarint set IDs
 package wire
 
 import (
@@ -43,6 +50,11 @@ const (
 	// responses are strictly ordered, a ping's ack proves every earlier
 	// frame on the connection was handled.
 	TPing byte = 0x05
+	// TIngestSeq is TIngest with idempotence: the payload carries a
+	// (source, sequence) pair the server dedups on, and the ack implies
+	// the batch is durable in the session's WAL (when the server runs
+	// with a data dir). TIngest remains for fire-and-forget feeds.
+	TIngestSeq byte = 0x06
 
 	TOK     byte = 0x80
 	TErr    byte = 0x81
@@ -168,6 +180,43 @@ func DecodeIngest(p []byte) (name string, edges []stream.Edge, m, n int, err err
 	}
 	edges, m, n, err = stream.DecodeBinary(rest)
 	return name, edges, m, n, err
+}
+
+// EncodeIngestSeq frames a sequenced batch: session name, client source
+// identity, per-session sequence number, then the edges as one MKC1 blob.
+// buf is reused when capacity allows.
+func EncodeIngestSeq(buf []byte, name string, source, seq uint64, edges []stream.Edge, m, n int) []byte {
+	buf = appendName(buf[:0], name)
+	buf = binary.AppendUvarint(buf, source)
+	buf = binary.AppendUvarint(buf, seq)
+	return stream.AppendBinary(buf, edges, m, n)
+}
+
+// DecodeIngestSeq parses a TIngestSeq payload. Source and seq must both
+// be nonzero (zero is the "unsequenced" sentinel server-side).
+func DecodeIngestSeq(p []byte) (name string, source, seq uint64, edges []stream.Edge, m, n int, err error) {
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return "", 0, 0, nil, 0, 0, err
+	}
+	source, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return "", 0, 0, nil, 0, 0, fmt.Errorf("wire: bad ingest source")
+	}
+	rest = rest[w:]
+	seq, w = binary.Uvarint(rest)
+	if w <= 0 {
+		return "", 0, 0, nil, 0, 0, fmt.Errorf("wire: bad ingest sequence")
+	}
+	rest = rest[w:]
+	if source == 0 || seq == 0 {
+		return "", 0, 0, nil, 0, 0, fmt.Errorf("wire: zero ingest source or sequence")
+	}
+	edges, m, n, err = stream.DecodeBinary(rest)
+	if err != nil {
+		return "", 0, 0, nil, 0, 0, err
+	}
+	return name, source, seq, edges, m, n, nil
 }
 
 // EncodeRef frames a session reference (TQuery / TClose payload).

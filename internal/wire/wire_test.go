@@ -92,6 +92,42 @@ func TestIngestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestIngestSeqRoundTrip(t *testing.T) {
+	edges := []stream.Edge{{Set: 1, Elem: 2}, {Set: 7, Elem: 7}}
+	payload := EncodeIngestSeq(nil, "s2", 0xdeadbeef, 42, edges, 100, 100)
+	name, source, seq, got, m, n, err := DecodeIngestSeq(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "s2" || source != 0xdeadbeef || seq != 42 || m != 100 || n != 100 {
+		t.Errorf("header (%q,%d,%d,%d,%d)", name, source, seq, m, n)
+	}
+	if len(got) != len(edges) || got[0] != edges[0] || got[1] != edges[1] {
+		t.Errorf("edges %v != %v", got, edges)
+	}
+	// Reuse must reset, not append.
+	payload2 := EncodeIngestSeq(payload, "s2", 0xdeadbeef, 43, edges[:1], 100, 100)
+	if _, _, seq2, got2, _, _, err := DecodeIngestSeq(payload2); err != nil || seq2 != 43 || len(got2) != 1 {
+		t.Errorf("buffer reuse broken: seq %d, %d edges, %v", seq2, len(got2), err)
+	}
+}
+
+func TestIngestSeqRejectsMalformed(t *testing.T) {
+	edges := []stream.Edge{{Set: 1, Elem: 2}}
+	good := EncodeIngestSeq(nil, "s", 7, 9, edges, 10, 10)
+	for name, payload := range map[string][]byte{
+		"zero source": EncodeIngestSeq(nil, "s", 0, 9, edges, 10, 10),
+		"zero seq":    EncodeIngestSeq(nil, "s", 7, 0, edges, 10, 10),
+		"empty":       nil,
+		"name only":   good[:2],
+		"truncated":   good[:len(good)-3],
+	} {
+		if _, _, _, _, _, _, err := DecodeIngestSeq(payload); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
 func TestResultRoundTrip(t *testing.T) {
 	for _, want := range []Result{
 		{Coverage: 8123.5, Feasible: true, SpaceWords: 77, Edges: 123456, SetIDs: []uint32{4, 0, 99}},

@@ -1,0 +1,217 @@
+package streamcover
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func snapEdges(seed int64, m, n, count int) []Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]Edge, count)
+	for i := range edges {
+		edges[i] = Edge{Set: uint32(rng.Intn(m)), Elem: uint32(rng.Intn(n))}
+	}
+	return edges
+}
+
+// TestEncodeDecodeRoundTrip pins the tentpole guarantee at the facade:
+// a decoded estimator has the same future outputs and space accounting as
+// the original, across all exposed options.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts []Option
+	}{
+		{"defaults", nil},
+		{"seeded", []Option{WithSeed(99)}},
+		{"boosted", []Option{WithSeed(7), WithRepetitions(2)}},
+		{"hll", []Option{WithSeed(5), WithHLLBackend()}},
+		{"tight ladder", []Option{WithGuessBase(2)}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			orig, err := NewEstimator(50, 300, 4, 4, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := orig.ProcessAll(snapEdges(3, 50, 300, 3000)); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := orig.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := DecodeEstimator(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.Edges() != orig.Edges() {
+				t.Fatalf("edge count: %d vs %d", dec.Edges(), orig.Edges())
+			}
+			// Continue both on a suffix and compare everything observable.
+			suffix := snapEdges(4, 50, 300, 2000)
+			if err := orig.ProcessAll(suffix); err != nil {
+				t.Fatal(err)
+			}
+			if err := dec.ProcessAll(suffix); err != nil {
+				t.Fatal(err)
+			}
+			r1, r2 := orig.Result(), dec.Result()
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("results diverged:\n  orig     %+v\n  restored %+v", r1, r2)
+			}
+			b1, err := orig.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := dec.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatal("re-encoded states differ")
+			}
+		})
+	}
+}
+
+// TestSnapshotBatchScratchInterplay pins the contract between snapshots
+// and PR 2's batch scratch: the scratch is excluded from encoding (a
+// scalar-path and a batch-path estimator with equal state encode
+// byte-identically) and rebuilt lazily after decode (a decoded estimator
+// immediately takes the batch path and stays bit-identical to the scalar
+// path). Clone sits in the middle: clone-then-encode equals encode.
+func TestSnapshotBatchScratchInterplay(t *testing.T) {
+	edges := snapEdges(11, 40, 250, 4000)
+	scalar, err := NewEstimator(40, 250, 3, 4, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range edges {
+		if err := scalar.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batched, err := NewEstimator(40, 250, 3, 4, WithSeed(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(edges); off += 300 {
+		end := off + 300
+		if end > len(edges) {
+			end = len(edges)
+		}
+		if err := batched.ProcessBatch(edges[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	bScalar, err := scalar.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bBatched, err := batched.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bScalar, bBatched) {
+		t.Fatal("batch scratch leaked into the encoding")
+	}
+
+	// Clone must encode identically to its source (the clone's scratch
+	// starts empty, the source's may be warm — neither is state).
+	clone, err := batched.Clone()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bClone, err := clone.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bClone, bBatched) {
+		t.Fatal("clone encodes differently from its source")
+	}
+
+	// A decoded estimator's first act is a batch: the lazily rebuilt
+	// scratch must reproduce the scalar path bit for bit.
+	dec, err := DecodeEstimator(bScalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix := snapEdges(12, 40, 250, 1500)
+	if err := dec.ProcessBatch(suffix); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range suffix {
+		if err := scalar.Process(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r1, r2 := scalar.Result(), dec.Result(); !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("post-decode batch path diverged from scalar:\n  scalar  %+v\n  decoded %+v", r1, r2)
+	}
+}
+
+// FuzzDecodeEstimator drives the full snapshot decoder — envelope, header
+// and the recursive state codec underneath — with arbitrary bytes. Every
+// outcome must be a clean error or a working estimator, never a panic.
+func FuzzDecodeEstimator(f *testing.F) {
+	small, err := NewEstimator(10, 50, 2, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := small.ProcessAll(snapEdges(2, 10, 50, 200)); err != nil {
+		f.Fatal(err)
+	}
+	blob, err := small.Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add(blob[:len(blob)-7])
+	f.Add([]byte{})
+	f.Add([]byte("SCSN"))
+	mangled := append([]byte{}, blob...)
+	mangled[len(mangled)/3] ^= 0x10
+	f.Add(mangled)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		est, err := DecodeEstimator(data)
+		if err != nil {
+			return
+		}
+		// An accepted snapshot must yield a usable estimator.
+		_ = est.Result()
+	})
+}
+
+func TestDecodeEstimatorMalformed(t *testing.T) {
+	est, err := NewEstimator(30, 200, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := est.ProcessAll(snapEdges(8, 30, 200, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := est.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte{}, blob...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	for _, tc := range []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"garbage", []byte("not a snapshot at all")},
+		{"truncated header", blob[:10]},
+		{"truncated payload", blob[:len(blob)-20]},
+		{"bit flip", corrupt},
+		{"trailing garbage", append(append([]byte{}, blob...), 1, 2, 3)},
+	} {
+		if _, err := DecodeEstimator(tc.data); err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+	}
+}

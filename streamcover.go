@@ -85,6 +85,7 @@ type Estimator struct {
 	m, n, k int
 	alpha   float64
 	opts    []Option
+	cfg     config // resolved options, captured for Encode
 	inner   *core.Estimator
 	edges   int
 	conv    []stream.Edge // reusable batch conversion buffer (transient, not sketch state)
@@ -103,7 +104,7 @@ func NewEstimator(m, n, k int, alpha float64, opts ...Option) (*Estimator, error
 	if err != nil {
 		return nil, fmt.Errorf("streamcover: %w", err)
 	}
-	return &Estimator{m: m, n: n, k: k, alpha: alpha, opts: opts, inner: inner}, nil
+	return &Estimator{m: m, n: n, k: k, alpha: alpha, opts: opts, cfg: cfg, inner: inner}, nil
 }
 
 // Clone returns a deep copy of the estimator: a fresh same-seed estimator
