@@ -232,8 +232,10 @@ func (s *session) checkpoint(metrics *Metrics) error {
 	pos := d.wal.LastPos()
 	s.dmu.Lock()
 	dedup := make(map[uint64]uint64, len(s.dedup))
-	for src, seq := range s.dedup {
-		dedup[src] = seq
+	for src, e := range s.dedup {
+		// Under pmu.Lock no ingest is mid-flight, so every entry is
+		// settled; only the sequence horizon goes into the snapshot.
+		dedup[src] = e.seq
 	}
 	s.dmu.Unlock()
 	replies := make([]chan cloneReply, len(s.workers))
@@ -358,7 +360,10 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 	d.lastCkptNanos.Store(time.Now().UnixNano())
 	sess := newSessionWith(st.name, st.m, st.n, st.k, st.alpha, st.seed, cfg.QueueDepth, metrics, ests)
 	sess.dur = d
-	sess.dedup = st.dedup
+	sess.dedup = make(map[uint64]dedupEntry, len(st.dedup))
+	for src, seq := range st.dedup {
+		sess.dedup[src] = dedupEntry{seq: seq}
+	}
 	var total int64
 	for _, est := range ests {
 		total += int64(est.Edges())

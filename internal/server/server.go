@@ -73,6 +73,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	sessions map[string]*session
+	creating map[string]chan struct{} // names being built outside mu
 	closed   bool
 	tcpLn    net.Listener
 	httpSrv  *http.Server
@@ -92,6 +93,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[string]*session),
+		creating: make(map[string]chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
 	s.metrics.start = time.Now()
@@ -295,43 +297,84 @@ func (s *Server) ack(respond func(byte, []byte) bool, err error) bool {
 
 // createSession makes a session, idempotently: re-creating with identical
 // parameters succeeds (so several generators can race to set up the same
-// session), differing parameters are an error.
+// session), differing parameters are an error. The expensive part —
+// estimator construction, the WAL open, and the initial checkpoint's
+// fsyncs — runs outside s.mu behind a per-name guard, so session lookups
+// (every ingest and query on other connections) never block on one
+// creation's disk I/O; racing creators of the same name wait for the
+// build and then re-check idempotently.
 func (s *Server) createSession(c wire.Create) error {
 	if c.Name == "" {
 		return errors.New("server: empty session name")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return errors.New("server: shutting down")
-	}
-	if old, ok := s.sessions[c.Name]; ok {
-		if old.m == c.M && old.n == c.N && old.k == c.K && old.alpha == c.Alpha && old.seed == c.Seed {
-			return nil
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return errors.New("server: shutting down")
 		}
-		return fmt.Errorf("server: session %q exists with different parameters", c.Name)
+		if old, ok := s.sessions[c.Name]; ok {
+			s.mu.Unlock()
+			if old.m == c.M && old.n == c.N && old.k == c.K && old.alpha == c.Alpha && old.seed == c.Seed {
+				return nil
+			}
+			return fmt.Errorf("server: session %q exists with different parameters", c.Name)
+		}
+		if pending, busy := s.creating[c.Name]; busy {
+			s.mu.Unlock()
+			<-pending
+			continue
+		}
+		pending := make(chan struct{})
+		s.creating[c.Name] = pending
+		s.mu.Unlock()
+
+		sess, err := s.buildSession(c)
+
+		s.mu.Lock()
+		delete(s.creating, c.Name)
+		aborted := false
+		if err == nil {
+			if s.closed {
+				err = errors.New("server: shutting down")
+				aborted = true
+			} else {
+				s.sessions[c.Name] = sess
+			}
+		}
+		s.mu.Unlock()
+		close(pending)
+		if aborted {
+			sess.close()
+			sess.dur.close()
+		}
+		return err
 	}
+}
+
+// buildSession constructs a session plus its durability state: the WAL
+// and an initial params-only checkpoint, so a crash before the first
+// cadence tick still recovers the session (and its WAL tail). Runs with
+// no server locks held; the caller's per-name guard keeps it single.
+func (s *Server) buildSession(c wire.Create) (*session, error) {
 	sess, err := newSession(c.Name, c.M, c.N, c.K, c.Alpha, c.Seed, s.cfg.Workers, s.cfg.QueueDepth, &s.metrics)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if s.cfg.DataDir != "" {
 		dur, err := openDurability(s.cfg.DataDir, c.Name, s.cfg.WALSegmentBytes, s.cfg.WALNoSync)
 		if err != nil {
 			sess.close()
-			return err
+			return nil, err
 		}
 		sess.dur = dur
-		// An initial params-only checkpoint, so a crash before the first
-		// cadence tick still recovers the session (and its WAL tail).
 		if err := sess.checkpoint(&s.metrics); err != nil {
 			sess.close()
 			dur.close()
-			return err
+			return nil, err
 		}
 	}
-	s.sessions[c.Name] = sess
-	return nil
+	return sess, nil
 }
 
 // recover rebuilds every session found under the data dir: snapshot

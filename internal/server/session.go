@@ -30,7 +30,7 @@ type session struct {
 	dur *durability // nil without a data dir
 
 	dmu   sync.Mutex
-	dedup map[uint64]uint64 // client source → highest applied sequence
+	dedup map[uint64]dedupEntry // client source → replay horizon
 
 	mu     sync.Mutex
 	closed bool
@@ -54,6 +54,24 @@ type cloneReply struct {
 	err error
 }
 
+// dedupEntry is one client source's replay horizon. seq is the highest
+// sequence accepted from the source; done, while non-nil, is closed once
+// the ingest that accepted seq has made it durable (or rolled it back on
+// append failure). A duplicate may only be acknowledged against a settled
+// entry — acking against a still-in-flight original would promise
+// durability the WAL has not yet delivered, and a crash before the
+// original's fsync would then lose an acknowledged batch.
+type dedupEntry struct {
+	seq  uint64
+	done chan struct{}
+}
+
+// testHookAfterAccept, when non-nil, runs on the sequenced-ingest path
+// after the dedup entry for (source, seq) is published and before the WAL
+// append. Tests park an ingest here to model a batch stalled inside the
+// group-commit fsync.
+var testHookAfterAccept func(source, seq uint64)
+
 func newSession(name string, m, n, k int, alpha float64, seed int64, workers, queueDepth int, metrics *Metrics) (*session, error) {
 	ests := make([]*streamcover.Estimator, workers)
 	for i := range ests {
@@ -71,7 +89,7 @@ func newSession(name string, m, n, k int, alpha float64, seed int64, workers, qu
 func newSessionWith(name string, m, n, k int, alpha float64, seed int64, queueDepth int, metrics *Metrics, ests []*streamcover.Estimator) *session {
 	s := &session{
 		name: name, m: m, n: n, k: k, alpha: alpha, seed: seed,
-		metrics: metrics, dedup: make(map[uint64]uint64),
+		metrics: metrics, dedup: make(map[uint64]dedupEntry),
 	}
 	s.workers = make([]chan workerMsg, len(ests))
 	for i, est := range ests {
@@ -157,6 +175,13 @@ func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 // batch survives a crash, and a client replaying unacknowledged batches
 // after a reconnect cannot double-count. Returns whether the batch was
 // applied (false: recognized duplicate, still acknowledged).
+//
+// Accepted batches are serialized per source: a second ingest for the
+// same source — the next sequence, or a duplicate resent over a fresh
+// connection while the original is still inside the group-commit fsync —
+// waits until the previous one settles. A duplicate's ack therefore never
+// outruns the durability of the batch it vouches for, which is exactly
+// the reconnect-then-crash window the sequence numbers exist to cover.
 func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge) (bool, error) {
 	if err := s.begin(); err != nil {
 		return false, err
@@ -167,26 +192,53 @@ func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge)
 		d.pmu.RLock()
 		defer d.pmu.RUnlock()
 	}
-	s.dmu.Lock()
-	last := s.dedup[source]
-	if seq <= last {
-		s.dmu.Unlock()
-		return false, nil
-	}
-	s.dedup[source] = seq
-	s.dmu.Unlock()
-	if d != nil {
-		if _, err := d.wal.Append(rec); err != nil {
-			// The batch is not durable and was not applied; forget it so
-			// a retry (or a later checkpoint) doesn't claim otherwise.
-			s.dmu.Lock()
-			s.dedup[source] = last
+	for {
+		s.dmu.Lock()
+		prev := s.dedup[source]
+		if prev.done != nil {
+			// The ingest that accepted prev.seq is still logging; wait for
+			// it to become durable (or roll back), then re-evaluate.
+			done := prev.done
 			s.dmu.Unlock()
-			return false, err
+			<-done
+			continue
 		}
+		if seq <= prev.seq {
+			s.dmu.Unlock()
+			return false, nil
+		}
+		var done chan struct{}
+		if d != nil {
+			done = make(chan struct{})
+		}
+		s.dedup[source] = dedupEntry{seq: seq, done: done}
+		s.dmu.Unlock()
+		if hook := testHookAfterAccept; hook != nil {
+			hook(source, seq)
+		}
+		if d != nil {
+			if _, err := d.wal.Append(rec); err != nil {
+				// The batch is not durable and was not applied; restore the
+				// previous horizon so a retry (or a later checkpoint)
+				// doesn't claim otherwise. The entry is still ours — anyone
+				// else is parked on done — so this cannot clobber a
+				// concurrent publish.
+				s.dmu.Lock()
+				s.dedup[source] = prev
+				s.dmu.Unlock()
+				close(done)
+				return false, err
+			}
+		}
+		s.dispatch(edges)
+		if done != nil {
+			s.dmu.Lock()
+			s.dedup[source] = dedupEntry{seq: seq}
+			s.dmu.Unlock()
+			close(done)
+		}
+		return true, nil
 	}
-	s.dispatch(edges)
-	return true, nil
 }
 
 // dispatch shards one batch across the workers. Sends block when a

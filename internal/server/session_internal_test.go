@@ -1,0 +1,158 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamcover"
+	"streamcover/internal/stream"
+)
+
+func newTestDurSession(t *testing.T, name string) *session {
+	t.Helper()
+	dur, err := openDurability(t.TempDir(), name, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ests := make([]*streamcover.Estimator, 2)
+	for i := range ests {
+		est, err := streamcover.NewEstimator(50, 500, 3, 4, streamcover.WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests[i] = est
+	}
+	sess := newSessionWith(name, 50, 500, 3, 4, 1, 8, nil, ests)
+	sess.dur = dur
+	t.Cleanup(func() {
+		sess.close()
+		dur.close()
+	})
+	return sess
+}
+
+// TestDuplicateAckWaitsForInFlightOriginal pins the no-acked-data-loss
+// guarantee in the reconnect window: a duplicate (source, seq) arriving
+// while the original batch is still inside the WAL append (group-commit
+// fsync) must not be acknowledged until the original is durable. Acking
+// early would let a crash before the original's fsync lose a batch the
+// duplicate's ack vouched for.
+func TestDuplicateAckWaitsForInFlightOriginal(t *testing.T) {
+	sess := newTestDurSession(t, "seqdup")
+	edges := []stream.Edge{{Set: 1, Elem: 2}, {Set: 3, Elem: 4}}
+	rec := []byte{0x00, 0x01, 0x02}
+
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	released := false
+	// On any failure path, unpark the original so the session cleanup's
+	// ops.Wait doesn't hang the test binary.
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	var once sync.Once
+	testHookAfterAccept = func(source, seq uint64) {
+		once.Do(func() {
+			close(parked)
+			<-release
+		})
+	}
+	defer func() { testHookAfterAccept = nil }()
+
+	origDone := make(chan error, 1)
+	go func() {
+		applied, err := sess.ingestSeq(7, 1, rec, edges)
+		if err == nil && !applied {
+			t.Error("original ingest reported duplicate")
+		}
+		origDone <- err
+	}()
+	<-parked
+
+	dupDone := make(chan error, 1)
+	var dupApplied atomic.Bool
+	go func() {
+		applied, err := sess.ingestSeq(7, 1, rec, edges)
+		dupApplied.Store(applied)
+		dupDone <- err
+	}()
+
+	select {
+	case <-dupDone:
+		t.Fatal("duplicate acknowledged while the original was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	released = true
+	close(release)
+	if err := <-origDone; err != nil {
+		t.Fatalf("original ingest: %v", err)
+	}
+	select {
+	case err := <-dupDone:
+		if err != nil {
+			t.Fatalf("duplicate ingest: %v", err)
+		}
+		if dupApplied.Load() {
+			t.Fatal("duplicate was applied, want recognized-and-dropped")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("duplicate never acknowledged after the original settled")
+	}
+	if got := sess.dur.wal.LastPos(); got != 1 {
+		t.Fatalf("WAL holds %d records, want 1 (duplicate must not be logged)", got)
+	}
+}
+
+// TestIngestSeqConcurrentSameSource drives many interleaved sequences and
+// duplicates from one source through the sequenced path with a real
+// fsyncing WAL. Every sequence must be applied at most once, the WAL must
+// hold exactly the applied batches, and the surviving horizon must be the
+// highest accepted sequence (run with -race to police the handshake).
+func TestIngestSeqConcurrentSameSource(t *testing.T) {
+	sess := newTestDurSession(t, "seqrace")
+	edges := []stream.Edge{{Set: 9, Elem: 9}}
+	rec := []byte{0x01}
+
+	const goroutines, maxSeq = 8, 40
+	var applied atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for seq := uint64(1); seq <= maxSeq; seq++ {
+				ok, err := sess.ingestSeq(3, seq, rec, edges)
+				if err != nil {
+					t.Errorf("ingestSeq(%d): %v", seq, err)
+					return
+				}
+				if ok {
+					applied.Add(1)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sess.dmu.Lock()
+	entry := sess.dedup[3]
+	sess.dmu.Unlock()
+	if entry.done != nil {
+		t.Fatal("dedup entry left in-flight after all ingests returned")
+	}
+	if entry.seq != maxSeq {
+		t.Fatalf("final horizon %d, want %d", entry.seq, maxSeq)
+	}
+	got := applied.Load()
+	if got < 1 || got > maxSeq {
+		t.Fatalf("%d batches applied, want between 1 and %d", got, maxSeq)
+	}
+	if walRecs := int64(sess.dur.wal.LastPos()); walRecs != got {
+		t.Fatalf("WAL holds %d records but %d batches were applied", walRecs, got)
+	}
+}

@@ -260,12 +260,15 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.opts.NoSync {
 		return pos, nil
 	}
-	return pos, l.waitDurable(pos, file)
+	return pos, l.waitDurable(pos)
 }
 
 // waitDurable blocks until pos is durable, electing this goroutine as the
-// fsync leader when none is active (group commit).
-func (l *Log) waitDurable(pos uint64, file *os.File) error {
+// fsync leader when none is active (group commit). The leader captures the
+// active file under mu while holding syncActive, and rotation/Close wait
+// for syncActive to clear before closing any file, so the unlocked fsync
+// can never race a Close of its file.
+func (l *Log) waitDurable(pos uint64) error {
 	l.mu.Lock()
 	for {
 		if l.syncErr != nil {
@@ -277,6 +280,12 @@ func (l *Log) waitDurable(pos uint64, file *os.File) error {
 			l.mu.Unlock()
 			return nil
 		}
+		if l.file == nil {
+			// Close ran; it fsyncs before closing, so nothing is left to
+			// make durable.
+			l.mu.Unlock()
+			return nil
+		}
 		if !l.syncActive {
 			break
 		}
@@ -284,6 +293,10 @@ func (l *Log) waitDurable(pos uint64, file *os.File) error {
 	}
 	l.syncActive = true
 	target := l.appended // everything written so far rides this fsync
+	// pos is in the active file: rotation fsyncs the old segment and
+	// advances synced past its records before closing it, so synced < pos
+	// places pos's record in l.file.
+	file := l.file
 	l.mu.Unlock()
 
 	err := file.Sync()
@@ -292,29 +305,31 @@ func (l *Log) waitDurable(pos uint64, file *os.File) error {
 	l.syncActive = false
 	if err != nil {
 		l.syncErr = fmt.Errorf("wal: fsync: %w", err)
+		err = l.syncErr
 	} else if target > l.synced {
 		l.synced = target
 	}
 	l.flushCond.Broadcast()
-	if l.syncErr != nil {
-		err = l.syncErr
-	} else if l.synced < pos {
-		// Rotation happened between our write and leadership; retry on the
-		// (rare) new file.
-		next := l.file
-		l.mu.Unlock()
-		return l.waitDurable(pos, next)
-	}
 	l.mu.Unlock()
 	return err
 }
 
 // ensureSegmentLocked opens the active segment, rotating first if full.
+// Rotation waits out any in-flight group commit: the leader fsyncs its
+// captured file outside mu, and closing that file underneath it would
+// turn an already-durable flush into a spurious sticky sync error.
 func (l *Log) ensureSegmentLocked() error {
-	if l.file != nil && l.size < l.opts.SegmentBytes {
-		return nil
-	}
-	if l.file != nil {
+	for l.file != nil {
+		if l.size < l.opts.SegmentBytes {
+			return nil
+		}
+		if l.syncActive {
+			l.flushCond.Wait()
+			if l.syncErr != nil {
+				return l.syncErr
+			}
+			continue
+		}
 		// Rotation: the old segment must be fully durable before records
 		// start landing in a new one, or recovery could see a gap.
 		if !l.opts.NoSync {
@@ -322,6 +337,7 @@ func (l *Log) ensureSegmentLocked() error {
 				return fmt.Errorf("wal: %w", err)
 			}
 			l.synced = l.next - 1
+			l.flushCond.Broadcast() // appenders this sync just covered
 		}
 		if err := l.file.Close(); err != nil {
 			return fmt.Errorf("wal: %w", err)
@@ -434,38 +450,27 @@ func (l *Log) Depth(from uint64) uint64 {
 }
 
 // Sync forces durability of everything appended so far (used by NoSync
-// callers at known barriers, and by checkpoints).
+// callers at known barriers, and by checkpoints). It rides the group
+// commit like any appender, so it cannot race a rotation's or Close's
+// Close of the file it is flushing.
 func (l *Log) Sync() error {
 	l.mu.Lock()
-	file := l.file
 	target := l.appended
-	if l.syncErr != nil {
-		err := l.syncErr
-		l.mu.Unlock()
-		return err
-	}
 	l.mu.Unlock()
-	if file == nil {
+	if target == 0 {
 		return nil
 	}
-	if err := file.Sync(); err != nil {
-		l.mu.Lock()
-		l.syncErr = fmt.Errorf("wal: fsync: %w", err)
-		l.mu.Unlock()
-		return l.syncErr
-	}
-	l.mu.Lock()
-	if target > l.synced {
-		l.synced = target
-	}
-	l.mu.Unlock()
-	return nil
+	return l.waitDurable(target)
 }
 
-// Close syncs and closes the active segment.
+// Close syncs and closes the active segment, waiting out any in-flight
+// group commit first.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	for l.syncActive {
+		l.flushCond.Wait()
+	}
 	if l.file == nil {
 		return nil
 	}

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
 
 func collect(t *testing.T, l *Log, from uint64) map[uint64][]byte {
@@ -286,6 +287,104 @@ func TestConcurrentAppendGroupCommit(t *testing.T) {
 		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
 	}
 	l.Close()
+}
+
+// TestConcurrentAppendAcrossRotations hammers sync-mode appends through
+// many segment rotations. A group-commit leader fsyncs its file outside
+// the log mutex; rotation must wait that flush out rather than close the
+// file underneath it, which used to surface as a sticky "file already
+// closed" sync error that poisoned the whole log.
+func TestConcurrentAppendAcrossRotations(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 512}) // sync mode, tiny segments
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 60
+	payload := bytes.Repeat([]byte{0xab}, 64)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, err := l.Append(payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if segs, _ := listSegments(dir); len(segs) < 2 {
+		t.Fatalf("want several segments to exercise rotation, got %d", len(segs))
+	}
+	if got := collect(t, l, 1); len(got) != writers*each {
+		t.Fatalf("replayed %d records, want %d", len(got), writers*each)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync after rotations: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRotationWaitsForInFlightGroupCommit pins the ordering the hammer
+// test above can only hit probabilistically: with a group-commit leader
+// mid-fsync (syncActive), an append that needs rotation must park rather
+// than close the file the leader is flushing — closing it turned the
+// leader's already-durable flush into a sticky "file already closed"
+// error that poisoned the log.
+func TestRotationWaitsForInFlightGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(bytes.Repeat([]byte{1}, 100)); err != nil {
+		t.Fatal(err) // overfills the segment: the next append must rotate
+	}
+	// Pose as an in-flight fsync leader.
+	l.mu.Lock()
+	l.syncActive = true
+	l.mu.Unlock()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Append([]byte("x"))
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("append finished during an in-flight group commit (err=%v)", err)
+	default:
+	}
+	// The rotation itself must not have happened yet either: no second
+	// segment while the leader still owns the file.
+	if segs, err := listSegments(dir); err != nil || len(segs) != 1 {
+		t.Fatalf("rotation ran during an in-flight group commit: %d segments (%v)", len(segs), err)
+	}
+
+	l.mu.Lock()
+	l.syncActive = false
+	l.flushCond.Broadcast()
+	l.mu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if segs, _ := listSegments(dir); len(segs) != 2 {
+		t.Fatalf("append did not rotate after the group commit settled: %d segments", len(segs))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestOversizedRecordRejected(t *testing.T) {
