@@ -10,7 +10,9 @@ package streamcover
 //	go test -run=NONE -bench='ProcessEdge|ProcessBatch$' -benchtime=3x .
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"streamcover/internal/stream"
@@ -55,6 +57,35 @@ func BenchmarkProcessEdge(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+}
+
+// BenchmarkProcessBatchParallel scales the batch engine across worker
+// counts on one estimator: the (guess, repetition) oracle units are
+// fanned over the persistent pool with a shared per-chunk prepass. The
+// workers=1 case is the sequential path (no helper goroutines) and the
+// reference for engine overhead; on a single-CPU host the higher counts
+// measure overhead only, on multi-core they measure scaling.
+func BenchmarkProcessBatchParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			edges, est := hotpathStream(b)
+			est.SetParallelism(workers)
+			defer est.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for off := 0; off < len(edges); off += hotpathBatchSize {
+					end := off + hotpathBatchSize
+					if end > len(edges) {
+						end = len(edges)
+					}
+					if err := est.ProcessBatch(edges[off:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(edges))*float64(b.N)/b.Elapsed().Seconds(), "edges/s")
+		})
+	}
 }
 
 // BenchmarkProcessBatch streams the same edges through the memoized batch

@@ -39,6 +39,7 @@ func main() {
 		listen  = flag.String("listen", ":7600", "TCP ingest listen address")
 		httpA   = flag.String("http", ":7601", "HTTP query/metrics listen address (empty disables)")
 		workers = flag.Int("workers", 0, "shard workers per session (0 = GOMAXPROCS)")
+		engineW = flag.Int("engine-workers", 1, "batch-engine goroutines inside each worker's estimator (raise when cores outnumber busy shard workers)")
 		queue   = flag.Int("queue", 64, "per-worker batch queue depth (backpressure bound)")
 		drain   = flag.Duration("drain", 60*time.Second, "graceful shutdown budget (with -data this includes a final checkpoint, which scales with estimator size)")
 
@@ -53,7 +54,7 @@ func main() {
 		*checkpoint = -1 // Config treats 0 as "use default": make <=0 mean off
 	}
 	srv := server.New(server.Config{
-		Workers: *workers, QueueDepth: *queue,
+		Workers: *workers, EngineWorkers: *engineW, QueueDepth: *queue,
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpoint,
 		WALSegmentBytes: *walSegment,

@@ -265,9 +265,9 @@ func (c *Client) dial() (*netConn, error) {
 func (c *Client) readLoop(cn *netConn) {
 	defer close(cn.readerDone)
 	br := bufio.NewReaderSize(cn.c, 1<<16)
-	scratch := make([]byte, 4096)
+	scratch := make([]byte, 4096) // grown in place by ReadFrameInto for larger responses
 	for {
-		typ, payload, err := wire.ReadFrame(br, scratch)
+		typ, payload, err := wire.ReadFrameInto(br, &scratch)
 		if err != nil {
 			cn.lost(wrapLost(err))
 			for {

@@ -36,13 +36,37 @@ import (
 // the scratch tables to O(chunk) memory regardless of caller batch size.
 const maxBatchChunk = 1 << 15
 
-// BatchScratch is the reusable per-batch working memory of the batched
-// ingest path: dedup tables for the two ID columns plus value buffers for
-// memoized hash decisions. A scratch may be reused across batches (Index
-// resets it) but never shared between concurrent goroutines.
-type BatchScratch struct {
+// Prepass is the chunk-wide shared prepass: the deduped set and element
+// ID columns of the chunk being processed. It is computed once per chunk
+// (Index) and then only READ — every (guess, repetition) oracle unit
+// consumes the same columns, which is what lets the parallel batch engine
+// hand one Prepass to every worker while each worker keeps its own
+// mutable BatchScratch.
+type Prepass struct {
 	sets  hash.Interner // distinct set IDs + per-edge positions
 	elems hash.Interner // distinct element IDs + per-edge positions
+}
+
+// Index dedups both ID columns of the chunk. After Index returns the
+// Prepass is immutable until the next Index call; concurrent readers are
+// safe provided they synchronize with the indexing goroutine (the engine
+// publishes the Prepass through a channel send).
+func (p *Prepass) Index(edges []stream.Edge) {
+	p.sets.Reset()
+	p.elems.Reset()
+	for _, e := range edges {
+		p.sets.Add(e.Set)
+		p.elems.Add(e.Elem)
+	}
+}
+
+// BatchScratch is the reusable per-batch working memory of the batched
+// ingest path: a reference to the chunk's (possibly shared) prepass plus
+// value buffers for memoized hash decisions. A scratch may be reused
+// across batches (Index resets it) but never shared between concurrent
+// goroutines; only the Prepass it points at may be shared, read-only.
+type BatchScratch struct {
+	pre *Prepass // chunk prepass: owned by the sequential path, shared under the engine
 
 	// Element view consumed by Oracle.ProcessBatch: elemKeys holds the
 	// distinct hash-input keys for the element column of the edges being
@@ -75,22 +99,18 @@ type BatchScratch struct {
 	occ     []int32  // per sampled edge, in order: index into ssKeys
 }
 
-// NewBatchScratch returns an empty scratch; buffers grow on first use.
-func NewBatchScratch() *BatchScratch { return &BatchScratch{} }
+// NewBatchScratch returns an empty scratch owning its prepass; buffers
+// grow on first use.
+func NewBatchScratch() *BatchScratch { return &BatchScratch{pre: new(Prepass)} }
 
-// Index dedups both ID columns of the batch and exposes the identity
-// element view (elemKeys = the distinct raw element IDs), which is what
-// Oracle.ProcessBatch expects when it is driven directly rather than
-// through the estimator's universe reduction.
+// Index dedups both ID columns of the batch into the scratch's own
+// prepass and exposes the identity element view (elemKeys = the distinct
+// raw element IDs), which is what Oracle.ProcessBatch expects when it is
+// driven directly rather than through the estimator's universe reduction.
 func (sc *BatchScratch) Index(edges []stream.Edge) {
-	sc.sets.Reset()
-	sc.elems.Reset()
-	for _, e := range edges {
-		sc.sets.Add(e.Set)
-		sc.elems.Add(e.Elem)
-	}
-	sc.elemKeys = sc.elems.Keys
-	sc.elemRef = sc.elems.Pos
+	sc.pre.Index(edges)
+	sc.elemKeys = sc.pre.elems.Keys
+	sc.elemRef = sc.pre.elems.Pos
 }
 
 // BatchOracle is a CoverageOracle with a batched ingest path.
@@ -101,6 +121,10 @@ type BatchOracle interface {
 	CoverageOracle
 	ProcessBatch(edges []stream.Edge, sc *BatchScratch)
 }
+
+// The paper's three-subroutine oracle implements the batched path; the
+// engine's fast path depends on it.
+var _ BatchOracle = (*Oracle)(nil)
 
 // ProcessBatch fans the batch out to all three subroutines. Each
 // subroutine consumes the whole batch before the next starts; because the
@@ -115,8 +139,8 @@ func (o *Oracle) ProcessBatch(edges []stream.Edge, sc *BatchScratch) {
 // processBatch evaluates the shared set hash once per distinct set and
 // replays the edges against the layer thresholds in arrival order.
 func (lc *LargeCommon) processBatch(edges []stream.Edge, sc *BatchScratch) {
-	sc.hv = lc.h.EvalBatch(sc.sets.Keys, sc.hv)
-	setPos := sc.sets.Pos
+	sc.hv = lc.h.EvalBatch(sc.pre.sets.Keys, sc.hv)
+	setPos := sc.pre.sets.Pos
 	for j := range edges {
 		v := sc.hv[setPos[j]]
 		for i := range lc.layers {
@@ -140,11 +164,11 @@ func (lc *LargeCommon) processBatch(edges []stream.Edge, sc *BatchScratch) {
 // fallback are independent structures, so updating them battery-major
 // instead of edge-major changes no state.
 func (ls *LargeSet) processBatch(edges []stream.Edge, sc *BatchScratch) {
-	setPos, elemRef := sc.sets.Pos, sc.elemRef
+	setPos, elemRef := sc.pre.sets.Pos, sc.elemRef
 	for i := range ls.reps {
 		rep := &ls.reps[i]
 		sc.bits = rep.elemSamp.BernoulliBatch(sc.elemKeys, ls.rho, sc.bits)
-		sc.hv = rep.part.h.RangeBatch(sc.sets.Keys, uint64(rep.part.q), sc.hv)
+		sc.hv = rep.part.h.RangeBatch(sc.pre.sets.Keys, uint64(rep.part.q), sc.hv)
 		ssPos := sc.dedupSupersets(rep.part.q)
 		occ := sc.occ[:0]
 		for j := range edges {
@@ -206,10 +230,10 @@ func (ss *SmallSet) processBatch(edges []stream.Edge, sc *BatchScratch) {
 	if ss.live == 0 {
 		return
 	}
-	sc.bits = ss.setSamp.BernoulliBatch(sc.sets.Keys, ss.mRate, sc.bits)
+	sc.bits = ss.setSamp.BernoulliBatch(sc.pre.sets.Keys, ss.mRate, sc.bits)
 	sc.hv = ss.pickSamp.EvalBatch(sc.elemKeys, sc.hv)
 	sc.hv2 = ss.estSamp.EvalBatch(sc.elemKeys, sc.hv2)
-	setPos, elemRef := sc.sets.Pos, sc.elemRef
+	setPos, elemRef := sc.pre.sets.Pos, sc.elemRef
 	for j := range edges {
 		if !sc.bits[setPos[j]] {
 			continue
@@ -241,14 +265,26 @@ func (est *Estimator) ProcessBatch(edges []stream.Edge) {
 	}
 }
 
-// processChunk indexes one chunk and feeds it to every (guess, rep) unit.
+// processChunk indexes one chunk (the shared prepass, computed exactly
+// once) and feeds it to every (guess, rep) unit — sequentially, or fanned
+// across the persistent engine when parallelism is enabled and the grid
+// has more than one unit.
 func (est *Estimator) processChunk(chunk []stream.Edge, sc *BatchScratch) {
 	sc.Index(chunk)
-	for gi := range est.guesses {
-		g := &est.guesses[gi]
-		for ri := range g.reps {
-			est.processChunkUnit(chunk, sc, g, &g.reps[ri])
+	units := est.units()
+	if est.par > 1 && len(units) > 1 {
+		if est.eng == nil {
+			helpers := est.par
+			if helpers > len(units) {
+				helpers = len(units)
+			}
+			est.eng = newEngine(helpers - 1) // caller is always a worker
 		}
+		est.eng.run(est, chunk, sc)
+		return
+	}
+	for _, u := range units {
+		est.processChunkUnit(chunk, sc, u.g, u.rep)
 	}
 }
 
@@ -261,10 +297,10 @@ func (est *Estimator) processChunk(chunk []stream.Edge, sc *BatchScratch) {
 // the ladder collapse to at most z evaluations per hash per chunk.
 func (est *Estimator) processChunkUnit(chunk []stream.Edge, sc *BatchScratch, g *zGuess, rep *zRep) {
 	z := uint64(g.z)
-	sc.rawVals = rep.h.RangeBatch(sc.elems.Keys, z, sc.rawVals)
+	sc.rawVals = rep.h.RangeBatch(sc.pre.elems.Keys, z, sc.rawVals)
 
 	keys, pos := sc.rawVals, []int32(nil) // identity: key i is distinct raw elem i
-	if g.z < len(sc.elems.Keys) {
+	if g.z < len(sc.pre.elems.Keys) {
 		keys, pos = sc.dedupReduced(g.z)
 	}
 
@@ -274,7 +310,7 @@ func (est *Estimator) processChunkUnit(chunk []stream.Edge, sc *BatchScratch, g 
 	}
 	red, ref := sc.redEdges[:len(chunk)], sc.refBuf[:len(chunk)]
 	for j := range chunk {
-		oi := sc.elems.Pos[j]
+		oi := sc.pre.elems.Pos[j]
 		red[j] = stream.Edge{Set: chunk[j].Set, Elem: uint32(sc.rawVals[oi])}
 		if pos != nil {
 			ref[j] = pos[oi]

@@ -1,9 +1,8 @@
 package core
 
 import (
-	"sync"
-
 	"math/rand"
+	"runtime"
 
 	"streamcover/internal/hash"
 	"streamcover/internal/stream"
@@ -36,6 +35,24 @@ type Estimator struct {
 	// nothing beyond the current batch and is excluded from SpaceWords
 	// (see internal/core/batch.go).
 	scratch *BatchScratch
+
+	// Parallel batch engine state (see internal/core/engine.go). par is
+	// the target worker count for ProcessBatch (≤1 means sequential; the
+	// default). unitList flattens the (guess, repetition) grid once;
+	// eng holds the lazily started helper pool, sized min(par, units)-1
+	// because the calling goroutine is always a worker too.
+	par      int
+	unitList []oracleUnit
+	eng      *engine
+}
+
+// oracleUnit is one independently processable cell of the estimator's
+// (guess, repetition) grid: the guess supplies z, the repetition its
+// reduction hash and oracle. Units share no mutable state, which is what
+// makes the grid safe to fan across workers.
+type oracleUnit struct {
+	g   *zGuess
+	rep *zRep
 }
 
 type zGuess struct {
@@ -122,65 +139,65 @@ func (est *Estimator) Process(e stream.Edge) {
 	}
 }
 
-// ProcessAllParallel consumes an entire in-memory edge stream using up to
-// `workers` goroutines. Each (guess, repetition) oracle is an independent
-// single-pass structure, so the ladder is embarrassingly parallel: every
-// worker owns a disjoint subset of oracles and scans the slice on its
-// own, through the batched hot path with a private BatchScratch (scratch
-// is per-worker transient memory, so the parallel path composes with
-// batching without sharing mutable state). The result is bit-for-bit
-// identical to feeding every edge through Process sequentially (each
-// oracle still sees the same edges in the same order); only wall-clock
-// time changes. The slice must not be mutated during the call.
-func (est *Estimator) ProcessAllParallel(edges []stream.Edge, workers int) {
-	if est.trivial || len(edges) == 0 {
-		return
-	}
-	type unit struct {
-		g   *zGuess
-		rep *zRep
-	}
-	var units []unit
-	for gi := range est.guesses {
-		g := &est.guesses[gi]
-		for ri := range g.reps {
-			units = append(units, unit{g, &g.reps[ri]})
-		}
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(units) {
-		workers = len(units)
-	}
-	if workers == 1 {
-		est.ProcessBatch(edges)
-		return
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		var mine []unit
-		for u := w; u < len(units); u += workers {
-			mine = append(mine, units[u])
-		}
-		wg.Add(1)
-		go func(mine []unit) {
-			defer wg.Done()
-			sc := NewBatchScratch()
-			for start := 0; start < len(edges); start += maxBatchChunk {
-				end := start + maxBatchChunk
-				if end > len(edges) {
-					end = len(edges)
-				}
-				chunk := edges[start:end]
-				sc.Index(chunk)
-				for _, u := range mine {
-					est.processChunkUnit(chunk, sc, u.g, u.rep)
-				}
+// units flattens the (guess, repetition) grid into the engine's
+// work-stealing list, lazily and once: the grid is fixed at construction
+// (Merge mutates oracles in place, never the guesses slice), so the
+// pointers stay valid for the estimator's lifetime.
+func (est *Estimator) units() []oracleUnit {
+	if est.unitList == nil {
+		for gi := range est.guesses {
+			g := &est.guesses[gi]
+			for ri := range g.reps {
+				est.unitList = append(est.unitList, oracleUnit{g, &g.reps[ri]})
 			}
-		}(mine)
+		}
 	}
-	wg.Wait()
+	return est.unitList
+}
+
+// SetParallelism sets the worker count ProcessBatch fans oracle units
+// across. p ≤ 0 selects GOMAXPROCS; 1 is the default (fully sequential,
+// no helper goroutines exist). The setting persists until changed: every
+// subsequent ProcessBatch uses it. Parallelism is an execution knob, not
+// sketch state — it never affects results (bit-identical for every p) or
+// the encoded form. Not safe to call concurrently with ProcessBatch.
+func (est *Estimator) SetParallelism(p int) {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p == est.par {
+		return
+	}
+	est.par = p
+	// Helper count depends on par; drop the pool and let processChunk
+	// restart it at the right size on the next batch.
+	if est.eng != nil {
+		est.eng.close()
+		est.eng = nil
+	}
+}
+
+// Close stops the parallel engine's helper goroutines, if any. The
+// estimator remains fully usable afterwards (ProcessBatch restarts the
+// pool lazily); Close exists so long-lived owners (the server's sessions)
+// can release goroutines when a session ends.
+func (est *Estimator) Close() {
+	if est.eng != nil {
+		est.eng.close()
+		est.eng = nil
+	}
+}
+
+// ProcessAllParallel consumes an entire in-memory edge stream using up to
+// `workers` goroutines (≤ 0 selects GOMAXPROCS). It is
+// SetParallelism(workers) followed by ProcessBatch: the fan-out runs on
+// the estimator's persistent engine, and the parallelism setting remains
+// in effect for subsequent batches. Results are bit-for-bit identical to
+// feeding every edge through Process sequentially; only wall-clock time
+// changes. The slice must not be mutated during the call.
+func (est *Estimator) ProcessAllParallel(edges []stream.Edge, workers int) {
+	est.SetParallelism(workers)
+	est.ProcessBatch(edges)
 }
 
 // Estimate is the final answer of the estimation pipeline.

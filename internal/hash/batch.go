@@ -93,12 +93,16 @@ func (p *Poly) BernoulliBatch(xs []uint64, prob float64, dst []bool) []bool {
 // Interner dedups one ID column of an edge batch: Add records each
 // occurrence and returns a dense index in first-appearance order, so an
 // ID-keyed hash decision can be computed once per distinct ID (over Keys)
-// and looked up per occurrence (via Pos). It is reusable working memory —
-// Reset keeps the allocations — and is NOT sketch state: it holds no
-// information beyond the current batch, so it is excluded from every
-// SpaceWords accounting (see internal/spaceacct).
+// and looked up per occurrence (via Pos). The dedup table is open-addressed
+// (linear probing over a power-of-two table storing index+1, so Reset is a
+// single memclr) rather than a Go map — interning runs once per edge per
+// chunk on the ingest hot path. It is reusable working memory — Reset keeps
+// the allocations — and is NOT sketch state: it holds no information beyond
+// the current batch, so it is excluded from every SpaceWords accounting
+// (see internal/spaceacct).
 type Interner struct {
-	idx map[uint32]int32
+	tab  []int32 // slot -> index into Keys + 1; 0 = empty
+	mask uint64
 	// Keys holds the distinct IDs in first-appearance order, widened to
 	// uint64 so they can feed EvalBatch directly.
 	Keys []uint64
@@ -108,25 +112,58 @@ type Interner struct {
 
 // Reset clears the interner for a new batch, retaining capacity.
 func (it *Interner) Reset() {
-	if it.idx == nil {
-		it.idx = make(map[uint32]int32)
+	if it.tab == nil {
+		it.tab = make([]int32, 1024)
+		it.mask = 1023
 	} else {
-		clear(it.idx)
+		clear(it.tab)
 	}
 	it.Keys = it.Keys[:0]
 	it.Pos = it.Pos[:0]
 }
 
+// internMix spreads the 32-bit ID over the table (Fibonacci hashing on the
+// upper bits of a 64-bit product).
+func internMix(id uint32) uint64 {
+	return (uint64(id) * 0x9e3779b97f4a7c15) >> 32
+}
+
 // Add records one occurrence of id and returns its dense index.
 func (it *Interner) Add(id uint32) int32 {
-	i, ok := it.idx[id]
-	if !ok {
-		i = int32(len(it.Keys))
-		it.idx[id] = i
-		it.Keys = append(it.Keys, uint64(id))
+	if uint64(len(it.Keys))*2 >= uint64(len(it.tab)) {
+		it.grow()
 	}
-	it.Pos = append(it.Pos, i)
-	return i
+	i := internMix(id) & it.mask
+	for {
+		v := it.tab[i]
+		if v == 0 {
+			k := int32(len(it.Keys))
+			it.tab[i] = k + 1
+			it.Keys = append(it.Keys, uint64(id))
+			it.Pos = append(it.Pos, k)
+			return k
+		}
+		if uint32(it.Keys[v-1]) == id {
+			it.Pos = append(it.Pos, v-1)
+			return v - 1
+		}
+		i = (i + 1) & it.mask
+	}
+}
+
+// grow doubles the table and reinserts the distinct keys; Keys order (and
+// therefore every dense index already handed out) is unchanged.
+func (it *Interner) grow() {
+	size := uint64(len(it.tab)) * 2
+	it.tab = make([]int32, size)
+	it.mask = size - 1
+	for k, key := range it.Keys {
+		i := internMix(uint32(key)) & it.mask
+		for it.tab[i] != 0 {
+			i = (i + 1) & it.mask
+		}
+		it.tab[i] = int32(k) + 1
+	}
 }
 
 // growU64 returns a slice of length n reusing dst's storage when possible.

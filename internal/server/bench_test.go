@@ -44,6 +44,7 @@ func BenchmarkServerIngest(b *testing.B) {
 		chunk[i] = streamcover.Edge{Set: uint32(rng.Intn(m)), Elem: uint32(rng.Intn(n))}
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	sent := 0
 	for sent < b.N {

@@ -36,6 +36,11 @@ type durability struct {
 	pmu    sync.RWMutex // ingest RLock / checkpoint Lock
 	ckptMu sync.Mutex   // serializes whole checkpoints (ticker, HTTP, shutdown)
 
+	// appendFn, when non-nil, replaces wal.Append on the overlapped ingest
+	// path. Tests inject stalls (to prove the ack waits for durability) and
+	// failures (to prove a failed append poisons the session).
+	appendFn func(rec []byte) (uint64, error)
+
 	lastCkptNanos atomic.Int64  // wall clock of the last completed checkpoint
 	ckptPos       atomic.Uint64 // last WAL position folded into the snapshot
 }
@@ -300,6 +305,9 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 		if err != nil {
 			return nil, fmt.Errorf("server: %s: worker %d: %w", dir, i, err)
 		}
+		// Parallelism is an execution knob the snapshot deliberately omits;
+		// apply this server's setting before the replay below.
+		est.SetParallelism(cfg.EngineWorkers)
 		ests = append(ests, est)
 	}
 	// The snapshot is per-worker. With the same worker count the restored
@@ -317,7 +325,8 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 		ests = make([]*streamcover.Estimator, cfg.Workers)
 		ests[0] = merged
 		for i := 1; i < cfg.Workers; i++ {
-			est, err := streamcover.NewEstimator(st.m, st.n, st.k, st.alpha, streamcover.WithSeed(st.seed))
+			est, err := streamcover.NewEstimator(st.m, st.n, st.k, st.alpha,
+				streamcover.WithSeed(st.seed), streamcover.WithParallelism(cfg.EngineWorkers))
 			if err != nil {
 				return nil, err
 			}

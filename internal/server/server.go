@@ -37,6 +37,13 @@ type Config struct {
 	// QueueDepth is each worker's batch-queue capacity; full queues block
 	// ingest dispatch (backpressure). Default: 64.
 	QueueDepth int
+	// EngineWorkers is the per-estimator batch-engine worker count: how
+	// many goroutines each shard worker's estimator fans its oracle units
+	// across (streamcover.WithParallelism). Default: 1. The shard workers
+	// already provide cross-core parallelism, so in-estimator fan-out
+	// only pays when cores outnumber busy shard workers — few sessions on
+	// a large machine; raise it (and usually lower Workers) for that shape.
+	EngineWorkers int
 	// DataDir enables durability: each session keeps a checkpoint
 	// snapshot plus a WAL of acknowledged batches under this directory,
 	// and Start recovers every session found there before accepting
@@ -59,6 +66,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64
+	}
+	if c.EngineWorkers <= 0 {
+		c.EngineWorkers = 1
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 30 * time.Second
@@ -213,7 +223,7 @@ func (s *Server) serveTCP(ln net.Listener) {
 func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
-	scratch := make([]byte, 1<<16)
+	scratch := make([]byte, 1<<16) // grown in place by ReadFrameInto for larger batches
 	respond := func(typ byte, payload []byte) bool {
 		if typ == wire.TErr {
 			s.metrics.Errors.Add(1)
@@ -231,7 +241,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		return true
 	}
 	for {
-		typ, payload, err := wire.ReadFrame(br, scratch)
+		typ, payload, err := wire.ReadFrameInto(br, &scratch)
 		if err != nil {
 			return // EOF, peer reset, or garbage — drop the connection
 		}
@@ -357,7 +367,7 @@ func (s *Server) createSession(c wire.Create) error {
 // cadence tick still recovers the session (and its WAL tail). Runs with
 // no server locks held; the caller's per-name guard keeps it single.
 func (s *Server) buildSession(c wire.Create) (*session, error) {
-	sess, err := newSession(c.Name, c.M, c.N, c.K, c.Alpha, c.Seed, s.cfg.Workers, s.cfg.QueueDepth, &s.metrics)
+	sess, err := newSession(c.Name, c.M, c.N, c.K, c.Alpha, c.Seed, s.cfg.Workers, s.cfg.EngineWorkers, s.cfg.QueueDepth, &s.metrics)
 	if err != nil {
 		return nil, err
 	}

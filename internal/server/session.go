@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,10 +25,24 @@ type session struct {
 	seed  int64
 
 	workers []chan workerMsg
-	wg      sync.WaitGroup // worker goroutines
-	metrics *Metrics       // server-wide counters (batch latency); may be nil in tests
+	ests    []*streamcover.Estimator // one per worker; owned so close can release their engines
+	recycle []chan []stream.Edge     // per-worker shard-buffer free lists (see dispatch)
+	hist    shardSizeHist            // recent shard lengths, drives shard capacity reservation
+	hdrPool sync.Pool                // *[][]stream.Edge dispatch headers
+	wg      sync.WaitGroup           // worker goroutines
+	metrics *Metrics                 // server-wide counters (batch latency); may be nil in tests
 
 	dur *durability // nil without a data dir
+
+	// failErr is sticky: the first WAL append failure on the overlapped
+	// ingest path. At that point a batch has been applied to the workers
+	// without being durable, so no later ingest on this session may be
+	// acknowledged — an ack promises the whole acknowledged prefix
+	// survives a crash, and this session can no longer keep that promise.
+	// Recovery from the checkpoint + WAL (which hold exactly the durable
+	// prefix) is the way back.
+	fmu     sync.Mutex
+	failErr error
 
 	dmu   sync.Mutex
 	dedup map[uint64]dedupEntry // client source → replay horizon
@@ -56,11 +71,11 @@ type cloneReply struct {
 
 // dedupEntry is one client source's replay horizon. seq is the highest
 // sequence accepted from the source; done, while non-nil, is closed once
-// the ingest that accepted seq has made it durable (or rolled it back on
-// append failure). A duplicate may only be acknowledged against a settled
-// entry — acking against a still-in-flight original would promise
-// durability the WAL has not yet delivered, and a crash before the
-// original's fsync would then lose an acknowledged batch.
+// the ingest that accepted seq has settled — made the batch durable, or
+// failed and poisoned the session (failErr). A duplicate may only be
+// acknowledged against a settled entry — acking against a still-in-flight
+// original would promise durability the WAL has not yet delivered, and a
+// crash before the original's fsync would then lose an acknowledged batch.
 type dedupEntry struct {
 	seq  uint64
 	done chan struct{}
@@ -72,10 +87,11 @@ type dedupEntry struct {
 // group-commit fsync.
 var testHookAfterAccept func(source, seq uint64)
 
-func newSession(name string, m, n, k int, alpha float64, seed int64, workers, queueDepth int, metrics *Metrics) (*session, error) {
+func newSession(name string, m, n, k int, alpha float64, seed int64, workers, engineWorkers, queueDepth int, metrics *Metrics) (*session, error) {
 	ests := make([]*streamcover.Estimator, workers)
 	for i := range ests {
-		est, err := streamcover.NewEstimator(m, n, k, alpha, streamcover.WithSeed(seed))
+		est, err := streamcover.NewEstimator(m, n, k, alpha,
+			streamcover.WithSeed(seed), streamcover.WithParallelism(engineWorkers))
 		if err != nil {
 			return nil, err
 		}
@@ -89,19 +105,23 @@ func newSession(name string, m, n, k int, alpha float64, seed int64, workers, qu
 func newSessionWith(name string, m, n, k int, alpha float64, seed int64, queueDepth int, metrics *Metrics, ests []*streamcover.Estimator) *session {
 	s := &session{
 		name: name, m: m, n: n, k: k, alpha: alpha, seed: seed,
-		metrics: metrics, dedup: make(map[uint64]dedupEntry),
+		metrics: metrics, dedup: make(map[uint64]dedupEntry), ests: ests,
 	}
-	s.workers = make([]chan workerMsg, len(ests))
+	w := len(ests)
+	s.hdrPool.New = func() any { h := make([][]stream.Edge, w); return &h }
+	s.workers = make([]chan workerMsg, w)
+	s.recycle = make([]chan []stream.Edge, w)
 	for i, est := range ests {
 		ch := make(chan workerMsg, queueDepth)
 		s.workers[i] = ch
+		s.recycle[i] = make(chan []stream.Edge, queueDepth+1)
 		s.wg.Add(1)
-		go s.runWorker(est, ch)
+		go s.runWorker(est, ch, s.recycle[i])
 	}
 	return s
 }
 
-func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg) {
+func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg, recycle chan []stream.Edge) {
 	defer s.wg.Done()
 	var buf []streamcover.Edge // reusable shard conversion buffer
 	for msg := range ch {
@@ -116,6 +136,13 @@ func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg) {
 		b := buf[:len(msg.edges)]
 		for i, e := range msg.edges {
 			b[i] = streamcover.Edge(e)
+		}
+		// The shard buffer is free as soon as it's converted; hand it back
+		// to dispatch before the (slow) estimator work so the free list
+		// stays warm even when this worker runs behind.
+		select {
+		case recycle <- msg.edges[:0]:
+		default:
 		}
 		start := time.Now()
 		// Edges were validated against the session dims at decode time,
@@ -150,22 +177,71 @@ func (s *session) begin() error {
 	return nil
 }
 
-// ingest logs and shards one validated unsequenced batch. rec is the
-// WAL record for the batch (type byte + wire payload); ignored when the
-// session has no durability.
+// fail records the first WAL append failure; every later ingest is
+// rejected (see the failErr field comment).
+func (s *session) fail(err error) {
+	s.fmu.Lock()
+	if s.failErr == nil {
+		s.failErr = fmt.Errorf("server: session %q: wal append failed, session poisoned: %w", s.name, err)
+	}
+	s.fmu.Unlock()
+}
+
+// failed reports the sticky append failure, if any.
+func (s *session) failed() error {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	return s.failErr
+}
+
+// appendOverlapped starts the WAL append on its own goroutine so the
+// caller can dispatch the batch to the workers while the group-commit
+// fsync is in flight — the two dominate ingest latency and are
+// independent, so overlapping them hides the shorter behind the longer.
+// The returned channel delivers the append's error; the caller must
+// receive from it before acknowledging (an ack still implies durability)
+// and before releasing pmu (the checkpoint invariant requires no
+// in-flight append under pmu.Lock).
+func (d *durability) appendOverlapped(rec []byte) <-chan error {
+	ch := make(chan error, 1)
+	go func() {
+		var err error
+		if d.appendFn != nil {
+			_, err = d.appendFn(rec)
+		} else {
+			_, err = d.wal.Append(rec)
+		}
+		ch <- err
+	}()
+	return ch
+}
+
+// ingest logs and shards one validated unsequenced batch, overlapping the
+// WAL fsync with the worker dispatch. rec is the WAL record for the batch
+// (type byte + wire payload); ignored when the session has no durability.
 func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 	if err := s.begin(); err != nil {
 		return err
 	}
 	defer s.ops.Done()
-	if d := s.dur; d != nil {
-		d.pmu.RLock()
-		defer d.pmu.RUnlock()
-		if _, err := d.wal.Append(rec); err != nil {
-			return err
-		}
+	d := s.dur
+	if d == nil {
+		s.dispatch(edges)
+		return nil
 	}
+	d.pmu.RLock()
+	defer d.pmu.RUnlock()
+	if err := s.failed(); err != nil {
+		return err
+	}
+	appended := d.appendOverlapped(rec)
 	s.dispatch(edges)
+	if err := <-appended; err != nil {
+		// The batch is applied but not durable; no future ack may claim
+		// otherwise.
+		s.fail(err)
+		return err
+	}
 	return nil
 }
 
@@ -182,6 +258,13 @@ func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 // waits until the previous one settles. A duplicate's ack therefore never
 // outruns the durability of the batch it vouches for, which is exactly
 // the reconnect-then-crash window the sequence numbers exist to cover.
+//
+// Like ingest, the WAL append and the worker dispatch run concurrently;
+// the return (and so the ack) waits for both. On append failure the batch
+// has already been applied, so instead of rolling back, the accepted
+// horizon is KEPT (a resend of this seq must not be applied twice) and
+// the session is poisoned via fail() — the resend is answered with the
+// sticky error rather than a false durability ack.
 func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge) (bool, error) {
 	if err := s.begin(); err != nil {
 		return false, err
@@ -193,11 +276,20 @@ func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge)
 		defer d.pmu.RUnlock()
 	}
 	for {
+		if d != nil {
+			// Checked inside the loop: a waiter parked on done must see the
+			// failure the ingest it waited on just recorded (fail() runs
+			// before close(done)), not ack a duplicate of a batch that
+			// never became durable.
+			if err := s.failed(); err != nil {
+				return false, err
+			}
+		}
 		s.dmu.Lock()
 		prev := s.dedup[source]
 		if prev.done != nil {
 			// The ingest that accepted prev.seq is still logging; wait for
-			// it to become durable (or roll back), then re-evaluate.
+			// it to settle, then re-evaluate.
 			done := prev.done
 			s.dmu.Unlock()
 			<-done
@@ -216,50 +308,107 @@ func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge)
 		if hook := testHookAfterAccept; hook != nil {
 			hook(source, seq)
 		}
-		if d != nil {
-			if _, err := d.wal.Append(rec); err != nil {
-				// The batch is not durable and was not applied; restore the
-				// previous horizon so a retry (or a later checkpoint)
-				// doesn't claim otherwise. The entry is still ours — anyone
-				// else is parked on done — so this cannot clobber a
-				// concurrent publish.
-				s.dmu.Lock()
-				s.dedup[source] = prev
-				s.dmu.Unlock()
-				close(done)
-				return false, err
-			}
+		if d == nil {
+			s.dispatch(edges)
+			return true, nil
 		}
+		appended := d.appendOverlapped(rec)
 		s.dispatch(edges)
-		if done != nil {
-			s.dmu.Lock()
-			s.dedup[source] = dedupEntry{seq: seq}
-			s.dmu.Unlock()
-			close(done)
+		err := <-appended
+		if err != nil {
+			s.fail(err)
+		}
+		// Settle the entry at the accepted horizon either way — the batch
+		// was applied. The entry is still ours (anyone else is parked on
+		// done), so this cannot clobber a concurrent publish.
+		s.dmu.Lock()
+		s.dedup[source] = dedupEntry{seq: seq}
+		s.dmu.Unlock()
+		close(done)
+		if err != nil {
+			return false, err
 		}
 		return true, nil
 	}
 }
 
+// shardSizeHist is a histogram of recently observed shard lengths in
+// power-of-two buckets. dispatch reserves the largest recently seen
+// bucket's upper bound for fresh shard buffers: the old len(edges)/w+1
+// reservation under-reserved for roughly half the shards every batch
+// (hash sharding scatters around the mean), paying a grow-copy per
+// overfull shard. Counts are halved periodically so the hint tracks the
+// current batch-size regime instead of a historical spike. All methods
+// are safe for concurrent dispatchers.
+type shardSizeHist struct {
+	buckets [21]atomic.Uint32 // bucket b counts shard lengths < 2^b
+	n       atomic.Uint32
+}
+
+func (h *shardSizeHist) record(sz int) {
+	b := bits.Len(uint(sz))
+	if b >= len(h.buckets) {
+		b = len(h.buckets) - 1
+	}
+	h.buckets[b].Add(1)
+	if h.n.Add(1)%256 == 0 {
+		for i := range h.buckets {
+			for {
+				v := h.buckets[i].Load()
+				if h.buckets[i].CompareAndSwap(v, v/2) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// hint returns the reservation covering the largest populated bucket
+// (0 before any batch: dispatch then falls back to the mean).
+func (h *shardSizeHist) hint() int {
+	for b := len(h.buckets) - 1; b >= 0; b-- {
+		if h.buckets[b].Load() > 0 {
+			return 1 << b
+		}
+	}
+	return 0
+}
+
 // dispatch shards one batch across the workers. Sends block when a
 // worker's queue is full — that backpressure propagates to the TCP
 // reader, which stops acking, which stalls the client's pipeline.
+//
+// Per-batch allocations are pooled: the shard header comes from hdrPool,
+// and each worker's shard buffer is reclaimed from that worker's free
+// list (runWorker returns it as soon as the edges are converted), sized
+// by the shard-length histogram when a fresh one is needed.
 func (s *session) dispatch(edges []stream.Edge) {
 	w := len(s.workers)
-	shards := make([][]stream.Edge, w)
-	per := len(edges)/w + 1
+	hdr := s.hdrPool.Get().(*[][]stream.Edge)
+	shards := *hdr
+	per := s.hist.hint()
+	if per == 0 {
+		per = len(edges)/w + 1
+	}
 	for _, e := range edges {
 		i := int(splitmix64(uint64(e.Set)<<32|uint64(e.Elem)) % uint64(w))
 		if shards[i] == nil {
-			shards[i] = make([]stream.Edge, 0, per)
+			select {
+			case shards[i] = <-s.recycle[i]:
+			default:
+				shards[i] = make([]stream.Edge, 0, per)
+			}
 		}
 		shards[i] = append(shards[i], e)
 	}
 	for i, shard := range shards {
-		if len(shard) > 0 {
+		if len(shard) > 0 { // buffers are only claimed on a shard's first edge
+			s.hist.record(len(shard))
 			s.workers[i] <- workerMsg{edges: shard}
 		}
+		shards[i] = nil // drop the reference before pooling the header
 	}
+	s.hdrPool.Put(hdr)
 	s.edges.Add(int64(len(edges)))
 	s.batches.Add(1)
 }
@@ -308,8 +457,9 @@ func (s *session) query(metrics *Metrics) (wire.Result, error) {
 }
 
 // close drains and stops the workers: new operations are rejected,
-// in-flight dispatches finish, then the queues close and each worker
-// exits after consuming what was already enqueued.
+// in-flight dispatches finish, then the queues close, each worker exits
+// after consuming what was already enqueued, and the estimators release
+// their batch-engine helpers.
 func (s *session) close() {
 	s.mu.Lock()
 	if s.closed {
@@ -323,6 +473,9 @@ func (s *session) close() {
 		close(ch)
 	}
 	s.wg.Wait()
+	for _, est := range s.ests {
+		est.Close()
+	}
 }
 
 // queueDepths reports the live per-worker queue occupancy.

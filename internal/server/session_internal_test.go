@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -105,6 +106,163 @@ func TestDuplicateAckWaitsForInFlightOriginal(t *testing.T) {
 	}
 	if got := sess.dur.wal.LastPos(); got != 1 {
 		t.Fatalf("WAL holds %d records, want 1 (duplicate must not be logged)", got)
+	}
+}
+
+// TestOverlapAckAwaitsBatchDurability pins the fsync/apply-overlap
+// contract: the WAL append and the worker dispatch run concurrently, but
+// ingestSeq must not return (and so the server must not ack) until the
+// append settles. The test parks the append via the injectable appendFn,
+// observes that the batch has already been dispatched (the overlap is
+// real), and verifies the call is still blocked until the append is
+// released.
+func TestOverlapAckAwaitsBatchDurability(t *testing.T) {
+	sess := newTestDurSession(t, "overlap")
+	edges := []stream.Edge{{Set: 1, Elem: 2}, {Set: 3, Elem: 4}}
+	rec := []byte{0x00, 0x01}
+
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	real := sess.dur.wal
+	sess.dur.appendFn = func(rec []byte) (uint64, error) {
+		close(parked)
+		<-release
+		return real.Append(rec)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		applied, err := sess.ingestSeq(11, 1, rec, edges)
+		if err == nil && !applied {
+			t.Error("original ingest reported duplicate")
+		}
+		done <- err
+	}()
+	<-parked
+
+	// The dispatch half of the overlap must complete while the append is
+	// still parked.
+	deadline := time.Now().Add(5 * time.Second)
+	for sess.batches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("batch never dispatched while the append was in flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-done:
+		t.Fatal("ingest returned before the WAL append settled: ack would not imply durability")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	released = true
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if got := sess.dur.wal.LastPos(); got != 1 {
+		t.Fatalf("WAL holds %d records, want 1", got)
+	}
+}
+
+// TestAppendFailurePoisonsBatchSession pins the overlap failure contract:
+// when the WAL append fails, the batch has already been applied to the
+// workers, so the session must (a) keep the advanced dedup horizon — a
+// resend of the same seq must not be double-applied — and (b) reject
+// every later ingest with the sticky error rather than acking, because an
+// ack would claim a durability the session can no longer provide.
+func TestAppendFailurePoisonsBatchSession(t *testing.T) {
+	sess := newTestDurSession(t, "poison")
+	edges := []stream.Edge{{Set: 2, Elem: 7}}
+	rec := []byte{0x02}
+	wantErr := errors.New("disk full")
+	sess.dur.appendFn = func(rec []byte) (uint64, error) { return 0, wantErr }
+
+	applied, err := sess.ingestSeq(5, 1, rec, edges)
+	if err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("ingestSeq error = %v, want wrapped %v", err, wantErr)
+	}
+	if applied {
+		t.Fatal("failed ingest reported applied=true (would be acked)")
+	}
+	if got := sess.batches.Load(); got != 1 {
+		t.Fatalf("batch dispatch count %d, want 1 (the batch IS applied in memory)", got)
+	}
+
+	// The horizon must be kept so the inevitable client resend is not
+	// applied a second time — and the resend must get the sticky error,
+	// never a false durability ack.
+	sess.dmu.Lock()
+	entry := sess.dedup[5]
+	sess.dmu.Unlock()
+	if entry.seq != 1 || entry.done != nil {
+		t.Fatalf("dedup entry = %+v, want settled at seq 1", entry)
+	}
+	if _, err := sess.ingestSeq(5, 1, rec, edges); err == nil {
+		t.Fatal("resend of the non-durable batch was acked")
+	}
+	if sess.batches.Load() != 1 {
+		t.Fatal("resend was applied a second time")
+	}
+
+	// Fresh sequences and unsequenced ingests are rejected too.
+	if _, err := sess.ingestSeq(5, 2, rec, edges); err == nil {
+		t.Fatal("later sequence acked on a poisoned session")
+	}
+	if err := sess.ingest(edges, rec); err == nil {
+		t.Fatal("unsequenced ingest acked on a poisoned session")
+	}
+}
+
+// TestDispatchBatchAllocsSteadyState asserts the dispatch hot path stops
+// allocating once warm: the shard header comes from a pool and shard
+// buffers cycle through the per-worker free lists. The bound is loose
+// (the workers' estimator processing is counted too, and free-list races
+// can force an occasional fresh buffer) but far below the old cost of
+// one header plus w shard buffers per batch, growing under-reserved
+// shards besides.
+func TestDispatchBatchAllocsSteadyState(t *testing.T) {
+	ests := make([]*streamcover.Estimator, 2)
+	for i := range ests {
+		est, err := streamcover.NewEstimator(50, 500, 3, 4, streamcover.WithSeed(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests[i] = est
+	}
+	sess := newSessionWith("allocs", 50, 500, 3, 4, 1, 8, nil, ests)
+	defer sess.close()
+
+	edges := make([]stream.Edge, 512)
+	for i := range edges {
+		edges[i] = stream.Edge{Set: uint32(i % 50), Elem: uint32(i % 500)}
+	}
+	run := func() {
+		sess.dispatch(edges)
+		// Wait for both shard buffers to come back so the next dispatch
+		// reclaims instead of allocating.
+		deadline := time.Now().Add(5 * time.Second)
+		for _, rc := range sess.recycle {
+			for len(rc) == 0 {
+				if time.Now().After(deadline) {
+					t.Fatal("shard buffer never recycled")
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+	for i := 0; i < 32; i++ { // warm pools, histogram, estimator scratch
+		run()
+	}
+	avg := testing.AllocsPerRun(64, run)
+	if avg > 4 {
+		t.Fatalf("dispatch allocates %.1f objects per batch once warm, want <= 4", avg)
 	}
 }
 

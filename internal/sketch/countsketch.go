@@ -13,64 +13,121 @@ import (
 // bucket_r(x) in every row r. Point estimates take the median across rows,
 // giving |est(x) − a[x]| ≤ √(F2(a)/width) per row with probability 2/3 and
 // exponentially better after the median.
+//
+// The counter matrix is stored flat (row r occupies
+// table[r*width : (r+1)*width]) so the batch memos can cache absolute
+// cell offsets: a batched update or estimate is then a handful of direct
+// loads with no per-row slice indirection.
 type CountSketch struct {
 	depth, width int
-	table        [][]int64
+	table        []int64      // flat depth×width, row-major
 	bucket       []*hash.Poly // 2-wise bucket hash per row
 	sign         []*hash.Poly // 4-wise sign hash per row
 
-	// Per-batch hash memos (see BeginBatch): bucket index and sign per
-	// (key, row), computed lazily on a key's first batched update. Purely
-	// transient working memory — excluded from SpaceWords, never
-	// serialized or merged.
-	bKeys   []uint64
-	bBucket []int32 // ki*depth + r
-	bSign   []int8  // ki*depth + r
-	bReady  []bool  // per key: memo row filled
+	// Per-batch hash memos (see BeginBatch): absolute table offset
+	// (r*width + bucket) and sign per (key, row), computed lazily on a
+	// key's first batched update. Purely transient working memory —
+	// excluded from SpaceWords, never serialized or merged.
+	bKeys  []uint64
+	bOff   []int32 // ki*depth + r -> flat table offset
+	bSign  []int8  // ki*depth + r
+	bReady []bool  // per key: memo row filled
 }
 
 // NewCountSketch builds a sketch with the given depth (number of
 // independent rows, odd is best for medians) and width (counters per row).
 func NewCountSketch(depth, width int, rng *rand.Rand) *CountSketch {
-	if depth < 1 || width < 1 {
+	if depth < 1 || width < 1 || depth*width > 1<<30 {
 		panic(fmt.Sprintf("sketch: CountSketch depth %d width %d", depth, width))
 	}
 	cs := &CountSketch{
 		depth:  depth,
 		width:  width,
-		table:  make([][]int64, depth),
+		table:  make([]int64, depth*width),
 		bucket: make([]*hash.Poly, depth),
 		sign:   make([]*hash.Poly, depth),
 	}
 	for r := 0; r < depth; r++ {
-		cs.table[r] = make([]int64, width)
 		cs.bucket[r] = hash.NewPairwise(rng)
 		cs.sign[r] = hash.New4Wise(rng)
 	}
 	return cs
 }
 
+// row exposes one row of the flat counter matrix.
+func (cs *CountSketch) row(r int) []int64 {
+	return cs.table[r*cs.width : (r+1)*cs.width]
+}
+
 // Add applies update a[x] += delta.
 func (cs *CountSketch) Add(x uint64, delta int64) {
+	base := 0
 	for r := 0; r < cs.depth; r++ {
 		b := cs.bucket[r].Range(x, uint64(cs.width))
-		cs.table[r][b] += int64(cs.sign[r].Sign(x)) * delta
+		cs.table[base+int(b)] += int64(cs.sign[r].Sign(x)) * delta
+		base += cs.width
 	}
+}
+
+// median5 selects the median of five values with six comparisons — the
+// classic selection network, replacing an insertion sort on the hot
+// estimate path (depth is 5 throughout the estimator).
+func median5(e0, e1, e2, e3, e4 int64) int64 {
+	if e0 > e1 {
+		e0, e1 = e1, e0
+	}
+	if e2 > e3 {
+		e2, e3 = e3, e2
+	}
+	if e0 > e2 {
+		e0, e1, e2, e3 = e2, e3, e0, e1
+	}
+	// e0 is the minimum of the first four, so it cannot be the median;
+	// the median of all five is the second smallest of {e1, e2, e3, e4},
+	// with e2 ≤ e3 known.
+	if e4 < e1 {
+		e1, e4 = e4, e1
+	}
+	// Pairs (e1 ≤ e4) and (e2 ≤ e3): second smallest overall.
+	if e1 > e2 {
+		if e1 < e3 {
+			return e1
+		}
+		return e3
+	}
+	if e4 < e2 {
+		return e4
+	}
+	return e2
 }
 
 // Estimate returns the median-of-rows point estimate of a[x]. It sits on
 // the ingest hot path (every heavy-hitter admission and refresh calls it),
-// so the median runs over a stack buffer with inline insertion sort
-// rather than an allocated slice and sort.Slice's reflection.
+// so depth-5 sketches go through a branchless-ish selection network and
+// other depths through a stack-buffer insertion sort — never sort.Slice's
+// reflection or an allocation.
 func (cs *CountSketch) Estimate(x uint64) int64 {
+	if cs.depth == 5 {
+		w := uint64(cs.width)
+		wd := cs.width
+		t := cs.table
+		e0 := int64(cs.sign[0].Sign(x)) * t[cs.bucket[0].Range(x, w)]
+		e1 := int64(cs.sign[1].Sign(x)) * t[wd+int(cs.bucket[1].Range(x, w))]
+		e2 := int64(cs.sign[2].Sign(x)) * t[2*wd+int(cs.bucket[2].Range(x, w))]
+		e3 := int64(cs.sign[3].Sign(x)) * t[3*wd+int(cs.bucket[3].Range(x, w))]
+		e4 := int64(cs.sign[4].Sign(x)) * t[4*wd+int(cs.bucket[4].Range(x, w))]
+		return median5(e0, e1, e2, e3, e4)
+	}
 	var buf [15]int64
 	ests := buf[:0]
 	if cs.depth > len(buf) {
 		ests = make([]int64, 0, cs.depth)
 	}
+	base := 0
 	for r := 0; r < cs.depth; r++ {
 		b := cs.bucket[r].Range(x, uint64(cs.width))
-		e := int64(cs.sign[r].Sign(x)) * cs.table[r][b]
+		e := int64(cs.sign[r].Sign(x)) * cs.table[base+int(b)]
+		base += cs.width
 		i := len(ests)
 		ests = append(ests, e)
 		for ; i > 0 && ests[i-1] > e; i-- {
@@ -81,19 +138,19 @@ func (cs *CountSketch) Estimate(x uint64) int64 {
 	return ests[cs.depth/2]
 }
 
-// BeginBatch enters batched mode for a set of distinct keys: bucket
-// indices and signs — pure functions of (key, row) — are memoized per key
-// on first use, so repeated updates and estimates of the same key within
-// the batch hash it once. Results are bit-identical to the scalar calls.
-// The keys slice is only read and must stay valid until EndBatch.
+// BeginBatch enters batched mode for a set of distinct keys: cell offsets
+// and signs — pure functions of (key, row) — are memoized per key on first
+// use, so repeated updates and estimates of the same key within the batch
+// hash it once. Results are bit-identical to the scalar calls. The keys
+// slice is only read and must stay valid until EndBatch.
 func (cs *CountSketch) BeginBatch(keys []uint64) {
 	cs.bKeys = keys
 	n := len(keys) * cs.depth
-	if cap(cs.bBucket) < n {
-		cs.bBucket = make([]int32, n)
+	if cap(cs.bOff) < n {
+		cs.bOff = make([]int32, n)
 		cs.bSign = make([]int8, n)
 	}
-	cs.bBucket, cs.bSign = cs.bBucket[:n], cs.bSign[:n]
+	cs.bOff, cs.bSign = cs.bOff[:n], cs.bSign[:n]
 	if cap(cs.bReady) < len(keys) {
 		cs.bReady = make([]bool, len(keys))
 	}
@@ -110,9 +167,11 @@ func (cs *CountSketch) memo(ki int32) {
 	}
 	x := cs.bKeys[ki]
 	base := int(ki) * cs.depth
+	off := 0
 	for r := 0; r < cs.depth; r++ {
-		cs.bBucket[base+r] = int32(cs.bucket[r].Range(x, uint64(cs.width)))
+		cs.bOff[base+r] = int32(off + int(cs.bucket[r].Range(x, uint64(cs.width))))
 		cs.bSign[base+r] = int8(cs.sign[r].Sign(x))
+		off += cs.width
 	}
 	cs.bReady[ki] = true
 }
@@ -122,22 +181,45 @@ func (cs *CountSketch) memo(ki int32) {
 func (cs *CountSketch) AddBatched(ki int32, delta int64) {
 	cs.memo(ki)
 	base := int(ki) * cs.depth
+	if cs.depth == 5 {
+		t := cs.table
+		off := cs.bOff[base : base+5 : base+5]
+		sg := cs.bSign[base : base+5 : base+5]
+		t[off[0]] += int64(sg[0]) * delta
+		t[off[1]] += int64(sg[1]) * delta
+		t[off[2]] += int64(sg[2]) * delta
+		t[off[3]] += int64(sg[3]) * delta
+		t[off[4]] += int64(sg[4]) * delta
+		return
+	}
 	for r := 0; r < cs.depth; r++ {
-		cs.table[r][cs.bBucket[base+r]] += int64(cs.bSign[base+r]) * delta
+		cs.table[cs.bOff[base+r]] += int64(cs.bSign[base+r]) * delta
 	}
 }
 
 // EstimateBatched is Estimate(keys[ki]) via the batch memos.
 func (cs *CountSketch) EstimateBatched(ki int32) int64 {
 	cs.memo(ki)
+	base := int(ki) * cs.depth
+	if cs.depth == 5 {
+		t := cs.table
+		off := cs.bOff[base : base+5 : base+5]
+		sg := cs.bSign[base : base+5 : base+5]
+		return median5(
+			int64(sg[0])*t[off[0]],
+			int64(sg[1])*t[off[1]],
+			int64(sg[2])*t[off[2]],
+			int64(sg[3])*t[off[3]],
+			int64(sg[4])*t[off[4]],
+		)
+	}
 	var buf [15]int64
 	ests := buf[:0]
 	if cs.depth > len(buf) {
 		ests = make([]int64, 0, cs.depth)
 	}
-	base := int(ki) * cs.depth
 	for r := 0; r < cs.depth; r++ {
-		e := int64(cs.bSign[base+r]) * cs.table[r][cs.bBucket[base+r]]
+		e := int64(cs.bSign[base+r]) * cs.table[cs.bOff[base+r]]
 		i := len(ests)
 		ests = append(ests, e)
 		for ; i > 0 && ests[i-1] > e; i-- {
@@ -159,7 +241,7 @@ func (cs *CountSketch) F2Estimate() float64 {
 	sums := make([]float64, cs.depth)
 	for r := 0; r < cs.depth; r++ {
 		var s float64
-		for _, c := range cs.table[r] {
+		for _, c := range cs.row(r) {
 			f := float64(c)
 			s += f * f
 		}
@@ -179,7 +261,7 @@ func (cs *CountSketch) RowMaxAbs() []int64 {
 	out := make([]int64, cs.depth)
 	for r := 0; r < cs.depth; r++ {
 		var m int64
-		for _, c := range cs.table[r] {
+		for _, c := range cs.row(r) {
 			if c < 0 {
 				c = -c
 			}

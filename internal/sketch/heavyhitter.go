@@ -21,16 +21,37 @@ type WeightedItem struct {
 // update re-estimates its own coordinate and competes for a slot, so any
 // coordinate that is heavy at the end of the stream occupies a slot (its
 // last occurrence finds its estimate already above every light candidate).
+//
+// The candidate dictionary is an open-addressed linear-probing table
+// rather than a Go map: the per-update lookup is the single hottest
+// operation in the whole estimator, candidates are only ever deleted
+// wholesale (refreshEvict rebuilds the table), and every consumer of the
+// candidate SET orders it deterministically before acting — so slot
+// layout is never observable and no tombstones are needed.
 type HeavyHitters struct {
 	phi   float64
 	cs    *CountSketch
-	cand  map[uint64]int64 // candidate id -> eviction priority (see Add)
 	cap   int
 	total int64 // number of updates (weight 1 each)
+
+	// Open-addressed candidate table, power-of-two size > 2·cap (a merge
+	// may briefly hold up to 2·cap entries before trimming). used/ids/pri
+	// are the table proper; ki/kiEp attach a batch key index to a slot,
+	// valid only while kiEp matches the current batch epoch, so refreshes
+	// during a batch can estimate through the CountSketch memos without a
+	// per-batch key→index map.
+	ids  []uint64
+	pri  []int64
+	used []bool
+	ki   []int32
+	kiEp []uint32
+	mask uint64
+	n    int // live candidates
 
 	// Transient batch/refresh working memory (see BeginBatch). None of it
 	// survives a batch or refresh, so it is excluded from SpaceWords, never
 	// serialized, and never merged.
+	epoch       uint32 // monotone batch counter; slot tags from older batches never match
 	refresh     []hhKV
 	batchKeys   []uint64
 	pending     []int64 // deferred CountSketch deltas, indexed like batchKeys
@@ -38,32 +59,32 @@ type HeavyHitters struct {
 	bump        []int64 // deferred priority bumps for resident keys
 	bumpTouched []int32 // indices with bump[i] != 0
 	resident    []bool  // per key: known resident since the last refresh
-
-	// keyIdx maps batch key -> index, built lazily on the first refresh of
-	// a batch so refresh estimates can reuse the CountSketch memos. Empty
-	// outside batches and on churn-free batches.
-	keyIdx      map[uint64]int32
-	keyIdxBuilt bool
-}
-
-// hhKVs sorts by estimate descending, id ascending — a deterministic
-// total order (concrete type: this sort runs on the ingest hot path and
-// sort.Slice's reflection-based swaps were measurable).
-type hhKVs []hhKV
-
-func (s hhKVs) Len() int      { return len(s) }
-func (s hhKVs) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
-func (s hhKVs) Less(i, j int) bool {
-	if s[i].est != s[j].est {
-		return s[i].est > s[j].est
-	}
-	return s[i].id < s[j].id
+	slot        []int32 // per key: candidate slot, valid while resident
 }
 
 type hhKV struct {
 	id  uint64
 	est int64
+	ki  int32 // carried through refreshes so memoized estimates survive
+	ep  uint32
 }
+
+// kvLess is the deterministic total order of refresh/eviction: estimate
+// descending, id ascending (ids are unique, so this is strict).
+func kvLess(a, b hhKV) bool {
+	if a.est != b.est {
+		return a.est > b.est
+	}
+	return a.id < b.id
+}
+
+// hhKVs sorts by kvLess (concrete type: this sort runs on the ingest hot
+// path and sort.Slice's reflection-based swaps were measurable).
+type hhKVs []hhKV
+
+func (s hhKVs) Len() int           { return len(s) }
+func (s hhKVs) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s hhKVs) Less(i, j int) bool { return kvLess(s[i], s[j]) }
 
 // NewF2HeavyHitters builds a heavy-hitter sketch with threshold phi for a
 // stream of unit-weight updates over an arbitrary uint64 key space.
@@ -79,12 +100,72 @@ func NewF2HeavyHitters(phi float64, rng *rand.Rand) *HeavyHitters {
 	width := int(24.0/phi) + 1
 	depth := 5
 	capacity := int(4.0/phi) + 4
-	return &HeavyHitters{
-		phi:  phi,
-		cs:   NewCountSketch(depth, width, rng),
-		cand: make(map[uint64]int64, capacity),
-		cap:  capacity,
+	hh := &HeavyHitters{
+		phi: phi,
+		cs:  NewCountSketch(depth, width, rng),
+		cap: capacity,
 	}
+	hh.initTable()
+	return hh
+}
+
+// initTable (re)allocates the candidate table for hh.cap.
+func (hh *HeavyHitters) initTable() {
+	size := 8
+	for size <= 2*hh.cap {
+		size *= 2
+	}
+	hh.ids = make([]uint64, size)
+	hh.pri = make([]int64, size)
+	hh.used = make([]bool, size)
+	hh.ki = make([]int32, size)
+	hh.kiEp = make([]uint32, size)
+	hh.mask = uint64(size - 1)
+	hh.n = 0
+}
+
+// hhMix is the slot hash (Murmur3 finalizer-style avalanche).
+func hhMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return x
+}
+
+// findSlot probes for id, returning its slot if present or the empty slot
+// where it would be inserted.
+func (hh *HeavyHitters) findSlot(id uint64) (int, bool) {
+	i := hhMix(id) & hh.mask
+	for hh.used[i] {
+		if hh.ids[i] == id {
+			return int(i), true
+		}
+		i = (i + 1) & hh.mask
+	}
+	return int(i), false
+}
+
+// insert fills an empty slot (from findSlot) with a new candidate. The
+// slot's batch-index tag is invalidated; callers that know the batch index
+// overwrite it.
+func (hh *HeavyHitters) insert(slot int, id uint64, pri int64) {
+	hh.used[slot] = true
+	hh.ids[slot] = id
+	hh.pri[slot] = pri
+	hh.kiEp[slot] = 0
+	hh.n++
+}
+
+// candMap materializes the candidate set as id → priority (tests and
+// non-hot consumers; slot layout is representation, this is the state).
+func (hh *HeavyHitters) candMap() map[uint64]int64 {
+	out := make(map[uint64]int64, hh.n)
+	for i, u := range hh.used {
+		if u {
+			out[hh.ids[i]] = hh.pri[i]
+		}
+	}
+	return out
 }
 
 // Add feeds one unit-weight occurrence of key x. Resident candidates take
@@ -95,8 +176,8 @@ func NewF2HeavyHitters(phi float64, rng *rand.Rand) *HeavyHitters {
 func (hh *HeavyHitters) Add(x uint64) {
 	hh.total++
 	hh.cs.Add(x, 1)
-	if p, ok := hh.cand[x]; ok {
-		hh.cand[x] = p + 1
+	if i, ok := hh.findSlot(x); ok {
+		hh.pri[i]++
 		return
 	}
 	hh.admit(x)
@@ -104,65 +185,117 @@ func (hh *HeavyHitters) Add(x uint64) {
 
 // admit inserts non-resident x into the candidate table. When the table is
 // full it refreshes every candidate's priority from the sketch and evicts
-// the weaker half in one batch first. The O(cap·log cap) scan runs once
-// per cap/2 admissions, so admission cost is amortized O(log cap); heavy
-// coordinates always survive the batch because their refreshed estimates
-// rank in the top half. Ties break on id so the surviving half does not
-// depend on map iteration order.
+// the weaker half in one batch first. The O(cap) selection runs once per
+// cap/2 admissions, so admission cost is amortized O(1); heavy coordinates
+// always survive the batch because their refreshed estimates rank in the
+// top half. Ties break on id so the surviving half is deterministic.
 func (hh *HeavyHitters) admit(x uint64) {
-	if len(hh.cand) < hh.cap {
-		hh.cand[x] = hh.cs.Estimate(x)
-		return
+	if hh.n >= hh.cap {
+		hh.refreshEvict()
 	}
-	hh.refreshEvict()
-	hh.cand[x] = hh.cs.Estimate(x)
+	slot, _ := hh.findSlot(x)
+	hh.insert(slot, x, hh.cs.Estimate(x))
 }
 
 // refreshEvict re-estimates every candidate from the sketch and keeps the
-// stronger half. It also invalidates the batch path's residency cache:
-// evictions change who is resident. During a batch, candidates that are
-// batch keys estimate through the CountSketch memos (found via keyIdx,
-// built on the batch's first refresh); the handful admitted before the
-// batch fall back to the scalar path — same values either way.
+// stronger half — the SET of survivors under the (estimate desc, id asc)
+// total order, found by quickselect rather than a full sort; since the
+// table is unordered the survivor set is all that matters. It also
+// invalidates the batch path's residency cache: evictions change who is
+// resident. During a batch, candidates touched this batch carry their
+// batch key index and estimate through the CountSketch memos; the rest
+// fall back to the scalar path — same values either way.
 func (hh *HeavyHitters) refreshEvict() {
-	if hh.batchKeys != nil && !hh.keyIdxBuilt {
-		if hh.keyIdx == nil {
-			hh.keyIdx = make(map[uint64]int32, len(hh.batchKeys))
-		}
-		for i, x := range hh.batchKeys {
-			hh.keyIdx[x] = int32(i)
-		}
-		hh.keyIdxBuilt = true
-	}
 	all := hh.refresh[:0]
-	for id := range hh.cand {
+	inBatch := hh.batchKeys != nil
+	ep := hh.epoch
+	for i, u := range hh.used {
+		if !u {
+			continue
+		}
+		id := hh.ids[i]
 		var est int64
-		if ki, ok := hh.keyIdx[id]; ok {
-			est = hh.cs.EstimateBatched(ki)
+		// The key equality re-check makes a stale tag (epoch wraparound)
+		// harmless: a wrong ki can never alias another key's memo.
+		if k := hh.ki[i]; inBatch && hh.kiEp[i] == ep &&
+			int(k) < len(hh.batchKeys) && hh.batchKeys[k] == id {
+			est = hh.cs.EstimateBatched(k)
 		} else {
 			est = hh.cs.Estimate(id)
 		}
-		all = append(all, hhKV{id, est})
+		all = append(all, hhKV{id: id, est: est, ki: hh.ki[i], ep: hh.kiEp[i]})
 	}
-	if len(all) <= 32 {
-		for i := 1; i < len(all); i++ {
-			kv := all[i]
-			j := i
-			for ; j > 0 && (kv.est > all[j-1].est || (kv.est == all[j-1].est && kv.id < all[j-1].id)); j-- {
-				all[j] = all[j-1]
-			}
-			all[j] = kv
-		}
-	} else {
-		sort.Sort(hhKVs(all))
-	}
+	keep := hh.cap / 2
+	selectTopKV(all, keep)
 	hh.refresh = all
-	clear(hh.cand)
-	for _, p := range all[:hh.cap/2] {
-		hh.cand[p.id] = p.est
+	clear(hh.used)
+	hh.n = 0
+	for _, p := range all[:keep] {
+		slot, _ := hh.findSlot(p.id)
+		hh.insert(slot, p.id, p.est)
+		hh.ki[slot], hh.kiEp[slot] = p.ki, p.ep
 	}
 	for i := range hh.resident {
 		hh.resident[i] = false
+	}
+}
+
+// selectTopKV partially orders a so that a[:k] holds the k strongest
+// entries under kvLess (in unspecified internal order): a median-of-three
+// Hoare quickselect with an insertion-sort tail. The order is strict (ids
+// are unique), so the selected set is deterministic.
+func selectTopKV(a []hhKV, k int) {
+	if k <= 0 || k >= len(a) {
+		return
+	}
+	lo, hi := 0, len(a)-1
+	kk := k - 1 // last index that must land in the strong half
+	for {
+		if hi-lo < 16 {
+			for i := lo + 1; i <= hi; i++ {
+				kv := a[i]
+				j := i
+				for ; j > lo && kvLess(kv, a[j-1]); j-- {
+					a[j] = a[j-1]
+				}
+				a[j] = kv
+			}
+			return
+		}
+		mid := lo + (hi-lo)/2
+		if kvLess(a[mid], a[lo]) {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if kvLess(a[hi], a[lo]) {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if kvLess(a[hi], a[mid]) {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for kvLess(a[i], pivot) {
+				i++
+			}
+			for kvLess(pivot, a[j]) {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		// a[lo..j] are strong, a[i..hi] weak, anything between equals the
+		// pivot (a single element under a strict order).
+		if kk <= j {
+			hi = j
+		} else if kk >= i {
+			lo = i
+		} else {
+			return
+		}
 	}
 }
 
@@ -184,6 +317,10 @@ func (hh *HeavyHitters) refreshEvict() {
 // only read; it must stay valid until EndBatch.
 func (hh *HeavyHitters) BeginBatch(keys []uint64) {
 	hh.batchKeys = keys
+	hh.epoch++
+	if hh.epoch == 0 {
+		hh.epoch = 1
+	}
 	hh.cs.BeginBatch(keys)
 	if cap(hh.pending) < len(keys) {
 		hh.pending = make([]int64, len(keys))
@@ -197,8 +334,10 @@ func (hh *HeavyHitters) BeginBatch(keys []uint64) {
 	hh.bumpTouched = hh.bumpTouched[:0]
 	if cap(hh.resident) < len(keys) {
 		hh.resident = make([]bool, len(keys))
+		hh.slot = make([]int32, len(keys))
 	}
 	hh.resident = hh.resident[:len(keys)]
+	hh.slot = hh.slot[:len(keys)]
 	for i := range hh.resident {
 		hh.resident[i] = false
 	}
@@ -220,18 +359,26 @@ func (hh *HeavyHitters) AddBatched(ki int32) {
 		return
 	}
 	x := hh.batchKeys[ki]
-	if p, ok := hh.cand[x]; ok {
-		hh.cand[x] = p + 1
+	slot, ok := hh.findSlot(x)
+	if ok {
+		hh.pri[slot]++
+		hh.ki[slot], hh.kiEp[slot] = ki, hh.epoch
 		hh.resident[ki] = true
+		hh.slot[ki] = int32(slot)
 		return
 	}
 	hh.flushPending()
 	hh.flushBumps()
-	if len(hh.cand) >= hh.cap {
+	if hh.n >= hh.cap {
 		hh.refreshEvict()
+		slot, _ = hh.findSlot(x)
 	}
-	hh.cand[x] = hh.cs.EstimateBatched(ki)
+	// The flushes touch only counters and priorities, so slot stays the
+	// insertion point unless the refresh rebuilt the table.
+	hh.insert(slot, x, hh.cs.EstimateBatched(ki))
+	hh.ki[slot], hh.kiEp[slot] = ki, hh.epoch
 	hh.resident[ki] = true
+	hh.slot[ki] = int32(slot)
 }
 
 func (hh *HeavyHitters) flushPending() {
@@ -244,10 +391,10 @@ func (hh *HeavyHitters) flushPending() {
 
 // flushBumps applies deferred priority bumps. Every bumped key is still
 // resident (bumps only accrue while resident, and residency changes only
-// at refreshes, which flush first), so these are plain updates.
+// at refreshes, which flush first), so its recorded slot is still valid.
 func (hh *HeavyHitters) flushBumps() {
 	for _, ki := range hh.bumpTouched {
-		hh.cand[hh.batchKeys[ki]] += hh.bump[ki]
+		hh.pri[hh.slot[ki]] += hh.bump[ki]
 		hh.bump[ki] = 0
 	}
 	hh.bumpTouched = hh.bumpTouched[:0]
@@ -259,10 +406,6 @@ func (hh *HeavyHitters) EndBatch() {
 	hh.flushBumps()
 	hh.cs.EndBatch()
 	hh.batchKeys = nil
-	if hh.keyIdxBuilt {
-		clear(hh.keyIdx)
-		hh.keyIdxBuilt = false
-	}
 }
 
 // Total reports the number of updates fed.
@@ -284,7 +427,11 @@ func (hh *HeavyHitters) Report() []WeightedItem {
 	thresh := hh.phi * f2
 	noise := hh.NoiseCeiling()
 	var out []WeightedItem
-	for id := range hh.cand {
+	for i, u := range hh.used {
+		if !u {
+			continue
+		}
+		id := hh.ids[i]
 		est := float64(hh.cs.Estimate(id))
 		if est > 0 && est*est >= thresh/4 && est >= noise {
 			// /4 slack on the φ test: estimates may be off by 1/2 relative.

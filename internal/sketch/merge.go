@@ -3,7 +3,6 @@ package sketch
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 )
 
 // Mergeability: all three sketches are linear (CountSketch) or
@@ -26,10 +25,8 @@ func (cs *CountSketch) Merge(other *CountSketch) error {
 			return fmt.Errorf("sketch: CountSketch hash mismatch in row %d", r)
 		}
 	}
-	for r := 0; r < cs.depth; r++ {
-		for b := 0; b < cs.width; b++ {
-			cs.table[r][b] += other.table[r][b]
-		}
+	for i, c := range other.table {
+		cs.table[i] += c
 	}
 	return nil
 }
@@ -105,24 +102,31 @@ func (hh *HeavyHitters) Merge(other *HeavyHitters) error {
 		return err
 	}
 	hh.total += other.total
-	for id := range other.cand {
-		if _, ok := hh.cand[id]; !ok {
-			hh.cand[id] = hh.cs.Estimate(id)
+	// The table is sized strictly above 2·cap, so the union (≤ 2·cap
+	// entries) fits before the trim below restores the invariant.
+	for i, u := range other.used {
+		if !u {
+			continue
+		}
+		id := other.ids[i]
+		if slot, ok := hh.findSlot(id); !ok {
+			hh.insert(slot, id, hh.cs.Estimate(id))
 		}
 	}
-	if len(hh.cand) > hh.cap {
-		type kv struct {
-			id  uint64
-			est int64
+	if hh.n > hh.cap {
+		all := make([]hhKV, 0, hh.n)
+		for i, u := range hh.used {
+			if !u {
+				continue
+			}
+			all = append(all, hhKV{id: hh.ids[i], est: hh.cs.Estimate(hh.ids[i])})
 		}
-		all := make([]kv, 0, len(hh.cand))
-		for id := range hh.cand {
-			all = append(all, kv{id, hh.cs.Estimate(id)})
-		}
-		sort.Slice(all, func(i, j int) bool { return all[i].est > all[j].est })
-		hh.cand = make(map[uint64]int64, hh.cap)
+		selectTopKV(all, hh.cap)
+		clear(hh.used)
+		hh.n = 0
 		for _, p := range all[:hh.cap] {
-			hh.cand[p.id] = p.est
+			slot, _ := hh.findSlot(p.id)
+			hh.insert(slot, p.id, p.est)
 		}
 	}
 	return nil

@@ -45,9 +45,11 @@ func (hh *HeavyHitters) MarshalBinary() ([]byte, error) {
 		return nil, err
 	}
 	writeBlob(&buf, csb)
-	ids := make([]uint64, 0, len(hh.cand))
-	for id := range hh.cand {
-		ids = append(ids, id)
+	ids := make([]uint64, 0, hh.n)
+	for i, u := range hh.used {
+		if u {
+			ids = append(ids, hh.ids[i])
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var cnt [4]byte
@@ -92,15 +94,17 @@ func (hh *HeavyHitters) UnmarshalBinary(data []byte) error {
 	if len(rest) != 16*n {
 		return fmt.Errorf("sketch: HeavyHitters candidate payload %d bytes, want %d", len(rest), 16*n)
 	}
-	cand := make(map[uint64]int64, capacity)
+	out := HeavyHitters{phi: phi, cs: &cs, cap: capacity, total: total}
+	out.initTable()
 	for i := 0; i < n; i++ {
 		id := binary.LittleEndian.Uint64(rest[16*i:])
-		if _, dup := cand[id]; dup {
+		slot, dup := out.findSlot(id)
+		if dup {
 			return fmt.Errorf("sketch: HeavyHitters duplicate candidate %d", id)
 		}
-		cand[id] = int64(binary.LittleEndian.Uint64(rest[16*i+8:]))
+		out.insert(slot, id, int64(binary.LittleEndian.Uint64(rest[16*i+8:])))
 	}
-	*hh = HeavyHitters{phi: phi, cs: &cs, cand: cand, cap: capacity, total: total}
+	*hh = out
 	return nil
 }
 
@@ -119,7 +123,9 @@ func (hh *HeavyHitters) Restore(dec *HeavyHitters) error {
 		return err
 	}
 	hh.total = dec.total
-	hh.cand = dec.cand
+	hh.ids, hh.pri, hh.used = dec.ids, dec.pri, dec.used
+	hh.ki, hh.kiEp = dec.ki, dec.kiEp
+	hh.mask, hh.n = dec.mask, dec.n
 	return nil
 }
 

@@ -69,8 +69,8 @@ func (cs *CountSketch) MarshalBinary() ([]byte, error) {
 			return nil, err
 		}
 		var cell [8]byte
-		for b := 0; b < cs.width; b++ {
-			binary.LittleEndian.PutUint64(cell[:], uint64(cs.table[r][b]))
+		for _, c := range cs.row(r) {
+			binary.LittleEndian.PutUint64(cell[:], uint64(c))
 			buf.Write(cell[:])
 		}
 	}
@@ -84,14 +84,14 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 	}
 	depth := int(binary.LittleEndian.Uint32(data[:4]))
 	width := int(binary.LittleEndian.Uint32(data[4:8]))
-	if depth < 1 || depth > 64 || width < 1 || width > 1<<28 {
+	if depth < 1 || depth > 64 || width < 1 || width > 1<<28 || depth*width > 1<<30 {
 		return fmt.Errorf("sketch: implausible CountSketch dims %dx%d", depth, width)
 	}
 	rest := data[8:]
 	out := CountSketch{
 		depth:  depth,
 		width:  width,
-		table:  make([][]int64, depth),
+		table:  make([]int64, depth*width),
 		bucket: make([]*hash.Poly, depth),
 		sign:   make([]*hash.Poly, depth),
 	}
@@ -106,9 +106,9 @@ func (cs *CountSketch) UnmarshalBinary(data []byte) error {
 		if len(rest) < 8*width {
 			return fmt.Errorf("sketch: truncated CountSketch row %d", r)
 		}
-		out.table[r] = make([]int64, width)
+		row := out.row(r)
 		for b := 0; b < width; b++ {
-			out.table[r][b] = int64(binary.LittleEndian.Uint64(rest[8*b:]))
+			row[b] = int64(binary.LittleEndian.Uint64(rest[8*b:]))
 		}
 		rest = rest[8*width:]
 	}

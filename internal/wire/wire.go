@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
 
 	"streamcover/internal/stream"
 )
@@ -101,6 +102,34 @@ func ReadFrame(r io.Reader, scratch []byte) (typ byte, payload []byte, err error
 	} else {
 		payload = make([]byte, n)
 	}
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: truncated frame: %w", err)
+	}
+	return hdr[0], payload, nil
+}
+
+// ReadFrameInto reads one frame like ReadFrame, but grows *scratch in
+// place (next power of two, capped at MaxFrame) when the payload doesn't
+// fit, so the enlarged buffer survives into later calls and a connection
+// carrying steady large batches allocates once instead of per frame. The
+// returned payload aliases *scratch and is only valid until the next call.
+func ReadFrameInto(r io.Reader, scratch *[]byte) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, MaxFrame)
+	}
+	if int(n) > cap(*scratch) {
+		grown := uint64(MaxFrame)
+		if n < MaxFrame {
+			grown = 1 << bits.Len64(uint64(n-1))
+		}
+		*scratch = make([]byte, grown)
+	}
+	payload = (*scratch)[:n]
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: truncated frame: %w", err)
 	}

@@ -41,6 +41,10 @@ type Option func(*config)
 type config struct {
 	seed   int64
 	params core.Params
+	// par is the batch-engine worker count (0 = GOMAXPROCS, the default).
+	// It is an execution knob, not sketch state: it never affects results
+	// or the Encode wire format, so Encode deliberately omits it.
+	par int
 }
 
 // WithSeed fixes the random seed (default 1). Two estimators with equal
@@ -69,6 +73,17 @@ func WithGuessBase(base float64) Option {
 			c.params.ZBase = base
 		}
 	}
+}
+
+// WithParallelism sets how many workers the batch engine fans each
+// ProcessBatch/ProcessAll call across (default GOMAXPROCS; 1 disables the
+// engine entirely). The coverage-guess ladder is embarrassingly parallel
+// — every (guess, repetition) oracle is independent — so results are
+// bit-for-bit identical for every worker count; only wall-clock time
+// changes. Workers beyond the oracle-unit count are never started. Can be
+// changed later with SetParallelism.
+func WithParallelism(workers int) Option {
+	return func(c *config) { c.par = workers }
 }
 
 // WithHLLBackend switches the distinct-count sketches from the default
@@ -104,6 +119,7 @@ func NewEstimator(m, n, k int, alpha float64, opts ...Option) (*Estimator, error
 	if err != nil {
 		return nil, fmt.Errorf("streamcover: %w", err)
 	}
+	inner.SetParallelism(cfg.par) // 0 (the default) resolves to GOMAXPROCS
 	return &Estimator{m: m, n: n, k: k, alpha: alpha, opts: opts, cfg: cfg, inner: inner}, nil
 }
 
@@ -196,11 +212,26 @@ func (e *Estimator) processValidated(edges []Edge) {
 	e.edges += len(edges)
 }
 
+// SetParallelism changes the batch-engine worker count for all future
+// ProcessBatch/ProcessAll calls (≤ 0 selects GOMAXPROCS, 1 disables the
+// engine). Results stay bit-for-bit identical at every setting. Not safe
+// to call concurrently with Process* calls.
+func (e *Estimator) SetParallelism(workers int) { e.inner.SetParallelism(workers) }
+
+// Close releases the batch engine's helper goroutines, if any. The
+// estimator remains fully usable — the pool restarts lazily on the next
+// batch — so Close is an optional courtesy for long-lived owners that
+// retire estimators (kcoverd sessions call it on session close).
+func (e *Estimator) Close() { e.inner.Close() }
+
 // ProcessAllParallel consumes an in-memory edge slice using up to
 // `workers` goroutines (the coverage-guess ladder is embarrassingly
-// parallel). The outcome is bit-for-bit identical to ProcessAll; only
-// wall-clock time changes. The slice must not be mutated during the call,
-// and must not be interleaved with concurrent Process calls.
+// parallel). It is SetParallelism(workers) followed by ProcessAll: the
+// fan-out runs on the estimator's persistent engine and the parallelism
+// setting remains in effect for subsequent batches. The outcome is
+// bit-for-bit identical to ProcessAll; only wall-clock time changes. The
+// slice must not be mutated during the call, and must not be interleaved
+// with concurrent Process calls.
 func (e *Estimator) ProcessAllParallel(edges []Edge, workers int) error {
 	converted := make([]stream.Edge, len(edges))
 	for i, edge := range edges {
