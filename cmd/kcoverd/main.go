@@ -18,6 +18,16 @@
 // accepting connections. A SIGKILL therefore loses nothing that was
 // acknowledged.
 //
+// Failure handling: connections carry read/write deadlines (-read-timeout,
+// -write-timeout) so a hung peer cannot park a handler forever. When a
+// session's durability path breaks — an fsync error, a torn write, a full
+// disk — the session degrades instead of dying: it rejects ingest with a
+// retryable error (clients park and replay the batches), keeps serving
+// queries, and a background loop (-retry-min/-retry-max backoff) repairs
+// the WAL and re-checkpoints in place. A full disk puts the whole daemon
+// in read-only mode until space frees. /healthz reports ok, degraded or
+// read-only (HTTP 503 for the latter two).
+//
 // SIGINT/SIGTERM shut down gracefully: listeners close, worker queues
 // drain, a final checkpoint is written, then the process exits.
 package main
@@ -47,8 +57,20 @@ func main() {
 		checkpoint = flag.Duration("checkpoint", 30*time.Second, "checkpoint cadence (<=0 disables the timer; /checkpoint still works)")
 		walSegment = flag.Int64("wal-segment", 0, "WAL segment size in bytes (0 = default)")
 		walNoSync  = flag.Bool("wal-nosync", false, "skip fsync on WAL appends (fast, loses acked batches on power loss)")
+
+		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-frame read deadline; idle or hung peers are reaped after this (<=0 disables)")
+		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-response write deadline (<=0 disables)")
+		retryMin     = flag.Duration("retry-min", 50*time.Millisecond, "minimum backoff of a degraded session's durability-recovery loop")
+		retryMax     = flag.Duration("retry-max", 5*time.Second, "maximum backoff of a degraded session's durability-recovery loop")
 	)
 	flag.Parse()
+
+	if *readTimeout <= 0 {
+		*readTimeout = -1 // Config treats 0 as "use default": make <=0 mean off
+	}
+	if *writeTimeout <= 0 {
+		*writeTimeout = -1
+	}
 
 	if *checkpoint <= 0 {
 		*checkpoint = -1 // Config treats 0 as "use default": make <=0 mean off
@@ -59,6 +81,10 @@ func main() {
 		CheckpointEvery: *checkpoint,
 		WALSegmentBytes: *walSegment,
 		WALNoSync:       *walNoSync,
+		ReadTimeout:     *readTimeout,
+		WriteTimeout:    *writeTimeout,
+		RetryMin:        *retryMin,
+		RetryMax:        *retryMax,
 	})
 	if err := srv.Start(*listen, *httpA); err != nil {
 		fmt.Fprintln(os.Stderr, "kcoverd:", err)

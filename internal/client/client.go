@@ -49,6 +49,14 @@ import (
 // WithReconnect do it for them).
 var ErrSessionClosed = errors.New("client: connection closed by server")
 
+// ErrServerBusy is wrapped into errors caused by the server's transient
+// rejection (wire.TErrRetry): a degraded or read-only server refused the
+// work without applying it. Sequenced batches hit by it stay parked in
+// the resend buffer and are replayed after backoff, so ingest remains
+// exactly-once across the busy window; Flush keeps retrying until the
+// server recovers. Callers seeing it from a round-trip can simply retry.
+var ErrServerBusy = errors.New("client: server busy (transient, retry)")
+
 // wrapLost tags a transport error as a lost-connection error exactly once.
 func wrapLost(err error) error {
 	if errors.Is(err, ErrSessionClosed) {
@@ -124,19 +132,45 @@ func WithBackoff(min, max time.Duration) Option {
 	}
 }
 
+// WithDialTimeout bounds each TCP dial (default: no bound beyond the
+// OS's). It applies to the initial Dial and to every reconnect attempt.
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.dialTimeout = d
+		}
+	}
+}
+
+// WithOpTimeout bounds each network operation against the server: writes
+// get a write deadline, and round-trip requests (create, ping, query,
+// close) fail if no response arrives within d. A timed-out operation
+// marks the connection lost — the server may be wedged or the link dead —
+// so under WithReconnect the client redials rather than hanging forever
+// on a silent peer. Default: no timeout.
+func WithOpTimeout(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.opTimeout = d
+		}
+	}
+}
+
 // Client is one connection to a kcoverd server (redialed transparently
 // under WithReconnect). It is safe for concurrent use; each Session's
 // buffer is owned by its caller.
 type Client struct {
-	addr       string
-	batchSize  int
-	maxPending int
-	fireForget bool
-	reconnect  bool
-	attempts   int
-	backoffMin time.Duration
-	backoffMax time.Duration
-	source     uint64 // random nonzero identity stamped on sequenced batches
+	addr        string
+	batchSize   int
+	maxPending  int
+	fireForget  bool
+	reconnect   bool
+	attempts    int
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+	dialTimeout time.Duration
+	opTimeout   time.Duration
+	source      uint64 // random nonzero identity stamped on sequenced batches
 
 	mu     sync.Mutex // serializes frame writes, connection state, reconnects
 	cn     *netConn   // current connection epoch; failed epochs are replaced
@@ -169,9 +203,18 @@ type netConn struct {
 	bw         *bufio.Writer
 	pending    chan waiter
 	readerDone chan struct{}
+	opTimeout  time.Duration
 
 	errMu   sync.Mutex
 	lostErr error
+}
+
+// armWriteDeadline applies the per-operation write deadline, if any,
+// ahead of a frame write or buffer flush.
+func (cn *netConn) armWriteDeadline() {
+	if cn.opTimeout > 0 {
+		cn.c.SetWriteDeadline(time.Now().Add(cn.opTimeout))
+	}
 }
 
 func (cn *netConn) lost(err error) {
@@ -244,7 +287,13 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 }
 
 func (c *Client) dial() (*netConn, error) {
-	conn, err := net.Dial("tcp", c.addr)
+	var conn net.Conn
+	var err error
+	if c.dialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", c.addr)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +302,7 @@ func (c *Client) dial() (*netConn, error) {
 		bw:         bufio.NewWriterSize(conn, 1<<16),
 		pending:    make(chan waiter, c.maxPending),
 		readerDone: make(chan struct{}),
+		opTimeout:  c.opTimeout,
 	}
 	go c.readLoop(cn)
 	return cn, nil
@@ -288,14 +338,30 @@ func (c *Client) readLoop(cn *netConn) {
 				// Responses alias scratch; copy for the waiter.
 				w.ch <- response{typ: typ, payload: append([]byte(nil), payload...)}
 			case w.ack != nil:
-				if typ == wire.TErr {
+				switch typ {
+				case wire.TErr:
 					// The payload already carries the "server:" prefix.
 					w.ack(fmt.Errorf("client: %s", payload))
-				} else {
+				case wire.TErrRetry:
+					// Transient rejection: the server did NOT apply the
+					// batch. The ack leaves it parked in the resend deque,
+					// and the epoch is retired — every pipelined batch
+					// behind this one would be rejected too, so the cheapest
+					// path back to exactly-once is a backoff-and-replay
+					// through the normal reconnect machinery.
+					busy := fmt.Errorf("client: %w: %s", ErrServerBusy, payload)
+					w.ack(busy)
+					cn.lost(fmt.Errorf("%w (%w)", ErrSessionClosed, busy))
+					cn.c.Close()
+				default:
 					w.ack(nil)
 				}
 			case typ == wire.TErr:
 				c.failAsync(fmt.Errorf("client: %s", payload))
+			case typ == wire.TErrRetry:
+				// Fire-and-forget has no resend buffer; a busy-rejected
+				// batch is dropped (at-most-once), so surface it.
+				c.failAsync(fmt.Errorf("client: %w: %s", ErrServerBusy, payload))
 			}
 		default:
 			cn.lost(fmt.Errorf("client: unexpected frame 0x%02x with no request outstanding", typ))
@@ -321,9 +387,14 @@ func (c *Client) asyncError() error {
 
 // ackFunc builds the acknowledgement callback for one sequenced batch:
 // pop it from the session's resend deque (acks arrive in sequence order)
-// and record a server-side rejection as the sticky async error.
+// and record a server-side rejection as the sticky async error. A busy
+// (transient) rejection pops nothing and poisons nothing: the batch was
+// not applied and stays parked for the post-backoff replay.
 func (c *Client) ackFunc(st *sessionState, seq uint64) func(error) {
 	return func(serverErr error) {
+		if errors.Is(serverErr, ErrServerBusy) {
+			return
+		}
 		c.amu.Lock()
 		if len(st.unacked) > 0 && st.unacked[0].seq == seq {
 			st.unacked = st.unacked[1:]
@@ -364,8 +435,13 @@ func (c *Client) connLocked() (*netConn, error) {
 	}
 	backoff := c.backoffMin
 	dialErr := lostErr
+	// When the epoch died to a busy rejection the server is up but
+	// shedding load; redialing instantly would just get the resends
+	// rejected again, so start with one backoff sleep instead of an
+	// immediate attempt.
+	busy := errors.Is(lostErr, ErrServerBusy)
 	for attempt := 0; attempt < c.attempts; attempt++ {
-		if attempt > 0 {
+		if attempt > 0 || busy {
 			time.Sleep(backoff)
 			backoff *= 2
 			if backoff > c.backoffMax {
@@ -438,6 +514,7 @@ func (c *Client) reestablish(cn *netConn) error {
 // blocking when maxPending frames are unacknowledged (backpressure). The
 // caller holds c.mu.
 func writeOn(cn *netConn, typ byte, payload []byte, w waiter) error {
+	cn.armWriteDeadline()
 	select {
 	case cn.pending <- w:
 	default:
@@ -534,12 +611,23 @@ func (c *Client) roundTripOn(cn *netConn, typ byte, payload []byte) error {
 	if resp.typ == wire.TErr {
 		return fmt.Errorf("client: %s", resp.payload)
 	}
+	if resp.typ == wire.TErrRetry {
+		return fmt.Errorf("client: %w: %s", ErrServerBusy, resp.payload)
+	}
 	return nil
 }
 
 // awaitResponse waits for the reader to deliver, guarding against the
-// epoch dying with the waiter still queued.
+// epoch dying with the waiter still queued. With WithOpTimeout set, a
+// response that never comes — a wedged server holding the socket open —
+// fails the epoch instead of hanging the caller forever.
 func awaitResponse(cn *netConn, ch chan response) (response, error) {
+	var timeout <-chan time.Time
+	if cn.opTimeout > 0 {
+		t := time.NewTimer(cn.opTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
 	var resp response
 	select {
 	case resp = <-ch:
@@ -550,6 +638,10 @@ func awaitResponse(cn *netConn, ch chan response) (response, error) {
 		default:
 			return response{}, cn.err()
 		}
+	case <-timeout:
+		cn.lost(fmt.Errorf("%w (no response within %v)", ErrSessionClosed, cn.opTimeout))
+		cn.c.Close()
+		return response{}, cn.err()
 	}
 	if resp.err != nil {
 		return response{}, resp.err
@@ -596,6 +688,9 @@ func (c *Client) roundTripOnce(typ byte, payload []byte) (response, error) {
 	}
 	if resp.typ == wire.TErr {
 		return response{}, fmt.Errorf("client: %s", resp.payload)
+	}
+	if resp.typ == wire.TErrRetry {
+		return response{}, fmt.Errorf("client: %w: %s", ErrServerBusy, resp.payload)
 	}
 	return resp, nil
 }
@@ -699,7 +794,10 @@ func (s *Session) flushBatch() error {
 
 // Flush pushes any buffered edges to the wire and then waits until every
 // outstanding batch has been acknowledged, returning the first error the
-// server reported.
+// server reported. A busy (transient) rejection is not a batch error:
+// under WithReconnect, Flush keeps replaying the parked batches with
+// backoff until the server recovers — it only fails when the connection
+// is permanently gone or the server reports a real error.
 func (s *Session) Flush() error {
 	if err := s.flushBatch(); err != nil {
 		return err
@@ -709,6 +807,11 @@ func (s *Session) Flush() error {
 		// earlier batch responses on this epoch arrived (and were
 		// error-checked).
 		if _, err := s.c.roundTrip(wire.TPing, nil); err != nil {
+			if s.c.reconnect && errors.Is(err, ErrServerBusy) && errors.Is(err, ErrSessionClosed) {
+				// Busy-retired epoch: the redial inside the next round
+				// trip backs off and replays the parked batches.
+				continue
+			}
 			return err
 		}
 		if err := s.c.asyncError(); err != nil {

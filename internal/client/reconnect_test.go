@@ -3,91 +3,27 @@ package client_test
 import (
 	"context"
 	"errors"
-	"io"
-	"net"
-	"sync"
 	"testing"
 	"time"
 
 	"streamcover"
 	"streamcover/internal/client"
+	"streamcover/internal/fault"
 	"streamcover/internal/server"
 )
 
-// flakyProxy forwards TCP to a healthy upstream and can sever every live
-// connection on demand, simulating a network blip without touching the
-// server (whose in-memory session and dedup state must survive).
-type flakyProxy struct {
-	ln     net.Listener
-	target string
-
-	mu     sync.Mutex
-	conns  []net.Conn
-	closed bool
-}
-
-func newFlakyProxy(t *testing.T, target string) *flakyProxy {
+// newChaosProxy stands a fault.Proxy in front of a healthy upstream so
+// tests can sever every live connection on demand, simulating a network
+// blip without touching the server (whose in-memory session and dedup
+// state must survive).
+func newChaosProxy(t *testing.T, target string) *fault.Proxy {
 	t.Helper()
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	p, err := fault.NewProxy(target)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := &flakyProxy{ln: ln, target: target}
-	go p.acceptLoop()
-	t.Cleanup(p.close)
+	t.Cleanup(p.Close)
 	return p
-}
-
-func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
-
-func (p *flakyProxy) acceptLoop() {
-	for {
-		down, err := p.ln.Accept()
-		if err != nil {
-			return
-		}
-		up, err := net.Dial("tcp", p.target)
-		if err != nil {
-			down.Close()
-			continue
-		}
-		p.mu.Lock()
-		if p.closed {
-			p.mu.Unlock()
-			down.Close()
-			up.Close()
-			return
-		}
-		p.conns = append(p.conns, down, up)
-		p.mu.Unlock()
-		pipe := func(dst, src net.Conn) {
-			io.Copy(dst, src)
-			dst.Close()
-			src.Close()
-		}
-		go pipe(up, down)
-		go pipe(down, up)
-	}
-}
-
-// drop severs every proxied connection; the listener stays up so the
-// client's redial succeeds.
-func (p *flakyProxy) drop() {
-	p.mu.Lock()
-	conns := p.conns
-	p.conns = nil
-	p.mu.Unlock()
-	for _, c := range conns {
-		c.Close()
-	}
-}
-
-func (p *flakyProxy) close() {
-	p.mu.Lock()
-	p.closed = true
-	p.mu.Unlock()
-	p.ln.Close()
-	p.drop()
 }
 
 // TestSessionClosedTyped: without WithReconnect, a server going away
@@ -151,8 +87,8 @@ func TestSessionClosedTyped(t *testing.T) {
 // count is exact — no loss, no double-counting.
 func TestReconnectExactlyOnceThroughProxy(t *testing.T) {
 	s := startServer(t)
-	p := newFlakyProxy(t, s.TCPAddr().String())
-	c, err := client.Dial(p.addr(),
+	p := newChaosProxy(t, s.TCPAddr().String())
+	c, err := client.Dial(p.Addr(),
 		client.WithBatchSize(128), client.WithMaxPending(4),
 		client.WithReconnect(20), client.WithBackoff(2*time.Millisecond, 20*time.Millisecond))
 	if err != nil {
@@ -173,7 +109,7 @@ func TestReconnectExactlyOnceThroughProxy(t *testing.T) {
 		if err := sess.Send(edges[i*chunk : (i+1)*chunk]); err != nil {
 			t.Fatalf("send after %d cuts: %v", i, err)
 		}
-		p.drop() // mid-pipeline: some batches are likely in flight, unacked
+		p.DropAll() // mid-pipeline: some batches are likely in flight, unacked
 	}
 	if err := sess.Flush(); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,41 @@
+// Package fault is kcoverd's deterministic fault-injection layer. It has
+// two halves, one per I/O boundary the daemon crosses:
+//
+//   - A filesystem shim (FS / File) that internal/wal and internal/snapshot
+//     write through. The passthrough OS() implementation is what production
+//     runs; the Injector wraps any FS and fails operations on demand —
+//     fsync errors, write errors, ENOSPC after a byte budget (with the
+//     realistic torn short write), removal/rename failures and latency —
+//     so the durability code's error paths can be exercised exactly,
+//     repeatably, and without root or a real full disk.
+//
+//   - An in-process chaos Proxy for the TCP path: it forwards bytes to a
+//     healthy upstream and, on demand, severs every live connection,
+//     truncates streams mid-frame, delays forwarding, or partitions new
+//     connections into a black hole — the network weather a reconnecting
+//     client must ride through.
+//
+// Both halves are deterministic: nothing here draws randomness. A seeded
+// test (see the crash-storm soak in internal/server) owns the schedule and
+// scripts faults through explicit windows — counted failures, byte
+// budgets, toggles — so every run with the same seed exercises the same
+// interleavings.
+package fault
+
+import (
+	"errors"
+	"syscall"
+)
+
+// ErrInjected is the default error returned by injected failures; tests
+// that don't care about the precise errno assert against it with
+// errors.Is.
+var ErrInjected = errors.New("fault: injected failure")
+
+// IsDiskFull reports whether err is (or wraps) ENOSPC — the signal that
+// moves kcoverd into its server-wide read-only mode. The Injector's
+// byte-budget failures wrap syscall.ENOSPC so injected and real disk-full
+// conditions classify identically.
+func IsDiskFull(err error) bool {
+	return errors.Is(err, syscall.ENOSPC)
+}

@@ -1,0 +1,234 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestInjectorCountedSyncFailures(t *testing.T) {
+	inj := NewInjector(OS())
+	f, err := inj.OpenFile(filepath.Join(t.TempDir(), "x"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	inj.FailSyncs(2, nil)
+	for i := 0; i < 2; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d: err %v, want ErrInjected", i, err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync after window: %v", err)
+	}
+	if got := inj.SyncFails.Load(); got != 2 {
+		t.Fatalf("SyncFails = %d, want 2", got)
+	}
+	if got := inj.SyncOps.Load(); got != 3 {
+		t.Fatalf("SyncOps = %d, want 3", got)
+	}
+}
+
+func TestInjectorStickyWriteUntilClear(t *testing.T) {
+	inj := NewInjector(nil) // nil inner defaults to OS()
+	f, err := inj.CreateTemp(t.TempDir(), "sticky*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	boom := errors.New("boom")
+	inj.FailWrites(-1, boom)
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("abc")); !errors.Is(err, boom) {
+			t.Fatalf("write %d: err %v, want boom", i, err)
+		}
+	}
+	inj.Clear()
+	if n, err := f.Write([]byte("abc")); err != nil || n != 3 {
+		t.Fatalf("write after Clear: n=%d err=%v", n, err)
+	}
+	if got := inj.WriteFails.Load(); got != 3 {
+		t.Fatalf("WriteFails = %d, want 3", got)
+	}
+}
+
+func TestInjectorDiskBudgetTornWrite(t *testing.T) {
+	inj := NewInjector(OS())
+	path := filepath.Join(t.TempDir(), "full")
+	f, err := inj.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	inj.SetDiskBudget(5)
+	n, err := f.Write([]byte("12345678"))
+	if n != 5 {
+		t.Fatalf("torn write landed %d bytes, want 5", n)
+	}
+	if !IsDiskFull(err) {
+		t.Fatalf("err %v does not classify as disk-full", err)
+	}
+	// The torn prefix really is on disk — exactly the state a crashed
+	// writer leaves behind.
+	got, rerr := os.ReadFile(path)
+	if rerr != nil || string(got) != "12345" {
+		t.Fatalf("on-disk bytes %q (err %v), want \"12345\"", got, rerr)
+	}
+	// Budget exhausted: nothing more lands.
+	if n, err := f.Write([]byte("x")); n != 0 || !IsDiskFull(err) {
+		t.Fatalf("post-exhaustion write: n=%d err=%v", n, err)
+	}
+	inj.SetDiskBudget(-1)
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write after budget lifted: %v", err)
+	}
+	if got := inj.DiskFullHits.Load(); got != 2 {
+		t.Fatalf("DiskFullHits = %d, want 2", got)
+	}
+}
+
+func TestInjectorRemoveAndRename(t *testing.T) {
+	inj := NewInjector(OS())
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	inj.FailRemoves(1, nil)
+	if err := inj.Remove(path); !errors.Is(err, ErrInjected) {
+		t.Fatalf("remove: err %v, want ErrInjected", err)
+	}
+	inj.FailRenames(1, nil)
+	if err := inj.Rename(path, path+".new"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("rename: err %v, want ErrInjected", err)
+	}
+	// Windows consumed: both now pass through.
+	if err := inj.Rename(path, path+".new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.Remove(path + ".new"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startEcho runs a TCP echo server and returns its address.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				io.Copy(c, c)
+				c.Close()
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialProxy(t *testing.T, p *Proxy) net.Conn {
+	t.Helper()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestProxyForwardsAndDrops(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through proxy: %q, %v", buf, err)
+	}
+	p.DropAll()
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded after DropAll")
+	}
+	// The listener survived the drop: a fresh dial works end to end.
+	c2 := dialProxy(t, p)
+	if _, err := c2.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c2, buf); err != nil || string(buf) != "pong" {
+		t.Fatalf("echo after redial: %q, %v", buf, err)
+	}
+}
+
+func TestProxyTruncateTearsStream(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	p.TruncateAfter(3)
+	if _, err := c.Write([]byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	got, _ := io.ReadAll(c) // reads until the proxy severs the conn
+	if len(got) > 3 {
+		t.Fatalf("got %d bytes through a 3-byte budget: %q", len(got), got)
+	}
+}
+
+func TestProxyPartitionBlackHolesThenReleases(t *testing.T) {
+	p, err := NewProxy(startEcho(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Partition(true)
+	c := dialProxy(t, p) // accept completes, but nothing is forwarded
+	if _, err := c.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	buf := make([]byte, 5)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded through a partition")
+	} else if nerr, ok := err.(net.Error); !ok || !nerr.Timeout() {
+		t.Fatalf("partitioned read: err %v, want timeout (hang, not reset)", err)
+	}
+	p.Partition(false) // parked conns closed: the peer is released to redial
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.Read(buf); err == nil || errIsTimeout(err) {
+		t.Fatalf("release: err %v, want prompt close", err)
+	}
+	c2 := dialProxy(t, p)
+	if _, err := c2.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(c2, buf[:4]); err != nil || string(buf[:4]) != "back" {
+		t.Fatalf("echo after partition lifted: %q, %v", buf[:4], err)
+	}
+}
+
+func errIsTimeout(err error) bool {
+	nerr, ok := err.(net.Error)
+	return ok && nerr.Timeout()
+}

@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Proxy is an in-process TCP chaos proxy: it forwards bytes between
+// clients and a healthy upstream and, on demand, severs every live
+// connection (network blip), truncates the stream mid-frame (torn frame),
+// delays forwarding (congestion), or black-holes new connections
+// (partition). The listener itself stays up through everything except
+// Close, so a reconnecting client's redial always reaches the proxy — the
+// faults decide what happens after.
+type Proxy struct {
+	ln     net.Listener
+	target string
+
+	mu       sync.Mutex
+	conns    []net.Conn
+	parked   []net.Conn // accepted while partitioned; never forwarded
+	closed   bool
+	delay    time.Duration
+	truncate int64 // remaining forwardable bytes; <0 = unlimited
+	partOn   bool
+}
+
+// NewProxy listens on a fresh loopback port and forwards every accepted
+// connection to target.
+func NewProxy(target string) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{ln: ln, target: target, truncate: -1}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the address clients should dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *Proxy) acceptLoop() {
+	for {
+		down, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			down.Close()
+			return
+		}
+		if p.partOn {
+			// Black hole: hold the connection open but never forward, the
+			// shape of a partition where SYNs still complete upstream of
+			// the break.
+			p.parked = append(p.parked, down)
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Unlock()
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			down.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			down.Close()
+			up.Close()
+			return
+		}
+		p.conns = append(p.conns, down, up)
+		p.mu.Unlock()
+		go p.pipe(up, down)
+		go p.pipe(down, up)
+	}
+}
+
+// pipe forwards src→dst in chunks so delay and truncation apply at byte
+// granularity; io.Copy would forward whole reads untouched.
+func (p *Proxy) pipe(dst, src net.Conn) {
+	defer dst.Close()
+	defer src.Close()
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			p.mu.Lock()
+			d := p.delay
+			w := n
+			if p.truncate >= 0 {
+				if p.truncate >= int64(n) {
+					p.truncate -= int64(n)
+				} else {
+					w = int(p.truncate)
+					p.truncate = 0
+				}
+			}
+			p.mu.Unlock()
+			if d > 0 {
+				time.Sleep(d)
+			}
+			if w > 0 {
+				if _, werr := dst.Write(buf[:w]); werr != nil {
+					return
+				}
+			}
+			if w < n {
+				// Budget exhausted mid-chunk: the peer saw a torn frame.
+				// Sever so both sides notice.
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// DropAll severs every proxied connection; the listener stays up so
+// redials succeed. Parked (partitioned) connections are dropped too.
+func (p *Proxy) DropAll() {
+	p.mu.Lock()
+	conns := append(p.conns, p.parked...)
+	p.conns, p.parked = nil, nil
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// SetDelay sleeps d before forwarding each chunk in either direction.
+// Zero disables.
+func (p *Proxy) SetDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+// TruncateAfter lets n more bytes through (summed over all connections
+// and both directions), then severs whichever connection carries the
+// byte that crosses the line — a deterministic torn frame. n < 0
+// disables truncation.
+func (p *Proxy) TruncateAfter(n int64) {
+	p.mu.Lock()
+	p.truncate = n
+	p.mu.Unlock()
+}
+
+// Partition black-holes new connections while on: accepts complete but
+// nothing is ever forwarded, so the peer hangs rather than erroring.
+// Turning the partition off closes the parked connections, releasing
+// their peers to redial. Existing forwarded connections are unaffected;
+// combine with DropAll for a full partition.
+func (p *Proxy) Partition(on bool) {
+	p.mu.Lock()
+	p.partOn = on
+	var parked []net.Conn
+	if !on {
+		parked = p.parked
+		p.parked = nil
+	}
+	p.mu.Unlock()
+	for _, c := range parked {
+		c.Close()
+	}
+}
+
+// Close shuts the listener and severs everything.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.ln.Close()
+	p.DropAll()
+}

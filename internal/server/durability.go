@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"streamcover"
+	"streamcover/internal/fault"
 	"streamcover/internal/snapshot"
 	"streamcover/internal/stream"
 	"streamcover/internal/wal"
@@ -32,6 +33,7 @@ import (
 type durability struct {
 	dir string
 	wal *wal.Log
+	fs  fault.FS // filesystem checkpoints write through (faults injectable)
 
 	pmu    sync.RWMutex // ingest RLock / checkpoint Lock
 	ckptMu sync.Mutex   // serializes whole checkpoints (ticker, HTTP, shutdown)
@@ -67,17 +69,24 @@ func sessionDirName(name string) string {
 	return fmt.Sprintf("s-%s-%016x", safe, h.Sum64())
 }
 
-// openDurability prepares (or reopens) a session's data directory.
-func openDurability(dataDir, name string, segBytes int64, noSync bool) (*durability, error) {
+// openDurability prepares (or reopens) a session's data directory,
+// sweeping any checkpoint temp files a crashed writer left behind.
+func openDurability(dataDir, name string, segBytes int64, noSync bool, fsys fault.FS) (*durability, error) {
+	if fsys == nil {
+		fsys = fault.OS()
+	}
 	dir := filepath.Join(dataDir, sessionDirName(name))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{SegmentBytes: segBytes, NoSync: noSync})
+	if _, err := snapshot.SweepTemps(fsys, dir, checkpointFile); err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{SegmentBytes: segBytes, NoSync: noSync, FS: fsys})
 	if err != nil {
 		return nil, err
 	}
-	return &durability{dir: dir, wal: log}, nil
+	return &durability{dir: dir, wal: log, fs: fsys}, nil
 }
 
 func (d *durability) close() {
@@ -267,7 +276,7 @@ func (s *session) checkpoint(metrics *Metrics) error {
 		name: s.name, m: s.m, n: s.n, k: s.k, alpha: s.alpha, seed: s.seed,
 		walPos: pos, dedup: dedup, parts: parts,
 	})
-	if err := snapshot.WriteFile(filepath.Join(d.dir, checkpointFile), payload); err != nil {
+	if err := snapshot.WriteFileFS(d.fs, filepath.Join(d.dir, checkpointFile), payload); err != nil {
 		return err
 	}
 	if err := d.wal.TruncateBefore(pos + 1); err != nil {
@@ -287,8 +296,16 @@ func (s *session) checkpoint(metrics *Metrics) error {
 // the same shard-and-batch path the live server uses. Returns nil (no
 // error) for directories without a checkpoint — a crash between directory
 // creation and the initial checkpoint left nothing acknowledged to lose.
+// Checkpoint temp files orphaned by a crash mid-write are swept first.
 func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) {
-	payload, err := snapshot.ReadFile(filepath.Join(dir, checkpointFile))
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = fault.OS()
+	}
+	if _, err := snapshot.SweepTemps(fsys, dir, checkpointFile); err != nil {
+		return nil, fmt.Errorf("server: %s: %w", dir, err)
+	}
+	payload, err := snapshot.ReadFileFS(fsys, filepath.Join(dir, checkpointFile))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -333,7 +350,7 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 			ests[i] = est
 		}
 	}
-	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{SegmentBytes: cfg.WALSegmentBytes, NoSync: cfg.WALNoSync})
+	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{SegmentBytes: cfg.WALSegmentBytes, NoSync: cfg.WALNoSync, FS: fsys})
 	if err != nil {
 		return nil, fmt.Errorf("server: %s: %w", dir, err)
 	}
@@ -364,11 +381,17 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 		metrics.ReplayEdges.Add(edgesReplayed)
 		metrics.ReplayNanos.Add(time.Since(start).Nanoseconds())
 	}
-	d := &durability{dir: dir, wal: log}
+	d := &durability{dir: dir, wal: log, fs: fsys}
 	d.ckptPos.Store(st.walPos)
 	d.lastCkptNanos.Store(time.Now().UnixNano())
 	sess := newSessionWith(st.name, st.m, st.n, st.k, st.alpha, st.seed, cfg.QueueDepth, metrics, ests)
 	sess.dur = d
+	if cfg.RetryMin > 0 {
+		sess.retryMin = cfg.RetryMin
+	}
+	if cfg.RetryMax > 0 {
+		sess.retryMax = cfg.RetryMax
+	}
 	sess.dedup = make(map[uint64]dedupEntry, len(st.dedup))
 	for src, seq := range st.dedup {
 		sess.dedup[src] = dedupEntry{seq: seq}

@@ -110,6 +110,37 @@ func (s *Server) httpHandler() http.Handler {
 		}
 		writeJSON(w, out)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		type sessionHealth struct {
+			Status string `json:"status"`
+			Error  string `json:"error,omitempty"`
+		}
+		sessions := map[string]sessionHealth{}
+		s.mu.Lock()
+		for name, sess := range s.sessions {
+			st, detail := sess.health()
+			sessions[name] = sessionHealth{Status: st, Error: detail}
+		}
+		s.mu.Unlock()
+		// Server-wide status: read-only dominates (every ingest is being
+		// rejected), then degraded (some session's durability is broken),
+		// then ok. Non-ok answers 503 so load balancers and probes that
+		// only look at the status code drain the instance.
+		status := "ok"
+		switch {
+		case s.metrics.DiskFullSessions.Load() > 0:
+			status = "read-only"
+		case s.metrics.DegradedSessions.Load() > 0:
+			status = "degraded"
+		}
+		if status != "ok" {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"status": status, "sessions": sessions})
+			return
+		}
+		writeJSON(w, map[string]any{"status": status, "sessions": sessions})
+	})
 	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
 		if err := s.CheckpointAll(); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)

@@ -39,6 +39,21 @@ type Metrics struct {
 	ReplayEdges     atomic.Int64
 	ReplayNanos     atomic.Int64
 
+	// Failure handling. WALAppendFailures and CheckpointFailures count
+	// durability faults; DegradedSessions and DiskFullSessions are live
+	// gauges (any DiskFullSessions > 0 puts the whole server in read-only
+	// mode); DurabilityRecoveries counts degraded sessions brought back to
+	// healthy in place. BusyRejects counts transient (retryable) ingest
+	// rejections sent while degraded or read-only, and DeadlineReaps
+	// counts connections closed by the server's read/write deadlines.
+	WALAppendFailures    atomic.Int64
+	CheckpointFailures   atomic.Int64
+	DurabilityRecoveries atomic.Int64
+	DegradedSessions     atomic.Int64
+	DiskFullSessions     atomic.Int64
+	BusyRejects          atomic.Int64
+	DeadlineReaps        atomic.Int64
+
 	start time.Time // set by Server.New; anchors the edges/sec rate
 }
 
@@ -64,6 +79,14 @@ func (m *Metrics) snapshot() map[string]int64 {
 		"replay_batches":    m.ReplayBatches.Load(),
 		"replay_edges":      m.ReplayEdges.Load(),
 		"replay_nanos":      m.ReplayNanos.Load(),
+
+		"wal_append_failures":   m.WALAppendFailures.Load(),
+		"checkpoint_failures":   m.CheckpointFailures.Load(),
+		"durability_recoveries": m.DurabilityRecoveries.Load(),
+		"degraded_sessions":     m.DegradedSessions.Load(),
+		"disk_full_sessions":    m.DiskFullSessions.Load(),
+		"busy_rejects":          m.BusyRejects.Load(),
+		"deadline_reaps":        m.DeadlineReaps.Load(),
 	}
 	if n := m.ReplayNanos.Load(); n > 0 {
 		s["replay_edges_per_sec"] = int64(float64(m.ReplayEdges.Load()) / (float64(n) / 1e9))

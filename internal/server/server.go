@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"streamcover/internal/fault"
 	"streamcover/internal/wire"
 )
 
@@ -58,6 +59,22 @@ type Config struct {
 	// WALNoSync skips the fsync before each ingest ack. Acknowledged
 	// batches may be lost in a crash; for tests and bulk loads.
 	WALNoSync bool
+	// ReadTimeout bounds the wait for the next frame on an idle
+	// connection; when it fires the connection is reaped (a half-open or
+	// hung peer can no longer park a handler in a read forever). Default
+	// 5m; negative disables.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response write. Default 1m; negative
+	// disables.
+	WriteTimeout time.Duration
+	// RetryMin/RetryMax bound the exponential backoff of a degraded
+	// session's durability-recovery loop. Defaults 50ms / 5s.
+	RetryMin time.Duration
+	RetryMax time.Duration
+	// FS is the filesystem the durability path (WAL + checkpoints) writes
+	// through. Default the real filesystem; tests inject faults by
+	// passing a *fault.Injector.
+	FS fault.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +89,21 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 30 * time.Second
+	}
+	if c.ReadTimeout == 0 {
+		c.ReadTimeout = 5 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = time.Minute
+	}
+	if c.RetryMin <= 0 {
+		c.RetryMin = 50 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 5 * time.Second
+	}
+	if c.FS == nil {
+		c.FS = fault.OS()
 	}
 	return c
 }
@@ -219,7 +251,10 @@ func (s *Server) serveTCP(ln net.Listener) {
 	}
 }
 
-// handleConn runs the serial frame loop for one connection.
+// handleConn runs the serial frame loop for one connection. Each frame
+// read is bounded by ReadTimeout (a connected-but-silent peer is reaped
+// rather than parking this goroutine forever) and each response write by
+// WriteTimeout (a peer that stops draining cannot wedge the handler).
 func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
@@ -228,22 +263,35 @@ func (s *Server) handleConn(conn net.Conn) {
 		if typ == wire.TErr {
 			s.metrics.Errors.Add(1)
 		}
+		if typ == wire.TErrRetry {
+			s.metrics.BusyRejects.Add(1)
+		}
+		if s.cfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
 		if err := wire.WriteFrame(bw, typ, payload); err != nil {
+			s.noteDeadline(err)
 			return false
 		}
 		// Flush only when no further request is already buffered: acks
 		// for a pipelined burst coalesce into one write.
 		if br.Buffered() == 0 {
 			if err := bw.Flush(); err != nil {
+				s.noteDeadline(err)
 				return false
 			}
 		}
 		return true
 	}
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
 		typ, payload, err := wire.ReadFrameInto(br, &scratch)
 		if err != nil {
-			return // EOF, peer reset, or garbage — drop the connection
+			// EOF, peer reset, deadline, or garbage — drop the connection.
+			s.noteDeadline(err)
+			return
 		}
 		s.metrics.Frames.Add(1)
 		switch typ {
@@ -300,9 +348,24 @@ func (s *Server) handleConn(conn net.Conn) {
 
 func (s *Server) ack(respond func(byte, []byte) bool, err error) bool {
 	if err != nil {
+		// Degraded / read-only rejections are transient by construction
+		// (a recovery loop is working on the cause), so they go out as
+		// TErrRetry: the client keeps the batch and retries.
+		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrReadOnly) {
+			return respond(wire.TErrRetry, []byte(err.Error()))
+		}
 		return respond(wire.TErr, []byte(err.Error()))
 	}
 	return respond(wire.TOK, nil)
+}
+
+// noteDeadline counts connections dropped by our own read/write
+// deadlines, distinguishing a reaped hung peer from an ordinary EOF.
+func (s *Server) noteDeadline(err error) {
+	var nerr net.Error
+	if errors.Is(err, os.ErrDeadlineExceeded) || (errors.As(err, &nerr) && nerr.Timeout()) {
+		s.metrics.DeadlineReaps.Add(1)
+	}
 }
 
 // createSession makes a session, idempotently: re-creating with identical
@@ -371,8 +434,9 @@ func (s *Server) buildSession(c wire.Create) (*session, error) {
 	if err != nil {
 		return nil, err
 	}
+	sess.retryMin, sess.retryMax = s.cfg.RetryMin, s.cfg.RetryMax
 	if s.cfg.DataDir != "" {
-		dur, err := openDurability(s.cfg.DataDir, c.Name, s.cfg.WALSegmentBytes, s.cfg.WALNoSync)
+		dur, err := openDurability(s.cfg.DataDir, c.Name, s.cfg.WALSegmentBytes, s.cfg.WALNoSync, s.cfg.FS)
 		if err != nil {
 			sess.close()
 			return nil, err
@@ -421,7 +485,11 @@ func (s *Server) recover() error {
 }
 
 // CheckpointAll snapshots every live session, returning the first error.
-// Also reachable over HTTP as /checkpoint.
+// Also reachable over HTTP as /checkpoint. A failed checkpoint degrades
+// its session: the snapshot write shares the disk with the WAL, and a
+// disk that cannot take a checkpoint will soon fail appends too — better
+// to stop acking now and let the recovery loop probe for the fault
+// clearing.
 func (s *Server) CheckpointAll() error {
 	s.mu.Lock()
 	sessions := make([]*session, 0, len(s.sessions))
@@ -431,8 +499,12 @@ func (s *Server) CheckpointAll() error {
 	s.mu.Unlock()
 	var first error
 	for _, sess := range sessions {
-		if err := sess.checkpoint(&s.metrics); err != nil && first == nil {
-			first = err
+		if err := sess.checkpoint(&s.metrics); err != nil {
+			s.metrics.CheckpointFailures.Add(1)
+			sess.degrade(err)
+			if first == nil {
+				first = err
+			}
 		}
 	}
 	return first
@@ -448,7 +520,20 @@ func (s *Server) session(name string) (*session, error) {
 	return sess, nil
 }
 
+// readOnly reports the server-wide disk-full mode: while any session is
+// degraded by ENOSPC, every ingest is rejected (more WAL writes would
+// deepen the hole) and queries keep flowing.
+func (s *Server) readOnly() error {
+	if s.metrics.DiskFullSessions.Load() > 0 {
+		return fmt.Errorf("server: %w: disk full, ingest rejected until space frees", ErrReadOnly)
+	}
+	return nil
+}
+
 func (s *Server) handleIngest(payload []byte) error {
+	if err := s.readOnly(); err != nil {
+		return err
+	}
 	name, edges, m, n, err := wire.DecodeIngest(payload)
 	if err != nil {
 		return err
@@ -472,6 +557,9 @@ func (s *Server) handleIngest(payload []byte) error {
 // handleIngestSeq is handleIngest with replay protection: the ack it
 // leads to means "durably logged and applied (or a recognized replay)".
 func (s *Server) handleIngestSeq(payload []byte) error {
+	if err := s.readOnly(); err != nil {
+		return err
+	}
 	name, source, seq, edges, m, n, err := wire.DecodeIngestSeq(payload)
 	if err != nil {
 		return err
@@ -600,9 +688,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Abort simulates a crash for durability tests: listeners and connections
-// close immediately, with no checkpoint, no queue drain and no WAL
-// truncation. Everything the server acknowledged must still be
-// recoverable by a fresh Server starting on the same data dir.
+// close immediately, with no checkpoint and no WAL truncation. Everything
+// the server acknowledged must still be recoverable by a fresh Server
+// starting on the same data dir. Sessions are then quiesced (in-flight
+// ingests finish, workers drain, WAL handles close) so the dead process's
+// goroutines cannot keep appending to a data dir a successor has already
+// recovered from — the quiesce is bookkeeping the real SIGKILL would do
+// by ceasing to exist.
 func (s *Server) Abort() {
 	s.mu.Lock()
 	if s.closed {
@@ -614,6 +706,11 @@ func (s *Server) Abort() {
 	conns := make([]net.Conn, 0, len(s.conns))
 	for conn := range s.conns {
 		conns = append(conns, conn)
+	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for name, sess := range s.sessions {
+		sessions = append(sessions, sess)
+		delete(s.sessions, name)
 	}
 	s.mu.Unlock()
 	if s.ckptStop != nil {
@@ -628,5 +725,10 @@ func (s *Server) Abort() {
 	}
 	for _, conn := range conns {
 		conn.Close()
+	}
+	s.connWG.Wait()
+	for _, sess := range sessions {
+		sess.close()
+		sess.dur.close()
 	}
 }

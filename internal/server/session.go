@@ -34,15 +34,21 @@ type session struct {
 
 	dur *durability // nil without a data dir
 
-	// failErr is sticky: the first WAL append failure on the overlapped
-	// ingest path. At that point a batch has been applied to the workers
-	// without being durable, so no later ingest on this session may be
-	// acknowledged — an ack promises the whole acknowledged prefix
-	// survives a crash, and this session can no longer keep that promise.
-	// Recovery from the checkpoint + WAL (which hold exactly the durable
-	// prefix) is the way back.
-	fmu     sync.Mutex
-	failErr error
+	// Degraded state (see degrade.go). A WAL append or checkpoint failure
+	// leaves a batch applied to the workers without being durable, so no
+	// later ingest may be acknowledged — an ack promises the whole
+	// acknowledged prefix survives a crash. Unlike a permanent poison, the
+	// condition is repairable in place: the recovery loop resets the WAL
+	// and re-checkpoints, then clears degradedErr.
+	fmu         sync.Mutex
+	degradedErr error // non-nil: ingest rejected, queries still served
+	diskFull    bool  // degradation was ENOSPC (drives server read-only mode)
+	recovering  bool  // a recoverLoop goroutine is live
+	recStopped  bool  // close() ran; no new recovery loops may start
+	recStop     chan struct{}
+	recWG       sync.WaitGroup
+	retryMin    time.Duration // first recovery backoff
+	retryMax    time.Duration // backoff ceiling
 
 	dmu   sync.Mutex
 	dedup map[uint64]dedupEntry // client source → replay horizon
@@ -106,6 +112,7 @@ func newSessionWith(name string, m, n, k int, alpha float64, seed int64, queueDe
 	s := &session{
 		name: name, m: m, n: n, k: k, alpha: alpha, seed: seed,
 		metrics: metrics, dedup: make(map[uint64]dedupEntry), ests: ests,
+		recStop: make(chan struct{}), retryMin: 50 * time.Millisecond, retryMax: 5 * time.Second,
 	}
 	w := len(ests)
 	s.hdrPool.New = func() any { h := make([][]stream.Edge, w); return &h }
@@ -177,23 +184,6 @@ func (s *session) begin() error {
 	return nil
 }
 
-// fail records the first WAL append failure; every later ingest is
-// rejected (see the failErr field comment).
-func (s *session) fail(err error) {
-	s.fmu.Lock()
-	if s.failErr == nil {
-		s.failErr = fmt.Errorf("server: session %q: wal append failed, session poisoned: %w", s.name, err)
-	}
-	s.fmu.Unlock()
-}
-
-// failed reports the sticky append failure, if any.
-func (s *session) failed() error {
-	s.fmu.Lock()
-	defer s.fmu.Unlock()
-	return s.failErr
-}
-
 // appendOverlapped starts the WAL append on its own goroutine so the
 // caller can dispatch the batch to the workers while the group-commit
 // fsync is in flight — the two dominate ingest latency and are
@@ -231,16 +221,25 @@ func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 	}
 	d.pmu.RLock()
 	defer d.pmu.RUnlock()
-	if err := s.failed(); err != nil {
+	if err := s.degraded(); err != nil {
 		return err
 	}
 	appended := d.appendOverlapped(rec)
 	s.dispatch(edges)
 	if err := <-appended; err != nil {
 		// The batch is applied but not durable; no future ack may claim
-		// otherwise.
-		s.fail(err)
-		return err
+		// otherwise. Degrade (recovery will re-checkpoint the applied
+		// state) and answer with the typed transient error so the client
+		// parks the batch instead of treating the session as dead. The
+		// ingest counters are bumped here because the handler, seeing an
+		// error, will not: the edges are in the estimators.
+		if s.metrics != nil {
+			s.metrics.WALAppendFailures.Add(1)
+			s.metrics.EdgesIngested.Add(int64(len(edges)))
+			s.metrics.Batches.Add(1)
+		}
+		s.degrade(err)
+		return s.degraded()
 	}
 	return nil
 }
@@ -263,8 +262,9 @@ func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 // the return (and so the ack) waits for both. On append failure the batch
 // has already been applied, so instead of rolling back, the accepted
 // horizon is KEPT (a resend of this seq must not be applied twice) and
-// the session is poisoned via fail() — the resend is answered with the
-// sticky error rather than a false durability ack.
+// the session degrades — the resend is answered with the typed transient
+// error rather than a false durability ack, and recovery's fresh
+// checkpoint makes the applied batch durable before ingest resumes.
 func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge) (bool, error) {
 	if err := s.begin(); err != nil {
 		return false, err
@@ -278,10 +278,10 @@ func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge)
 	for {
 		if d != nil {
 			// Checked inside the loop: a waiter parked on done must see the
-			// failure the ingest it waited on just recorded (fail() runs
+			// failure the ingest it waited on just recorded (degrade() runs
 			// before close(done)), not ack a duplicate of a batch that
 			// never became durable.
-			if err := s.failed(); err != nil {
+			if err := s.degraded(); err != nil {
 				return false, err
 			}
 		}
@@ -316,7 +316,14 @@ func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge)
 		s.dispatch(edges)
 		err := <-appended
 		if err != nil {
-			s.fail(err)
+			// Applied but not durable: count the ingest here (the handler
+			// sees an error and will not) and degrade.
+			if s.metrics != nil {
+				s.metrics.WALAppendFailures.Add(1)
+				s.metrics.EdgesIngested.Add(int64(len(edges)))
+				s.metrics.Batches.Add(1)
+			}
+			s.degrade(err)
 		}
 		// Settle the entry at the accepted horizon either way — the batch
 		// was applied. The entry is still ours (anyone else is parked on
@@ -326,7 +333,7 @@ func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge)
 		s.dmu.Unlock()
 		close(done)
 		if err != nil {
-			return false, err
+			return false, s.degraded()
 		}
 		return true, nil
 	}
@@ -469,6 +476,7 @@ func (s *session) close() {
 	s.closed = true
 	s.mu.Unlock()
 	s.ops.Wait()
+	s.stopRecovery()
 	for _, ch := range s.workers {
 		close(ch)
 	}

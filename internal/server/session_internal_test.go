@@ -13,7 +13,7 @@ import (
 
 func newTestDurSession(t *testing.T, name string) *session {
 	t.Helper()
-	dur, err := openDurability(t.TempDir(), name, 0, false)
+	dur, err := openDurability(t.TempDir(), name, 0, false, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,22 +171,32 @@ func TestOverlapAckAwaitsBatchDurability(t *testing.T) {
 	}
 }
 
-// TestAppendFailurePoisonsBatchSession pins the overlap failure contract:
-// when the WAL append fails, the batch has already been applied to the
-// workers, so the session must (a) keep the advanced dedup horizon — a
-// resend of the same seq must not be double-applied — and (b) reject
-// every later ingest with the sticky error rather than acking, because an
-// ack would claim a durability the session can no longer provide.
-func TestAppendFailurePoisonsBatchSession(t *testing.T) {
-	sess := newTestDurSession(t, "poison")
+// TestAppendFailureDegradesBatchSession pins the overlap failure
+// contract: when the WAL append fails, the batch has already been applied
+// to the workers, so the session must (a) keep the advanced dedup horizon
+// — a resend of the same seq must not be double-applied — and (b) reject
+// every later ingest with the typed transient ErrDegraded rather than
+// acking, because an ack would claim a durability the session cannot
+// currently provide. Once the fault clears, one recovery pass brings the
+// session back to healthy in place, with the applied-but-not-durable
+// batch captured by the recovery checkpoint.
+func TestAppendFailureDegradesBatchSession(t *testing.T) {
+	sess := newTestDurSession(t, "degrade")
+	// Pin the degraded window open: the background loop must not race the
+	// assertions below, so recovery happens only when the test asks.
+	sess.retryMin = time.Hour
+	sess.retryMax = time.Hour
 	edges := []stream.Edge{{Set: 2, Elem: 7}}
 	rec := []byte{0x02}
-	wantErr := errors.New("disk full")
+	wantErr := errors.New("write error")
 	sess.dur.appendFn = func(rec []byte) (uint64, error) { return 0, wantErr }
 
 	applied, err := sess.ingestSeq(5, 1, rec, edges)
 	if err == nil || !errors.Is(err, wantErr) {
 		t.Fatalf("ingestSeq error = %v, want wrapped %v", err, wantErr)
+	}
+	if !errors.Is(err, ErrDegraded) {
+		t.Fatalf("ingestSeq error = %v, want typed ErrDegraded", err)
 	}
 	if applied {
 		t.Fatal("failed ingest reported applied=true (would be acked)")
@@ -194,29 +204,57 @@ func TestAppendFailurePoisonsBatchSession(t *testing.T) {
 	if got := sess.batches.Load(); got != 1 {
 		t.Fatalf("batch dispatch count %d, want 1 (the batch IS applied in memory)", got)
 	}
+	if st, _ := sess.health(); st != "degraded" {
+		t.Fatalf("health = %q, want degraded", st)
+	}
 
 	// The horizon must be kept so the inevitable client resend is not
-	// applied a second time — and the resend must get the sticky error,
-	// never a false durability ack.
+	// applied a second time — and the resend must get the typed transient
+	// error, never a false durability ack.
 	sess.dmu.Lock()
 	entry := sess.dedup[5]
 	sess.dmu.Unlock()
 	if entry.seq != 1 || entry.done != nil {
 		t.Fatalf("dedup entry = %+v, want settled at seq 1", entry)
 	}
-	if _, err := sess.ingestSeq(5, 1, rec, edges); err == nil {
-		t.Fatal("resend of the non-durable batch was acked")
+	if _, err := sess.ingestSeq(5, 1, rec, edges); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("resend of the non-durable batch: err = %v, want ErrDegraded", err)
 	}
 	if sess.batches.Load() != 1 {
 		t.Fatal("resend was applied a second time")
 	}
 
-	// Fresh sequences and unsequenced ingests are rejected too.
-	if _, err := sess.ingestSeq(5, 2, rec, edges); err == nil {
-		t.Fatal("later sequence acked on a poisoned session")
+	// Fresh sequences and unsequenced ingests are rejected too, with the
+	// same typed error — but queries keep working on the in-memory state.
+	if _, err := sess.ingestSeq(5, 2, rec, edges); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("later sequence: err = %v, want ErrDegraded", err)
 	}
-	if err := sess.ingest(edges, rec); err == nil {
-		t.Fatal("unsequenced ingest acked on a poisoned session")
+	if err := sess.ingest(edges, rec); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("unsequenced ingest: err = %v, want ErrDegraded", err)
+	}
+	if _, err := sess.query(nil); err != nil {
+		t.Fatalf("query on a degraded session: %v", err)
+	}
+
+	// Clear the fault and recover in place: the session returns to
+	// healthy, the next sequence is accepted, and nothing was lost or
+	// double-applied.
+	sess.dur.appendFn = nil
+	if !sess.tryRecover() {
+		t.Fatal("tryRecover failed after the fault cleared")
+	}
+	if err := sess.degraded(); err != nil {
+		t.Fatalf("session still degraded after recovery: %v", err)
+	}
+	if st, _ := sess.health(); st != "ok" {
+		t.Fatalf("health = %q after recovery, want ok", st)
+	}
+	applied, err = sess.ingestSeq(5, 2, rec, edges)
+	if err != nil || !applied {
+		t.Fatalf("post-recovery ingest: applied=%v err=%v, want applied, nil", applied, err)
+	}
+	if got := sess.batches.Load(); got != 2 {
+		t.Fatalf("batch dispatch count %d after recovery, want 2", got)
 	}
 }
 

@@ -11,8 +11,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"os"
 	"path/filepath"
+	"strings"
+
+	"streamcover/internal/fault"
 )
 
 // Envelope layout: magic (4) | version (1) | payload CRC-32C (4, LE) |
@@ -74,18 +76,25 @@ func Open(data []byte) ([]byte, error) {
 	return payload, nil
 }
 
-// WriteFile seals the payload and writes it to path atomically: the
+// WriteFile seals the payload and writes it to path atomically on the
+// real filesystem. See WriteFileFS.
+func WriteFile(path string, payload []byte) error {
+	return WriteFileFS(fault.OS(), path, payload)
+}
+
+// WriteFileFS seals the payload and writes it to path atomically: the
 // envelope goes to a temporary file in the same directory, is fsynced,
 // renamed over path, and the directory is fsynced so the rename itself is
 // durable. A crash at any point leaves either the old snapshot or the new
-// one, never a torn file at path.
-func WriteFile(path string, payload []byte) error {
+// one, never a torn file at path (it can leak the temporary file —
+// SweepTemps collects those on the next startup).
+func WriteFileFS(fsys fault.FS, path string, payload []byte) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.Write(Seal(payload)); err != nil {
 		tmp.Close()
 		return fmt.Errorf("snapshot: %w", err)
@@ -97,15 +106,21 @@ func WriteFile(path string, payload []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("snapshot: %w", err)
 	}
-	return syncDir(dir)
+	return syncDir(fsys, dir)
 }
 
-// ReadFile reads path and returns the validated payload.
+// ReadFile reads path from the real filesystem and returns the validated
+// payload.
 func ReadFile(path string) ([]byte, error) {
-	data, err := os.ReadFile(path)
+	return ReadFileFS(fault.OS(), path)
+}
+
+// ReadFileFS reads path and returns the validated payload.
+func ReadFileFS(fsys fault.FS, path string) ([]byte, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
@@ -116,13 +131,31 @@ func ReadFile(path string) ([]byte, error) {
 	return payload, nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// SweepTemps removes temporary files that a crash between CreateTemp and
+// Rename left behind in dir: anything matching <base>.tmp* for the given
+// snapshot base name. Returns how many were removed. Meant for startup
+// recovery, before any writer is active in dir.
+func SweepTemps(fsys fault.FS, dir, base string) (int, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
-		return fmt.Errorf("snapshot: %w", err)
+		return 0, fmt.Errorf("snapshot: %w", err)
 	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	removed := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, base+".tmp") {
+			continue
+		}
+		if err := fsys.Remove(filepath.Join(dir, name)); err != nil {
+			return removed, fmt.Errorf("snapshot: %w", err)
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+func syncDir(fsys fault.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("snapshot: fsync %s: %w", dir, err)
 	}
 	return nil

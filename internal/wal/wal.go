@@ -34,6 +34,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"streamcover/internal/fault"
 )
 
 const (
@@ -58,6 +60,9 @@ type Options struct {
 	// NoSync disables fsync on Append (for tests and benchmarks only;
 	// rename-durability of TruncateBefore is unaffected).
 	NoSync bool
+	// FS is the filesystem the log writes through (default fault.OS()).
+	// Tests inject faults by passing a *fault.Injector.
+	FS fault.FS
 }
 
 // Log is an append-only record log. Append is safe for concurrent use;
@@ -66,13 +71,14 @@ type Options struct {
 type Log struct {
 	dir  string
 	opts Options
+	fs   fault.FS
 
 	mu      sync.Mutex // guards file, size, next and rotation
-	file    *os.File
+	file    fault.File
 	size    int64 // bytes in the active segment
 	segPos  uint64
 	next    uint64 // position the next Append receives
-	syncErr error  // sticky: a failed sync poisons the log
+	syncErr error  // sticky until Reset: a failed write or sync poisons the log
 
 	// Group commit: appenders enqueue under mu, one leader fsyncs.
 	syncMu     sync.Mutex // serializes fsyncs
@@ -89,28 +95,32 @@ func Open(dir string, opts Options) (*Log, error) {
 	if opts.SegmentBytes <= 0 {
 		opts.SegmentBytes = defaultSeg
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if opts.FS == nil {
+		opts.FS = fault.OS()
+	}
+	fsys := opts.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fsys, dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opts: opts, next: 1, segPos: 1}
+	l := &Log{dir: dir, opts: opts, fs: fsys, next: 1, segPos: 1}
 	l.flushCond = sync.NewCond(&l.mu)
 	if len(segs) > 0 {
 		last := segs[len(segs)-1]
-		count, intact, err := scanSegment(filepath.Join(dir, last.name), true, nil)
+		count, intact, err := scanSegment(fsys, filepath.Join(dir, last.name), true, nil)
 		if err != nil {
 			return nil, err
 		}
-		if err := truncateFile(filepath.Join(dir, last.name), intact); err != nil {
+		if err := truncateFile(fsys, filepath.Join(dir, last.name), intact); err != nil {
 			return nil, err
 		}
 		l.segPos = last.firstPos
 		l.next = last.firstPos + uint64(count)
 		l.size = intact
-		f, err := os.OpenFile(filepath.Join(dir, last.name), os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := fsys.OpenFile(filepath.Join(dir, last.name), os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -126,8 +136,8 @@ type segment struct {
 	firstPos uint64
 }
 
-func listSegments(dir string) ([]segment, error) {
-	entries, err := os.ReadDir(dir)
+func listSegments(fsys fault.FS, dir string) ([]segment, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -157,8 +167,8 @@ func listSegments(dir string) ([]segment, error) {
 // at EOF stops the scan cleanly; otherwise it is an error. Returns the
 // number of intact records and the byte offset after the last one. fn, if
 // non-nil, receives each record's payload (valid only during the call).
-func scanSegment(path string, tolerateTail bool, fn func([]byte) error) (int, int64, error) {
-	data, err := os.ReadFile(path)
+func scanSegment(fsys fault.FS, path string, tolerateTail bool, fn func([]byte) error) (int, int64, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return 0, 0, fmt.Errorf("wal: %w", err)
 	}
@@ -200,15 +210,15 @@ func scanSegment(path string, tolerateTail bool, fn func([]byte) error) (int, in
 	return count, off, nil
 }
 
-func truncateFile(path string, size int64) error {
-	info, err := os.Stat(path)
+func truncateFile(fsys fault.FS, path string, size int64) error {
+	info, err := fsys.Stat(path)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if info.Size() == size {
 		return nil
 	}
-	if err := os.Truncate(path, size); err != nil {
+	if err := fsys.Truncate(path, size); err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
 	return nil
@@ -344,12 +354,16 @@ func (l *Log) ensureSegmentLocked() error {
 		}
 		l.file = nil
 	}
-	f, err := os.OpenFile(filepath.Join(l.dir, segName(l.next)), os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	path := filepath.Join(l.dir, segName(l.next))
+	f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: %w", err)
 	}
-	if err := syncDir(l.dir); err != nil {
+	if err := syncDir(l.fs, l.dir); err != nil {
+		// Remove the just-created segment so a retry's O_EXCL create does
+		// not trip over it; it holds no records yet.
 		f.Close()
+		l.fs.Remove(path)
 		return err
 	}
 	l.file = f
@@ -360,19 +374,30 @@ func (l *Log) ensureSegmentLocked() error {
 
 // Replay streams every record with position >= from, in order, to fn.
 // Positions below the first retained segment are expected to be gone
-// (truncated after a checkpoint); asking for them is an error only if
-// they should still exist.
+// (truncated after a checkpoint); a segment holding positions >= from
+// that has vanished out from under the log is a loud error — those
+// records were acknowledged, and replaying around the hole would silently
+// drop them.
 func (l *Log) Replay(from uint64, fn func(pos uint64, payload []byte) error) error {
 	if from == 0 {
 		from = 1
 	}
-	segs, err := listSegments(l.dir)
+	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
 		return err
 	}
 	l.mu.Lock()
 	next := l.next
 	l.mu.Unlock()
+	if len(segs) == 0 {
+		if next > from {
+			return fmt.Errorf("wal: replay from %d: no segments on disk but records through %d exist", from, next-1)
+		}
+		return nil
+	}
+	if next > from && segs[0].firstPos > from {
+		return fmt.Errorf("wal: replay from %d: first retained segment starts at %d (records missing)", from, segs[0].firstPos)
+	}
 	for i, seg := range segs {
 		segEnd := next // exclusive
 		if i+1 < len(segs) {
@@ -383,7 +408,7 @@ func (l *Log) Replay(from uint64, fn func(pos uint64, payload []byte) error) err
 		}
 		pos := seg.firstPos
 		last := i == len(segs)-1
-		_, _, err := scanSegment(filepath.Join(l.dir, seg.name), last, func(payload []byte) error {
+		count, _, err := scanSegment(l.fs, filepath.Join(l.dir, seg.name), last, func(payload []byte) error {
 			defer func() { pos++ }()
 			if pos < from {
 				return nil
@@ -392,6 +417,10 @@ func (l *Log) Replay(from uint64, fn func(pos uint64, payload []byte) error) err
 		})
 		if err != nil {
 			return err
+		}
+		if !last && segs[i+1].firstPos != seg.firstPos+uint64(count) {
+			return fmt.Errorf("wal: gap after %s: next segment starts at %d, want %d",
+				seg.name, segs[i+1].firstPos, seg.firstPos+uint64(count))
 		}
 	}
 	return nil
@@ -402,7 +431,7 @@ func (l *Log) Replay(from uint64, fn func(pos uint64, payload []byte) error) err
 // records below pos usually survive in the segment that straddles the
 // boundary.
 func (l *Log) TruncateBefore(pos uint64) error {
-	segs, err := listSegments(l.dir)
+	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
 		return err
 	}
@@ -420,11 +449,11 @@ func (l *Log) TruncateBefore(pos uint64) error {
 		if segEnd > pos {
 			break
 		}
-		if err := os.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+		if err := l.fs.Remove(filepath.Join(l.dir, seg.name)); err != nil {
 			return fmt.Errorf("wal: %w", err)
 		}
 	}
-	return syncDir(l.dir)
+	return syncDir(l.fs, l.dir)
 }
 
 // LastPos reports the position of the most recent append (0 when empty).
@@ -488,13 +517,62 @@ func (l *Log) Close() error {
 	return nil
 }
 
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+// Reset clears a sticky write/sync error and re-opens the log for
+// appending. It rescans the last segment on disk, truncates any torn tail
+// (a record whose write or fsync failed was never acknowledged, so
+// discarding it is safe), and resumes appending after the last intact
+// record. When every segment is gone it keeps the old position space, so
+// positions acknowledged before the fault are never reissued.
+//
+// Reset must not race Append; kcoverd calls it under the same checkpoint
+// lock that freezes the ingest path.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.syncActive {
+		l.flushCond.Wait()
 	}
-	defer d.Close()
-	if err := d.Sync(); err != nil {
+	if l.file != nil {
+		l.file.Close() // best effort: the handle may be the faulted one
+		l.file = nil
+	}
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	if len(segs) > 0 {
+		last := segs[len(segs)-1]
+		path := filepath.Join(l.dir, last.name)
+		count, intact, err := scanSegment(l.fs, path, true, nil)
+		if err != nil {
+			return err
+		}
+		if err := truncateFile(l.fs, path, intact); err != nil {
+			return err
+		}
+		f, err := l.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		l.file = f
+		l.segPos = last.firstPos
+		l.next = last.firstPos + uint64(count)
+		l.size = intact
+	} else {
+		// No segments survived: the next append creates a fresh segment at
+		// the preserved position.
+		l.segPos = l.next
+		l.size = 0
+	}
+	l.syncErr = nil
+	l.synced = l.next - 1
+	l.appended = l.next - 1
+	l.flushCond.Broadcast()
+	return nil
+}
+
+func syncDir(fsys fault.FS, dir string) error {
+	if err := fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("wal: fsync %s: %w", dir, err)
 	}
 	return nil

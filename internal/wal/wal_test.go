@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"streamcover/internal/fault"
 )
 
 func collect(t *testing.T, l *Log, from uint64) map[uint64][]byte {
@@ -107,7 +109,7 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	segsBefore, err := listSegments(dir)
+	segsBefore, err := listSegments(fault.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 	if err := l.TruncateBefore(30); err != nil {
 		t.Fatal(err)
 	}
-	segsAfter, err := listSegments(dir)
+	segsAfter, err := listSegments(fault.OS(), dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +141,7 @@ func TestSegmentRotationAndTruncate(t *testing.T) {
 	if err := l.TruncateBefore(1000); err != nil {
 		t.Fatal(err)
 	}
-	if segs, _ := listSegments(dir); len(segs) == 0 {
+	if segs, _ := listSegments(fault.OS(), dir); len(segs) == 0 {
 		t.Fatal("truncation deleted the active segment")
 	}
 	if _, err := l.Append([]byte("still writable")); err != nil {
@@ -160,7 +162,7 @@ func TestTornTailRecovery(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS(), dir)
 	if err != nil || len(segs) != 1 {
 		t.Fatalf("want 1 segment: %v %v", segs, err)
 	}
@@ -218,7 +220,7 @@ func TestCorruptionInsideOlderSegmentFailsReplay(t *testing.T) {
 		}
 	}
 	l.Close()
-	segs, err := listSegments(dir)
+	segs, err := listSegments(fault.OS(), dir)
 	if err != nil || len(segs) < 3 {
 		t.Fatalf("want several segments: %v %v", segs, err)
 	}
@@ -321,7 +323,7 @@ func TestConcurrentAppendAcrossRotations(t *testing.T) {
 	for err := range errs {
 		t.Fatal(err)
 	}
-	if segs, _ := listSegments(dir); len(segs) < 2 {
+	if segs, _ := listSegments(fault.OS(), dir); len(segs) < 2 {
 		t.Fatalf("want several segments to exercise rotation, got %d", len(segs))
 	}
 	if got := collect(t, l, 1); len(got) != writers*each {
@@ -368,7 +370,7 @@ func TestRotationWaitsForInFlightGroupCommit(t *testing.T) {
 	}
 	// The rotation itself must not have happened yet either: no second
 	// segment while the leader still owns the file.
-	if segs, err := listSegments(dir); err != nil || len(segs) != 1 {
+	if segs, err := listSegments(fault.OS(), dir); err != nil || len(segs) != 1 {
 		t.Fatalf("rotation ran during an in-flight group commit: %d segments (%v)", len(segs), err)
 	}
 
@@ -379,7 +381,7 @@ func TestRotationWaitsForInFlightGroupCommit(t *testing.T) {
 	if err := <-done; err != nil {
 		t.Fatal(err)
 	}
-	if segs, _ := listSegments(dir); len(segs) != 2 {
+	if segs, _ := listSegments(fault.OS(), dir); len(segs) != 2 {
 		t.Fatalf("append did not rotate after the group commit settled: %d segments", len(segs))
 	}
 	if err := l.Close(); err != nil {

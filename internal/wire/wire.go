@@ -60,6 +60,12 @@ const (
 	TOK     byte = 0x80
 	TErr    byte = 0x81
 	TResult byte = 0x82
+	// TErrRetry is a transient rejection: the server is degraded (a
+	// durability fault is being repaired) or read-only (disk full) and the
+	// request was NOT applied. Unlike TErr it is an invitation to retry
+	// the same request later — a client must not treat it as fatal and
+	// must not drop the batch it covers.
+	TErrRetry byte = 0x83
 )
 
 // MaxFrame bounds a frame payload (64 MiB) so a corrupt length prefix
