@@ -1,0 +1,126 @@
+// Command kcoverload runs declarative load/chaos scenarios against a
+// managed in-process kcoverd: each JSON spec describes a seeded workload,
+// a client fleet, timed phases with arrival-rate pacing, a daemon
+// lifecycle schedule (kill/restart/checkpoint) and a fault schedule
+// (disk-full budgets, fsync failures, I/O latency, partitions, delays),
+// plus pass/fail gates over the measurements. The report carries
+// per-phase throughput, client-observed p50/p95/p99 latency, and
+// recovery-time-to-healthy for every fault window and restart.
+//
+// Usage:
+//
+//	kcoverload -spec scenarios/steady.json -out BENCH_scenarios.json
+//	kcoverload -spec scenarios/steady.json,scenarios/disk-full.json
+//	kcoverload -spec scenarios/steady.json -baseline BENCH_prev.json
+//
+// Exit status is nonzero when any scenario fails a gate, so a CI job can
+// gate merges on it directly. kcoverload complements cmd/kcoverbench:
+// kcoverbench measures the estimator's accuracy/space trade-offs
+// in-process (the paper's tables); kcoverload measures the daemon's
+// behavior under load and faults end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"streamcover/internal/scenario"
+)
+
+func main() {
+	specs := flag.String("spec", "", "comma-separated scenario spec files (required)")
+	out := flag.String("out", "BENCH_scenarios.json", "report output path")
+	baseline := flag.String("baseline", "", "previous report to compare throughput against")
+	poll := flag.Duration("poll", 100*time.Millisecond, "healthz scrape cadence (recovery-time resolution)")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *specs == "" {
+		fmt.Fprintln(os.Stderr, "kcoverload: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var base *scenario.Report
+	if *baseline != "" {
+		b, err := scenario.LoadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kcoverload: %v\n", err)
+			os.Exit(2)
+		}
+		base = b
+	}
+
+	rep := &scenario.Report{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
+	failed := 0
+	for _, path := range strings.Split(*specs, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		spec, err := scenario.ParseSpecFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kcoverload: %v\n", err)
+			os.Exit(2)
+		}
+		opts := scenario.Options{PollInterval: *poll, Baseline: base.Scenario(spec.Name)}
+		if !*quiet {
+			opts.Log = os.Stderr
+		}
+		sr, err := scenario.Run(spec, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kcoverload: %s: %v\n", spec.Name, err)
+			os.Exit(1)
+		}
+		rep.Scenarios = append(rep.Scenarios, sr)
+		printSummary(sr)
+		if !sr.Pass {
+			failed++
+		}
+	}
+
+	if err := scenario.WriteReport(*out, rep); err != nil {
+		fmt.Fprintf(os.Stderr, "kcoverload: write report: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("report: %s (%d scenarios, %d failed)\n", *out, len(rep.Scenarios), failed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func printSummary(sr *scenario.ScenarioReport) {
+	status := "PASS"
+	if !sr.Pass {
+		status = "FAIL"
+	}
+	fmt.Printf("%-24s %s  seed=%d digest=%s  %.0f edges/s  applied %d/%d\n",
+		sr.Name, status, sr.Seed, sr.StreamDigest, sr.Throughput(), sr.EdgesApplied, sr.EdgesSent)
+	for _, p := range sr.Phases {
+		fmt.Printf("  phase %-14s %6.2fs  %9.0f edges/s  p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			p.Name, p.Seconds, p.EdgesPerSec, p.P50Millis, p.P95Millis, p.P99Millis)
+	}
+	for _, f := range sr.Faults {
+		fmt.Printf("  fault %-14s [%.2fs,%.2fs]  recovery=%.0fms\n", f.Kind, f.StartSeconds, f.EndSeconds, f.RecoveryMillis)
+	}
+	for _, l := range sr.Lifecycle {
+		if l.Action == "restart" {
+			fmt.Printf("  %-20s at %.2fs  recovery=%.0fms\n", l.Action, l.AtSeconds, l.RecoveryMillis)
+		} else {
+			fmt.Printf("  %-20s at %.2fs\n", l.Action, l.AtSeconds)
+		}
+	}
+	for _, g := range sr.Gates {
+		mark := "ok"
+		if !g.Pass {
+			mark = "FAIL"
+		}
+		fmt.Printf("  gate %-24s %-4s actual=%.2f limit=%.2f %s\n", g.Name, mark, g.Actual, g.Limit, g.Detail)
+	}
+	if sr.Error != "" {
+		fmt.Printf("  error: %s\n", sr.Error)
+	}
+}

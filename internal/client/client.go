@@ -132,6 +132,33 @@ func WithBackoff(min, max time.Duration) Option {
 	}
 }
 
+// WithAckObserver registers a callback invoked once per acknowledged
+// sequenced batch with the batch's edge count and its client-observed
+// latency: first write to server ack, including any busy-park, backoff,
+// reconnect and resend in between — the latency an application actually
+// experiences, which is what the kcoverload harness reports percentiles
+// of. The callback runs on the connection's reader goroutine and must not
+// call back into the client. Fire-and-forget batches are never observed.
+func WithAckObserver(fn func(edges int, d time.Duration)) Option {
+	return func(c *Client) { c.ackObs = fn }
+}
+
+// WithFlushInterval starts a background flusher that pushes any frames
+// sitting in the write buffer to the wire every d. By default frames are
+// buffered until the pipeline window fills or a round trip forces them
+// out — right for bulk throughput, but a paced (open-loop) sender that
+// trickles batches below the window size would otherwise park them in
+// the buffer indefinitely, and with them the acks a latency measurement
+// needs. A few milliseconds is a good d; flushing an empty buffer is a
+// no-op, so the ticker costs nothing during bulk sends.
+func WithFlushInterval(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.flushEvery = d
+		}
+	}
+}
+
 // WithDialTimeout bounds each TCP dial (default: no bound beyond the
 // OS's). It applies to the initial Dial and to every reconnect attempt.
 func WithDialTimeout(d time.Duration) Option {
@@ -170,7 +197,10 @@ type Client struct {
 	backoffMax  time.Duration
 	dialTimeout time.Duration
 	opTimeout   time.Duration
-	source      uint64 // random nonzero identity stamped on sequenced batches
+	flushEvery  time.Duration                    // 0: flush only on window-full/round-trip
+	flushStop   chan struct{}                    // closes with the client, stopping the flusher
+	ackObs      func(edges int, d time.Duration) // per-acked-batch latency callback
+	source      uint64                           // random nonzero identity stamped on sequenced batches
 
 	mu     sync.Mutex // serializes frame writes, connection state, reconnects
 	cn     *netConn   // current connection epoch; failed epochs are replaced
@@ -194,6 +224,8 @@ type sessionState struct {
 type seqBatch struct {
 	seq     uint64
 	payload []byte // complete TIngestSeq payload, kept until acked
+	edges   int
+	sentAt  time.Time // first write; resends keep the original stamp
 }
 
 // netConn is one connection epoch: socket, write buffer, and the queue
@@ -283,7 +315,38 @@ func Dial(addr string, opts ...Option) (*Client, error) {
 		return nil, err
 	}
 	c.cn = cn
+	if c.flushEvery > 0 {
+		c.flushStop = make(chan struct{})
+		go c.flushLoop(c.flushStop)
+	}
 	return c, nil
+}
+
+// flushLoop is the WithFlushInterval ticker: push whatever the senders
+// left in the current epoch's write buffer. A flush error is a lost
+// connection, handled exactly like a failed write.
+func (c *Client) flushLoop(stop <-chan struct{}) {
+	t := time.NewTicker(c.flushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+		case <-stop:
+			return
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		if cn := c.cn; cn != nil && !cn.failed() && cn.bw.Buffered() > 0 {
+			cn.armWriteDeadline()
+			if err := cn.bw.Flush(); err != nil {
+				cn.lost(wrapLost(err))
+			}
+		}
+		c.mu.Unlock()
+	}
 }
 
 func (c *Client) dial() (*netConn, error) {
@@ -395,14 +458,20 @@ func (c *Client) ackFunc(st *sessionState, seq uint64) func(error) {
 		if errors.Is(serverErr, ErrServerBusy) {
 			return
 		}
+		var acked seqBatch
+		popped := false
 		c.amu.Lock()
 		if len(st.unacked) > 0 && st.unacked[0].seq == seq {
+			acked, popped = st.unacked[0], true
 			st.unacked = st.unacked[1:]
 		}
 		if serverErr != nil && c.asyncErr == nil {
 			c.asyncErr = serverErr
 		}
 		c.amu.Unlock()
+		if popped && serverErr == nil && c.ackObs != nil && !acked.sentAt.IsZero() {
+			c.ackObs(acked.edges, time.Since(acked.sentAt))
+		}
 	}
 }
 
@@ -571,7 +640,7 @@ func (c *Client) sendSequenced(st *sessionState, name string, edges []stream.Edg
 	st.nextSeq++
 	seq := st.nextSeq
 	payload := wire.EncodeIngestSeq(nil, name, c.source, seq, edges, m, n)
-	st.unacked = append(st.unacked, seqBatch{seq: seq, payload: payload})
+	st.unacked = append(st.unacked, seqBatch{seq: seq, payload: payload, edges: len(edges), sentAt: time.Now()})
 	c.amu.Unlock()
 	err = writeOn(cn, wire.TIngestSeq, payload, waiter{ack: c.ackFunc(st, seq)})
 	if err != nil && c.reconnect && errors.Is(err, ErrSessionClosed) {
@@ -727,6 +796,10 @@ func (c *Client) Session(name string) *Session {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	if c.flushStop != nil {
+		close(c.flushStop)
+		c.flushStop = nil
+	}
 	cn := c.cn
 	c.cn = nil
 	if cn != nil {

@@ -2,6 +2,7 @@ package client_test
 
 import (
 	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -140,5 +141,93 @@ func TestQueryViaAttachedSession(t *testing.T) {
 	}
 	if res.Edges != len(edges) {
 		t.Errorf("attached query saw %d edges, want %d", res.Edges, len(edges))
+	}
+}
+
+// TestAckObserver asserts every acknowledged sequenced batch reports its
+// edge count and a positive client-observed latency, exactly once.
+func TestAckObserver(t *testing.T) {
+	s := startServer(t)
+	var mu sync.Mutex
+	var edges []int
+	var lats []time.Duration
+	c, err := client.Dial(s.TCPAddr().String(),
+		client.WithBatchSize(100),
+		client.WithAckObserver(func(n int, d time.Duration) {
+			mu.Lock()
+			edges = append(edges, n)
+			lats = append(lats, d)
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Create("obs", 10, 100, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]streamcover.Edge, 250)
+	for i := range in {
+		in[i] = streamcover.Edge{Set: uint32(i % 10), Elem: uint32(i % 100)}
+	}
+	if err := sess.Send(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(edges) != 3 { // 100 + 100 + 50 (flush)
+		t.Fatalf("observed %d acks (%v), want 3", len(edges), edges)
+	}
+	total := 0
+	for i, n := range edges {
+		total += n
+		if lats[i] < 0 {
+			t.Errorf("ack %d: negative latency %v", i, lats[i])
+		}
+	}
+	if total != len(in) {
+		t.Fatalf("observed %d edges, want %d", total, len(in))
+	}
+}
+
+// TestFlushInterval asserts a batch smaller than the pipeline window is
+// pushed to the wire (and acked) without any round trip forcing it out —
+// the open-loop pacing case, where frames must not rot in the write
+// buffer between paced sends.
+func TestFlushInterval(t *testing.T) {
+	s := startServer(t)
+	acked := make(chan int, 16)
+	c, err := client.Dial(s.TCPAddr().String(),
+		client.WithBatchSize(100),
+		client.WithFlushInterval(2*time.Millisecond),
+		client.WithAckObserver(func(n int, d time.Duration) { acked <- n }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Create("trickle", 10, 100, 2, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]streamcover.Edge, 100) // exactly one wire batch
+	for i := range in {
+		in[i] = streamcover.Edge{Set: uint32(i % 10), Elem: uint32(i % 100)}
+	}
+	if err := sess.Send(in); err != nil {
+		t.Fatal(err)
+	}
+	// No Flush, no further sends: only the background flusher can get
+	// this batch onto the wire.
+	select {
+	case n := <-acked:
+		if n != 100 {
+			t.Fatalf("acked %d edges, want 100", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch never acked: flush interval did not push it")
 	}
 }

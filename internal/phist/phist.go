@@ -1,0 +1,126 @@
+// Package phist provides a tiny lock-free power-of-two-bucketed histogram
+// for latency samples. Bucket b counts samples v with 2^(b-1) <= v < 2^b
+// (bucket 0 holds v <= 1), so the whole distribution fits in 64 atomic
+// counters regardless of range — cheap enough for a per-batch hot path —
+// and quantiles come out with at most one-bucket (2×) resolution, refined
+// by linear interpolation inside the winning bucket.
+//
+// All methods are safe for concurrent use; Observe is a single atomic add.
+package phist
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Hist is a histogram of non-negative int64 samples (typically
+// nanoseconds). The zero value is ready to use and must not be copied
+// after first use.
+type Hist struct {
+	buckets [64]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Hist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+func bucketOf(v int64) int {
+	b := bits.Len64(uint64(v))
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Hist) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean sample, 0 when empty.
+func (h *Hist) Mean() int64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return h.sum.Load() / n
+}
+
+// Quantile returns an estimate of the q-th quantile (0 < q <= 1): the
+// sample value below which a q fraction of observations fall, linearly
+// interpolated inside the power-of-two bucket that contains it. Returns 0
+// when the histogram is empty. Concurrent Observe calls make the answer a
+// snapshot, not an exact cut.
+func (h *Hist) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 1e-9
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b := range h.buckets {
+		n := h.buckets[b].Load()
+		if n == 0 {
+			continue
+		}
+		if cum+n >= target {
+			lo, hi := bucketBounds(b)
+			frac := float64(target-cum) / float64(n)
+			return lo + int64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	// Races between count and bucket loads can leave target unreached;
+	// answer with the top populated bucket's upper bound.
+	for b := len(h.buckets) - 1; b >= 0; b-- {
+		if h.buckets[b].Load() > 0 {
+			_, hi := bucketBounds(b)
+			return hi
+		}
+	}
+	return 0
+}
+
+// bucketBounds returns the half-open sample range [lo, hi) counted by
+// bucket b.
+func bucketBounds(b int) (lo, hi int64) {
+	if b == 0 {
+		return 0, 1
+	}
+	if b >= 63 {
+		return 1 << 62, 1<<63 - 1
+	}
+	return 1 << (b - 1), 1 << b
+}
+
+// Buckets returns the non-empty buckets as parallel (upper-bound, count)
+// slices, smallest bucket first — the compact wire form for a /metrics
+// scrape.
+func (h *Hist) Buckets() (uppers, counts []int64) {
+	for b := range h.buckets {
+		if n := h.buckets[b].Load(); n > 0 {
+			_, hi := bucketBounds(b)
+			uppers = append(uppers, hi)
+			counts = append(counts, n)
+		}
+	}
+	return uppers, counts
+}

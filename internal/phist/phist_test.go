@@ -1,0 +1,91 @@
+package phist
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestBucketBoundsCoverInt64(t *testing.T) {
+	for b := 0; b < 64; b++ {
+		lo, hi := bucketBounds(b)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", b, lo, hi)
+		}
+	}
+	// Every sample lands in a bucket whose range contains it.
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 40, 1<<62 + 5} {
+		b := bucketOf(v)
+		lo, hi := bucketBounds(b)
+		if v < lo || (v >= hi && b < 63) {
+			t.Errorf("sample %d binned to [%d,%d)", v, lo, hi)
+		}
+	}
+}
+
+func TestQuantileOrdering(t *testing.T) {
+	var h Hist
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report 0")
+	}
+	for i := int64(1); i <= 1000; i++ {
+		h.Observe(i * 1000) // 1µs .. 1ms in ns
+	}
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", p50, p95, p99)
+	}
+	// Power-of-two buckets: answers are within 2x of the exact order
+	// statistic.
+	if p50 < 250_000 || p50 > 1_000_000 {
+		t.Errorf("p50 = %d, want within 2x of 500000", p50)
+	}
+	if p99 < 495_000 || p99 > 1_980_000 {
+		t.Errorf("p99 = %d, want within 2x of 990000", p99)
+	}
+	if h.Count() != 1000 {
+		t.Errorf("count = %d, want 1000", h.Count())
+	}
+	if h.Mean() == 0 {
+		t.Error("mean should be nonzero")
+	}
+}
+
+func TestBucketsCompact(t *testing.T) {
+	var h Hist
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(1 << 20)
+	uppers, counts := h.Buckets()
+	if len(uppers) != 2 || len(counts) != 2 {
+		t.Fatalf("want 2 populated buckets, got %v %v", uppers, counts)
+	}
+	if counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts = %v, want [2 1]", counts)
+	}
+	if uppers[0] != 4 {
+		t.Errorf("first upper = %d, want 4", uppers[0])
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 1000; i++ {
+				h.Observe(rng.Int63n(1 << 30))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if q := h.Quantile(0.99); q <= 0 {
+		t.Fatalf("p99 = %d, want > 0", q)
+	}
+}

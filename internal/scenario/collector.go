@@ -1,0 +1,119 @@
+package scenario
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// collector scrapes /healthz on a cadence and keeps the full timeline of
+// status samples. It is the harness's only view of daemon health — it
+// deliberately goes through the HTTP proxy when chaos is on, so a network
+// partition reads as "down" exactly like an external prober would see it,
+// and recovery time is measured at the same vantage point.
+type collector struct {
+	base     string // http://host:port
+	interval time.Duration
+	hc       *http.Client
+
+	mu      sync.Mutex
+	samples []healthSample
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type healthSample struct {
+	at     time.Time
+	status string // ok | degraded | read-only | down
+}
+
+func newCollector(healthAddr string, interval time.Duration) *collector {
+	c := &collector{
+		base:     "http://" + healthAddr,
+		interval: interval,
+		hc: &http.Client{
+			// Short timeout: a black-holed proxy connection must read as
+			// "down" within roughly one scrape interval, not hang.
+			Timeout: 700 * time.Millisecond,
+			// No keep-alives: each scrape dials fresh, so a partition or
+			// daemon restart can't be masked by a pooled connection.
+			Transport: &http.Transport{DisableKeepAlives: true},
+		},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+func (c *collector) run() {
+	defer close(c.done)
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		c.record(c.scrape())
+		select {
+		case <-t.C:
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// scrape reads /healthz once. Any transport failure is "down"; a served
+// response (including 503) is classified by its JSON status field.
+func (c *collector) scrape() string {
+	resp, err := c.hc.Get(c.base + "/healthz")
+	if err != nil {
+		return "down"
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Status == "" {
+		return "down"
+	}
+	return body.Status
+}
+
+func (c *collector) record(status string) {
+	c.mu.Lock()
+	c.samples = append(c.samples, healthSample{at: time.Now(), status: status})
+	c.mu.Unlock()
+}
+
+func (c *collector) halt() {
+	close(c.stop)
+	<-c.done
+}
+
+// recoveryAfter returns the time from t to the first "ok" sample at or
+// after t, or -1 if the daemon was never seen healthy again. Resolution
+// is the scrape interval.
+func (c *collector) recoveryAfter(t time.Time) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, s := range c.samples {
+		if !s.at.Before(t) && s.status == "ok" {
+			return s.at.Sub(t)
+		}
+	}
+	return -1
+}
+
+// waitHealthy blocks until a fresh "ok" sample lands or the deadline
+// passes, returning whether health was observed.
+func (c *collector) waitHealthy(timeout time.Duration) bool {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	for time.Now().Before(deadline) {
+		if c.recoveryAfter(start) >= 0 {
+			return true
+		}
+		time.Sleep(c.interval / 2)
+	}
+	return c.recoveryAfter(start) >= 0
+}

@@ -1,0 +1,222 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	streamcover "streamcover"
+	"streamcover/internal/client"
+	"streamcover/internal/phist"
+	"streamcover/internal/workload"
+)
+
+// phaseAccum accumulates the client-observed view of one phase: every
+// acked batch's edge count and first-write-to-ack latency land in the
+// accumulator of whichever phase is current when the ack arrives.
+type phaseAccum struct {
+	hist    phist.Hist
+	edges   atomic.Int64
+	batches atomic.Int64
+	seconds float64
+}
+
+// fleet drives the generated stream into the daemon over Connections
+// parallel client connections, each with its own pacer (the phase's
+// target rate split evenly) and its own round-robin slice of the stream.
+//
+// Accounting is client-side on purpose: server /metrics counters reset
+// across a kill/restart, but the ack observer sees every successfully
+// acknowledged batch regardless of how many reconnects and replays it
+// took — so per-phase throughput and latency survive daemon lifecycles.
+type fleet struct {
+	spec    FleetSpec
+	clients []*client.Client
+	sess    []*client.Session
+	streams [][]streamcover.Edge
+	pacers  []*workload.Pacer
+	sent    []int64 // edges handed to Send, per connection (owner-written)
+
+	phaseIdx atomic.Int64
+	phases   []*phaseAccum
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	errs chan error
+}
+
+// newFleet dials the fleet and creates (or attaches to) the session. The
+// first connection creates; the rest attach by issuing the same Create,
+// which the server treats as idempotent for identical dimensions.
+func newFleet(spec *Spec, addr string, edges []streamcover.Edge, m, n, k int) (*fleet, error) {
+	conns := spec.Fleet.Connections
+	f := &fleet{
+		spec:    spec.Fleet,
+		clients: make([]*client.Client, 0, conns),
+		sess:    make([]*client.Session, 0, conns),
+		streams: make([][]streamcover.Edge, conns),
+		pacers:  make([]*workload.Pacer, conns),
+		sent:    make([]int64, conns),
+		phases:  make([]*phaseAccum, len(spec.Phases)),
+		stop:    make(chan struct{}),
+		errs:    make(chan error, conns),
+	}
+	for i := range f.phases {
+		f.phases[i] = &phaseAccum{}
+	}
+	obs := func(edges int, d time.Duration) {
+		acc := f.phases[f.phaseIdx.Load()]
+		acc.hist.Observe(d.Nanoseconds())
+		acc.edges.Add(int64(edges))
+		acc.batches.Add(1)
+	}
+	// Round-robin edge partition: connection i gets edges i, i+conns, …
+	// Together the slices are exactly the generated multiset, and the
+	// bit-identity invariant makes the server's answer independent of the
+	// partition, so the reference estimator can replay per-connection.
+	for i := range f.streams {
+		f.streams[i] = make([]streamcover.Edge, 0, len(edges)/conns+1)
+	}
+	for i, e := range edges {
+		c := i % conns
+		f.streams[c] = append(f.streams[c], e)
+	}
+	for i := 0; i < conns; i++ {
+		f.pacers[i] = workload.NewPacer(0)
+		cl, err := client.Dial(addr,
+			client.WithBatchSize(spec.Fleet.BatchEdges),
+			client.WithMaxPending(spec.Fleet.MaxPending),
+			client.WithReconnect(100000),
+			client.WithBackoff(20*time.Millisecond, 500*time.Millisecond),
+			client.WithDialTimeout(2*time.Second),
+			client.WithOpTimeout(5*time.Second),
+			// Paced phases trickle batches below the pipeline window;
+			// without a flush cadence they would sit in the write buffer
+			// and neither arrive nor ack until the next blast.
+			client.WithFlushInterval(2*time.Millisecond),
+			client.WithAckObserver(obs),
+		)
+		if err != nil {
+			f.closeAll()
+			return nil, fmt.Errorf("fleet dial %d: %w", i, err)
+		}
+		f.clients = append(f.clients, cl)
+		sess, err := cl.Create(spec.Name, m, n, k, spec.Workload.Alpha, spec.Seed)
+		if err != nil {
+			f.closeAll()
+			return nil, fmt.Errorf("fleet create %d: %w", i, err)
+		}
+		f.sess = append(f.sess, sess)
+	}
+	return f, nil
+}
+
+// start launches one driver goroutine per connection.
+func (f *fleet) start() {
+	for i := range f.sess {
+		f.wg.Add(1)
+		go func(ci int) {
+			defer f.wg.Done()
+			if err := f.drive(ci); err != nil {
+				select {
+				case f.errs <- fmt.Errorf("conn %d: %w", ci, err):
+				default:
+				}
+			}
+		}(i)
+	}
+}
+
+// drive pumps this connection's stream slice in batch-size chunks,
+// cycling back to the start when the slice is exhausted — a timed phase
+// must never run out of load, and re-sending the same edges is safe
+// because max-coverage ingest is idempotent on the multiset level (the
+// reference estimator replays the identical cycled sequence).
+func (f *fleet) drive(ci int) error {
+	sess := f.sess[ci]
+	edges := f.streams[ci]
+	if len(edges) == 0 {
+		return nil
+	}
+	pos := 0
+	for {
+		select {
+		case <-f.stop:
+			return nil
+		default:
+		}
+		end := pos + f.spec.BatchEdges
+		if end > len(edges) {
+			end = len(edges)
+		}
+		chunk := edges[pos:end]
+		f.pacers[ci].Take(len(chunk))
+		// Re-check after a potentially long pace wait so a phase change
+		// to stop doesn't strand us in one more blocking Send.
+		select {
+		case <-f.stop:
+			return nil
+		default:
+		}
+		if err := sess.Send(chunk); err != nil {
+			return err
+		}
+		f.sent[ci] += int64(len(chunk))
+		pos = end
+		if pos >= len(edges) {
+			pos = 0
+		}
+	}
+}
+
+// setPhase switches ack accounting to phase pi and retargets every pacer
+// to its per-connection share of the phase's total rate.
+func (f *fleet) setPhase(pi int, totalRate float64) {
+	f.phaseIdx.Store(int64(pi))
+	per := totalRate / float64(len(f.pacers))
+	for _, p := range f.pacers {
+		p.SetRate(per)
+	}
+}
+
+// halt stops the drivers and waits for them; pacers are opened up first
+// so nobody is stuck in a token wait.
+func (f *fleet) halt() error {
+	close(f.stop)
+	for _, p := range f.pacers {
+		p.SetRate(0)
+	}
+	f.wg.Wait()
+	select {
+	case err := <-f.errs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// flushAll barriers every connection: all buffered and in-flight batches
+// acknowledged (replaying through restarts and busy windows as needed).
+func (f *fleet) flushAll() error {
+	for i, s := range f.sess {
+		if err := s.Flush(); err != nil {
+			return fmt.Errorf("conn %d flush: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func (f *fleet) totalSent() int64 {
+	var t int64
+	for _, n := range f.sent {
+		t += n
+	}
+	return t
+}
+
+func (f *fleet) closeAll() {
+	for _, cl := range f.clients {
+		cl.Close()
+	}
+}

@@ -1,0 +1,398 @@
+// Package scenario is the declarative load/chaos harness behind
+// cmd/kcoverload: a JSON spec describes a seeded workload, a client fleet
+// shape, a managed kcoverd lifecycle, a time-windowed fault schedule and
+// pass/fail gates; Run executes it against an in-process daemon (so the
+// fault.Injector filesystem shim and fault.Proxy chaos layer apply),
+// scrapes /metrics and /healthz on a cadence, and emits a report with
+// per-phase throughput, client-observed latency percentiles,
+// recovery-time-to-healthy after each fault window, and gate verdicts.
+//
+// Everything the workload side does derives from the spec's single seed:
+// the same spec reproduces the exact same edge stream, byte for byte,
+// which the report proves by recording the stream digest.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"streamcover/internal/workload"
+)
+
+// Duration is a time.Duration that unmarshals from a JSON string like
+// "250ms" or "3s" — specs are written by humans.
+type Duration struct{ time.Duration }
+
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf(`durations are strings like "250ms": %w`, err)
+	}
+	v, err := time.ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	d.Duration = v
+	return nil
+}
+
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// Spec is one complete scenario.
+type Spec struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description,omitempty"`
+	Seed        int64        `json:"seed"`
+	Workload    WorkloadSpec `json:"workload"`
+	Fleet       FleetSpec    `json:"fleet"`
+	Daemon      DaemonSpec   `json:"daemon"`
+	Phases      []PhaseSpec  `json:"phases"`
+	Lifecycle   []LifeEvent  `json:"lifecycle,omitempty"`
+	Faults      []FaultSpec  `json:"faults,omitempty"`
+	Gates       GateSpec     `json:"gates"`
+}
+
+// WorkloadSpec names a generator family (internal/workload.FromFamily) and
+// its knobs, plus the arrival order and the estimator's approximation
+// target. Zero-valued knobs take the family defaults.
+type WorkloadSpec struct {
+	Family   string  `json:"family"`
+	N        int     `json:"n,omitempty"`
+	M        int     `json:"m,omitempty"`
+	K        int     `json:"k,omitempty"`
+	Frac     float64 `json:"frac,omitempty"`
+	AvgSize  int     `json:"avg_size,omitempty"`
+	Exponent float64 `json:"exponent,omitempty"`
+	MaxSize  int     `json:"max_size,omitempty"`
+	Large    int     `json:"large,omitempty"`
+	Commons  int     `json:"commons,omitempty"`
+	Privates int     `json:"privates,omitempty"`
+	AvgDeg   int     `json:"avg_deg,omitempty"`
+	PerSet   int     `json:"per_set,omitempty"`
+	Rich     float64 `json:"rich,omitempty"`
+	Order    string  `json:"order,omitempty"` // set|shuffled|element|roundrobin (default shuffled)
+	Alpha    float64 `json:"alpha,omitempty"` // estimator approximation target (default 4)
+}
+
+// FleetSpec shapes the client side: how many connections, how many edges
+// per wire batch, and how deep each connection pipelines.
+type FleetSpec struct {
+	Connections int `json:"connections,omitempty"` // default 2
+	BatchEdges  int `json:"batch_edges,omitempty"` // default 2048
+	MaxPending  int `json:"max_pending,omitempty"` // default 32
+}
+
+// DaemonSpec shapes the managed kcoverd instance. Proxy routes both the
+// ingest TCP and the health/metrics HTTP traffic through a fault.Proxy so
+// partition/delay/drop windows apply to everything the harness observes.
+type DaemonSpec struct {
+	Workers         int      `json:"workers,omitempty"`          // default 2
+	EngineWorkers   int      `json:"engine_workers,omitempty"`   // default 1
+	QueueDepth      int      `json:"queue_depth,omitempty"`      // default 64
+	Durable         bool     `json:"durable,omitempty"`          // WAL + checkpoints in a temp data dir
+	WALNoSync       bool     `json:"wal_nosync,omitempty"`       //
+	CheckpointEvery Duration `json:"checkpoint_every,omitempty"` // default 2s (durable only)
+	RetryMin        Duration `json:"retry_min,omitempty"`        // degraded-recovery backoff floor (default 25ms)
+	RetryMax        Duration `json:"retry_max,omitempty"`        // degraded-recovery backoff ceiling (default 500ms)
+	Proxy           bool     `json:"proxy,omitempty"`            // required by partition/net_delay/drop_conns faults
+}
+
+// PhaseSpec is one timed segment of the drive: a name, a duration, and a
+// target arrival rate in edges/sec summed over the fleet. Rate 0 is
+// closed-loop (each connection self-clocks on server backpressure); a
+// positive rate is open-loop through a token bucket, which is how a
+// flash-crowd overdrives the server.
+type PhaseSpec struct {
+	Name     string   `json:"name"`
+	Duration Duration `json:"duration"`
+	Rate     float64  `json:"rate,omitempty"`
+}
+
+// LifeEvent schedules a daemon lifecycle action at an offset from run
+// start: "kill" (SIGKILL-style abort, no checkpoint), "restart" (start a
+// fresh daemon on the same address and data dir — crash recovery), or
+// "checkpoint" (force a checkpoint of every session).
+type LifeEvent struct {
+	At     Duration `json:"at"`
+	Action string   `json:"action"`
+}
+
+// FaultSpec is one scheduled fault window. Windowed kinds apply at At and
+// clear at At+Duration:
+//
+//	disk_full   — fault.Injector ENOSPC byte budget (Budget bytes remain)
+//	fail_syncs  — next Count fsyncs fail (Count<=0: every fsync in window)
+//	fail_writes — next Count writes fail (Count<=0: every write in window)
+//	io_latency  — every write/fsync sleeps Delay first
+//	partition   — proxy black-holes new connections and drops live ones
+//	net_delay   — proxy delays each forwarded chunk by Delay
+//
+// drop_conns is instantaneous (Duration must be 0): sever every proxied
+// connection once, a network blip.
+type FaultSpec struct {
+	Kind     string   `json:"kind"`
+	At       Duration `json:"at"`
+	Duration Duration `json:"duration,omitempty"`
+	Budget   int64    `json:"budget,omitempty"`
+	Count    int      `json:"count,omitempty"`
+	Delay    Duration `json:"delay,omitempty"`
+}
+
+// GateSpec turns measurements into a pass/fail verdict. Zero-valued
+// limits are not checked.
+type GateSpec struct {
+	MinEdgesPerSec        float64 `json:"min_edges_per_sec,omitempty"`
+	MaxP99Millis          float64 `json:"max_p99_ms,omitempty"`
+	MaxRecoveryMillis     float64 `json:"max_recovery_ms,omitempty"`
+	RequireExactlyOnce    bool    `json:"require_exactly_once,omitempty"`
+	RequireReferenceMatch bool    `json:"require_reference_match,omitempty"`
+	// MaxThroughputDropPct fails the run when overall acked throughput
+	// drops more than this percentage below the same scenario in the
+	// baseline report (kcoverload -baseline).
+	MaxThroughputDropPct float64 `json:"max_throughput_drop_pct,omitempty"`
+}
+
+var validOrders = map[string]bool{"set": true, "shuffled": true, "element": true, "roundrobin": true}
+
+var proxyFaults = map[string]bool{"partition": true, "net_delay": true, "drop_conns": true}
+var durableFaults = map[string]bool{"disk_full": true, "fail_syncs": true, "fail_writes": true, "io_latency": true}
+
+// ParseSpec strictly decodes and validates one scenario spec: unknown
+// fields are rejected (a typoed knob must not silently no-op), durations
+// must be non-negative, fault windows of the same kind must not overlap,
+// and every scheduled event must land inside the run.
+func ParseSpec(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: parse: %w", err)
+	}
+	// A second document in the same file is a mistake, not an extension.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after spec")
+	}
+	s.applyDefaults()
+	if err := s.validate(); err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return &s, nil
+}
+
+// marshalSpec serializes a spec back to JSON (tests round-trip with it).
+func marshalSpec(s *Spec) ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseSpecFile reads and parses one spec file.
+func ParseSpecFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSpec(data)
+}
+
+func (s *Spec) applyDefaults() {
+	if s.Workload.Order == "" {
+		s.Workload.Order = "shuffled"
+	}
+	if s.Workload.Alpha == 0 {
+		s.Workload.Alpha = 4
+	}
+	if s.Fleet.Connections == 0 {
+		s.Fleet.Connections = 2
+	}
+	if s.Fleet.BatchEdges == 0 {
+		s.Fleet.BatchEdges = 2048
+	}
+	if s.Fleet.MaxPending == 0 {
+		s.Fleet.MaxPending = 32
+	}
+	if s.Daemon.Workers == 0 {
+		s.Daemon.Workers = 2
+	}
+	if s.Daemon.EngineWorkers == 0 {
+		s.Daemon.EngineWorkers = 1
+	}
+	if s.Daemon.QueueDepth == 0 {
+		s.Daemon.QueueDepth = 64
+	}
+	if s.Daemon.CheckpointEvery.Duration == 0 {
+		s.Daemon.CheckpointEvery.Duration = 2 * time.Second
+	}
+	if s.Daemon.RetryMin.Duration == 0 {
+		s.Daemon.RetryMin.Duration = 25 * time.Millisecond
+	}
+	if s.Daemon.RetryMax.Duration == 0 {
+		s.Daemon.RetryMax.Duration = 500 * time.Millisecond
+	}
+}
+
+// TotalDuration is the sum of the phase durations — the run's length.
+func (s *Spec) TotalDuration() time.Duration {
+	var t time.Duration
+	for _, p := range s.Phases {
+		t += p.Duration.Duration
+	}
+	return t
+}
+
+func (s *Spec) validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("missing name")
+	}
+	if !workload.ValidFamily(s.Workload.Family) {
+		return fmt.Errorf("unknown workload family %q (have %v)", s.Workload.Family, workload.Families())
+	}
+	if !validOrders[s.Workload.Order] {
+		return fmt.Errorf("unknown arrival order %q (set|shuffled|element|roundrobin)", s.Workload.Order)
+	}
+	for _, v := range []struct {
+		name string
+		val  int
+	}{
+		{"workload.n", s.Workload.N}, {"workload.m", s.Workload.M}, {"workload.k", s.Workload.K},
+		{"fleet.connections", s.Fleet.Connections}, {"fleet.batch_edges", s.Fleet.BatchEdges},
+		{"fleet.max_pending", s.Fleet.MaxPending}, {"daemon.workers", s.Daemon.Workers},
+		{"daemon.engine_workers", s.Daemon.EngineWorkers}, {"daemon.queue_depth", s.Daemon.QueueDepth},
+	} {
+		if v.val < 0 {
+			return fmt.Errorf("%s is negative", v.name)
+		}
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("no phases")
+	}
+	for i, p := range s.Phases {
+		if p.Name == "" {
+			return fmt.Errorf("phase %d: missing name", i)
+		}
+		if p.Duration.Duration <= 0 {
+			return fmt.Errorf("phase %q: duration %v must be positive", p.Name, p.Duration.Duration)
+		}
+		if p.Rate < 0 {
+			return fmt.Errorf("phase %q: negative rate", p.Name)
+		}
+	}
+	total := s.TotalDuration()
+	if err := s.validateLifecycle(total); err != nil {
+		return err
+	}
+	if err := s.validateFaults(total); err != nil {
+		return err
+	}
+	for _, g := range []struct {
+		name string
+		val  float64
+	}{
+		{"min_edges_per_sec", s.Gates.MinEdgesPerSec}, {"max_p99_ms", s.Gates.MaxP99Millis},
+		{"max_recovery_ms", s.Gates.MaxRecoveryMillis}, {"max_throughput_drop_pct", s.Gates.MaxThroughputDropPct},
+	} {
+		if g.val < 0 {
+			return fmt.Errorf("gate %s is negative", g.name)
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateLifecycle(total time.Duration) error {
+	evs := append([]LifeEvent(nil), s.Lifecycle...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At.Duration < evs[j].At.Duration })
+	alive := true
+	for _, e := range evs {
+		if e.At.Duration < 0 {
+			return fmt.Errorf("lifecycle %s: negative offset %v", e.Action, e.At.Duration)
+		}
+		if e.At.Duration >= total {
+			return fmt.Errorf("lifecycle %s at %v lands after the run ends (%v)", e.Action, e.At.Duration, total)
+		}
+		switch e.Action {
+		case "kill":
+			if !alive {
+				return fmt.Errorf("lifecycle: kill at %v while the daemon is already down", e.At.Duration)
+			}
+			alive = false
+		case "restart":
+			if alive {
+				return fmt.Errorf("lifecycle: restart at %v without a preceding kill", e.At.Duration)
+			}
+			alive = true
+		case "checkpoint":
+			if !alive {
+				return fmt.Errorf("lifecycle: checkpoint at %v while the daemon is down", e.At.Duration)
+			}
+		default:
+			return fmt.Errorf("lifecycle: unknown action %q (kill|restart|checkpoint)", e.Action)
+		}
+	}
+	if !alive {
+		return fmt.Errorf("lifecycle: the daemon is left dead (kill without restart)")
+	}
+	if !s.Daemon.Durable && s.Gates.RequireExactlyOnce {
+		// A kill without durability silently loses applied edges; the
+		// exactly-once gate would then be meaningless.
+		for _, e := range s.Lifecycle {
+			if e.Action == "kill" {
+				return fmt.Errorf("lifecycle kill with require_exactly_once needs daemon.durable")
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Spec) validateFaults(total time.Duration) error {
+	byKind := map[string][]FaultSpec{}
+	for i, f := range s.Faults {
+		if !proxyFaults[f.Kind] && !durableFaults[f.Kind] {
+			return fmt.Errorf("fault %d: unknown kind %q", i, f.Kind)
+		}
+		if f.At.Duration < 0 {
+			return fmt.Errorf("fault %s: negative offset %v", f.Kind, f.At.Duration)
+		}
+		if f.Duration.Duration < 0 {
+			return fmt.Errorf("fault %s: negative duration %v", f.Kind, f.Duration.Duration)
+		}
+		if f.Kind == "drop_conns" {
+			if f.Duration.Duration != 0 {
+				return fmt.Errorf("fault drop_conns is instantaneous; duration must be omitted")
+			}
+		} else if f.Duration.Duration == 0 {
+			return fmt.Errorf("fault %s: a window needs a positive duration", f.Kind)
+		}
+		if end := f.At.Duration + f.Duration.Duration; end > total {
+			return fmt.Errorf("fault %s window [%v,%v] extends past the run end (%v)", f.Kind, f.At.Duration, end, total)
+		}
+		if proxyFaults[f.Kind] && !s.Daemon.Proxy {
+			return fmt.Errorf("fault %s needs daemon.proxy", f.Kind)
+		}
+		if durableFaults[f.Kind] && !s.Daemon.Durable {
+			return fmt.Errorf("fault %s needs daemon.durable", f.Kind)
+		}
+		if f.Kind == "disk_full" && f.Budget <= 0 {
+			return fmt.Errorf("fault disk_full: budget (bytes) must be positive")
+		}
+		if (f.Kind == "io_latency" || f.Kind == "net_delay") && f.Delay.Duration <= 0 {
+			return fmt.Errorf("fault %s: delay must be positive", f.Kind)
+		}
+		byKind[f.Kind] = append(byKind[f.Kind], f)
+	}
+	for kind, fs := range byKind {
+		sort.Slice(fs, func(i, j int) bool { return fs[i].At.Duration < fs[j].At.Duration })
+		for i := 1; i < len(fs); i++ {
+			prevEnd := fs[i-1].At.Duration + fs[i-1].Duration.Duration
+			if fs[i].At.Duration < prevEnd {
+				return fmt.Errorf("fault %s windows overlap: [%v,%v] and [%v,%v]",
+					kind, fs[i-1].At.Duration, prevEnd,
+					fs[i].At.Duration, fs[i].At.Duration+fs[i].Duration.Duration)
+			}
+		}
+	}
+	return nil
+}

@@ -108,6 +108,19 @@ func (s *Server) httpHandler() http.Handler {
 		if len(durability) > 0 {
 			out["durability"] = durability
 		}
+		// Raw power-of-two latency buckets, for collectors that want to
+		// merge or re-quantile across scrapes; the counters above already
+		// carry the derived p50/p95/p99.
+		hists := map[string]histInfo{}
+		if up, ct := s.metrics.IngestHist.Buckets(); len(up) > 0 {
+			hists["ingest_batch_nanos"] = histInfo{Uppers: up, Counts: ct}
+		}
+		if up, ct := s.metrics.QueryHist.Buckets(); len(up) > 0 {
+			hists["query_merge_nanos"] = histInfo{Uppers: up, Counts: ct}
+		}
+		if len(hists) > 0 {
+			out["latency_buckets"] = hists
+		}
 		writeJSON(w, out)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -149,6 +162,13 @@ func (s *Server) httpHandler() http.Handler {
 		writeJSON(w, map[string]any{"checkpointed": true})
 	})
 	return mux
+}
+
+// histInfo is one latency histogram in the /metrics payload: parallel
+// bucket-upper-bound and count slices, non-empty buckets only.
+type histInfo struct {
+	Uppers []int64 `json:"uppers"`
+	Counts []int64 `json:"counts"`
 }
 
 // durabilityInfo is the per-session durability row in /metrics: how far

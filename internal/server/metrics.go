@@ -3,14 +3,17 @@ package server
 import (
 	"sync/atomic"
 	"time"
+
+	"streamcover/internal/phist"
 )
 
 // Metrics are plain expvar-style counters updated with atomics on the hot
-// path and snapshotted by the /metrics HTTP handler. No histogram
-// machinery: edges, batches, queries, connection counts, merge latency
-// and per-batch ingest latency cover the questions a dashboard asks of an
-// ingest daemon; the snapshot derives ingest edges/sec from the edge
-// counter and the server's uptime.
+// path and snapshotted by the /metrics HTTP handler, plus two
+// power-of-two-bucketed latency histograms (per-worker batch processing
+// and query merge+finalize) whose derived p50/p95/p99 let operators — and
+// the kcoverload collector — read percentile latency server-side instead
+// of inferring it from averages. The snapshot derives ingest edges/sec
+// from the edge counter and the server's uptime.
 type Metrics struct {
 	EdgesIngested  atomic.Int64
 	Batches        atomic.Int64
@@ -54,6 +57,12 @@ type Metrics struct {
 	BusyRejects          atomic.Int64
 	DeadlineReaps        atomic.Int64
 
+	// Latency histograms. IngestHist records each worker's per-shard
+	// ProcessBatch time; QueryHist records each query's merge+finalize
+	// time. Both in nanoseconds.
+	IngestHist phist.Hist
+	QueryHist  phist.Hist
+
 	start time.Time // set by Server.New; anchors the edges/sec rate
 }
 
@@ -95,6 +104,16 @@ func (m *Metrics) snapshot() map[string]int64 {
 		s["avg_batch_nanos"] = m.BatchNanos.Load() / n
 	} else {
 		s["avg_batch_nanos"] = 0
+	}
+	if m.IngestHist.Count() > 0 {
+		s["ingest_batch_p50_nanos"] = m.IngestHist.Quantile(0.50)
+		s["ingest_batch_p95_nanos"] = m.IngestHist.Quantile(0.95)
+		s["ingest_batch_p99_nanos"] = m.IngestHist.Quantile(0.99)
+	}
+	if m.QueryHist.Count() > 0 {
+		s["query_merge_p50_nanos"] = m.QueryHist.Quantile(0.50)
+		s["query_merge_p95_nanos"] = m.QueryHist.Quantile(0.95)
+		s["query_merge_p99_nanos"] = m.QueryHist.Quantile(0.99)
 	}
 	if !m.start.IsZero() {
 		up := time.Since(m.start)

@@ -513,6 +513,16 @@ func (s *Server) CheckpointAll() error {
 func (s *Server) session(name string) (*session, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		// Dying (Abort/Shutdown tears the session map down before the
+		// last connections unwind): a permanent "no session" here would
+		// poison a client whose batch is about to be replayed against
+		// our successor — something a real SIGKILL could never do, since
+		// the process would be gone before it could answer. Reject as
+		// transient instead; the client parks the batch and resends it
+		// after reconnecting.
+		return nil, fmt.Errorf("server: %w: shutting down", ErrDegraded)
+	}
 	sess, ok := s.sessions[name]
 	if !ok {
 		return nil, fmt.Errorf("server: no session %q", name)

@@ -160,6 +160,7 @@ func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg, recyc
 			s.metrics.BatchNanos.Add(d)
 			s.metrics.LastBatchNanos.Store(d)
 			s.metrics.BatchesProcessed.Add(1)
+			s.metrics.IngestHist.Observe(d)
 		}
 	}
 }
@@ -453,6 +454,7 @@ func (s *session) query(metrics *Metrics) (wire.Result, error) {
 		d := time.Since(start).Nanoseconds()
 		metrics.MergeNanos.Add(d)
 		metrics.LastMergeNanos.Store(d)
+		metrics.QueryHist.Observe(d)
 	}
 	return wire.Result{
 		Coverage:   res.Coverage,

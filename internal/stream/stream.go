@@ -267,3 +267,23 @@ func (c *Counting) Reset() {
 	c.done = false
 	c.inner.Reset()
 }
+
+// Digest returns a 64-bit FNV-1a digest of the edge sequence — order
+// matters. The scenario harness records it so two runs of the same seeded
+// spec can prove they drove the identical workload.
+func Digest(edges []Edge) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, e := range edges {
+		for shift := 0; shift < 32; shift += 8 {
+			h = (h ^ uint64(byte(e.Set>>shift))) * prime
+		}
+		for shift := 0; shift < 32; shift += 8 {
+			h = (h ^ uint64(byte(e.Elem>>shift))) * prime
+		}
+	}
+	return h
+}

@@ -253,3 +253,17 @@ func TestCountingEmptyStream(t *testing.T) {
 		t.Errorf("empty stream counted a pass: %d", c.Passes)
 	}
 }
+
+func TestDigestOrderSensitive(t *testing.T) {
+	a := []Edge{{1, 2}, {3, 4}}
+	b := []Edge{{3, 4}, {1, 2}}
+	if Digest(a) == Digest(b) {
+		t.Error("digest should depend on order")
+	}
+	if Digest(a) != Digest([]Edge{{1, 2}, {3, 4}}) {
+		t.Error("digest not deterministic")
+	}
+	if Digest(nil) != Digest([]Edge{}) {
+		t.Error("empty digests differ")
+	}
+}

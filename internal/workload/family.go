@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// FamilyParams are the knobs shared across the named generator families.
+// Zero values pick the same defaults cmd/kcovergen uses, so a scenario
+// spec only states what it cares about.
+type FamilyParams struct {
+	N int // universe size
+	M int // number of sets
+	K int // cover budget
+
+	Frac     float64 // planted coverage fraction (planted/largesets/smallsets)
+	AvgSize  int     // uniform: mean set size
+	Exponent float64 // zipf: power-law exponent
+	MaxSize  int     // zipf: set size cap
+	Large    int     // largesets: number of planted large sets
+	Commons  int     // commonheavy: size of the common-element pool
+	Privates int     // commonheavy: private elements per set
+	AvgDeg   int     // graph: expected out-degree
+	PerSet   int     // prefattach: elements per set
+	Rich     float64 // prefattach: popularity-proportional probability
+}
+
+func (p FamilyParams) withDefaults() FamilyParams {
+	if p.N == 0 {
+		p.N = 20000
+	}
+	if p.M == 0 {
+		p.M = 2000
+	}
+	if p.K == 0 {
+		p.K = 40
+	}
+	if p.Frac == 0 {
+		p.Frac = 0.8
+	}
+	if p.AvgSize == 0 {
+		p.AvgSize = 20
+	}
+	if p.Exponent == 0 {
+		p.Exponent = 1.5
+	}
+	if p.MaxSize == 0 {
+		p.MaxSize = p.N / 10
+	}
+	if p.Large == 0 {
+		p.Large = 2
+	}
+	if p.Commons == 0 {
+		p.Commons = p.N / 50
+	}
+	if p.Privates == 0 {
+		p.Privates = 3
+	}
+	if p.AvgDeg == 0 {
+		p.AvgDeg = 10
+	}
+	if p.PerSet == 0 {
+		p.PerSet = 15
+	}
+	if p.Rich == 0 {
+		p.Rich = 0.6
+	}
+	return p
+}
+
+// Families lists the valid FromFamily names, sorted.
+func Families() []string {
+	names := make([]string, 0, len(families))
+	for name := range families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+var families = map[string]func(FamilyParams, *rand.Rand) *Instance{
+	"uniform": func(p FamilyParams, rng *rand.Rand) *Instance { return Uniform(p.N, p.M, p.K, p.AvgSize, rng) },
+	"zipf":    func(p FamilyParams, rng *rand.Rand) *Instance { return Zipf(p.N, p.M, p.K, p.Exponent, p.MaxSize, rng) },
+	"planted": func(p FamilyParams, rng *rand.Rand) *Instance { return PlantedCover(p.N, p.M, p.K, p.Frac, 5, rng) },
+	"largesets": func(p FamilyParams, rng *rand.Rand) *Instance {
+		return PlantedLargeSets(p.N, p.M, p.K, p.Large, p.Frac, rng)
+	},
+	"smallsets": func(p FamilyParams, rng *rand.Rand) *Instance { return PlantedSmallSets(p.N, p.M, p.K, p.Frac, rng) },
+	"commonheavy": func(p FamilyParams, rng *rand.Rand) *Instance {
+		return CommonHeavy(p.N, p.M, p.K, p.Commons, 0.3, p.Privates, rng)
+	},
+	"graph": func(p FamilyParams, rng *rand.Rand) *Instance { return GraphNeighborhoods(p.N, p.K, p.AvgDeg, rng) },
+	"prefattach": func(p FamilyParams, rng *rand.Rand) *Instance {
+		return PreferentialAttachment(p.N, p.M, p.K, p.PerSet, p.Rich, rng)
+	},
+}
+
+// ValidFamily reports whether name is a known generator family.
+func ValidFamily(name string) bool {
+	_, ok := families[name]
+	return ok
+}
+
+// FromFamily builds an instance of the named generator family. Every
+// family draws only from rng, and every generator emits sets in a
+// deterministic order, so the same (name, params, seed) triple reproduces
+// the exact same instance — the contract the scenario harness's stream
+// digest depends on.
+func FromFamily(name string, p FamilyParams, rng *rand.Rand) (*Instance, error) {
+	build, ok := families[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown family %q (have %v)", name, Families())
+	}
+	return build(p.withDefaults(), rng), nil
+}

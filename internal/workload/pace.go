@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"sync"
+	"time"
+)
+
+// Pacer is a token-bucket arrival pacer for open-loop load generation:
+// a driver calls Take(n) before offering n edges and is delayed just long
+// enough to hold the offered rate at the target, independent of how fast
+// the server acknowledges. Rate 0 means unpaced (closed loop: the driver
+// self-clocks on server backpressure instead). SetRate may be called
+// concurrently with Take — scenario phases retarget the rate mid-run.
+type Pacer struct {
+	mu     sync.Mutex
+	rate   float64 // edges per second; 0 = unlimited
+	tokens float64
+	burst  float64 // token cap; bounds the catch-up burst after a stall
+	last   time.Time
+}
+
+// NewPacer builds a pacer targeting rate edges/sec (0 = unlimited).
+func NewPacer(rate float64) *Pacer {
+	p := &Pacer{last: time.Now()}
+	p.SetRate(rate)
+	return p
+}
+
+// SetRate retargets the pacer. The bucket refills at the new rate from the
+// next Take on; accumulated tokens are kept but capped at the new burst.
+func (p *Pacer) SetRate(rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.refill(time.Now())
+	if rate < 0 {
+		rate = 0
+	}
+	p.rate = rate
+	// A 50ms burst allowance smooths scheduler jitter without letting a
+	// long stall turn into an arrival flood.
+	p.burst = rate * 0.05
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+}
+
+// refill credits tokens for the time since the last refill. Caller holds mu.
+func (p *Pacer) refill(now time.Time) {
+	if p.rate > 0 {
+		p.tokens += now.Sub(p.last).Seconds() * p.rate
+		if p.tokens > p.burst && p.burst > 0 {
+			p.tokens = p.burst
+		}
+	}
+	p.last = now
+}
+
+// Take blocks until n tokens are available, then consumes them. With rate
+// 0 it returns immediately. n larger than the burst is allowed: the bucket
+// is let to go negative, which spaces the following Takes out — the long
+// batch pays its debt forward.
+func (p *Pacer) Take(n int) {
+	if n <= 0 {
+		return
+	}
+	for {
+		p.mu.Lock()
+		if p.rate == 0 {
+			p.mu.Unlock()
+			return
+		}
+		p.refill(time.Now())
+		if p.tokens >= 0 {
+			// Spend even if it drives the balance negative (debt): one
+			// oversized batch must not deadlock against the burst cap.
+			p.tokens -= float64(n)
+			p.mu.Unlock()
+			return
+		}
+		// In debt: wait for the deficit to refill, in short slices so a
+		// concurrent SetRate (or rate-0 switch) is honored promptly.
+		wait := time.Duration(-p.tokens / p.rate * float64(time.Second))
+		p.mu.Unlock()
+		if wait > 20*time.Millisecond {
+			wait = 20 * time.Millisecond
+		}
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		time.Sleep(wait)
+	}
+}

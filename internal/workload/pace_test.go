@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerUnlimitedNeverBlocks(t *testing.T) {
+	p := NewPacer(0)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			p.Take(1 << 20)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("rate-0 pacer blocked")
+	}
+}
+
+// TestPacerHoldsRate asserts only a loose lower bound on elapsed time —
+// CI schedulers make upper bounds flaky — plus that the first Take (a full
+// bucket) is immediate.
+func TestPacerHoldsRate(t *testing.T) {
+	p := NewPacer(10000) // 10k edges/sec
+	start := time.Now()
+	p.Take(100) // burst allowance: immediate
+	if d := time.Since(start); d > 200*time.Millisecond {
+		t.Fatalf("first take should ride the burst, took %v", d)
+	}
+	for i := 0; i < 20; i++ {
+		p.Take(100) // 2000 more edges at 10k/s >= ~150ms after burst credit
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("2100 edges at 10k/s finished in %v, pacing not applied", d)
+	}
+}
+
+func TestPacerSetRateUnblocks(t *testing.T) {
+	p := NewPacer(1) // 1 edge/sec: a 100-edge take would wait ~100s
+	done := make(chan struct{})
+	go func() {
+		p.Take(5)
+		p.Take(100)
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	p.SetRate(0)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SetRate(0) did not unblock a waiting Take")
+	}
+}

@@ -83,11 +83,16 @@ func Zipf(n, m, k int, exponent float64, maxSize int, rng *rand.Rand) *Instance 
 		if sz > maxSize {
 			sz = maxSize
 		}
+		// Distinct draws kept in insertion order: ranging over the dedup
+		// map would emit elements in Go's randomized map order, making the
+		// stream differ between runs of the same seed.
 		seen := make(map[uint32]struct{}, sz)
-		for len(seen) < sz {
-			seen[uint32(elemZipf.Uint64())] = struct{}{}
-		}
-		for e := range seen {
+		for len(sets[i]) < sz {
+			e := uint32(elemZipf.Uint64())
+			if _, dup := seen[e]; dup {
+				continue
+			}
+			seen[e] = struct{}{}
 			sets[i] = append(sets[i], e)
 		}
 	}
@@ -258,7 +263,10 @@ func validate(n, m, k int) {
 	}
 }
 
-// randomSubset draws sz distinct elements of [0, n) (or all n if sz >= n).
+// randomSubset draws sz distinct elements of [0, n) (or all n if sz >= n),
+// in draw order. Insertion order is kept explicitly — collecting from the
+// dedup map would order the subset by Go's randomized map iteration, and a
+// same-seed rerun would then linearize a different stream.
 func randomSubset(n, sz int, rng *rand.Rand) []uint32 {
 	if sz >= n {
 		out := make([]uint32, n)
@@ -268,11 +276,13 @@ func randomSubset(n, sz int, rng *rand.Rand) []uint32 {
 		return out
 	}
 	seen := make(map[uint32]struct{}, sz)
-	for len(seen) < sz {
-		seen[uint32(rng.Intn(n))] = struct{}{}
-	}
 	out := make([]uint32, 0, sz)
-	for e := range seen {
+	for len(out) < sz {
+		e := uint32(rng.Intn(n))
+		if _, dup := seen[e]; dup {
+			continue
+		}
+		seen[e] = struct{}{}
 		out = append(out, e)
 	}
 	return out

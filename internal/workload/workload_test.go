@@ -176,3 +176,39 @@ func TestRandomSubsetFullUniverse(t *testing.T) {
 		t.Errorf("sz >= n should return the whole universe, got %d", len(s))
 	}
 }
+
+// TestFamiliesDeterministic is the seed-reproducibility audit: every named
+// family must produce byte-identical set systems (contents AND order) from
+// equal seeds, or a scenario's stream digest could never match across
+// runs. Uniform and Zipf used to fail this by emitting set elements in map
+// iteration order.
+func TestFamiliesDeterministic(t *testing.T) {
+	p := FamilyParams{N: 500, M: 120, K: 8}
+	for _, fam := range Families() {
+		a, err := FromFamily(fam, p, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FromFamily(fam, p, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.System.Sets) != len(b.System.Sets) {
+			t.Fatalf("%s: set counts differ", fam)
+		}
+		for i := range a.System.Sets {
+			sa, sb := a.System.Sets[i], b.System.Sets[i]
+			if len(sa) != len(sb) {
+				t.Fatalf("%s: set %d sizes differ (%d vs %d)", fam, i, len(sa), len(sb))
+			}
+			for j := range sa {
+				if sa[j] != sb[j] {
+					t.Fatalf("%s: set %d element %d differs (%d vs %d): nondeterministic order", fam, i, j, sa[j], sb[j])
+				}
+			}
+		}
+	}
+	if _, err := FromFamily("nope", p, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown family should error")
+	}
+}
