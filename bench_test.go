@@ -1,4 +1,4 @@
-package streamcover
+package streamcover_test
 
 // Benchmark harness: one benchmark per reproduced table/experiment (see
 // DESIGN.md §4 and EXPERIMENTS.md). Each benchmark regenerates its
@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"testing"
 
+	"streamcover"
 	"streamcover/internal/core"
 	"streamcover/internal/expt"
 	"streamcover/internal/stream"
@@ -203,13 +204,13 @@ func BenchmarkEstimatorThroughput(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	in := workload.PlantedCover(10000, 1000, 20, 0.8, 5, rng)
 	raw := stream.Linearize(in.System, stream.Shuffled, rng).Edges()
-	edges := make([]Edge, len(raw))
+	edges := make([]streamcover.Edge, len(raw))
 	for i, e := range raw {
-		edges[i] = Edge{Set: e.Set, Elem: e.Elem}
+		edges[i] = streamcover.Edge{Set: e.Set, Elem: e.Elem}
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		est, err := NewEstimator(in.System.M(), in.System.N, in.K, 4, WithSeed(int64(i)))
+		est, err := streamcover.NewEstimator(in.System.M(), in.System.N, in.K, 4, streamcover.WithSeed(int64(i)))
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,131 @@
+package streamcover
+
+import (
+	"bytes"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// feedRandomColumns streams edges into est through ProcessColumns in
+// randomly sized batches, mirroring feedRandomBatches' split behavior.
+func feedRandomColumns(t *testing.T, est *Estimator, sets, elems []uint32, rng *rand.Rand) {
+	t.Helper()
+	for off := 0; off < len(sets); {
+		sz := 1 + rng.Intn(1<<uint(2+rng.Intn(14)))
+		if off+sz > len(sets) {
+			sz = len(sets) - off
+		}
+		if err := est.ProcessColumns(sets[off:off+sz], elems[off:off+sz]); err != nil {
+			t.Fatal(err)
+		}
+		off += sz
+	}
+}
+
+// TestColumnarBatchEquivalence is the columnar ingest equivalence suite:
+// ProcessColumns must leave the estimator bit-for-bit identical to
+// ProcessBatch over the same logical edges — compared via Encode, which
+// captures every sketch bit — at every engine worker count, across random
+// batch splits, and when row and columnar batches interleave mid-stream.
+// Run under -race in CI this also polices the prepass set-column sharing.
+func TestColumnarBatchEquivalence(t *testing.T) {
+	edges := plantedEdges(400, 4000, 8, 3200, 9)
+	sets := make([]uint32, len(edges))
+	elems := make([]uint32, len(edges))
+	for i, e := range edges {
+		sets[i], elems[i] = e.Set, e.Elem
+	}
+	build := func(workers int) *Estimator {
+		est, err := NewEstimator(400, 4000, 8, 4, WithSeed(21), WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est
+	}
+
+	ref := build(1)
+	feedRandomBatches(t, ref, edges, rand.New(rand.NewSource(100)))
+	want, err := ref.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		est := build(w)
+		defer est.Close()
+		// A different split proves batch boundaries don't matter either.
+		feedRandomColumns(t, est, sets, elems, rand.New(rand.NewSource(int64(500+w))))
+		got, err := est.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: columnar ingest diverged from row ingest", w)
+		}
+		if est.Edges() != ref.Edges() {
+			t.Errorf("workers=%d: edge count %d != %d", w, est.Edges(), ref.Edges())
+		}
+	}
+
+	// Row and columnar batches interleaving on one estimator (the server
+	// accepts both encodings on one session) must also converge.
+	est := build(2)
+	defer est.Close()
+	rng := rand.New(rand.NewSource(900))
+	for off := 0; off < len(edges); {
+		sz := 1 + rng.Intn(1<<uint(2+rng.Intn(14)))
+		if off+sz > len(edges) {
+			sz = len(edges) - off
+		}
+		if rng.Intn(2) == 0 {
+			err = est.ProcessBatch(edges[off : off+sz])
+		} else {
+			err = est.ProcessColumns(sets[off:off+sz], elems[off:off+sz])
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += sz
+	}
+	got, err := est.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("interleaved row/columnar ingest diverged from row ingest")
+	}
+}
+
+// TestProcessColumnsValidation checks the atomic-reject contract: a batch
+// with any invalid ID or mismatched column lengths changes nothing.
+func TestProcessColumnsValidation(t *testing.T) {
+	est, err := NewEstimator(10, 20, 2, 4, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := est.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name        string
+		sets, elems []uint32
+	}{
+		{"length mismatch", []uint32{1, 2}, []uint32{1}},
+		{"set oob", []uint32{1, 10}, []uint32{1, 2}},
+		{"elem oob", []uint32{1, 2}, []uint32{1, 20}},
+	}
+	for _, c := range cases {
+		if err := est.ProcessColumns(c.sets, c.elems); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	after, err := est.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) || est.Edges() != 0 {
+		t.Fatal("rejected batch mutated the estimator")
+	}
+}

@@ -23,6 +23,14 @@
 // and the ack — not the batch — is what went missing. WithFireAndForget
 // reverts to unsequenced TIngest frames (at-most-once, lowest overhead).
 //
+// Batches go over the wire in the columnar MKC2 layout by default: Send
+// lays edges straight into set-ID and element-ID columns, and the encoder
+// memcpy-appends those columns into the frame — the server's fused
+// decoder hands them to its estimators with no per-edge transform at
+// either end. WithRowWire reverts to the legacy row MKC1 layout for
+// daemons predating the columnar decoder; the server accepts both on one
+// session interchangeably.
+//
 // Errors caused by the far end going away wrap ErrSessionClosed, so
 // callers can tell "the server hung up" from application errors.
 package client
@@ -104,6 +112,14 @@ func WithMaxPending(n int) Option {
 // resend buffer: lowest overhead, at-most-once across connection loss.
 func WithFireAndForget() Option {
 	return func(c *Client) { c.fireForget = true }
+}
+
+// WithRowWire encodes batches in the legacy row (MKC1) wire layout
+// instead of the columnar (MKC2) default. Servers accept both; this
+// exists for talking to daemons that predate the columnar decoder, and
+// for A/B-ing the two paths in benchmarks.
+func WithRowWire() Option {
+	return func(c *Client) { c.rowWire = true }
 }
 
 // WithReconnect makes the client redial with exponential backoff when the
@@ -191,6 +207,7 @@ type Client struct {
 	batchSize   int
 	maxPending  int
 	fireForget  bool
+	rowWire     bool // encode legacy row MKC1 batches instead of columnar MKC2
 	reconnect   bool
 	attempts    int
 	backoffMin  time.Duration
@@ -206,6 +223,11 @@ type Client struct {
 	cn     *netConn   // current connection epoch; failed epochs are replaced
 	closed bool
 	fatal  error // sticky: reconnect disabled or exhausted
+
+	// payloadPool recycles sequenced-batch payload buffers: a payload
+	// lives in the resend deque from encode until the server's ack, then
+	// comes back here for the next encode instead of the garbage collector.
+	payloadPool sync.Pool
 
 	amu      sync.Mutex // leaf lock: session registry, seq counters, unacked deques
 	states   map[string]*sessionState
@@ -469,10 +491,24 @@ func (c *Client) ackFunc(st *sessionState, seq uint64) func(error) {
 			c.asyncErr = serverErr
 		}
 		c.amu.Unlock()
-		if popped && serverErr == nil && c.ackObs != nil && !acked.sentAt.IsZero() {
+		if !popped {
+			return
+		}
+		if serverErr == nil && c.ackObs != nil && !acked.sentAt.IsZero() {
 			c.ackObs(acked.edges, time.Since(acked.sentAt))
 		}
+		// The payload's last reader was the resend deque; recycle it.
+		c.payloadPool.Put(&acked.payload)
 	}
+}
+
+// payloadBuf returns a recycled sequenced-payload buffer (or nil — the
+// encoders treat nil as an empty buffer and allocate).
+func (c *Client) payloadBuf() []byte {
+	if b, ok := c.payloadPool.Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return nil
 }
 
 // connLocked returns a healthy connection, redialing (and replaying
@@ -623,10 +659,14 @@ func (c *Client) send(typ byte, payload []byte, w waiter) error {
 	return writeOn(cn, typ, payload, w)
 }
 
-// sendSequenced stamps the batch with the next sequence number, parks a
-// copy in the session's resend deque, and writes it as one TIngestSeq
-// frame. The deque entry is released by the server's in-order ack.
-func (c *Client) sendSequenced(st *sessionState, name string, edges []stream.Edge, m, n int) error {
+// sendSequenced stamps the batch with the next sequence number, parks
+// its payload in the session's resend deque, and writes it as one
+// TIngestSeq frame. The deque entry is released by the server's in-order
+// ack, which also recycles the payload buffer. encode builds the payload
+// into a (possibly recycled) buffer once the sequence number is known —
+// the number must be drawn under amu, where the deque order and the
+// session's sequence counter are one atomic step.
+func (c *Client) sendSequenced(st *sessionState, edges int, encode func(buf []byte, seq uint64) []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.asyncError(); err != nil {
@@ -639,8 +679,8 @@ func (c *Client) sendSequenced(st *sessionState, name string, edges []stream.Edg
 	c.amu.Lock()
 	st.nextSeq++
 	seq := st.nextSeq
-	payload := wire.EncodeIngestSeq(nil, name, c.source, seq, edges, m, n)
-	st.unacked = append(st.unacked, seqBatch{seq: seq, payload: payload, edges: len(edges), sentAt: time.Now()})
+	payload := encode(c.payloadBuf(), seq)
+	st.unacked = append(st.unacked, seqBatch{seq: seq, payload: payload, edges: edges, sentAt: time.Now()})
 	c.amu.Unlock()
 	err = writeOn(cn, wire.TIngestSeq, payload, waiter{ack: c.ackFunc(st, seq)})
 	if err != nil && c.reconnect && errors.Is(err, ErrSessionClosed) {
@@ -815,15 +855,16 @@ func (c *Client) Close() error {
 }
 
 // Session is a handle to one named estimation run. A Session is not safe
-// for concurrent use (its batch buffer is unguarded); open one Session
+// for concurrent use (its batch buffers are unguarded); open one Session
 // per goroutine — they may all target the same server-side session name.
 type Session struct {
-	c       *Client
-	name    string
-	m, n    int
-	buf     []stream.Edge
-	scratch []byte
-	st      *sessionState // nil: fire-and-forget or attached session
+	c           *Client
+	name        string
+	m, n        int
+	sets, elems []uint32      // batch buffer, already in wire column order
+	rowBuf      []stream.Edge // WithRowWire conversion scratch
+	scratch     []byte        // fire-and-forget frame encode buffer
+	st          *sessionState // nil: fire-and-forget or attached session
 }
 
 // Name returns the server-side session name.
@@ -842,8 +883,11 @@ func (s *Session) Send(edges []streamcover.Edge) error {
 		if int(e.Elem) >= s.n {
 			return fmt.Errorf("client: element id %d >= n=%d", e.Elem, s.n)
 		}
-		s.buf = append(s.buf, stream.Edge(e))
-		if len(s.buf) >= s.c.batchSize {
+		// Columns at buffer time: the encoder bulk-appends them with no
+		// per-edge work left to do.
+		s.sets = append(s.sets, e.Set)
+		s.elems = append(s.elems, e.Elem)
+		if len(s.sets) >= s.c.batchSize {
 			if err := s.flushBatch(); err != nil {
 				return err
 			}
@@ -852,17 +896,36 @@ func (s *Session) Send(edges []streamcover.Edge) error {
 	return nil
 }
 
+// rows converts the column buffers into row edges for the legacy MKC1
+// encoders (WithRowWire only).
+func (s *Session) rows() []stream.Edge {
+	s.rowBuf = s.rowBuf[:0]
+	for i, set := range s.sets {
+		s.rowBuf = append(s.rowBuf, stream.Edge{Set: set, Elem: s.elems[i]})
+	}
+	return s.rowBuf
+}
+
 // flushBatch writes the buffered edges as one pipelined ingest frame.
 func (s *Session) flushBatch() error {
-	if len(s.buf) == 0 {
+	if len(s.sets) == 0 {
 		return nil
 	}
-	defer func() { s.buf = s.buf[:0] }()
+	defer func() { s.sets, s.elems = s.sets[:0], s.elems[:0] }()
 	if s.st == nil {
-		s.scratch = wire.EncodeIngest(s.scratch, s.name, s.buf, s.m, s.n)
+		if s.c.rowWire {
+			s.scratch = wire.EncodeIngest(s.scratch, s.name, s.rows(), s.m, s.n)
+		} else {
+			s.scratch = wire.EncodeIngestColumns(s.scratch, s.name, s.sets, s.elems, s.m, s.n)
+		}
 		return s.c.send(wire.TIngest, s.scratch, waiter{})
 	}
-	return s.c.sendSequenced(s.st, s.name, s.buf, s.m, s.n)
+	return s.c.sendSequenced(s.st, len(s.sets), func(buf []byte, seq uint64) []byte {
+		if s.c.rowWire {
+			return wire.EncodeIngestSeq(buf, s.name, s.c.source, seq, s.rows(), s.m, s.n)
+		}
+		return wire.EncodeIngestSeqColumns(buf, s.name, s.c.source, seq, s.sets, s.elems, s.m, s.n)
+	})
 }
 
 // Flush pushes any buffered edges to the wire and then waits until every

@@ -45,6 +45,14 @@ const maxBatchChunk = 1 << 15
 type Prepass struct {
 	sets  hash.Interner // distinct set IDs + per-edge positions
 	elems hash.Interner // distinct element IDs + per-edge positions
+
+	// setIDs is the chunk's raw set-ID column in arrival order — the
+	// per-edge view processChunkUnit replays when rebuilding each unit's
+	// reduced edges. IndexColumns aliases the caller's column directly
+	// (for wire batches that's the decoded arena: zero transform);
+	// Index materializes it from the edge structs once per chunk.
+	setIDs []uint32
+	setBuf []uint32 // backing storage for Index's materialized column
 }
 
 // Index dedups both ID columns of the chunk. After Index returns the
@@ -54,10 +62,34 @@ type Prepass struct {
 func (p *Prepass) Index(edges []stream.Edge) {
 	p.sets.Reset()
 	p.elems.Reset()
-	for _, e := range edges {
+	if cap(p.setBuf) < len(edges) {
+		p.setBuf = make([]uint32, len(edges))
+	}
+	col := p.setBuf[:len(edges)]
+	for i, e := range edges {
 		p.sets.Add(e.Set)
 		p.elems.Add(e.Elem)
+		col[i] = e.Set
 	}
+	p.setIDs = col
+}
+
+// IndexColumns is Index for a chunk already in struct-of-arrays form: the
+// interners consume the columns directly and the set column is aliased,
+// not copied. The caller must keep both columns unmodified until the next
+// Index/IndexColumns call. Interning per column instead of per edge visits
+// each column contiguously; the resulting prepass is identical to Index
+// over the corresponding edge structs.
+func (p *Prepass) IndexColumns(sets, elems []uint32) {
+	p.sets.Reset()
+	p.elems.Reset()
+	for _, s := range sets {
+		p.sets.Add(s)
+	}
+	for _, e := range elems {
+		p.elems.Add(e)
+	}
+	p.setIDs = sets
 }
 
 // BatchScratch is the reusable per-batch working memory of the batched
@@ -109,6 +141,13 @@ func NewBatchScratch() *BatchScratch { return &BatchScratch{pre: new(Prepass)} }
 // driven directly rather than through the estimator's universe reduction.
 func (sc *BatchScratch) Index(edges []stream.Edge) {
 	sc.pre.Index(edges)
+	sc.elemKeys = sc.pre.elems.Keys
+	sc.elemRef = sc.pre.elems.Pos
+}
+
+// IndexColumns is Index for a batch in columnar form.
+func (sc *BatchScratch) IndexColumns(sets, elems []uint32) {
+	sc.pre.IndexColumns(sets, elems)
 	sc.elemKeys = sc.pre.elems.Keys
 	sc.elemRef = sc.pre.elems.Pos
 }
@@ -261,16 +300,44 @@ func (est *Estimator) ProcessBatch(edges []stream.Edge) {
 		if end > len(edges) {
 			end = len(edges)
 		}
-		est.processChunk(edges[start:end], est.scratch)
+		est.scratch.Index(edges[start:end])
+		est.processIndexedChunk(end-start, est.scratch)
 	}
 }
 
-// processChunk indexes one chunk (the shared prepass, computed exactly
-// once) and feeds it to every (guess, rep) unit — sequentially, or fanned
-// across the persistent engine when parallelism is enabled and the grid
-// has more than one unit.
-func (est *Estimator) processChunk(chunk []stream.Edge, sc *BatchScratch) {
-	sc.Index(chunk)
+// ProcessColumns is ProcessBatch for a batch in struct-of-arrays form:
+// sets[i] and elems[i] are edge i's endpoint IDs. It is the
+// zero-transform ingest entry point — the columns a wire decoder filled
+// feed the prepass interners directly, with no edge structs in between —
+// and is bit-for-bit identical to ProcessBatch over the corresponding
+// edges (the prepass built from a column pair is identical to one built
+// from edge structs, and everything downstream reads only the prepass).
+// Both slices must stay unmodified for the duration of the call.
+func (est *Estimator) ProcessColumns(sets, elems []uint32) {
+	if len(sets) != len(elems) {
+		panic("core: ProcessColumns with mismatched column lengths")
+	}
+	if est.trivial || len(sets) == 0 {
+		return
+	}
+	if est.scratch == nil {
+		est.scratch = NewBatchScratch()
+	}
+	for start := 0; start < len(sets); start += maxBatchChunk {
+		end := start + maxBatchChunk
+		if end > len(sets) {
+			end = len(sets)
+		}
+		est.scratch.IndexColumns(sets[start:end], elems[start:end])
+		est.processIndexedChunk(end-start, est.scratch)
+	}
+}
+
+// processIndexedChunk feeds one indexed chunk (sc holds the shared
+// prepass, computed exactly once) of count edges to every (guess, rep)
+// unit — sequentially, or fanned across the persistent engine when
+// parallelism is enabled and the grid has more than one unit.
+func (est *Estimator) processIndexedChunk(count int, sc *BatchScratch) {
 	units := est.units()
 	if est.par > 1 && len(units) > 1 {
 		if est.eng == nil {
@@ -280,22 +347,26 @@ func (est *Estimator) processChunk(chunk []stream.Edge, sc *BatchScratch) {
 			}
 			est.eng = newEngine(helpers - 1) // caller is always a worker
 		}
-		est.eng.run(est, chunk, sc)
+		est.eng.run(est, count, sc)
 		return
 	}
 	for _, u := range units {
-		est.processChunkUnit(chunk, sc, u.g, u.rep)
+		est.processChunkUnit(count, sc, u.g, u.rep)
 	}
 }
 
 // processChunkUnit applies one repetition's universe reduction to the
-// chunk — one Range per distinct element instead of one per edge — and
-// hands the reduced edges to the oracle's batch path. When z is smaller
-// than the chunk's distinct-element count the reduced values are deduped
-// again (dense table over [z]), so downstream element-keyed hashes run
-// once per distinct PSEUDO-element: the small guesses at the bottom of
-// the ladder collapse to at most z evaluations per hash per chunk.
-func (est *Estimator) processChunkUnit(chunk []stream.Edge, sc *BatchScratch, g *zGuess, rep *zRep) {
+// indexed chunk of count edges — one Range per distinct element instead
+// of one per edge — and hands the reduced edges to the oracle's batch
+// path. The raw edges are never touched: the prepass position arrays and
+// its set-ID column carry everything needed to rebuild each reduced edge,
+// which is what lets row and columnar ingest share this path bit for bit.
+// When z is smaller than the chunk's distinct-element count the reduced
+// values are deduped again (dense table over [z]), so downstream
+// element-keyed hashes run once per distinct PSEUDO-element: the small
+// guesses at the bottom of the ladder collapse to at most z evaluations
+// per hash per chunk.
+func (est *Estimator) processChunkUnit(count int, sc *BatchScratch, g *zGuess, rep *zRep) {
 	z := uint64(g.z)
 	sc.rawVals = rep.h.RangeBatch(sc.pre.elems.Keys, z, sc.rawVals)
 
@@ -304,14 +375,15 @@ func (est *Estimator) processChunkUnit(chunk []stream.Edge, sc *BatchScratch, g 
 		keys, pos = sc.dedupReduced(g.z)
 	}
 
-	if cap(sc.redEdges) < len(chunk) {
-		sc.redEdges = make([]stream.Edge, len(chunk))
-		sc.refBuf = make([]int32, len(chunk))
+	if cap(sc.redEdges) < count {
+		sc.redEdges = make([]stream.Edge, count)
+		sc.refBuf = make([]int32, count)
 	}
-	red, ref := sc.redEdges[:len(chunk)], sc.refBuf[:len(chunk)]
-	for j := range chunk {
+	red, ref := sc.redEdges[:count], sc.refBuf[:count]
+	setIDs := sc.pre.setIDs
+	for j := range red {
 		oi := sc.pre.elems.Pos[j]
-		red[j] = stream.Edge{Set: chunk[j].Set, Elem: uint32(sc.rawVals[oi])}
+		red[j] = stream.Edge{Set: setIDs[j], Elem: uint32(sc.rawVals[oi])}
 		if pos != nil {
 			ref[j] = pos[oi]
 		} else {

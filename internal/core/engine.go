@@ -3,8 +3,6 @@ package core
 import (
 	"sync"
 	"sync/atomic"
-
-	"streamcover/internal/stream"
 )
 
 // The persistent parallel batch engine.
@@ -41,11 +39,12 @@ type engine struct {
 	wg    sync.WaitGroup
 }
 
-// engineRun is one chunk's fan-out: the shared read-only prepass plus the
-// work-stealing cursor over the estimator's unit list.
+// engineRun is one chunk's fan-out: the shared read-only prepass (which
+// carries everything a unit reads, including the chunk's set-ID column)
+// plus the work-stealing cursor over the estimator's unit list.
 type engineRun struct {
 	est   *Estimator
-	chunk []stream.Edge
+	count int // edges in the chunk
 	pre   *Prepass
 	next  atomic.Int32   // next unclaimed unit index
 	done  sync.WaitGroup // one count per unit
@@ -85,16 +84,17 @@ func (e *engine) work(r *engineRun, sc *BatchScratch) {
 			return
 		}
 		u := units[i]
-		r.est.processChunkUnit(r.chunk, sc, u.g, u.rep)
+		r.est.processChunkUnit(r.count, sc, u.g, u.rep)
 		r.done.Done()
 	}
 }
 
-// run fans one indexed chunk across the helpers plus the calling
-// goroutine and returns once every unit has been processed. callerSc must
-// already hold the chunk's prepass (sc.Index ran).
-func (e *engine) run(est *Estimator, chunk []stream.Edge, callerSc *BatchScratch) {
-	r := &engineRun{est: est, chunk: chunk, pre: callerSc.pre}
+// run fans one indexed chunk of count edges across the helpers plus the
+// calling goroutine and returns once every unit has been processed.
+// callerSc must already hold the chunk's prepass (sc.Index or
+// sc.IndexColumns ran).
+func (e *engine) run(est *Estimator, count int, callerSc *BatchScratch) {
+	r := &engineRun{est: est, count: count, pre: callerSc.pre}
 	r.done.Add(len(est.unitList))
 	for _, ch := range e.chans {
 		ch <- r

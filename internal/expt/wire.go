@@ -1,0 +1,116 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"streamcover"
+	"streamcover/internal/client"
+	"streamcover/internal/server"
+	"streamcover/internal/stream"
+	"streamcover/internal/workload"
+)
+
+// wireLayouts resolves the -wire selector to the layouts E23 runs.
+func wireLayouts(sel string) ([]string, error) {
+	switch sel {
+	case "", "both":
+		return []string{"columnar", "row"}, nil
+	case "columnar", "row":
+		return []string{sel}, nil
+	}
+	return nil, fmt.Errorf("unknown wire layout %q (columnar|row|both)", sel)
+}
+
+// WireIngest (E23) runs the default planted instance end-to-end through a
+// loopback kcoverd — client batch encode, framed TCP, server decode,
+// shard, estimate — once per selected wire layout, and reports throughput
+// next to the answer. The estimate must be bit-identical across layouts
+// and equal to the in-process reference: the wire encoding buys speed,
+// never accuracy. Throughput here includes loopback TCP and ack latency,
+// so it is a floor, not a pure codec benchmark (see BENCH_hotpath.json).
+func WireIngest(seed int64, layout string) (*Table, error) {
+	layouts, err := wireLayouts(layout)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		n, m, k = 20000, 2000, 40
+		frac    = 0.8
+		decoy   = 5
+		alpha   = 4.0
+	)
+	rng := rand.New(rand.NewSource(seed))
+	in := workload.PlantedCover(n, m, k, frac, decoy, rng)
+	raw := stream.Linearize(in.System, stream.Shuffled, rng).Edges()
+	edges := make([]streamcover.Edge, len(raw))
+	for i, e := range raw {
+		edges[i] = streamcover.Edge{Set: e.Set, Elem: e.Elem}
+	}
+
+	ref, err := streamcover.NewEstimator(in.System.M(), in.System.N, in.K, alpha, streamcover.WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := ref.ProcessBatch(edges); err != nil {
+		return nil, err
+	}
+	refRes := ref.Result()
+
+	t := &Table{
+		ID:     "E23",
+		Title:  "wire-ingest: row vs columnar end-to-end",
+		Note:   fmt.Sprintf("planted n=%d m=%d k=%d, %d edges over loopback TCP; estimates must match the in-process reference bit-for-bit", n, m, k, len(edges)),
+		Header: []string{"wire", "edges/s", "coverage", "feasible", "matches-ref"},
+	}
+	for _, lay := range layouts {
+		eps, res, err := wireIngestOnce(lay, in.System.M(), in.System.N, in.K, alpha, seed, edges)
+		if err != nil {
+			return nil, fmt.Errorf("wire %s: %w", lay, err)
+		}
+		match := res.Coverage == refRes.Coverage && res.Feasible == refRes.Feasible
+		t.AddRow(lay, float64(int64(eps)), res.Coverage, res.Feasible, match)
+		if !match {
+			return nil, fmt.Errorf("wire %s: estimate (%v, %v) diverged from in-process reference (%v, %v)",
+				lay, res.Coverage, res.Feasible, refRes.Coverage, refRes.Feasible)
+		}
+	}
+	return t, nil
+}
+
+func wireIngestOnce(layout string, m, n, k int, alpha float64, seed int64, edges []streamcover.Edge) (float64, client.Result, error) {
+	s := server.New(server.Config{})
+	if err := s.Start("127.0.0.1:0", ""); err != nil {
+		return 0, client.Result{}, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	}()
+	opts := []client.Option{client.WithBatchSize(8192)}
+	if layout == "row" {
+		opts = append(opts, client.WithRowWire())
+	}
+	c, err := client.Dial(s.TCPAddr().String(), opts...)
+	if err != nil {
+		return 0, client.Result{}, err
+	}
+	defer c.Close()
+	sess, err := c.Create("e23", m, n, k, alpha, seed)
+	if err != nil {
+		return 0, client.Result{}, err
+	}
+	start := time.Now()
+	if err := sess.Send(edges); err != nil {
+		return 0, client.Result{}, err
+	}
+	if err := sess.Flush(); err != nil {
+		return 0, client.Result{}, err
+	}
+	eps := float64(len(edges)) / time.Since(start).Seconds()
+	res, err := sess.Query()
+	return eps, res, err
+}

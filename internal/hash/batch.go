@@ -17,25 +17,126 @@ import "math/bits"
 // reduction, same thresholds, same outputs. Callers rely on that to keep
 // the batched estimator identical to the sequential one.
 
+// eval8 evaluates the polynomial at eight points with independent
+// accumulator lanes, writing the hashes into out. The outputs are
+// bit-identical to eight Eval calls; the kernel differs from the scalar
+// loop in two ways that change only speed:
+//
+//   - Eight lanes give the CPU eight independent multiply chains to
+//     overlap. Horner evaluation is a serial dependency chain per input,
+//     so the scalar loop stalls on multiply latency while the unrolled
+//     form approaches multiply throughput.
+//
+//   - Accumulators are kept lazily reduced. mulModLazy returns a
+//     representative in [0, 2^61+3] (skipping mulMod's canonicalizing
+//     compare-subtract) and the Horner "+ coef[c]" is a plain add
+//     (skipping addMod's), so each accumulator stays congruent to the
+//     scalar value mod Prime while remaining below 2^62+2 — within
+//     mulModLazy's input bound. One canonicalizing fold per lane at the
+//     end lands on the unique representative in [0, Prime), which is the
+//     exact value the always-canonical scalar recurrence carries.
+//
+// The array-pointer parameters make the eight loads and stores
+// bounds-check free; callers convert their slices with (*[8]uint64)(s).
+func eval8(coef []uint64, x, out *[8]uint64) {
+	top := len(coef) - 1
+	if top == 0 {
+		// Degree-1 family: Eval returns coef[0] untouched; bypass the
+		// canonicalization so we do exactly the same.
+		for i := range out {
+			out[i] = coef[0]
+		}
+		return
+	}
+	x0, x1, x2, x3 := reduceInput(x[0]), reduceInput(x[1]), reduceInput(x[2]), reduceInput(x[3])
+	x4, x5, x6, x7 := reduceInput(x[4]), reduceInput(x[5]), reduceInput(x[6]), reduceInput(x[7])
+	if (x0|x1|x2|x3|x4|x5|x6|x7)>>61 != 0 {
+		// Keys around 2^62 and above survive Eval's partial input
+		// reduction with bits ≥ 2^61 still set, outside mulModLazy's
+		// input bound. The hot path never produces them (IDs are widened
+		// uint32s), so blocks containing one just mirror the scalar ops.
+		for i, v := range x {
+			out[i] = evalOne(coef, v)
+		}
+		return
+	}
+	a0 := coef[top]
+	a1, a2, a3 := a0, a0, a0
+	a4, a5, a6, a7 := a0, a0, a0, a0
+	for c := top - 1; c >= 0; c-- {
+		k := coef[c]
+		a0 = mulModLazy(a0, x0) + k
+		a1 = mulModLazy(a1, x1) + k
+		a2 = mulModLazy(a2, x2) + k
+		a3 = mulModLazy(a3, x3) + k
+		a4 = mulModLazy(a4, x4) + k
+		a5 = mulModLazy(a5, x5) + k
+		a6 = mulModLazy(a6, x6) + k
+		a7 = mulModLazy(a7, x7) + k
+	}
+	out[0], out[1], out[2], out[3] = canon(a0), canon(a1), canon(a2), canon(a3)
+	out[4], out[5], out[6], out[7] = canon(a4), canon(a5), canon(a6), canon(a7)
+}
+
+// mulModLazy returns a representative of a·b mod Prime in [0, 2^61+3],
+// valid for a < 2^62+4 and b < 2^61. It is mulMod without the final
+// compare-subtract; the wider input bound holds because hi < 2^59+1 keeps
+// (hi<<3)|(lo>>61) + (lo&Prime) below 2^63, and one fold of that brings
+// the result under 2^61+4.
+func mulModLazy(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	r := (hi << 3) | (lo >> 61)
+	r += lo & Prime
+	return (r >> 61) + (r & Prime)
+}
+
+// canon folds a lazily-reduced accumulator (< 2^62+2) to the unique
+// representative in [0, Prime).
+func canon(a uint64) uint64 {
+	r := (a >> 61) + (a & Prime)
+	if r >= Prime {
+		r -= Prime
+	}
+	return r
+}
+
+// reduceInput applies the same partial input reduction as the top of
+// Eval: keys below ~3·Prime land in [0, Prime), larger ones keep their
+// residue class but stay wide (eval8 detects and sidesteps those).
+func reduceInput(x uint64) uint64 {
+	if x >= Prime {
+		x -= Prime
+		if x >= Prime {
+			x -= Prime
+		}
+	}
+	return x
+}
+
+// evalOne is the scalar Horner recurrence, operation for operation the
+// body of Eval; the 8-way batch tails and fallbacks route through it.
+func evalOne(coef []uint64, x uint64) uint64 {
+	x = reduceInput(x)
+	acc := coef[len(coef)-1]
+	for c := len(coef) - 2; c >= 0; c-- {
+		acc = addMod(mulMod(acc, x), coef[c])
+	}
+	return acc
+}
+
 // EvalBatch evaluates the polynomial on every input, writing hashes into
 // dst (grown as needed) and returning it. dst[i] == p.Eval(xs[i]) for all
-// i; the two differ only in call overhead.
+// i; the two differ only in speed (full blocks of eight go through the
+// unrolled eval8 kernel).
 func (p *Poly) EvalBatch(xs []uint64, dst []uint64) []uint64 {
 	dst = growU64(dst, len(xs))
 	coef := p.coef
-	top := len(coef) - 1
-	for i, x := range xs {
-		if x >= Prime {
-			x -= Prime
-			if x >= Prime {
-				x -= Prime
-			}
-		}
-		acc := coef[top]
-		for c := top - 1; c >= 0; c-- {
-			acc = addMod(mulMod(acc, x), coef[c])
-		}
-		dst[i] = acc
+	i := 0
+	for ; i+8 <= len(xs); i += 8 {
+		eval8(coef, (*[8]uint64)(xs[i:]), (*[8]uint64)(dst[i:]))
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = evalOne(coef, xs[i])
 	}
 	return dst
 }
@@ -73,19 +174,17 @@ func (p *Poly) BernoulliBatch(xs []uint64, prob float64, dst []bool) []bool {
 	}
 	threshold := uint64(prob * float64(Prime))
 	coef := p.coef
-	top := len(coef) - 1
-	for i, x := range xs {
-		if x >= Prime {
-			x -= Prime
-			if x >= Prime {
-				x -= Prime
-			}
+	i := 0
+	var hv [8]uint64
+	for ; i+8 <= len(xs); i += 8 {
+		eval8(coef, (*[8]uint64)(xs[i:]), &hv)
+		d := (*[8]bool)(dst[i:])
+		for j, v := range hv {
+			d[j] = v < threshold
 		}
-		acc := coef[top]
-		for c := top - 1; c >= 0; c-- {
-			acc = addMod(mulMod(acc, x), coef[c])
-		}
-		dst[i] = acc < threshold
+	}
+	for ; i < len(xs); i++ {
+		dst[i] = evalOne(coef, xs[i]) < threshold
 	}
 	return dst
 }

@@ -1,0 +1,68 @@
+package hash
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// batchCaseInputs builds an input column of length n mixing random keys
+// with the reduction edge cases (values at and just around Prime and its
+// multiples, plus the maximum uint64).
+func batchCaseInputs(n int, rng *rand.Rand) []uint64 {
+	edge := []uint64{
+		0, 1, Prime - 1, Prime, Prime + 1,
+		2 * Prime, 2*Prime + 1, 2*Prime + 5,
+		math.MaxUint64, math.MaxUint64 - 1,
+	}
+	xs := make([]uint64, n)
+	for i := range xs {
+		if i%3 == 0 {
+			xs[i] = edge[rng.Intn(len(edge))]
+		} else {
+			xs[i] = rng.Uint64()
+		}
+	}
+	return xs
+}
+
+// TestEvalBatchMatchesScalar pins the batch kernels to the scalar
+// functions bit for bit, across lengths straddling the 8-way unroll
+// boundary (pure tail, exact blocks, block+tail) and across degrees
+// including the degenerate constant polynomial.
+func TestEvalBatchMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	lengths := []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 24, 31, 100, 1000}
+	for _, d := range []int{1, 2, 4, 8, 21, 40} {
+		p := NewPoly(d, rng)
+		for _, n := range lengths {
+			xs := batchCaseInputs(n, rng)
+			dst := p.EvalBatch(xs, nil)
+			if len(dst) != n {
+				t.Fatalf("d=%d n=%d: EvalBatch returned %d results", d, n, len(dst))
+			}
+			for i, x := range xs {
+				if want := p.Eval(x); dst[i] != want {
+					t.Fatalf("d=%d n=%d: EvalBatch[%d]=%d, Eval(%d)=%d", d, n, i, dst[i], x, want)
+				}
+			}
+
+			rdst := p.RangeBatch(xs, 12345, nil)
+			for i, x := range xs {
+				if want := p.Range(x, 12345); rdst[i] != want {
+					t.Fatalf("d=%d n=%d: RangeBatch[%d]=%d, Range=%d", d, n, i, rdst[i], want)
+				}
+			}
+
+			for _, prob := range []float64{-0.5, 0, 1e-9, 0.3, 0.999, 1, 2} {
+				bdst := p.BernoulliBatch(xs, prob, nil)
+				for i, x := range xs {
+					if want := p.Bernoulli(x, prob); bdst[i] != want {
+						t.Fatalf("d=%d n=%d prob=%g: BernoulliBatch[%d]=%v, Bernoulli=%v",
+							d, n, prob, i, bdst[i], want)
+					}
+				}
+			}
+		}
+	}
+}

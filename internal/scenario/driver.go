@@ -82,11 +82,16 @@ func newFleet(spec *Spec, addr string, edges []streamcover.Edge, m, n, k int) (*
 		c := i % conns
 		f.streams[c] = append(f.streams[c], e)
 	}
+	dialOpts := []client.Option{
+		client.WithBatchSize(spec.Fleet.BatchEdges),
+		client.WithMaxPending(spec.Fleet.MaxPending),
+	}
+	if spec.Fleet.Wire == "row" {
+		dialOpts = append(dialOpts, client.WithRowWire())
+	}
 	for i := 0; i < conns; i++ {
 		f.pacers[i] = workload.NewPacer(0)
-		cl, err := client.Dial(addr,
-			client.WithBatchSize(spec.Fleet.BatchEdges),
-			client.WithMaxPending(spec.Fleet.MaxPending),
+		cl, err := client.Dial(addr, append(dialOpts,
 			client.WithReconnect(100000),
 			client.WithBackoff(20*time.Millisecond, 500*time.Millisecond),
 			client.WithDialTimeout(2*time.Second),
@@ -96,7 +101,7 @@ func newFleet(spec *Spec, addr string, edges []streamcover.Edge, m, n, k int) (*
 			// and neither arrive nor ack until the next blast.
 			client.WithFlushInterval(2*time.Millisecond),
 			client.WithAckObserver(obs),
-		)
+		)...)
 		if err != nil {
 			f.closeAll()
 			return nil, fmt.Errorf("fleet dial %d: %w", i, err)

@@ -81,11 +81,13 @@ type WorkloadSpec struct {
 }
 
 // FleetSpec shapes the client side: how many connections, how many edges
-// per wire batch, and how deep each connection pipelines.
+// per wire batch, how deep each connection pipelines, and which wire
+// layout batches use.
 type FleetSpec struct {
-	Connections int `json:"connections,omitempty"` // default 2
-	BatchEdges  int `json:"batch_edges,omitempty"` // default 2048
-	MaxPending  int `json:"max_pending,omitempty"` // default 32
+	Connections int    `json:"connections,omitempty"` // default 2
+	BatchEdges  int    `json:"batch_edges,omitempty"` // default 2048
+	MaxPending  int    `json:"max_pending,omitempty"` // default 32
+	Wire        string `json:"wire,omitempty"`        // columnar|row (default columnar)
 }
 
 // DaemonSpec shapes the managed kcoverd instance. Proxy routes both the
@@ -215,6 +217,9 @@ func (s *Spec) applyDefaults() {
 	if s.Fleet.MaxPending == 0 {
 		s.Fleet.MaxPending = 32
 	}
+	if s.Fleet.Wire == "" {
+		s.Fleet.Wire = "columnar"
+	}
 	if s.Daemon.Workers == 0 {
 		s.Daemon.Workers = 2
 	}
@@ -266,6 +271,9 @@ func (s *Spec) validate() error {
 		if v.val < 0 {
 			return fmt.Errorf("%s is negative", v.name)
 		}
+	}
+	if s.Fleet.Wire != "columnar" && s.Fleet.Wire != "row" {
+		return fmt.Errorf("unknown fleet wire %q (columnar|row)", s.Fleet.Wire)
 	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("no phases")

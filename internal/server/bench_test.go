@@ -2,7 +2,9 @@ package server_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 	"time"
 
@@ -13,13 +15,38 @@ import (
 
 // BenchmarkServerIngest measures client→server edge throughput over
 // localhost: the full path of batch encode, framed write, decode, shard
-// and worker Process, with pipelined acks.
+// and worker Process, with pipelined acks. Sub-benchmarks cross the wire
+// layout (columnar MKC2 default vs legacy row MKC1) with the daemon's
+// worker count; on a single-CPU host the higher worker tiers measure
+// dispatch overhead only, on multi-core they measure scaling. Headline
+// numbers live in BENCH_hotpath.json; regenerate with
+//
+//	go test -run=NONE -bench=ServerIngest -benchtime=3x ./internal/server/
 func BenchmarkServerIngest(b *testing.B) {
+	wires := []struct {
+		name string
+		opts []client.Option
+	}{
+		{"columnar", nil},
+		{"row", []client.Option{client.WithRowWire()}},
+	}
+	for _, w := range wires {
+		b.Run("wire="+w.name, func(b *testing.B) {
+			for _, workers := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					benchServerIngest(b, workers, w.opts)
+				})
+			}
+		})
+	}
+}
+
+func benchServerIngest(b *testing.B, workers int, opts []client.Option) {
 	const (
 		m, n, k = 2000, 100000, 40
 		alpha   = 8.0
 	)
-	s := server.New(server.Config{})
+	s := server.New(server.Config{Workers: workers})
 	if err := s.Start("127.0.0.1:0", ""); err != nil {
 		b.Fatal(err)
 	}
@@ -28,7 +55,8 @@ func BenchmarkServerIngest(b *testing.B) {
 		defer cancel()
 		s.Shutdown(ctx)
 	}()
-	c, err := client.Dial(s.TCPAddr().String(), client.WithBatchSize(8192))
+	c, err := client.Dial(s.TCPAddr().String(),
+		append([]client.Option{client.WithBatchSize(8192)}, opts...)...)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -356,8 +356,9 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 	}
 	start := time.Now()
 	var batches, edgesReplayed int64
+	var cols stream.Columns // reused decode arena across the whole tail
 	err = log.Replay(st.walPos+1, func(pos uint64, rec []byte) error {
-		edges, source, seq, err := decodeWALRecord(rec, st.name, st.m, st.n)
+		source, seq, err := decodeWALRecord(rec, st.name, st.m, st.n, &cols)
 		if err != nil {
 			return fmt.Errorf("record %d: %w", pos, err)
 		}
@@ -367,9 +368,9 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 			}
 			st.dedup[source] = seq
 		}
-		replayBatch(ests, edges)
+		replayBatch(ests, cols.Sets, cols.Elems)
 		batches++
-		edgesReplayed += int64(len(edges))
+		edgesReplayed += int64(cols.Len())
 		return nil
 	})
 	if err != nil {
@@ -404,45 +405,49 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 	return sess, nil
 }
 
-// decodeWALRecord parses one logged batch: a frame-type byte followed by
-// the original wire payload. source is 0 for unsequenced batches.
-func decodeWALRecord(rec []byte, wantName string, wantM, wantN int) (edges []stream.Edge, source, seq uint64, err error) {
+// decodeWALRecord parses one logged batch into cols: a frame-type byte
+// followed by the original wire payload, whose blob may carry either the
+// row or the columnar layout (the fused decoder sniffs the magic; a WAL
+// may mix both, since it stores payloads verbatim). source is 0 for
+// unsequenced batches.
+func decodeWALRecord(rec []byte, wantName string, wantM, wantN int, cols *stream.Columns) (source, seq uint64, err error) {
 	if len(rec) == 0 {
-		return nil, 0, 0, fmt.Errorf("empty record")
+		return 0, 0, fmt.Errorf("empty record")
 	}
 	var name string
 	var m, n int
 	switch rec[0] {
 	case wire.TIngest:
-		name, edges, m, n, err = wire.DecodeIngest(rec[1:])
+		name, m, n, err = wire.DecodeIngestInto(rec[1:], cols)
 	case wire.TIngestSeq:
-		name, source, seq, edges, m, n, err = wire.DecodeIngestSeq(rec[1:])
+		name, source, seq, m, n, err = wire.DecodeIngestSeqInto(rec[1:], cols)
 	default:
-		return nil, 0, 0, fmt.Errorf("unknown record type 0x%02x", rec[0])
+		return 0, 0, fmt.Errorf("unknown record type 0x%02x", rec[0])
 	}
 	if err != nil {
-		return nil, 0, 0, err
+		return 0, 0, err
 	}
 	if name != wantName || m != wantM || n != wantN {
-		return nil, 0, 0, fmt.Errorf("record for session %q dims (%d,%d), want %q (%d,%d)",
+		return 0, 0, fmt.Errorf("record for session %q dims (%d,%d), want %q (%d,%d)",
 			name, m, n, wantName, wantM, wantN)
 	}
-	return edges, source, seq, nil
+	return source, seq, nil
 }
 
 // replayBatch applies one batch synchronously with exactly the sharding
 // the live dispatch path uses, so a recovered worker sees the same edge
 // sequence it would have seen without the crash.
-func replayBatch(ests []*streamcover.Estimator, edges []stream.Edge) {
+func replayBatch(ests []*streamcover.Estimator, sets, elems []uint32) {
 	w := len(ests)
-	shards := make([][]streamcover.Edge, w)
-	for _, e := range edges {
-		i := int(splitmix64(uint64(e.Set)<<32|uint64(e.Elem)) % uint64(w))
-		shards[i] = append(shards[i], streamcover.Edge(e))
+	shards := make([]colShard, w)
+	for j, set := range sets {
+		i := int(splitmix64(uint64(set)<<32|uint64(elems[j])) % uint64(w))
+		shards[i].sets = append(shards[i].sets, set)
+		shards[i].elems = append(shards[i].elems, elems[j])
 	}
-	for i, shard := range shards {
-		if len(shard) > 0 {
-			ests[i].ProcessBatch(shard)
+	for i := range shards {
+		if len(shards[i].sets) > 0 {
+			ests[i].ProcessColumns(shards[i].sets, shards[i].elems)
 		}
 	}
 }

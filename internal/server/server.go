@@ -8,9 +8,14 @@
 // of worker goroutines, each owning a same-seed streamcover.Estimator
 // behind a bounded queue (backpressure). Queries snapshot the workers via
 // Estimator.Clone and merge the clones off the ingest path, so a slow
-// merge never stalls arriving edges. Connections are handled serially
-// (read frame → handle → respond), which gives clients strictly ordered
-// responses to pipeline against.
+// merge never stalls arriving edges. Responses on a connection are
+// strictly ordered (clients pipeline against that), but applying an
+// ingest — the WAL group-commit fsync overlapped with the worker
+// dispatch — runs on a per-connection apply goroutine while the handler
+// reads and decodes the next pipelined frame, so a burst's decode cost
+// hides behind the previous batch's fsync. Both wire batch layouts (row
+// MKC1 and columnar MKC2) decode straight into column arenas; edges never
+// materialize as row structs on the server.
 package server
 
 import (
@@ -27,6 +32,7 @@ import (
 	"time"
 
 	"streamcover/internal/fault"
+	"streamcover/internal/stream"
 	"streamcover/internal/wire"
 )
 
@@ -251,10 +257,22 @@ func (s *Server) serveTCP(ln net.Listener) {
 	}
 }
 
-// handleConn runs the serial frame loop for one connection. Each frame
-// read is bounded by ReadTimeout (a connected-but-silent peer is reaped
-// rather than parking this goroutine forever) and each response write by
+// handleConn runs the frame loop for one connection. Each frame read is
+// bounded by ReadTimeout (a connected-but-silent peer is reaped rather
+// than parking this goroutine forever) and each response write by
 // WriteTimeout (a peer that stops draining cannot wedge the handler).
+//
+// Ingest frames are pipelined one deep: after an ingest is decoded and
+// validated it is handed to the connection's apply goroutine (which runs
+// the WAL fsync overlapped with the worker dispatch), and this goroutine
+// immediately reads and decodes the next frame — but only while another
+// frame is already buffered. A peer that waits for the ack before
+// sending more gets the ack at once; a pipelining peer gets its next
+// frame's socket read and decode for free under the previous batch's
+// fsync. Responses stay strictly ordered because the in-flight ingest is
+// always joined (and acked) before any later frame's response goes out —
+// which also keeps at most one ingest applying per connection, so
+// per-source sequencing behaves exactly as in the serial loop.
 func (s *Server) handleConn(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
@@ -283,6 +301,38 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		return true
 	}
+
+	// The apply goroutine runs at most one ingest at a time; jobs and
+	// results alternate strictly, so neither channel needs a buffer.
+	jobs := make(chan ingestJob)
+	applied := make(chan error)
+	go func() {
+		for j := range jobs {
+			applied <- s.applyIngest(j)
+		}
+	}()
+	inflight := false
+	defer func() {
+		if inflight {
+			<-applied
+		}
+		close(jobs)
+	}()
+	// Two column arenas ping-pong between the decoder and the in-flight
+	// job, so decoding frame k+1 never scribbles on the columns batch k is
+	// still dispatching from.
+	var arenas [2]stream.Columns
+	cur := 0
+	// join settles the in-flight ingest and acks it — in order, before
+	// any later frame's response.
+	join := func() bool {
+		if !inflight {
+			return true
+		}
+		inflight = false
+		return s.ack(respond, <-applied)
+	}
+
 	for {
 		if s.cfg.ReadTimeout > 0 {
 			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
@@ -295,50 +345,80 @@ func (s *Server) handleConn(conn net.Conn) {
 		}
 		s.metrics.Frames.Add(1)
 		switch typ {
+		case wire.TIngest, wire.TIngestSeq:
+			// Decode (into the free arena) before joining: this is the
+			// overlapped half. The WAL record is copied out of scratch
+			// here too, so the next read may reuse it.
+			job, jerr := s.prepareIngest(typ, payload, &arenas[cur])
+			if !join() {
+				return
+			}
+			if jerr != nil {
+				if !s.ack(respond, jerr) {
+					return
+				}
+				continue
+			}
+			jobs <- job
+			inflight = true
+			cur = 1 - cur
+			if br.Buffered() == 0 {
+				// Nothing pipelined behind this frame: the peer may well be
+				// waiting on the ack, so settle now instead of parking in
+				// the next read with the response hostage.
+				if !join() {
+					return
+				}
+			}
 		case wire.TCreate:
-			c, err := wire.DecodeCreate(payload)
-			if err == nil {
-				err = s.createSession(c)
-			}
-			if !s.ack(respond, err) {
+			c, derr := wire.DecodeCreate(payload)
+			if !join() {
 				return
 			}
-		case wire.TIngest:
-			err := s.handleIngest(payload)
-			if !s.ack(respond, err) {
-				return
+			if derr == nil {
+				derr = s.createSession(c)
 			}
-		case wire.TIngestSeq:
-			err := s.handleIngestSeq(payload)
-			if !s.ack(respond, err) {
+			if !s.ack(respond, derr) {
 				return
 			}
 		case wire.TQuery:
-			name, err := wire.DecodeRef(payload)
-			var res wire.Result
-			if err == nil {
-				res, err = s.querySession(name)
+			name, derr := wire.DecodeRef(payload)
+			if !join() {
+				return
 			}
-			if err != nil {
-				if !respond(wire.TErr, []byte(err.Error())) {
+			var res wire.Result
+			if derr == nil {
+				res, derr = s.querySession(name)
+			}
+			if derr != nil {
+				if !respond(wire.TErr, []byte(derr.Error())) {
 					return
 				}
 			} else if !respond(wire.TResult, res.Encode()) {
 				return
 			}
 		case wire.TPing:
+			if !join() {
+				return
+			}
 			if !respond(wire.TOK, nil) {
 				return
 			}
 		case wire.TClose:
-			name, err := wire.DecodeRef(payload)
-			if err == nil {
-				err = s.closeSession(name)
+			name, derr := wire.DecodeRef(payload)
+			if !join() {
+				return
 			}
-			if !s.ack(respond, err) {
+			if derr == nil {
+				derr = s.closeSession(name)
+			}
+			if !s.ack(respond, derr) {
 				return
 			}
 		default:
+			if !join() {
+				return
+			}
 			if !respond(wire.TErr, []byte(fmt.Sprintf("server: unknown frame type 0x%02x", typ))) {
 				return
 			}
@@ -540,57 +620,73 @@ func (s *Server) readOnly() error {
 	return nil
 }
 
-func (s *Server) handleIngest(payload []byte) error {
-	if err := s.readOnly(); err != nil {
-		return err
-	}
-	name, edges, m, n, err := wire.DecodeIngest(payload)
-	if err != nil {
-		return err
-	}
-	sess, err := s.session(name)
-	if err != nil {
-		return err
-	}
-	if m != sess.m || n != sess.n {
-		return fmt.Errorf("server: batch dims (%d,%d) != session %q dims (%d,%d)",
-			m, n, name, sess.m, sess.n)
-	}
-	if err := sess.ingest(edges, walRecord(sess, wire.TIngest, payload)); err != nil {
-		return err
-	}
-	s.metrics.EdgesIngested.Add(int64(len(edges)))
-	s.metrics.Batches.Add(1)
-	return nil
+// ingestJob is one decoded, validated ingest waiting to be applied — the
+// unit of handleConn's decode/apply overlap. cols points at one of the
+// connection's ping-ponging arenas; rec is the already-copied WAL record
+// (nil without durability), so nothing in the job aliases the read
+// scratch.
+type ingestJob struct {
+	sess     *session
+	cols     *stream.Columns
+	rec      []byte
+	seq      bool
+	source   uint64
+	sequence uint64
 }
 
-// handleIngestSeq is handleIngest with replay protection: the ack it
-// leads to means "durably logged and applied (or a recognized replay)".
-func (s *Server) handleIngestSeq(payload []byte) error {
+// prepareIngest decodes one TIngest/TIngestSeq payload into cols — row
+// and columnar wire layouts both land here, IDs validated against the
+// session dims by the fused decoder — and builds the job applyIngest
+// runs. This is the cheap, CPU-only half that overlaps the previous
+// batch's fsync.
+func (s *Server) prepareIngest(typ byte, payload []byte, cols *stream.Columns) (ingestJob, error) {
 	if err := s.readOnly(); err != nil {
-		return err
+		return ingestJob{}, err
 	}
-	name, source, seq, edges, m, n, err := wire.DecodeIngestSeq(payload)
+	j := ingestJob{cols: cols}
+	var name string
+	var m, n int
+	var err error
+	if typ == wire.TIngestSeq {
+		j.seq = true
+		name, j.source, j.sequence, m, n, err = wire.DecodeIngestSeqInto(payload, cols)
+	} else {
+		name, m, n, err = wire.DecodeIngestInto(payload, cols)
+	}
 	if err != nil {
-		return err
+		return ingestJob{}, err
 	}
 	sess, err := s.session(name)
 	if err != nil {
-		return err
+		return ingestJob{}, err
 	}
 	if m != sess.m || n != sess.n {
-		return fmt.Errorf("server: batch dims (%d,%d) != session %q dims (%d,%d)",
+		return ingestJob{}, fmt.Errorf("server: batch dims (%d,%d) != session %q dims (%d,%d)",
 			m, n, name, sess.m, sess.n)
 	}
-	applied, err := sess.ingestSeq(source, seq, walRecord(sess, wire.TIngestSeq, payload), edges)
-	if err != nil {
+	j.sess = sess
+	j.rec = walRecord(sess, typ, payload)
+	return j, nil
+}
+
+// applyIngest runs one prepared ingest — the WAL append overlapped with
+// the worker dispatch inside the session — and settles the server-wide
+// counters. An ack on its nil return means "durably logged and applied
+// (or, for sequenced batches, a recognized replay)".
+func (s *Server) applyIngest(j ingestJob) error {
+	if j.seq {
+		applied, err := j.sess.ingestSeq(j.source, j.sequence, j.rec, j.cols.Sets, j.cols.Elems)
+		if err != nil {
+			return err
+		}
+		if !applied {
+			s.metrics.DupBatches.Add(1)
+			return nil
+		}
+	} else if err := j.sess.ingest(j.cols.Sets, j.cols.Elems, j.rec); err != nil {
 		return err
 	}
-	if !applied {
-		s.metrics.DupBatches.Add(1)
-		return nil
-	}
-	s.metrics.EdgesIngested.Add(int64(len(edges)))
+	s.metrics.EdgesIngested.Add(int64(j.cols.Len()))
 	s.metrics.Batches.Add(1)
 	return nil
 }

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"streamcover"
-	"streamcover/internal/stream"
 	"streamcover/internal/wire"
 )
 
@@ -26,9 +25,9 @@ type session struct {
 
 	workers []chan workerMsg
 	ests    []*streamcover.Estimator // one per worker; owned so close can release their engines
-	recycle []chan []stream.Edge     // per-worker shard-buffer free lists (see dispatch)
+	recycle []chan colShard          // per-worker shard-buffer free lists (see dispatch)
 	hist    shardSizeHist            // recent shard lengths, drives shard capacity reservation
-	hdrPool sync.Pool                // *[][]stream.Edge dispatch headers
+	hdrPool sync.Pool                // *[]colShard dispatch headers
 	wg      sync.WaitGroup           // worker goroutines
 	metrics *Metrics                 // server-wide counters (batch latency); may be nil in tests
 
@@ -62,11 +61,18 @@ type session struct {
 	queries atomic.Int64
 }
 
-// workerMsg is either a batch of edges (clone == nil) or a snapshot
+// colShard is one worker's share of a dispatched batch in column form —
+// parallel set-ID and element-ID slices, the exact layout the estimator's
+// ProcessColumns ingests with no per-edge conversion.
+type colShard struct {
+	sets, elems []uint32
+}
+
+// workerMsg is either a batch shard (clone == nil) or a snapshot
 // request. A single channel per worker keeps the two ordered: a snapshot
 // enqueued after a batch observes that batch.
 type workerMsg struct {
-	edges []stream.Edge
+	shard colShard
 	clone chan<- cloneReply
 }
 
@@ -115,52 +121,47 @@ func newSessionWith(name string, m, n, k int, alpha float64, seed int64, queueDe
 		recStop: make(chan struct{}), retryMin: 50 * time.Millisecond, retryMax: 5 * time.Second,
 	}
 	w := len(ests)
-	s.hdrPool.New = func() any { h := make([][]stream.Edge, w); return &h }
+	s.hdrPool.New = func() any { h := make([]colShard, w); return &h }
 	s.workers = make([]chan workerMsg, w)
-	s.recycle = make([]chan []stream.Edge, w)
+	s.recycle = make([]chan colShard, w)
 	for i, est := range ests {
 		ch := make(chan workerMsg, queueDepth)
 		s.workers[i] = ch
-		s.recycle[i] = make(chan []stream.Edge, queueDepth+1)
+		s.recycle[i] = make(chan colShard, queueDepth+1)
 		s.wg.Add(1)
 		go s.runWorker(est, ch, s.recycle[i])
 	}
 	return s
 }
 
-func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg, recycle chan []stream.Edge) {
+func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg, recycle chan colShard) {
 	defer s.wg.Done()
-	var buf []streamcover.Edge // reusable shard conversion buffer
 	for msg := range ch {
 		if msg.clone != nil {
 			c, err := est.Clone()
 			msg.clone <- cloneReply{c, err}
 			continue
 		}
-		if cap(buf) < len(msg.edges) {
-			buf = make([]streamcover.Edge, len(msg.edges))
-		}
-		b := buf[:len(msg.edges)]
-		for i, e := range msg.edges {
-			b[i] = streamcover.Edge(e)
-		}
-		// The shard buffer is free as soon as it's converted; hand it back
-		// to dispatch before the (slow) estimator work so the free list
-		// stays warm even when this worker runs behind.
-		select {
-		case recycle <- msg.edges[:0]:
-		default:
-		}
 		start := time.Now()
-		// Edges were validated against the session dims at decode time,
-		// so the batched ingest cannot fail here.
-		est.ProcessBatch(b)
+		// IDs were validated against the session dims at decode time, so
+		// the batched ingest cannot fail here. The shard columns feed the
+		// estimator directly — the old path converted every shard into a
+		// []streamcover.Edge first, a copy per edge the columnar layout
+		// makes unnecessary.
+		est.ProcessColumns(msg.shard.sets, msg.shard.elems)
 		if s.metrics != nil {
 			d := time.Since(start).Nanoseconds()
 			s.metrics.BatchNanos.Add(d)
 			s.metrics.LastBatchNanos.Store(d)
 			s.metrics.BatchesProcessed.Add(1)
 			s.metrics.IngestHist.Observe(d)
+		}
+		// Hand the buffers back once the estimator is done reading them.
+		// (They cannot go back earlier as in the row days — ProcessColumns
+		// reads the columns in place instead of converting them.)
+		select {
+		case recycle <- colShard{msg.shard.sets[:0], msg.shard.elems[:0]}:
+		default:
 		}
 	}
 }
@@ -208,16 +209,18 @@ func (d *durability) appendOverlapped(rec []byte) <-chan error {
 }
 
 // ingest logs and shards one validated unsequenced batch, overlapping the
-// WAL fsync with the worker dispatch. rec is the WAL record for the batch
-// (type byte + wire payload); ignored when the session has no durability.
-func (s *session) ingest(edges []stream.Edge, rec []byte) error {
+// WAL fsync with the worker dispatch. sets/elems are the batch's columns
+// (both wire encodings decode into this form); rec is the WAL record for
+// the batch (type byte + wire payload), ignored when the session has no
+// durability.
+func (s *session) ingest(sets, elems []uint32, rec []byte) error {
 	if err := s.begin(); err != nil {
 		return err
 	}
 	defer s.ops.Done()
 	d := s.dur
 	if d == nil {
-		s.dispatch(edges)
+		s.dispatch(sets, elems)
 		return nil
 	}
 	d.pmu.RLock()
@@ -226,7 +229,7 @@ func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 		return err
 	}
 	appended := d.appendOverlapped(rec)
-	s.dispatch(edges)
+	s.dispatch(sets, elems)
 	if err := <-appended; err != nil {
 		// The batch is applied but not durable; no future ack may claim
 		// otherwise. Degrade (recovery will re-checkpoint the applied
@@ -236,7 +239,7 @@ func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 		// error, will not: the edges are in the estimators.
 		if s.metrics != nil {
 			s.metrics.WALAppendFailures.Add(1)
-			s.metrics.EdgesIngested.Add(int64(len(edges)))
+			s.metrics.EdgesIngested.Add(int64(len(sets)))
 			s.metrics.Batches.Add(1)
 		}
 		s.degrade(err)
@@ -266,7 +269,7 @@ func (s *session) ingest(edges []stream.Edge, rec []byte) error {
 // the session degrades — the resend is answered with the typed transient
 // error rather than a false durability ack, and recovery's fresh
 // checkpoint makes the applied batch durable before ingest resumes.
-func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge) (bool, error) {
+func (s *session) ingestSeq(source, seq uint64, rec []byte, sets, elems []uint32) (bool, error) {
 	if err := s.begin(); err != nil {
 		return false, err
 	}
@@ -310,18 +313,18 @@ func (s *session) ingestSeq(source, seq uint64, rec []byte, edges []stream.Edge)
 			hook(source, seq)
 		}
 		if d == nil {
-			s.dispatch(edges)
+			s.dispatch(sets, elems)
 			return true, nil
 		}
 		appended := d.appendOverlapped(rec)
-		s.dispatch(edges)
+		s.dispatch(sets, elems)
 		err := <-appended
 		if err != nil {
 			// Applied but not durable: count the ingest here (the handler
 			// sees an error and will not) and degrade.
 			if s.metrics != nil {
 				s.metrics.WALAppendFailures.Add(1)
-				s.metrics.EdgesIngested.Add(int64(len(edges)))
+				s.metrics.EdgesIngested.Add(int64(len(sets)))
 				s.metrics.Batches.Add(1)
 			}
 			s.degrade(err)
@@ -382,42 +385,45 @@ func (h *shardSizeHist) hint() int {
 	return 0
 }
 
-// dispatch shards one batch across the workers. Sends block when a
-// worker's queue is full — that backpressure propagates to the TCP
+// dispatch shards one batch of columns across the workers. Sends block
+// when a worker's queue is full — that backpressure propagates to the TCP
 // reader, which stops acking, which stalls the client's pipeline.
 //
 // Per-batch allocations are pooled: the shard header comes from hdrPool,
-// and each worker's shard buffer is reclaimed from that worker's free
-// list (runWorker returns it as soon as the edges are converted), sized
-// by the shard-length histogram when a fresh one is needed.
-func (s *session) dispatch(edges []stream.Edge) {
+// and each worker's shard columns are reclaimed from that worker's free
+// list (runWorker returns them after processing), sized by the
+// shard-length histogram when fresh ones are needed. The caller's columns
+// are only read here — on return they may be reused for the next decode.
+func (s *session) dispatch(sets, elems []uint32) {
 	w := len(s.workers)
-	hdr := s.hdrPool.Get().(*[][]stream.Edge)
+	hdr := s.hdrPool.Get().(*[]colShard)
 	shards := *hdr
 	per := s.hist.hint()
 	if per == 0 {
-		per = len(edges)/w + 1
+		per = len(sets)/w + 1
 	}
-	for _, e := range edges {
-		i := int(splitmix64(uint64(e.Set)<<32|uint64(e.Elem)) % uint64(w))
-		if shards[i] == nil {
+	for j, set := range sets {
+		elem := elems[j]
+		i := int(splitmix64(uint64(set)<<32|uint64(elem)) % uint64(w))
+		if shards[i].sets == nil {
 			select {
 			case shards[i] = <-s.recycle[i]:
 			default:
-				shards[i] = make([]stream.Edge, 0, per)
+				shards[i] = colShard{make([]uint32, 0, per), make([]uint32, 0, per)}
 			}
 		}
-		shards[i] = append(shards[i], e)
+		shards[i].sets = append(shards[i].sets, set)
+		shards[i].elems = append(shards[i].elems, elem)
 	}
-	for i, shard := range shards {
-		if len(shard) > 0 { // buffers are only claimed on a shard's first edge
-			s.hist.record(len(shard))
-			s.workers[i] <- workerMsg{edges: shard}
+	for i := range shards {
+		if len(shards[i].sets) > 0 { // buffers are only claimed on a shard's first edge
+			s.hist.record(len(shards[i].sets))
+			s.workers[i] <- workerMsg{shard: shards[i]}
 		}
-		shards[i] = nil // drop the reference before pooling the header
+		shards[i] = colShard{} // drop the references before pooling the header
 	}
 	s.hdrPool.Put(hdr)
-	s.edges.Add(int64(len(edges)))
+	s.edges.Add(int64(len(sets)))
 	s.batches.Add(1)
 }
 

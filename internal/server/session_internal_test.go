@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"streamcover"
-	"streamcover/internal/stream"
 )
 
 func newTestDurSession(t *testing.T, name string) *session {
@@ -42,7 +41,7 @@ func newTestDurSession(t *testing.T, name string) *session {
 // duplicate's ack vouched for.
 func TestDuplicateAckWaitsForInFlightOriginal(t *testing.T) {
 	sess := newTestDurSession(t, "seqdup")
-	edges := []stream.Edge{{Set: 1, Elem: 2}, {Set: 3, Elem: 4}}
+	sets, elems := []uint32{1, 3}, []uint32{2, 4}
 	rec := []byte{0x00, 0x01, 0x02}
 
 	parked := make(chan struct{})
@@ -66,7 +65,7 @@ func TestDuplicateAckWaitsForInFlightOriginal(t *testing.T) {
 
 	origDone := make(chan error, 1)
 	go func() {
-		applied, err := sess.ingestSeq(7, 1, rec, edges)
+		applied, err := sess.ingestSeq(7, 1, rec, sets, elems)
 		if err == nil && !applied {
 			t.Error("original ingest reported duplicate")
 		}
@@ -77,7 +76,7 @@ func TestDuplicateAckWaitsForInFlightOriginal(t *testing.T) {
 	dupDone := make(chan error, 1)
 	var dupApplied atomic.Bool
 	go func() {
-		applied, err := sess.ingestSeq(7, 1, rec, edges)
+		applied, err := sess.ingestSeq(7, 1, rec, sets, elems)
 		dupApplied.Store(applied)
 		dupDone <- err
 	}()
@@ -118,7 +117,7 @@ func TestDuplicateAckWaitsForInFlightOriginal(t *testing.T) {
 // released.
 func TestOverlapAckAwaitsBatchDurability(t *testing.T) {
 	sess := newTestDurSession(t, "overlap")
-	edges := []stream.Edge{{Set: 1, Elem: 2}, {Set: 3, Elem: 4}}
+	sets, elems := []uint32{1, 3}, []uint32{2, 4}
 	rec := []byte{0x00, 0x01}
 
 	parked := make(chan struct{})
@@ -138,7 +137,7 @@ func TestOverlapAckAwaitsBatchDurability(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		applied, err := sess.ingestSeq(11, 1, rec, edges)
+		applied, err := sess.ingestSeq(11, 1, rec, sets, elems)
 		if err == nil && !applied {
 			t.Error("original ingest reported duplicate")
 		}
@@ -186,12 +185,12 @@ func TestAppendFailureDegradesBatchSession(t *testing.T) {
 	// assertions below, so recovery happens only when the test asks.
 	sess.retryMin = time.Hour
 	sess.retryMax = time.Hour
-	edges := []stream.Edge{{Set: 2, Elem: 7}}
+	sets, elems := []uint32{2}, []uint32{7}
 	rec := []byte{0x02}
 	wantErr := errors.New("write error")
 	sess.dur.appendFn = func(rec []byte) (uint64, error) { return 0, wantErr }
 
-	applied, err := sess.ingestSeq(5, 1, rec, edges)
+	applied, err := sess.ingestSeq(5, 1, rec, sets, elems)
 	if err == nil || !errors.Is(err, wantErr) {
 		t.Fatalf("ingestSeq error = %v, want wrapped %v", err, wantErr)
 	}
@@ -217,7 +216,7 @@ func TestAppendFailureDegradesBatchSession(t *testing.T) {
 	if entry.seq != 1 || entry.done != nil {
 		t.Fatalf("dedup entry = %+v, want settled at seq 1", entry)
 	}
-	if _, err := sess.ingestSeq(5, 1, rec, edges); !errors.Is(err, ErrDegraded) {
+	if _, err := sess.ingestSeq(5, 1, rec, sets, elems); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("resend of the non-durable batch: err = %v, want ErrDegraded", err)
 	}
 	if sess.batches.Load() != 1 {
@@ -226,10 +225,10 @@ func TestAppendFailureDegradesBatchSession(t *testing.T) {
 
 	// Fresh sequences and unsequenced ingests are rejected too, with the
 	// same typed error — but queries keep working on the in-memory state.
-	if _, err := sess.ingestSeq(5, 2, rec, edges); !errors.Is(err, ErrDegraded) {
+	if _, err := sess.ingestSeq(5, 2, rec, sets, elems); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("later sequence: err = %v, want ErrDegraded", err)
 	}
-	if err := sess.ingest(edges, rec); !errors.Is(err, ErrDegraded) {
+	if err := sess.ingest(sets, elems, rec); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("unsequenced ingest: err = %v, want ErrDegraded", err)
 	}
 	if _, err := sess.query(nil); err != nil {
@@ -249,7 +248,7 @@ func TestAppendFailureDegradesBatchSession(t *testing.T) {
 	if st, _ := sess.health(); st != "ok" {
 		t.Fatalf("health = %q after recovery, want ok", st)
 	}
-	applied, err = sess.ingestSeq(5, 2, rec, edges)
+	applied, err = sess.ingestSeq(5, 2, rec, sets, elems)
 	if err != nil || !applied {
 		t.Fatalf("post-recovery ingest: applied=%v err=%v, want applied, nil", applied, err)
 	}
@@ -277,12 +276,13 @@ func TestDispatchBatchAllocsSteadyState(t *testing.T) {
 	sess := newSessionWith("allocs", 50, 500, 3, 4, 1, 8, nil, ests)
 	defer sess.close()
 
-	edges := make([]stream.Edge, 512)
-	for i := range edges {
-		edges[i] = stream.Edge{Set: uint32(i % 50), Elem: uint32(i % 500)}
+	sets := make([]uint32, 512)
+	elems := make([]uint32, 512)
+	for i := range sets {
+		sets[i], elems[i] = uint32(i%50), uint32(i%500)
 	}
 	run := func() {
-		sess.dispatch(edges)
+		sess.dispatch(sets, elems)
 		// Wait for both shard buffers to come back so the next dispatch
 		// reclaims instead of allocating.
 		deadline := time.Now().Add(5 * time.Second)
@@ -311,7 +311,7 @@ func TestDispatchBatchAllocsSteadyState(t *testing.T) {
 // highest accepted sequence (run with -race to police the handshake).
 func TestIngestSeqConcurrentSameSource(t *testing.T) {
 	sess := newTestDurSession(t, "seqrace")
-	edges := []stream.Edge{{Set: 9, Elem: 9}}
+	sets, elems := []uint32{9}, []uint32{9}
 	rec := []byte{0x01}
 
 	const goroutines, maxSeq = 8, 40
@@ -322,7 +322,7 @@ func TestIngestSeqConcurrentSameSource(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for seq := uint64(1); seq <= maxSeq; seq++ {
-				ok, err := sess.ingestSeq(3, seq, rec, edges)
+				ok, err := sess.ingestSeq(3, seq, rec, sets, elems)
 				if err != nil {
 					t.Errorf("ingestSeq(%d): %v", seq, err)
 					return

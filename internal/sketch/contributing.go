@@ -24,6 +24,7 @@ import (
 // rescaling.
 type Contributing struct {
 	gamma  float64
+	m      uint64 // key-universe size; keys are (almost) always in [0, m)
 	levels []contribLevel
 }
 
@@ -32,6 +33,13 @@ type contribLevel struct {
 	sampler *hash.Poly
 	hh      *HeavyHitters
 	bits    []bool // batch scratch: sampling bit per distinct key
+
+	// Persistent sampling-bit memo for the dense key universe [0, m): the
+	// Bernoulli decision is a pure function of (key, rate), so it is
+	// evaluated once ever per key instead of once per batch. 0 = unknown,
+	// 1 = not sampled, 2 = sampled. A reconstructible cache of hash
+	// evaluations — excluded from SpaceWords, never serialized.
+	dBits []uint8
 }
 
 // ContribConfig tunes the practical constants of the construction. The
@@ -77,7 +85,7 @@ func NewF2Contributing(gamma float64, r int, m int, cfg ContribConfig, rng *rand
 	if phi > 1 {
 		phi = 1
 	}
-	c := &Contributing{gamma: gamma}
+	c := &Contributing{gamma: gamma, m: uint64(m)}
 	newSampler := func() *hash.Poly {
 		if cfg.Independence > 0 {
 			return hash.NewPoly(cfg.Independence, rng)
@@ -89,13 +97,52 @@ func NewF2Contributing(gamma float64, r int, m int, cfg ContribConfig, rng *rand
 		if rate > 1 {
 			rate = 1
 		}
+		hh := NewF2HeavyHitters(phi, rng)
+		// The caller's keys live in [0, m) (coordinate/superset IDs), so
+		// every level's hash evaluations — CountSketch rows and sampling
+		// bits — are memoized once per key for the sketch's lifetime.
+		hh.EnableDenseDomain(m)
 		c.levels = append(c.levels, contribLevel{
 			rate:    rate,
 			sampler: newSampler(),
-			hh:      NewF2HeavyHitters(phi, rng),
+			hh:      hh,
 		})
 	}
 	return c
+}
+
+// sampled reports lv.sampler.Bernoulli(x, lv.rate) through the persistent
+// per-key memo (in-domain keys only hash once ever).
+func (lv *contribLevel) sampled(x uint64, m uint64) bool {
+	if x < m {
+		if lv.dBits == nil {
+			lv.dBits = make([]uint8, m)
+		}
+		st := lv.dBits[x]
+		if st == 0 {
+			st = 1
+			if lv.sampler.Bernoulli(x, lv.rate) {
+				st = 2
+			}
+			lv.dBits[x] = st
+		}
+		return st == 2
+	}
+	return lv.sampler.Bernoulli(x, lv.rate)
+}
+
+// sampleBatch is sampler.BernoulliBatch through the persistent memo —
+// identical output, but each in-domain key is hashed at most once over the
+// sketch's lifetime.
+func (lv *contribLevel) sampleBatch(keys []uint64, m uint64, dst []bool) []bool {
+	if cap(dst) < len(keys) {
+		dst = make([]bool, len(keys))
+	}
+	dst = dst[:len(keys)]
+	for i, x := range keys {
+		dst[i] = lv.sampled(x, m)
+	}
+	return dst
 }
 
 // Add feeds one unit-weight occurrence of key x to every level whose
@@ -103,7 +150,7 @@ func NewF2Contributing(gamma float64, r int, m int, cfg ContribConfig, rng *rand
 func (c *Contributing) Add(x uint64) {
 	for i := range c.levels {
 		lv := &c.levels[i]
-		if lv.rate >= 1 || lv.sampler.Bernoulli(x, lv.rate) {
+		if lv.rate >= 1 || lv.sampled(x, c.m) {
 			lv.hh.Add(x)
 		}
 	}
@@ -125,7 +172,7 @@ func (c *Contributing) AddBatch(keys []uint64, occ []int32) {
 				lv.hh.AddBatched(ki)
 			}
 		} else {
-			lv.bits = lv.sampler.BernoulliBatch(keys, lv.rate, lv.bits)
+			lv.bits = lv.sampleBatch(keys, c.m, lv.bits)
 			for _, ki := range occ {
 				if lv.bits[ki] {
 					lv.hh.AddBatched(ki)

@@ -32,6 +32,32 @@ type CountSketch struct {
 	bOff   []int32 // ki*depth + r -> flat table offset
 	bSign  []int8  // ki*depth + r
 	bReady []bool  // per key: memo row filled
+
+	// Persistent dense-domain memo (see EnableDenseDomain): when the key
+	// universe is a small dense range [0, domain), offsets and signs — pure
+	// functions of the key — are computed once ever and reused across
+	// batches AND scalar calls, instead of re-memoized per batch. A
+	// reconstructible cache of hash evaluations: excluded from SpaceWords,
+	// never serialized or merged. Keys ≥ domain fall back to hashing.
+	// Depth-5 sketches (the estimator's only depth) use the packed dCell
+	// layout; other depths use the parallel arrays.
+	domain uint64
+	dCell  []dense5 // depth == 5 only
+	dOff   []int32  // x*depth + r -> flat table offset
+	dSign  []int8   // x*depth + r
+	dReady []bool   // per key x: memo row filled
+}
+
+// dense5 packs one in-domain key's memo — five cell offsets, five signs,
+// and the ready flag — into a single 32-byte record (two per cache line),
+// so a dense add or estimate touches one cache line instead of three
+// parallel arrays, and the fixed-size arrays are indexed without bounds
+// checks.
+type dense5 struct {
+	off [5]int32
+	sg  [5]int8
+	rdy uint8
+	_   [6]byte
 }
 
 // NewCountSketch builds a sketch with the given depth (number of
@@ -59,8 +85,123 @@ func (cs *CountSketch) row(r int) []int64 {
 	return cs.table[r*cs.width : (r+1)*cs.width]
 }
 
+// EnableDenseDomain declares that (almost) every key fed to this sketch
+// lies in [0, n) and turns on the persistent hash memo for that range.
+// Each key's cell offsets and signs are then computed once over the
+// sketch's lifetime rather than once per batch (or per scalar call) —
+// results are bit-identical because offsets and signs are pure functions
+// of the key. Out-of-range keys still work via the hashing fallback.
+func (cs *CountSketch) EnableDenseDomain(n int) {
+	if n <= 0 || n*cs.depth > 1<<30 {
+		return
+	}
+	cs.domain = uint64(n)
+	if cs.depth == 5 {
+		cs.dCell = make([]dense5, n)
+		return
+	}
+	cs.dOff = make([]int32, n*cs.depth)
+	cs.dSign = make([]int8, n*cs.depth)
+	cs.dReady = make([]bool, n)
+}
+
+// fillDense5 computes in-domain key x's packed memo cell. Called at most
+// once per key over the sketch's lifetime; kept out of the hot paths so
+// their rdy fast path stays small.
+func (cs *CountSketch) fillDense5(x uint64) *dense5 {
+	c := &cs.dCell[x]
+	off := 0
+	for r := 0; r < 5; r++ {
+		c.off[r] = int32(off + int(cs.bucket[r].Range(x, uint64(cs.width))))
+		c.sg[r] = int8(cs.sign[r].Sign(x))
+		off += cs.width
+	}
+	c.rdy = 1
+	return c
+}
+
+// fillDense computes in-domain key x's memo row (base = x*depth). Called
+// at most once per key over the sketch's lifetime; kept out of the hot
+// paths so their dReady fast path stays small.
+func (cs *CountSketch) fillDense(x uint64, base int) {
+	off := 0
+	for r := 0; r < cs.depth; r++ {
+		cs.dOff[base+r] = int32(off + int(cs.bucket[r].Range(x, uint64(cs.width))))
+		cs.dSign[base+r] = int8(cs.sign[r].Sign(x))
+		off += cs.width
+	}
+	cs.dReady[x] = true
+}
+
+// addMemo applies a delta through one memoized (offset, sign) row of
+// length depth.
+func (cs *CountSketch) addMemo(off []int32, sg []int8, delta int64) {
+	t := cs.table
+	if cs.depth == 5 {
+		t[off[0]] += int64(sg[0]) * delta
+		t[off[1]] += int64(sg[1]) * delta
+		t[off[2]] += int64(sg[2]) * delta
+		t[off[3]] += int64(sg[3]) * delta
+		t[off[4]] += int64(sg[4]) * delta
+		return
+	}
+	for r := range off {
+		t[off[r]] += int64(sg[r]) * delta
+	}
+}
+
+// estMemo is the median-of-rows estimate through one memoized row.
+func (cs *CountSketch) estMemo(off []int32, sg []int8) int64 {
+	t := cs.table
+	if cs.depth == 5 {
+		return median5(
+			int64(sg[0])*t[off[0]],
+			int64(sg[1])*t[off[1]],
+			int64(sg[2])*t[off[2]],
+			int64(sg[3])*t[off[3]],
+			int64(sg[4])*t[off[4]],
+		)
+	}
+	var buf [15]int64
+	ests := buf[:0]
+	if cs.depth > len(buf) {
+		ests = make([]int64, 0, cs.depth)
+	}
+	for r := range off {
+		e := int64(sg[r]) * t[off[r]]
+		i := len(ests)
+		ests = append(ests, e)
+		for ; i > 0 && ests[i-1] > e; i-- {
+			ests[i] = ests[i-1]
+		}
+		ests[i] = e
+	}
+	return ests[cs.depth/2]
+}
+
 // Add applies update a[x] += delta.
 func (cs *CountSketch) Add(x uint64, delta int64) {
+	if x < cs.domain {
+		if cs.depth == 5 {
+			c := &cs.dCell[x]
+			if c.rdy == 0 {
+				c = cs.fillDense5(x)
+			}
+			t := cs.table
+			t[c.off[0]] += int64(c.sg[0]) * delta
+			t[c.off[1]] += int64(c.sg[1]) * delta
+			t[c.off[2]] += int64(c.sg[2]) * delta
+			t[c.off[3]] += int64(c.sg[3]) * delta
+			t[c.off[4]] += int64(c.sg[4]) * delta
+			return
+		}
+		b := int(x) * cs.depth
+		if !cs.dReady[x] {
+			cs.fillDense(x, b)
+		}
+		cs.addMemo(cs.dOff[b:b+cs.depth:b+cs.depth], cs.dSign[b:b+cs.depth:b+cs.depth], delta)
+		return
+	}
 	base := 0
 	for r := 0; r < cs.depth; r++ {
 		b := cs.bucket[r].Range(x, uint64(cs.width))
@@ -107,6 +248,27 @@ func median5(e0, e1, e2, e3, e4 int64) int64 {
 // other depths through a stack-buffer insertion sort — never sort.Slice's
 // reflection or an allocation.
 func (cs *CountSketch) Estimate(x uint64) int64 {
+	if x < cs.domain {
+		if cs.depth == 5 {
+			c := &cs.dCell[x]
+			if c.rdy == 0 {
+				c = cs.fillDense5(x)
+			}
+			t := cs.table
+			return median5(
+				int64(c.sg[0])*t[c.off[0]],
+				int64(c.sg[1])*t[c.off[1]],
+				int64(c.sg[2])*t[c.off[2]],
+				int64(c.sg[3])*t[c.off[3]],
+				int64(c.sg[4])*t[c.off[4]],
+			)
+		}
+		b := int(x) * cs.depth
+		if !cs.dReady[x] {
+			cs.fillDense(x, b)
+		}
+		return cs.estMemo(cs.dOff[b:b+cs.depth:b+cs.depth], cs.dSign[b:b+cs.depth:b+cs.depth])
+	}
 	if cs.depth == 5 {
 		w := uint64(cs.width)
 		wd := cs.width
@@ -145,16 +307,27 @@ func (cs *CountSketch) Estimate(x uint64) int64 {
 // slice is only read and must stay valid until EndBatch.
 func (cs *CountSketch) BeginBatch(keys []uint64) {
 	cs.bKeys = keys
-	n := len(keys) * cs.depth
+	if cs.domain > 0 {
+		// Dense-domain keys never touch the per-batch memo; size it lazily
+		// on the first out-of-domain key instead (usually never).
+		cs.bReady = cs.bReady[:0]
+		return
+	}
+	cs.sizeBatchMemo()
+}
+
+// sizeBatchMemo (re)sizes and clears the per-batch memo for bKeys.
+func (cs *CountSketch) sizeBatchMemo() {
+	n := len(cs.bKeys) * cs.depth
 	if cap(cs.bOff) < n {
 		cs.bOff = make([]int32, n)
 		cs.bSign = make([]int8, n)
 	}
 	cs.bOff, cs.bSign = cs.bOff[:n], cs.bSign[:n]
-	if cap(cs.bReady) < len(keys) {
-		cs.bReady = make([]bool, len(keys))
+	if cap(cs.bReady) < len(cs.bKeys) {
+		cs.bReady = make([]bool, len(cs.bKeys))
 	}
-	cs.bReady = cs.bReady[:len(keys)]
+	cs.bReady = cs.bReady[:len(cs.bKeys)]
 	for i := range cs.bReady {
 		cs.bReady[i] = false
 	}
@@ -162,6 +335,9 @@ func (cs *CountSketch) BeginBatch(keys []uint64) {
 
 // memo fills key ki's memo row on first use.
 func (cs *CountSketch) memo(ki int32) {
+	if len(cs.bReady) != len(cs.bKeys) {
+		cs.sizeBatchMemo()
+	}
 	if cs.bReady[ki] {
 		return
 	}
@@ -176,58 +352,62 @@ func (cs *CountSketch) memo(ki int32) {
 	cs.bReady[ki] = true
 }
 
-// AddBatched applies a[keys[ki]] += delta via the batch memos; identical
-// to Add(keys[ki], delta).
+// AddBatched applies a[keys[ki]] += delta via the memos; identical to
+// Add(keys[ki], delta). Dense-domain keys go through the persistent memo
+// (no per-batch rehash); the rest use the per-batch memo.
 func (cs *CountSketch) AddBatched(ki int32, delta int64) {
-	cs.memo(ki)
-	base := int(ki) * cs.depth
-	if cs.depth == 5 {
-		t := cs.table
-		off := cs.bOff[base : base+5 : base+5]
-		sg := cs.bSign[base : base+5 : base+5]
-		t[off[0]] += int64(sg[0]) * delta
-		t[off[1]] += int64(sg[1]) * delta
-		t[off[2]] += int64(sg[2]) * delta
-		t[off[3]] += int64(sg[3]) * delta
-		t[off[4]] += int64(sg[4]) * delta
+	if x := cs.bKeys[ki]; x < cs.domain {
+		if cs.depth == 5 {
+			c := &cs.dCell[x]
+			if c.rdy == 0 {
+				c = cs.fillDense5(x)
+			}
+			t := cs.table
+			t[c.off[0]] += int64(c.sg[0]) * delta
+			t[c.off[1]] += int64(c.sg[1]) * delta
+			t[c.off[2]] += int64(c.sg[2]) * delta
+			t[c.off[3]] += int64(c.sg[3]) * delta
+			t[c.off[4]] += int64(c.sg[4]) * delta
+			return
+		}
+		b := int(x) * cs.depth
+		if !cs.dReady[x] {
+			cs.fillDense(x, b)
+		}
+		cs.addMemo(cs.dOff[b:b+cs.depth:b+cs.depth], cs.dSign[b:b+cs.depth:b+cs.depth], delta)
 		return
 	}
-	for r := 0; r < cs.depth; r++ {
-		cs.table[cs.bOff[base+r]] += int64(cs.bSign[base+r]) * delta
-	}
-}
-
-// EstimateBatched is Estimate(keys[ki]) via the batch memos.
-func (cs *CountSketch) EstimateBatched(ki int32) int64 {
 	cs.memo(ki)
 	base := int(ki) * cs.depth
-	if cs.depth == 5 {
-		t := cs.table
-		off := cs.bOff[base : base+5 : base+5]
-		sg := cs.bSign[base : base+5 : base+5]
-		return median5(
-			int64(sg[0])*t[off[0]],
-			int64(sg[1])*t[off[1]],
-			int64(sg[2])*t[off[2]],
-			int64(sg[3])*t[off[3]],
-			int64(sg[4])*t[off[4]],
-		)
-	}
-	var buf [15]int64
-	ests := buf[:0]
-	if cs.depth > len(buf) {
-		ests = make([]int64, 0, cs.depth)
-	}
-	for r := 0; r < cs.depth; r++ {
-		e := int64(cs.bSign[base+r]) * cs.table[cs.bOff[base+r]]
-		i := len(ests)
-		ests = append(ests, e)
-		for ; i > 0 && ests[i-1] > e; i-- {
-			ests[i] = ests[i-1]
+	cs.addMemo(cs.bOff[base:base+cs.depth:base+cs.depth], cs.bSign[base:base+cs.depth:base+cs.depth], delta)
+}
+
+// EstimateBatched is Estimate(keys[ki]) via the memos.
+func (cs *CountSketch) EstimateBatched(ki int32) int64 {
+	if x := cs.bKeys[ki]; x < cs.domain {
+		if cs.depth == 5 {
+			c := &cs.dCell[x]
+			if c.rdy == 0 {
+				c = cs.fillDense5(x)
+			}
+			t := cs.table
+			return median5(
+				int64(c.sg[0])*t[c.off[0]],
+				int64(c.sg[1])*t[c.off[1]],
+				int64(c.sg[2])*t[c.off[2]],
+				int64(c.sg[3])*t[c.off[3]],
+				int64(c.sg[4])*t[c.off[4]],
+			)
 		}
-		ests[i] = e
+		b := int(x) * cs.depth
+		if !cs.dReady[x] {
+			cs.fillDense(x, b)
+		}
+		return cs.estMemo(cs.dOff[b:b+cs.depth:b+cs.depth], cs.dSign[b:b+cs.depth:b+cs.depth])
 	}
-	return ests[cs.depth/2]
+	cs.memo(ki)
+	base := int(ki) * cs.depth
+	return cs.estMemo(cs.bOff[base:base+cs.depth:base+cs.depth], cs.bSign[base:base+cs.depth:base+cs.depth])
 }
 
 // EndBatch leaves batched mode.

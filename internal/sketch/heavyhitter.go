@@ -46,7 +46,12 @@ type HeavyHitters struct {
 	ki   []int32
 	kiEp []uint32
 	mask uint64
-	n    int // live candidates
+	n    int     // live candidates
+	live []int32 // occupied slots, insertion order — refreshes iterate this
+	// instead of scanning the whole table; rebuilt on every refresh/trim.
+	// Iteration order feeds the refresh quickselect, whose survivor SET is
+	// order-independent (the order is strict), so only the unobservable
+	// slot layout depends on it.
 
 	// Transient batch/refresh working memory (see BeginBatch). None of it
 	// survives a batch or refresh, so it is excluded from SpaceWords, never
@@ -58,8 +63,15 @@ type HeavyHitters struct {
 	touched     []int32 // indices with pending[i] != 0
 	bump        []int64 // deferred priority bumps for resident keys
 	bumpTouched []int32 // indices with bump[i] != 0
-	resident    []bool  // per key: known resident since the last refresh
-	slot        []int32 // per key: candidate slot, valid while resident
+
+	// Residency cache: key ki is known resident iff residentEp[ki] == resEp.
+	// Bumping resEp invalidates every entry in O(1) — batch starts and
+	// refreshes would otherwise clear O(keys) flags each. resEp is uint64 so
+	// it never wraps; fresh (zeroed) entries never match because resEp ≥ 1
+	// from the first batch on.
+	resEp      uint64
+	residentEp []uint64 // per key: resEp value at which residency was recorded
+	slot       []int32  // per key: candidate slot, valid while resident
 }
 
 type hhKV struct {
@@ -109,6 +121,12 @@ func NewF2HeavyHitters(phi float64, rng *rand.Rand) *HeavyHitters {
 	return hh
 }
 
+// EnableDenseDomain declares that (almost) every key fed to this sketch
+// lies in [0, n); the underlying CountSketch then memoizes each key's hash
+// row once over the sketch's lifetime. Bit-identical; see
+// CountSketch.EnableDenseDomain.
+func (hh *HeavyHitters) EnableDenseDomain(n int) { hh.cs.EnableDenseDomain(n) }
+
 // initTable (re)allocates the candidate table for hh.cap.
 func (hh *HeavyHitters) initTable() {
 	size := 8
@@ -120,6 +138,7 @@ func (hh *HeavyHitters) initTable() {
 	hh.used = make([]bool, size)
 	hh.ki = make([]int32, size)
 	hh.kiEp = make([]uint32, size)
+	hh.live = make([]int32, 0, size)
 	hh.mask = uint64(size - 1)
 	hh.n = 0
 }
@@ -153,6 +172,7 @@ func (hh *HeavyHitters) insert(slot int, id uint64, pri int64) {
 	hh.ids[slot] = id
 	hh.pri[slot] = pri
 	hh.kiEp[slot] = 0
+	hh.live = append(hh.live, int32(slot))
 	hh.n++
 }
 
@@ -207,37 +227,55 @@ func (hh *HeavyHitters) admit(x uint64) {
 // fall back to the scalar path — same values either way.
 func (hh *HeavyHitters) refreshEvict() {
 	all := hh.refresh[:0]
+	if hh.cs.domain > 0 {
+		// Dense-domain mode: the batch-tagged and scalar estimate routes
+		// converge on the same persistent per-key memo, so the tag
+		// bookkeeping selects between identical values — skip it. Slot tags
+		// left stale by the rebuild are never read in this mode.
+		for _, si := range hh.live {
+			id := hh.ids[si]
+			all = append(all, hhKV{id: id, est: hh.cs.Estimate(id)})
+		}
+		keep := hh.cap / 2
+		selectTopKV(all, keep)
+		hh.refresh = all
+		clear(hh.used)
+		hh.live = hh.live[:0]
+		hh.n = 0
+		for _, p := range all[:keep] {
+			slot, _ := hh.findSlot(p.id)
+			hh.insert(slot, p.id, p.est)
+		}
+		hh.resEp++ // invalidate the residency cache: evictions changed who is resident
+		return
+	}
 	inBatch := hh.batchKeys != nil
 	ep := hh.epoch
-	for i, u := range hh.used {
-		if !u {
-			continue
-		}
-		id := hh.ids[i]
+	for _, si := range hh.live {
+		id := hh.ids[si]
 		var est int64
 		// The key equality re-check makes a stale tag (epoch wraparound)
 		// harmless: a wrong ki can never alias another key's memo.
-		if k := hh.ki[i]; inBatch && hh.kiEp[i] == ep &&
+		if k := hh.ki[si]; inBatch && hh.kiEp[si] == ep &&
 			int(k) < len(hh.batchKeys) && hh.batchKeys[k] == id {
 			est = hh.cs.EstimateBatched(k)
 		} else {
 			est = hh.cs.Estimate(id)
 		}
-		all = append(all, hhKV{id: id, est: est, ki: hh.ki[i], ep: hh.kiEp[i]})
+		all = append(all, hhKV{id: id, est: est, ki: hh.ki[si], ep: hh.kiEp[si]})
 	}
 	keep := hh.cap / 2
 	selectTopKV(all, keep)
 	hh.refresh = all
 	clear(hh.used)
+	hh.live = hh.live[:0]
 	hh.n = 0
 	for _, p := range all[:keep] {
 		slot, _ := hh.findSlot(p.id)
 		hh.insert(slot, p.id, p.est)
 		hh.ki[slot], hh.kiEp[slot] = p.ki, p.ep
 	}
-	for i := range hh.resident {
-		hh.resident[i] = false
-	}
+	hh.resEp++ // invalidate the residency cache: evictions changed who is resident
 }
 
 // selectTopKV partially orders a so that a[:k] holds the k strongest
@@ -332,15 +370,13 @@ func (hh *HeavyHitters) BeginBatch(keys []uint64) {
 	hh.bump = hh.bump[:len(keys)]
 	hh.touched = hh.touched[:0]
 	hh.bumpTouched = hh.bumpTouched[:0]
-	if cap(hh.resident) < len(keys) {
-		hh.resident = make([]bool, len(keys))
+	if cap(hh.residentEp) < len(keys) {
+		hh.residentEp = make([]uint64, len(keys))
 		hh.slot = make([]int32, len(keys))
 	}
-	hh.resident = hh.resident[:len(keys)]
+	hh.residentEp = hh.residentEp[:len(keys)]
 	hh.slot = hh.slot[:len(keys)]
-	for i := range hh.resident {
-		hh.resident[i] = false
-	}
+	hh.resEp++ // invalidate residency carried over from the previous batch
 }
 
 // AddBatched feeds one occurrence of batchKeys[ki]; identical to
@@ -351,7 +387,7 @@ func (hh *HeavyHitters) AddBatched(ki int32) {
 		hh.touched = append(hh.touched, ki)
 	}
 	hh.pending[ki]++
-	if hh.resident[ki] {
+	if hh.residentEp[ki] == hh.resEp {
 		if hh.bump[ki] == 0 {
 			hh.bumpTouched = append(hh.bumpTouched, ki)
 		}
@@ -363,7 +399,7 @@ func (hh *HeavyHitters) AddBatched(ki int32) {
 	if ok {
 		hh.pri[slot]++
 		hh.ki[slot], hh.kiEp[slot] = ki, hh.epoch
-		hh.resident[ki] = true
+		hh.residentEp[ki] = hh.resEp
 		hh.slot[ki] = int32(slot)
 		return
 	}
@@ -377,7 +413,7 @@ func (hh *HeavyHitters) AddBatched(ki int32) {
 	// insertion point unless the refresh rebuilt the table.
 	hh.insert(slot, x, hh.cs.EstimateBatched(ki))
 	hh.ki[slot], hh.kiEp[slot] = ki, hh.epoch
-	hh.resident[ki] = true
+	hh.residentEp[ki] = hh.resEp
 	hh.slot[ki] = int32(slot)
 }
 

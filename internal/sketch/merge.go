@@ -123,6 +123,7 @@ func (hh *HeavyHitters) Merge(other *HeavyHitters) error {
 		}
 		selectTopKV(all, hh.cap)
 		clear(hh.used)
+		hh.live = hh.live[:0]
 		hh.n = 0
 		for _, p := range all[:hh.cap] {
 			slot, _ := hh.findSlot(p.id)

@@ -124,7 +124,7 @@ func (hh *HeavyHitters) Restore(dec *HeavyHitters) error {
 	}
 	hh.total = dec.total
 	hh.ids, hh.pri, hh.used = dec.ids, dec.pri, dec.used
-	hh.ki, hh.kiEp = dec.ki, dec.kiEp
+	hh.ki, hh.kiEp, hh.live = dec.ki, dec.kiEp, dec.live
 	hh.mask, hh.n = dec.mask, dec.n
 	return nil
 }

@@ -165,6 +165,7 @@ func BenchmarkBinaryDecode(b *testing.B) {
 	}
 	blob := AppendBinary(nil, edges, m, n)
 	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		got, _, _, err := DecodeBinary(blob)

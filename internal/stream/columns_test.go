@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomColumns(count, m, n int, rng *rand.Rand) (sets, elems []uint32) {
+	sets = make([]uint32, count)
+	elems = make([]uint32, count)
+	for i := range sets {
+		sets[i] = uint32(rng.Intn(m))
+		elems[i] = uint32(rng.Intn(n))
+	}
+	return sets, elems
+}
+
+func TestColumnsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, count := range []int{0, 1, 7, 4096} {
+		sets, elems := randomColumns(count, 500, 9000, rng)
+		blob := AppendBinaryColumns(nil, sets, elems, 500, 9000)
+
+		var cols Columns
+		m, n, err := DecodeBinaryColumnsInto(blob, &cols)
+		if err != nil {
+			t.Fatalf("count=%d: decode: %v", count, err)
+		}
+		if m != 500 || n != 9000 || cols.Len() != count {
+			t.Fatalf("count=%d: got dims (%d,%d) len %d", count, m, n, cols.Len())
+		}
+		for i := range sets {
+			if cols.Sets[i] != sets[i] || cols.Elems[i] != elems[i] {
+				t.Fatalf("count=%d: edge %d mismatch", count, i)
+			}
+		}
+
+		// DecodeBinaryInto must sniff the columnar magic and agree.
+		var cols2 Columns
+		if m2, n2, err := DecodeBinaryInto(blob, &cols2); err != nil || m2 != m || n2 != n {
+			t.Fatalf("count=%d: DecodeBinaryInto: %v (%d,%d)", count, err, m2, n2)
+		}
+		for i := range sets {
+			if cols2.Sets[i] != sets[i] || cols2.Elems[i] != elems[i] {
+				t.Fatalf("count=%d: sniffed edge %d mismatch", count, i)
+			}
+		}
+	}
+}
+
+// TestDecodeBinaryIntoRowEquivalence pins the fused row decoder to
+// DecodeBinary: the same MKC1 blob must yield the same logical edges.
+func TestDecodeBinaryIntoRowEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sets, elems := randomColumns(3000, 200, 100000, rng)
+	edges := make([]Edge, len(sets))
+	for i := range edges {
+		edges[i] = Edge{Set: sets[i], Elem: elems[i]}
+	}
+	blob := AppendBinary(nil, edges, 200, 100000)
+
+	want, wm, wn, err := DecodeBinary(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cols Columns
+	m, n, err := DecodeBinaryInto(blob, &cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != wm || n != wn || cols.Len() != len(want) {
+		t.Fatalf("dims/len mismatch: (%d,%d) %d vs (%d,%d) %d", m, n, cols.Len(), wm, wn, len(want))
+	}
+	for i, e := range want {
+		if cols.Sets[i] != e.Set || cols.Elems[i] != e.Elem {
+			t.Fatalf("edge %d: (%d,%d) vs (%d,%d)", i, cols.Sets[i], cols.Elems[i], e.Set, e.Elem)
+		}
+	}
+}
+
+// TestDecodeColumnsReuse verifies repeated decodes into one Columns reuse
+// its backing arrays once grown.
+func TestDecodeColumnsReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sets, elems := randomColumns(1024, 64, 64, rng)
+	blob := AppendBinaryColumns(nil, sets, elems, 64, 64)
+
+	var cols Columns
+	if _, _, err := DecodeBinaryColumnsInto(blob, &cols); err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := &cols.Sets[0], &cols.Elems[0]
+	small := AppendBinaryColumns(nil, sets[:10], elems[:10], 64, 64)
+	if _, _, err := DecodeBinaryColumnsInto(small, &cols); err != nil {
+		t.Fatal(err)
+	}
+	if cols.Len() != 10 || &cols.Sets[0] != p0 || &cols.Elems[0] != p1 {
+		t.Fatal("smaller decode did not reuse the grown arrays")
+	}
+}
+
+func TestDecodeColumnsMalformed(t *testing.T) {
+	good := AppendBinaryColumns(nil, []uint32{1, 2}, []uint32{3, 4}, 10, 10)
+	cases := map[string][]byte{
+		"empty":          {},
+		"short magic":    good[:3],
+		"row magic":      AppendBinary(nil, []Edge{{Set: 1, Elem: 2}}, 10, 10),
+		"truncated dims": good[:5],
+		"truncated body": good[:len(good)-1],
+		"trailing byte":  append(append([]byte{}, good...), 0),
+		"set oob":        AppendBinaryColumns(nil, []uint32{10}, []uint32{0}, 10, 10),
+		"elem oob":       AppendBinaryColumns(nil, []uint32{0}, []uint32{10}, 10, 10),
+		"huge count": append([]byte{'M', 'K', 'C', '2'}, // m=1, n=1, count=2^40, no body
+			0x01, 0x01, 0x80, 0x80, 0x80, 0x80, 0x80, 0x40),
+	}
+	for name, blob := range cases {
+		var cols Columns
+		if _, _, err := DecodeBinaryColumnsInto(blob, &cols); err == nil {
+			t.Errorf("%s: decode accepted malformed blob", name)
+		}
+	}
+}

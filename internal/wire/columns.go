@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"streamcover/internal/stream"
+)
+
+// Columnar ingest encoding. TIngest and TIngestSeq payloads carry one
+// batch blob after the routing header; the blob's magic selects the
+// layout — row "MKC1" (uvarint edge pairs, stream.AppendBinary) or
+// columnar "MKC2" (two fixed-width ID columns, stream.AppendBinaryColumns).
+// No new frame types are involved, so columnar batches ride the existing
+// session, dedup and WAL machinery unchanged: a WAL record still stores
+// the frame type byte plus the verbatim payload, and replay sniffs the
+// same magic the live path does.
+//
+// The point of the columnar layout is zero-transform ingest: the client
+// accumulates edges as two ID columns, the encoder writes those columns
+// verbatim, and the server decodes them with a bulk copy straight into
+// arenas the core prepass consumes — no per-edge structs anywhere between
+// the client's Send call and the hash kernel.
+
+// EncodeIngestColumns frames a columnar batch: session name followed by
+// the edge columns as one MKC2 blob. buf is reused when capacity allows.
+func EncodeIngestColumns(buf []byte, name string, sets, elems []uint32, m, n int) []byte {
+	buf = appendName(buf[:0], name)
+	return stream.AppendBinaryColumns(buf, sets, elems, m, n)
+}
+
+// EncodeIngestSeqColumns frames a sequenced columnar batch: session name,
+// client source identity, per-session sequence number, then the edge
+// columns as one MKC2 blob. buf is reused when capacity allows.
+func EncodeIngestSeqColumns(buf []byte, name string, source, seq uint64, sets, elems []uint32, m, n int) []byte {
+	buf = appendName(buf[:0], name)
+	buf = binary.AppendUvarint(buf, source)
+	buf = binary.AppendUvarint(buf, seq)
+	return stream.AppendBinaryColumns(buf, sets, elems, m, n)
+}
+
+// DecodeIngestInto parses a TIngest payload of either batch encoding into
+// cols, reusing its backing arrays. IDs are validated against the blob's
+// own declared dims; the caller checks those against the session's.
+func DecodeIngestInto(p []byte, cols *stream.Columns) (name string, m, n int, err error) {
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	m, n, err = stream.DecodeBinaryInto(rest, cols)
+	return name, m, n, err
+}
+
+// DecodeIngestSeqInto parses a TIngestSeq payload of either batch
+// encoding into cols. Source and seq must both be nonzero (zero is the
+// "unsequenced" sentinel server-side).
+func DecodeIngestSeqInto(p []byte, cols *stream.Columns) (name string, source, seq uint64, m, n int, err error) {
+	name, rest, err := decodeName(p)
+	if err != nil {
+		return "", 0, 0, 0, 0, err
+	}
+	source, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return "", 0, 0, 0, 0, fmt.Errorf("wire: bad ingest source")
+	}
+	rest = rest[w:]
+	seq, w = binary.Uvarint(rest)
+	if w <= 0 {
+		return "", 0, 0, 0, 0, fmt.Errorf("wire: bad ingest sequence")
+	}
+	rest = rest[w:]
+	if source == 0 || seq == 0 {
+		return "", 0, 0, 0, 0, fmt.Errorf("wire: zero ingest source or sequence")
+	}
+	m, n, err = stream.DecodeBinaryInto(rest, cols)
+	if err != nil {
+		return "", 0, 0, 0, 0, err
+	}
+	return name, source, seq, m, n, nil
+}

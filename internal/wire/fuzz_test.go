@@ -41,17 +41,117 @@ func FuzzReadFrame(f *testing.F) {
 			t.Fatal("re-encoded frame differs from input prefix")
 		}
 		// Payload decoders must be panic-free on arbitrary accepted frames.
+		var cols stream.Columns
 		switch typ {
 		case TCreate:
 			_, _ = DecodeCreate(payload)
 		case TIngest:
 			_, _, _, _, _ = DecodeIngest(payload)
+			_, _, _, _ = DecodeIngestInto(payload, &cols)
 		case TIngestSeq:
 			_, _, _, _, _, _, _ = DecodeIngestSeq(payload)
+			_, _, _, _, _, _ = DecodeIngestSeqInto(payload, &cols)
 		case TQuery, TClose:
 			_, _ = DecodeRef(payload)
 		case TResult:
 			_, _ = DecodeResult(payload)
+		}
+	})
+}
+
+// FuzzDecodeIngestColumns drives the fused ingest decoder with arbitrary
+// payload bytes. It must never panic, and any payload it accepts must
+// survive a re-encode/decode round trip with identical name, dims and
+// columns (byte equality is not required — uvarint headers admit
+// non-minimal encodings the fuzzer will find).
+func FuzzDecodeIngestColumns(f *testing.F) {
+	sets := []uint32{1, 2, 1}
+	elems := []uint32{3, 0, 3}
+	f.Add(EncodeIngestColumns(nil, "s", sets, elems, 10, 10))
+	f.Add(EncodeIngest(nil, "s", []stream.Edge{{Set: 1, Elem: 2}}, 10, 10))
+	f.Add(EncodeIngestColumns(nil, "s", nil, nil, 1, 1))
+	trunc := EncodeIngestColumns(nil, "s", sets, elems, 10, 10)
+	f.Add(trunc[:len(trunc)-3])
+	f.Add(append(EncodeIngestColumns(nil, "s", sets, elems, 10, 10), 0xff))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var cols stream.Columns
+		name, m, n, err := DecodeIngestInto(payload, &cols)
+		if err != nil {
+			return
+		}
+		re := EncodeIngestColumns(nil, name, cols.Sets, cols.Elems, m, n)
+		var cols2 stream.Columns
+		name2, m2, n2, err := DecodeIngestInto(re, &cols2)
+		if err != nil {
+			t.Fatalf("re-encoded accepted payload rejected: %v", err)
+		}
+		if name2 != name || m2 != m || n2 != n || cols2.Len() != cols.Len() {
+			t.Fatalf("round trip drift: %q (%d,%d) %d vs %q (%d,%d) %d",
+				name, m, n, cols.Len(), name2, m2, n2, cols2.Len())
+		}
+		for i := range cols.Sets {
+			if cols2.Sets[i] != cols.Sets[i] || cols2.Elems[i] != cols.Elems[i] {
+				t.Fatalf("round trip edge %d drift", i)
+			}
+		}
+	})
+}
+
+// FuzzIngestRowColumnarEquivalence is the differential fuzz for the two
+// batch encodings: one logical batch encoded as rows and as columns must
+// decode identically through every decoder pairing.
+func FuzzIngestRowColumnarEquivalence(f *testing.F) {
+	f.Add("s", uint32(10), uint32(10), []byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add("session", uint32(1), uint32(1), []byte{})
+	f.Add("x", uint32(1<<20), uint32(1<<30), []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 9})
+	f.Fuzz(func(t *testing.T, name string, m, n uint32, raw []byte) {
+		if len(name) > MaxName {
+			name = name[:MaxName]
+		}
+		m = m%(1<<20) + 1
+		n = n%(1<<20) + 1
+		count := len(raw) / 8
+		edges := make([]stream.Edge, count)
+		sets := make([]uint32, count)
+		elems := make([]uint32, count)
+		for i := 0; i < count; i++ {
+			s := uint32(raw[8*i]) | uint32(raw[8*i+1])<<8 | uint32(raw[8*i+2])<<16 | uint32(raw[8*i+3])<<24
+			e := uint32(raw[8*i+4]) | uint32(raw[8*i+5])<<8 | uint32(raw[8*i+6])<<16 | uint32(raw[8*i+7])<<24
+			sets[i], elems[i] = s%m, e%n
+			edges[i] = stream.Edge{Set: sets[i], Elem: elems[i]}
+		}
+
+		row := EncodeIngest(nil, name, edges, int(m), int(n))
+		col := EncodeIngestColumns(nil, name, sets, elems, int(m), int(n))
+
+		rName, rEdges, rm, rn, err := DecodeIngest(row)
+		if err != nil {
+			t.Fatalf("row decode: %v", err)
+		}
+		var rowCols, colCols stream.Columns
+		riName, rim, rin, err := DecodeIngestInto(row, &rowCols)
+		if err != nil {
+			t.Fatalf("fused row decode: %v", err)
+		}
+		cName, cm, cn, err := DecodeIngestInto(col, &colCols)
+		if err != nil {
+			t.Fatalf("columnar decode: %v", err)
+		}
+		if rName != name || riName != name || cName != name {
+			t.Fatalf("name drift: %q %q %q vs %q", rName, riName, cName, name)
+		}
+		if rm != int(m) || rn != int(n) || rim != int(m) || rin != int(n) || cm != int(m) || cn != int(n) {
+			t.Fatal("dim drift across decoders")
+		}
+		if len(rEdges) != count || rowCols.Len() != count || colCols.Len() != count {
+			t.Fatalf("count drift: %d %d %d vs %d", len(rEdges), rowCols.Len(), colCols.Len(), count)
+		}
+		for i := 0; i < count; i++ {
+			if rEdges[i] != edges[i] ||
+				rowCols.Sets[i] != sets[i] || rowCols.Elems[i] != elems[i] ||
+				colCols.Sets[i] != sets[i] || colCols.Elems[i] != elems[i] {
+				t.Fatalf("edge %d drift across decoders", i)
+			}
 		}
 	})
 }

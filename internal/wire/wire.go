@@ -14,10 +14,12 @@
 //
 //	TCreate     uvarint len(name), name, uvarint m, uvarint n, uvarint k,
 //	            8-byte LE float64 alpha, 8-byte LE int64 seed
-//	TIngest     uvarint len(name), name, MKC1 blob (stream.AppendBinary)
-//	            whose declared dims must equal the session's
+//	TIngest     uvarint len(name), name, batch blob whose declared dims
+//	            must equal the session's. The blob's magic selects its
+//	            layout: row "MKC1" (stream.AppendBinary) or columnar
+//	            "MKC2" (stream.AppendBinaryColumns)
 //	TIngestSeq  uvarint len(name), name, uvarint source, uvarint seq,
-//	            MKC1 blob — a sequenced ingest: source is the client's
+//	            batch blob — a sequenced ingest: source is the client's
 //	            random nonzero identity, seq its per-session batch counter
 //	            starting at 1. The server logs the batch durably before
 //	            acking and dedups on (source, seq), so a client that

@@ -195,6 +195,33 @@ func (e *Estimator) ProcessBatch(edges []Edge) error {
 	return nil
 }
 
+// ProcessColumns consumes one batch of edges in struct-of-arrays form:
+// sets[i] and elems[i] are edge i's endpoint IDs, and both columns must
+// have equal length. It is the zero-transform counterpart of ProcessBatch
+// — a decoded wire batch's ID columns feed the core prepass directly with
+// no per-edge structs — with the same semantics: the whole batch is
+// validated up front and rejected atomically, and the resulting state is
+// bit-for-bit identical to calling Process on every (sets[i], elems[i])
+// in order. The columns must stay unmodified for the duration of the call.
+func (e *Estimator) ProcessColumns(sets, elems []uint32) error {
+	if len(sets) != len(elems) {
+		return fmt.Errorf("streamcover: column length mismatch (%d sets, %d elems)", len(sets), len(elems))
+	}
+	for _, s := range sets {
+		if int(s) >= e.m {
+			return fmt.Errorf("streamcover: set id %d >= m=%d", s, e.m)
+		}
+	}
+	for _, el := range elems {
+		if int(el) >= e.n {
+			return fmt.Errorf("streamcover: element id %d >= n=%d", el, e.n)
+		}
+	}
+	e.inner.ProcessColumns(sets, elems)
+	e.edges += len(sets)
+	return nil
+}
+
 // processValidated feeds pre-validated edges to the core batch path via
 // the reusable conversion buffer.
 func (e *Estimator) processValidated(edges []Edge) {
