@@ -28,6 +28,22 @@
 // in read-only mode until space frees. /healthz reports ok, degraded or
 // read-only (HTTP 503 for the latter two).
 //
+// Cluster mode: with -peers (and -node-id naming this node's entry in
+// that list) the daemon joins an N-node replication fleet. Sessions place
+// onto -replicas nodes by consistent hash; the placement's first node
+// leads, the rest follow, mirroring the leader's WAL byte for byte over
+// the ingest port (bootstrap rides a checkpoint snapshot) and replaying
+// it at the same fixed worker count — so replica estimator state is
+// byte-identical and /digest can prove it. Followers reject client
+// writes with a leader redirect but serve staleness-bounded reads.
+// Cluster mode requires -data (replication ships the WAL). The control
+// endpoints /cluster, /digest, /fence, /promote and /leader drive
+// inspection and orderly failover: fence the leader, wait for a follower
+// to drain the frozen head, then promote that follower.
+//
+//	kcoverd -listen :7600 -http :7601 -data /var/lib/kcoverd \
+//	  -node-id host1:7600 -peers host1:7600,host2:7600,host3:7600
+//
 // SIGINT/SIGTERM shut down gracefully: listeners close, worker queues
 // drain, a final checkpoint is written, then the process exits.
 package main
@@ -38,6 +54,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,8 +79,25 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-response write deadline (<=0 disables)")
 		retryMin     = flag.Duration("retry-min", 50*time.Millisecond, "minimum backoff of a degraded session's durability-recovery loop")
 		retryMax     = flag.Duration("retry-max", 5*time.Second, "maximum backoff of a degraded session's durability-recovery loop")
+
+		nodeID         = flag.String("node-id", "", "this node's identity in -peers (its peer-facing ingest address); required with -peers")
+		peers          = flag.String("peers", "", "comma-separated ingest addresses of every cluster node (including this one); enables cluster mode, requires -data")
+		replicas       = flag.Int("replicas", 0, "session placement width: leader + followers (0 = min(3, nodes))")
+		repHeartbeat   = flag.Duration("rep-heartbeat", 250*time.Millisecond, "leader WAL shipper heartbeat while followers are caught up (bounds follower staleness resolution)")
+		repReadTimeout = flag.Duration("rep-read-timeout", 2*time.Second, "follower-side bound on the gap between leader frames before the applier redials")
 	)
 	flag.Parse()
+
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peerList = append(peerList, p)
+		}
+	}
+	if len(peerList) > 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "kcoverd: cluster mode (-peers) requires -data (replication ships the WAL)")
+		os.Exit(2)
+	}
 
 	if *readTimeout <= 0 {
 		*readTimeout = -1 // Config treats 0 as "use default": make <=0 mean off
@@ -85,6 +119,11 @@ func main() {
 		WriteTimeout:    *writeTimeout,
 		RetryMin:        *retryMin,
 		RetryMax:        *retryMax,
+		NodeID:          *nodeID,
+		Peers:           peerList,
+		Replicas:        *replicas,
+		RepHeartbeat:    *repHeartbeat,
+		RepReadTimeout:  *repReadTimeout,
 	})
 	if err := srv.Start(*listen, *httpA); err != nil {
 		fmt.Fprintln(os.Stderr, "kcoverd:", err)

@@ -1,17 +1,26 @@
 // Command kcoverload runs declarative load/chaos scenarios against a
 // managed in-process kcoverd: each JSON spec describes a seeded workload,
 // a client fleet, timed phases with arrival-rate pacing, a daemon
-// lifecycle schedule (kill/restart/checkpoint) and a fault schedule
-// (disk-full budgets, fsync failures, I/O latency, partitions, delays),
-// plus pass/fail gates over the measurements. The report carries
-// per-phase throughput, client-observed p50/p95/p99 latency, and
+// lifecycle schedule (kill/restart/checkpoint, plus failover in cluster
+// mode) and a fault schedule (disk-full budgets, fsync failures, I/O
+// latency, partitions, delays, replication-plane partitions), plus
+// pass/fail gates over the measurements. The report carries per-phase
+// throughput, client-observed and server-side p50/p95/p99 latency, and
 // recovery-time-to-healthy for every fault window and restart.
+//
+// A spec with a "cluster" block runs an N-node replication fleet instead
+// of one daemon: sessions place onto replicas by consistent hash, ingest
+// goes through the cluster-aware client (which rides leader failovers),
+// and the report adds per-replica convergence rows — role, applied
+// watermark, and estimator digest, which must be byte-equal across the
+// fleet (see scenarios/cluster-failover.json).
 //
 // Usage:
 //
 //	kcoverload -spec scenarios/steady.json -out BENCH_scenarios.json
 //	kcoverload -spec scenarios/steady.json,scenarios/disk-full.json
 //	kcoverload -spec scenarios/steady.json -baseline BENCH_prev.json
+//	kcoverload -spec scenarios/cluster-failover.json
 //
 // Exit status is nonzero when any scenario fails a gate, so a CI job can
 // gate merges on it directly. kcoverload complements cmd/kcoverbench:
@@ -100,18 +109,28 @@ func printSummary(sr *scenario.ScenarioReport) {
 	fmt.Printf("%-24s %s  seed=%d digest=%s  %.0f edges/s  applied %d/%d\n",
 		sr.Name, status, sr.Seed, sr.StreamDigest, sr.Throughput(), sr.EdgesApplied, sr.EdgesSent)
 	for _, p := range sr.Phases {
-		fmt.Printf("  phase %-14s %6.2fs  %9.0f edges/s  p50=%.1fms p95=%.1fms p99=%.1fms\n",
+		fmt.Printf("  phase %-14s %6.2fs  %9.0f edges/s  p50=%.1fms p95=%.1fms p99=%.1fms",
 			p.Name, p.Seconds, p.EdgesPerSec, p.P50Millis, p.P95Millis, p.P99Millis)
+		if p.ServerP99Millis > 0 {
+			fmt.Printf("  server-p99=%.2fms gap=%.1fms", p.ServerP99Millis, p.P99GapMillis)
+		}
+		fmt.Println()
 	}
 	for _, f := range sr.Faults {
 		fmt.Printf("  fault %-14s [%.2fs,%.2fs]  recovery=%.0fms\n", f.Kind, f.StartSeconds, f.EndSeconds, f.RecoveryMillis)
 	}
 	for _, l := range sr.Lifecycle {
-		if l.Action == "restart" {
+		switch l.Action {
+		case "restart":
 			fmt.Printf("  %-20s at %.2fs  recovery=%.0fms\n", l.Action, l.AtSeconds, l.RecoveryMillis)
-		} else {
+		case "failover":
+			fmt.Printf("  %-20s at %.2fs  promoted=%s\n", l.Action, l.AtSeconds, l.Leader)
+		default:
 			fmt.Printf("  %-20s at %.2fs\n", l.Action, l.AtSeconds)
 		}
+	}
+	for _, r := range sr.Replicas {
+		fmt.Printf("  replica %-20s %-8s applied=%d digest=%s\n", r.Node, r.Role, r.Applied, shortDigest(r.Digest))
 	}
 	for _, g := range sr.Gates {
 		mark := "ok"
@@ -123,4 +142,13 @@ func printSummary(sr *scenario.ScenarioReport) {
 	if sr.Error != "" {
 		fmt.Printf("  error: %s\n", sr.Error)
 	}
+}
+
+// shortDigest truncates a hex digest for one-line display; the report
+// file keeps the full value.
+func shortDigest(d string) string {
+	if len(d) > 12 {
+		return d[:12]
+	}
+	return d
 }

@@ -65,6 +65,14 @@ var ErrSessionClosed = errors.New("client: connection closed by server")
 // server recovers. Callers seeing it from a round-trip can simply retry.
 var ErrServerBusy = errors.New("client: server busy (transient, retry)")
 
+// ErrNotLeader is wrapped into errors caused by a wire.TErrNotLeader
+// rejection: the node is a follower and will not take writes for the
+// session. Sequenced batches hit by it stay parked in the resend buffer
+// (the follower did not apply them), and the client fails fast instead of
+// redialing the same node — re-routing is a placement decision, made by
+// the Cluster wrapper (or the caller) rather than the connection loop.
+var ErrNotLeader = errors.New("client: node is not the session leader")
+
 // wrapLost tags a transport error as a lost-connection error exactly once.
 func wrapLost(err error) error {
 	if errors.Is(err, ErrSessionClosed) {
@@ -185,6 +193,19 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithSource overrides the client's random source identity. The server
+// deduplicates sequenced batches on (source, seq), so every client a
+// Cluster routes one logical stream through must share a source — the
+// new leader's replicated dedup state then recognizes a post-failover
+// resend of a batch the old leader had already shipped.
+func WithSource(v uint64) Option {
+	return func(c *Client) {
+		if v != 0 {
+			c.source = v
+		}
+	}
+}
+
 // WithOpTimeout bounds each network operation against the server: writes
 // get a write deadline, and round-trip requests (create, ping, query,
 // close) fail if no response arrives within d. A timed-out operation
@@ -229,9 +250,10 @@ type Client struct {
 	// comes back here for the next encode instead of the garbage collector.
 	payloadPool sync.Pool
 
-	amu      sync.Mutex // leaf lock: session registry, seq counters, unacked deques
-	states   map[string]*sessionState
-	asyncErr error // first error the server reported for a pipelined batch
+	amu        sync.Mutex // leaf lock: session registry, seq counters, unacked deques
+	states     map[string]*sessionState
+	asyncErr   error  // first error the server reported for a pipelined batch
+	leaderHint string // last redirect carried by a TErrNotLeader rejection
 }
 
 // sessionState is the client-side durable view of one named session: the
@@ -438,6 +460,17 @@ func (c *Client) readLoop(cn *netConn) {
 					w.ack(busy)
 					cn.lost(fmt.Errorf("%w (%w)", ErrSessionClosed, busy))
 					cn.c.Close()
+				case wire.TErrNotLeader:
+					// Placement rejection: the node is a follower and did
+					// NOT apply the batch. Park it like a busy rejection,
+					// record the redirect, and retire the epoch with a
+					// non-retryable error — redialing the same follower
+					// would only be rejected again, so connLocked fails
+					// fast and the Cluster wrapper re-routes to the leader.
+					nl := c.notLeaderErr(payload)
+					w.ack(nl)
+					cn.lost(fmt.Errorf("%w (%w)", ErrSessionClosed, nl))
+					cn.c.Close()
 				default:
 					w.ack(nil)
 				}
@@ -447,6 +480,9 @@ func (c *Client) readLoop(cn *netConn) {
 				// Fire-and-forget has no resend buffer; a busy-rejected
 				// batch is dropped (at-most-once), so surface it.
 				c.failAsync(fmt.Errorf("client: %w: %s", ErrServerBusy, payload))
+			case typ == wire.TErrNotLeader:
+				// Fire-and-forget to a follower: dropped, surface it.
+				c.failAsync(c.notLeaderErr(payload))
 			}
 		default:
 			cn.lost(fmt.Errorf("client: unexpected frame 0x%02x with no request outstanding", typ))
@@ -454,6 +490,27 @@ func (c *Client) readLoop(cn *netConn) {
 			return
 		}
 	}
+}
+
+// notLeaderErr turns a TErrNotLeader payload into a typed error and
+// records the redirect address it carries for LeaderHint.
+func (c *Client) notLeaderErr(payload []byte) error {
+	addr, err := wire.DecodeNotLeader(payload)
+	if err != nil || addr == "" {
+		return fmt.Errorf("client: %w: %s", ErrNotLeader, payload)
+	}
+	c.amu.Lock()
+	c.leaderHint = addr
+	c.amu.Unlock()
+	return fmt.Errorf("client: %w (leader %s)", ErrNotLeader, addr)
+}
+
+// LeaderHint returns the redirect address carried by the most recent
+// not-leader rejection, or "" if the node never redirected us.
+func (c *Client) LeaderHint() string {
+	c.amu.Lock()
+	defer c.amu.Unlock()
+	return c.leaderHint
 }
 
 func (c *Client) failAsync(err error) {
@@ -477,7 +534,7 @@ func (c *Client) asyncError() error {
 // not applied and stays parked for the post-backoff replay.
 func (c *Client) ackFunc(st *sessionState, seq uint64) func(error) {
 	return func(serverErr error) {
-		if errors.Is(serverErr, ErrServerBusy) {
+		if errors.Is(serverErr, ErrServerBusy) || errors.Is(serverErr, ErrNotLeader) {
 			return
 		}
 		var acked seqBatch
@@ -534,7 +591,10 @@ func (c *Client) connLocked() (*netConn, error) {
 	if lostErr == nil {
 		lostErr = ErrSessionClosed
 	}
-	if !c.reconnect {
+	if !c.reconnect || errors.Is(lostErr, ErrNotLeader) {
+		// A not-leader rejection is not repaired by redialing the same
+		// address: fail fast even with reconnect on, and let the Cluster
+		// wrapper (or the caller) re-route to the leader.
 		c.fatal = lostErr
 		return nil, c.fatal
 	}
@@ -674,6 +734,16 @@ func (c *Client) sendSequenced(st *sessionState, edges int, encode func(buf []by
 	}
 	cn, err := c.connLocked()
 	if err != nil {
+		// No epoch could be raised, but the caller's batch buffer is about
+		// to be discarded either way — park the batch so it is not lost
+		// with the connection. Nothing replays it here (replay needs an
+		// epoch), but a cluster failover adopts the deque wholesale, so
+		// the chunk still reaches the promoted leader exactly once.
+		c.amu.Lock()
+		st.nextSeq++
+		seq := st.nextSeq
+		st.unacked = append(st.unacked, seqBatch{seq: seq, payload: encode(c.payloadBuf(), seq), edges: edges, sentAt: time.Now()})
+		c.amu.Unlock()
 		return err
 	}
 	c.amu.Lock()
@@ -722,6 +792,9 @@ func (c *Client) roundTripOn(cn *netConn, typ byte, payload []byte) error {
 	}
 	if resp.typ == wire.TErrRetry {
 		return fmt.Errorf("client: %w: %s", ErrServerBusy, resp.payload)
+	}
+	if resp.typ == wire.TErrNotLeader {
+		return c.notLeaderErr(resp.payload)
 	}
 	return nil
 }
@@ -801,6 +874,9 @@ func (c *Client) roundTripOnce(typ byte, payload []byte) (response, error) {
 	if resp.typ == wire.TErrRetry {
 		return response{}, fmt.Errorf("client: %w: %s", ErrServerBusy, resp.payload)
 	}
+	if resp.typ == wire.TErrNotLeader {
+		return response{}, c.notLeaderErr(resp.payload)
+	}
 	return resp, nil
 }
 
@@ -830,6 +906,55 @@ func (c *Client) Create(name string, m, n, k int, alpha float64, seed int64) (*S
 // Send is not available until set via Create).
 func (c *Client) Session(name string) *Session {
 	return &Session{c: c, name: name, m: -1, n: -1}
+}
+
+// Role asks the server for the session's replication role: leader or
+// follower, the leader's identity, and the follower's applied position
+// and staleness.
+func (c *Client) Role(name string) (wire.RoleInfo, error) {
+	resp, err := c.roundTrip(wire.TRole, wire.EncodeRef(name))
+	if err != nil {
+		return wire.RoleInfo{}, err
+	}
+	if resp.typ != wire.TRoleInfo {
+		return wire.RoleInfo{}, fmt.Errorf("client: unexpected response 0x%02x to role", resp.typ)
+	}
+	return wire.DecodeRoleInfo(resp.payload)
+}
+
+// QueryStale queries a session with an explicit staleness bound. On a
+// leader it behaves like a plain query; on a follower it succeeds only if
+// the replica has proven itself no further than maxStale behind its
+// leader — otherwise the server answers with a transient rejection that
+// surfaces as ErrServerBusy, and the caller can fall back to the leader.
+func (c *Client) QueryStale(name string, maxStale time.Duration) (Result, error) {
+	resp, err := c.roundTrip(wire.TQueryStale, wire.EncodeQueryStale(name, int64(maxStale)))
+	if err != nil {
+		return Result{}, err
+	}
+	if resp.typ != wire.TResult {
+		return Result{}, fmt.Errorf("client: unexpected response 0x%02x to stale query", resp.typ)
+	}
+	wr, err := wire.DecodeResult(resp.payload)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Coverage:   wr.Coverage,
+		Feasible:   wr.Feasible,
+		SetIDs:     wr.SetIDs,
+		SpaceWords: wr.SpaceWords,
+		Edges:      wr.Edges,
+	}, nil
+}
+
+// permanentlyFailed reports whether the client's connection is gone for
+// good (reconnect disabled, exhausted, or retired by a not-leader
+// rejection). A Cluster replaces such node clients with fresh dials.
+func (c *Client) permanentlyFailed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fatal != nil
 }
 
 // Close flushes and closes the connection.

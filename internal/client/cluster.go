@@ -1,0 +1,557 @@
+// Cluster is the cluster-aware client for a kcoverd fleet. It routes by
+// the same consistent-hash ring the servers use: a session's ingest goes
+// to its placement leader, staleness-bounded queries fan out to its
+// followers, and when the leader is lost (or a node answers "not leader")
+// the client re-resolves placement, migrates the session's unacknowledged
+// resend buffer to the new leader's connection, and replays it. Because
+// every node client shares one source identity and the followers mirror
+// the leader's dedup state, the post-failover replay is deduplicated on
+// (source, seq) exactly like an ordinary reconnect resend — ingest stays
+// exactly-once across a promotion.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"streamcover"
+	"streamcover/internal/replica"
+	"streamcover/internal/wire"
+)
+
+// ClusterNode is one fleet member: ID is the node's cluster identity (its
+// peer-facing address, as configured in the server's NodeID/Peers — the
+// ring hashes these, and not-leader redirects carry them), Addr is where
+// this client dials the node's ingest listener. They differ when client
+// traffic goes through a proxy.
+type ClusterNode struct {
+	ID   string
+	Addr string
+}
+
+// Cluster routes sessions across a kcoverd fleet. Node clients are dialed
+// lazily and replaced when they fail permanently; all of them share one
+// source identity, managed by the Cluster (a WithSource option passed by
+// the caller is overridden).
+type Cluster struct {
+	ring     *replica.Ring
+	replicas int
+	opts     []Option
+	source   uint64
+
+	// FailoverWait bounds how long one failover waits for some node to
+	// take over as a session's leader before giving up. Promotion is a
+	// control-plane action (scenario driver, operator, orchestrator), so
+	// the client polls for its outcome.
+	FailoverWait time.Duration
+
+	mu      sync.Mutex
+	nodes   map[string]string  // node ID -> dial address
+	order   []string           // node IDs in the caller's order
+	clients map[string]*Client // lazily dialed, replaced on permanent failure
+	leaders map[string]string  // session -> leader node ID (failover overrides)
+	closed  bool
+}
+
+// DialCluster builds a cluster client over the fleet. replicas is the
+// placement width per session (<= 0: min(3, len(nodes)), matching the
+// server default). Nodes are dialed lazily, so a down node does not fail
+// DialCluster. The options are applied to every node client; reconnect is
+// forced on (resend-buffer migration depends on it) and the source
+// identity is shared across all node clients.
+func DialCluster(nodes []ClusterNode, replicas int, opts ...Option) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("client: cluster needs at least one node")
+	}
+	byID := make(map[string]string, len(nodes))
+	ids := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if n.ID == "" {
+			return nil, errors.New("client: cluster node with empty ID")
+		}
+		if _, dup := byID[n.ID]; dup {
+			return nil, fmt.Errorf("client: duplicate cluster node %q", n.ID)
+		}
+		addr := n.Addr
+		if addr == "" {
+			addr = n.ID
+		}
+		byID[n.ID] = addr
+		ids = append(ids, n.ID)
+	}
+	if replicas <= 0 {
+		replicas = len(nodes)
+		if replicas > 3 {
+			replicas = 3
+		}
+	}
+	ring, err := replica.NewRing(ids, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{
+		ring:         ring,
+		replicas:     replicas,
+		opts:         opts,
+		source:       newSource(),
+		FailoverWait: 15 * time.Second,
+		nodes:        byID,
+		order:        ids,
+		clients:      make(map[string]*Client),
+		leaders:      make(map[string]string),
+	}, nil
+}
+
+// Source returns the shared source identity stamped on every sequenced
+// batch the cluster sends, on whichever node client carries it.
+func (cl *Cluster) Source() uint64 { return cl.source }
+
+// Placement returns the session's placement node IDs, leader first, with
+// any failover override applied.
+func (cl *Cluster) Placement(name string) []string {
+	ids := cl.ring.Place(name, cl.replicas)
+	cl.mu.Lock()
+	leader := cl.leaders[name]
+	cl.mu.Unlock()
+	if leader == "" {
+		return ids
+	}
+	out := []string{leader}
+	for _, id := range ids {
+		if id != leader {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (cl *Cluster) setLeader(name, id string) {
+	cl.mu.Lock()
+	cl.leaders[name] = id
+	cl.mu.Unlock()
+}
+
+// nodeOpts are the options every node client is dialed with: the caller's
+// options, then the cluster's non-negotiables — reconnect on (a caller
+// WithReconnect still tunes the attempt budget) and the shared source.
+func (cl *Cluster) nodeOpts() []Option {
+	opts := make([]Option, 0, len(cl.opts)+2)
+	opts = append(opts, WithReconnect(0))
+	opts = append(opts, cl.opts...)
+	opts = append(opts, WithSource(cl.source))
+	return opts
+}
+
+// client returns a healthy client for the node, dialing lazily and
+// replacing one that failed permanently (reconnect exhausted, or retired
+// by a not-leader rejection — the node may well be reachable and useful
+// again, e.g. as a follower to query).
+func (cl *Cluster) client(id string) (*Client, error) {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, errors.New("client: cluster closed")
+	}
+	addr, ok := cl.nodes[id]
+	if !ok {
+		cl.mu.Unlock()
+		return nil, fmt.Errorf("client: unknown cluster node %q", id)
+	}
+	c := cl.clients[id]
+	cl.mu.Unlock()
+	if c != nil && !c.permanentlyFailed() {
+		return c, nil
+	}
+	nc, err := Dial(addr, cl.nodeOpts()...)
+	if err != nil {
+		return nil, err
+	}
+	cl.mu.Lock()
+	if cur := cl.clients[id]; cur != nil && cur != c && !cur.permanentlyFailed() {
+		// Lost a replacement race; use the winner.
+		cl.mu.Unlock()
+		nc.Close()
+		return cur, nil
+	}
+	cl.clients[id] = nc
+	cl.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	return nc, nil
+}
+
+// Close closes every node client.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	cl.closed = true
+	clients := make([]*Client, 0, len(cl.clients))
+	for _, c := range cl.clients {
+		clients = append(clients, c)
+	}
+	cl.clients = make(map[string]*Client)
+	cl.mu.Unlock()
+	var first error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Create opens the session on every node in its placement — the leader
+// first (it owns ingest), then the followers (their servers attach
+// replication appliers to the leader) — and returns a handle routed at
+// the leader.
+func (cl *Cluster) Create(name string, m, n, k int, alpha float64, seed int64) (*ClusterSession, error) {
+	ids := cl.Placement(name)
+	var sess *Session
+	for i, id := range ids {
+		c, err := cl.client(id)
+		if err != nil {
+			return nil, fmt.Errorf("client: cluster create %q on %s: %w", name, id, err)
+		}
+		s, err := c.Create(name, m, n, k, alpha, seed)
+		if err != nil {
+			return nil, fmt.Errorf("client: cluster create %q on %s: %w", name, id, err)
+		}
+		if i == 0 {
+			sess = s
+		}
+	}
+	return &ClusterSession{
+		cl: cl, name: name, m: m, n: n, k: k, alpha: alpha, seed: seed,
+		sess: sess, leaderID: ids[0],
+	}, nil
+}
+
+// ClusterSession is a cluster-routed session handle. Like Session it is
+// not safe for concurrent use; open one per goroutine.
+type ClusterSession struct {
+	cl       *Cluster
+	name     string
+	m, n, k  int
+	alpha    float64
+	seed     int64
+	sess     *Session // bound to the current leader's client
+	leaderID string
+}
+
+// Name returns the server-side session name.
+func (s *ClusterSession) Name() string { return s.name }
+
+// Leader returns the node ID the session's ingest is currently routed to.
+func (s *ClusterSession) Leader() string { return s.leaderID }
+
+// maxFailovers bounds how many leader changes one operation rides out
+// before giving up (each one already waits up to FailoverWait).
+const maxFailovers = 3
+
+// failoverable reports whether the error means "re-route", not "the
+// request is wrong": a not-leader rejection, or the leader's connection
+// being gone for good.
+func failoverable(err error) bool {
+	return errors.Is(err, ErrNotLeader) || errors.Is(err, ErrSessionClosed)
+}
+
+// Send buffers edges for ingest on the session's leader, riding out
+// leader changes. Edges are fed in chunks sized so a transport failure
+// can only happen with the whole chunk already parked in the resend
+// buffer — the failover migrates that buffer, so no edge is lost or sent
+// twice.
+func (s *ClusterSession) Send(edges []streamcover.Edge) error {
+	failovers := 0
+	for len(edges) > 0 {
+		take := s.sess.c.batchSize - len(s.sess.sets)
+		if take <= 0 || take > len(edges) {
+			take = len(edges)
+			if room := s.sess.c.batchSize; take > room {
+				take = room
+			}
+		}
+		err := s.sess.Send(edges[:take])
+		if err == nil {
+			edges = edges[take:]
+			continue
+		}
+		if !failoverable(err) || failovers >= maxFailovers {
+			return err
+		}
+		// The flush that failed fires only on the chunk's last edge, so
+		// the whole chunk is parked in the resend deque and migrates.
+		edges = edges[take:]
+		failovers++
+		if ferr := s.failover(err); ferr != nil {
+			return ferr
+		}
+	}
+	return nil
+}
+
+// Flush pushes buffered edges and waits for every outstanding batch to be
+// acknowledged by the current leader, following a promotion if the leader
+// changes mid-flush.
+func (s *ClusterSession) Flush() error {
+	failovers := 0
+	for {
+		err := s.sess.Flush()
+		if err == nil {
+			return nil
+		}
+		if !failoverable(err) || failovers >= maxFailovers {
+			return err
+		}
+		failovers++
+		if ferr := s.failover(err); ferr != nil {
+			return ferr
+		}
+	}
+}
+
+// Query flushes and queries the session's leader, following a promotion
+// if the leader changes underneath.
+func (s *ClusterSession) Query() (Result, error) {
+	failovers := 0
+	for {
+		res, err := s.sess.Query()
+		if err == nil {
+			return res, nil
+		}
+		if !failoverable(err) || failovers >= maxFailovers {
+			return Result{}, err
+		}
+		failovers++
+		if ferr := s.failover(err); ferr != nil {
+			return Result{}, ferr
+		}
+	}
+}
+
+// QueryStale reads from one of the session's followers, accepting results
+// at most maxStale behind the leader. Followers are tried in placement
+// order; one that is too stale (or unreachable) is skipped, and the
+// leader answers if no follower qualifies. Buffered edges are flushed
+// first so the caller's own writes are at least leader-visible.
+func (s *ClusterSession) QueryStale(maxStale time.Duration) (Result, error) {
+	if err := s.Flush(); err != nil {
+		return Result{}, err
+	}
+	var lastErr error
+	for _, id := range s.cl.Placement(s.name) {
+		if id == s.leaderID {
+			continue
+		}
+		c, err := s.cl.client(id)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		res, err := c.QueryStale(s.name, maxStale)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	res, err := s.sess.c.QueryStale(s.name, maxStale)
+	if err != nil && lastErr != nil {
+		return Result{}, fmt.Errorf("%w (followers: %v)", err, lastErr)
+	}
+	return res, err
+}
+
+// Role returns the current leader's view of the session's role.
+func (s *ClusterSession) Role() (wire.RoleInfo, error) {
+	return s.sess.c.Role(s.name)
+}
+
+// CloseSession flushes, then deletes the session on every placement node.
+func (s *ClusterSession) CloseSession() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	var first error
+	for _, id := range s.cl.Placement(s.name) {
+		c, err := s.cl.client(id)
+		if err == nil {
+			_, err = c.roundTrip(wire.TClose, wire.EncodeRef(s.name))
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+		if err == nil {
+			c.amu.Lock()
+			delete(c.states, s.name)
+			c.amu.Unlock()
+		}
+	}
+	return first
+}
+
+// failover re-resolves the session's leader and migrates the session to
+// it: the old client's unacknowledged batches and sequence counter move
+// to the new leader's client, and a forced reconnect there replays the
+// create plus the whole resend deque in order through the standard
+// reestablish path. prev is the error that triggered the failover, kept
+// for the give-up message.
+func (s *ClusterSession) failover(prev error) error {
+	deadline := time.Now().Add(s.cl.FailoverWait)
+	hint := s.sess.c.LeaderHint()
+	for {
+		id, err := s.cl.findLeader(s.name, s.leaderID, hint)
+		if err == nil {
+			if err = s.adopt(id); err == nil {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("client: no leader for session %q within %v (%v; trigger: %w)",
+				s.name, s.cl.FailoverWait, err, prev)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// findLeader polls the fleet for a node that reports itself leader of the
+// session: the redirect hint first, then placement order, then every
+// other node, with the node we are failing away from tried last (it may
+// have recovered). Followers' role answers name their leader, and those
+// names join the candidate queue.
+func (cl *Cluster) findLeader(name, avoid, hint string) (string, error) {
+	queue := make([]string, 0, len(cl.order)+2)
+	if hint != "" {
+		queue = append(queue, hint)
+	}
+	queue = append(queue, cl.Placement(name)...)
+	queue = append(queue, cl.order...)
+	seen := map[string]bool{}
+	var lastErr error
+	probe := func(id string) (bool, []string) {
+		c, err := cl.client(id)
+		if err != nil {
+			lastErr = err
+			return false, nil
+		}
+		ri, err := c.Role(name)
+		if err != nil {
+			lastErr = err
+			return false, nil
+		}
+		if ri.Role == wire.RoleLeader {
+			return true, nil
+		}
+		if ri.LeaderAddr != "" {
+			return false, []string{ri.LeaderAddr}
+		}
+		return false, nil
+	}
+	for i := 0; i < len(queue); i++ {
+		id := queue[i]
+		if seen[id] || id == avoid {
+			continue
+		}
+		seen[id] = true
+		ok, more := probe(id)
+		if ok {
+			return id, nil
+		}
+		queue = append(queue, more...)
+	}
+	if avoid != "" && !seen[avoid] {
+		if ok, _ := probe(avoid); ok {
+			return avoid, nil
+		}
+	}
+	return "", fmt.Errorf("client: no node reports leadership of session %q (last: %v)", name, lastErr)
+}
+
+// adopt re-routes the session to node id: create the session there (a
+// no-op if it exists), move the old client's parked batches and sequence
+// counter over, then retire the new client's connection epoch so the
+// reconnect machinery replays the create and the full resend deque in
+// sequence order. The server deduplicates any batch the fleet had already
+// applied, so the replay is exactly-once.
+func (s *ClusterSession) adopt(id string) error {
+	nc, err := s.cl.client(id)
+	if err != nil {
+		return err
+	}
+	old := s.sess.c
+	if nc == old {
+		// Same client object: nothing to migrate, its own reconnect
+		// machinery already replays the deque.
+		return nil
+	}
+	ns, err := nc.Create(s.name, s.m, s.n, s.k, s.alpha, s.seed)
+	if err != nil {
+		return err
+	}
+	var batches []seqBatch
+	var nextSeq uint64
+	old.amu.Lock()
+	if ost := old.states[s.name]; ost != nil {
+		batches, nextSeq = ost.unacked, ost.nextSeq
+		ost.unacked = nil
+		delete(old.states, s.name)
+	}
+	old.amu.Unlock()
+	st := ns.st
+	resend := false
+	nc.amu.Lock()
+	if nextSeq > st.nextSeq {
+		st.nextSeq = nextSeq
+	}
+	if len(batches) > 0 {
+		st.unacked = mergeBySeq(st.unacked, batches)
+		resend = true
+	}
+	nc.amu.Unlock()
+	if resend {
+		// Retire the epoch: the redial inside connLocked replays the
+		// session create and the merged deque in order, the one path in
+		// the client that already resends exactly-once.
+		nc.mu.Lock()
+		if nc.cn != nil && !nc.cn.failed() {
+			nc.cn.lost(fmt.Errorf("%w (cluster re-route)", ErrSessionClosed))
+			nc.cn.c.Close()
+		}
+		_, cerr := nc.connLocked()
+		nc.mu.Unlock()
+		if cerr != nil {
+			return cerr
+		}
+	}
+	// Carry over edges buffered but not yet framed.
+	ns.sets = append(ns.sets, s.sess.sets...)
+	ns.elems = append(ns.elems, s.sess.elems...)
+	s.sess.sets, s.sess.elems = nil, nil
+	s.sess = ns
+	s.leaderID = id
+	s.cl.setLeader(s.name, id)
+	return nil
+}
+
+// mergeBySeq merges two sequence-ordered deques into one.
+func mergeBySeq(a, b []seqBatch) []seqBatch {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]seqBatch, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].seq <= b[j].seq {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

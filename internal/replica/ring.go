@@ -1,0 +1,127 @@
+// Package replica implements kcoverd's cluster mode: consistent-hash
+// session placement, a leader-side WAL shipper, and a follower-side
+// apply loop.
+//
+// The design leans entirely on determinism already present in the
+// single-node engine. A session's WAL replay is bit-identical at a fixed
+// worker count, so replication is physical, not logical: the leader
+// ships its committed WAL records verbatim, each follower appends them
+// to its own log at the same positions and applies them through the same
+// fused decode path, and every replica's estimator — and on-disk log —
+// is byte-identical to the leader's. There is no consensus protocol
+// here: membership and failover decisions come from the control plane
+// (flags, the scenario harness, an operator), and the data plane's only
+// job is to make "caught up" mean "byte-equal".
+package replica
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per member — enough that a
+// three-node ring splits sessions within a few percent of evenly.
+const DefaultVnodes = 64
+
+// Ring places session names on cluster members by consistent hashing
+// with virtual nodes. Every node and every client builds the ring from
+// the same member list and therefore computes the same placement without
+// coordination; membership is fixed at construction (re-placement on
+// membership change is a control-plane decision, not the ring's).
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted, deduplicated
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int32
+}
+
+// NewRing builds a ring over members with vnodes virtual nodes each
+// (DefaultVnodes when vnodes <= 0). The member list is sorted and
+// deduplicated, so callers need not agree on order — only on the set.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("replica: ring needs at least one member")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	uniq := sorted[:1]
+	for _, m := range sorted[1:] {
+		if m != uniq[len(uniq)-1] {
+			uniq = append(uniq, m)
+		}
+	}
+	r := &Ring{
+		points:  make([]ringPoint, 0, len(uniq)*vnodes),
+		members: uniq,
+	}
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   ringHash(fmt.Sprintf("%s#%d", m, v)),
+				member: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member
+	})
+	return r, nil
+}
+
+// ringHash is FNV-1a (stable across processes and Go versions, unlike
+// the runtime map hash) pushed through a splitmix64-style finalizer:
+// raw FNV of short keys like "n1#7" is nearly sequential, which would
+// cluster all of a member's vnodes contiguously and starve its peers.
+func ringHash(s string) uint64 {
+	f := fnv.New64a()
+	f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Members returns the ring's member list (sorted, deduplicated).
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Place returns the n distinct members responsible for key, leader
+// first, walking clockwise from the key's hash. n is clamped to the
+// member count.
+func (r *Ring) Place(key string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, r.members[p.member])
+	}
+	return out
+}
+
+// Leader returns the member that leads key's session.
+func (r *Ring) Leader(key string) string { return r.Place(key, 1)[0] }

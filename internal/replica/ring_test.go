@@ -1,0 +1,68 @@
+package replica
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a, err := NewRing([]string{"n1", "n2", "n3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"n3", "n1", "n2", "n2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		pa, pb := a.Place(key, 3), b.Place(key, 3)
+		if len(pa) != 3 || len(pb) != 3 {
+			t.Fatalf("placement size %d/%d, want 3", len(pa), len(pb))
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("placement differs for %q: %v vs %v", key, pa, pb)
+			}
+		}
+		seen := map[string]bool{}
+		for _, m := range pa {
+			if seen[m] {
+				t.Fatalf("duplicate member in placement %v", pa)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 600; i++ {
+		counts[r.Leader(fmt.Sprintf("s%d", i))]++
+	}
+	for m, c := range counts {
+		if c < 60 {
+			t.Fatalf("member %s leads only %d/600 sessions — ring badly skewed: %v", m, c, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d members ever lead: %v", len(counts), counts)
+	}
+}
+
+func TestRingClampAndSingle(t *testing.T) {
+	r, err := NewRing([]string{"only"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Place("x", 5); len(got) != 1 || got[0] != "only" {
+		t.Fatalf("single-member placement %v", got)
+	}
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring built")
+	}
+}

@@ -26,14 +26,34 @@ type daemon struct {
 	inj     *fault.Injector
 
 	// Concrete addresses from the first start; restarts rebind them so
-	// clients and proxies reconnect without re-resolution.
+	// clients and proxies reconnect without re-resolution. Cluster nodes
+	// have them pre-reserved instead (identities must exist before any
+	// server's peer list can be built).
 	tcpAddr, httpAddr string
 
 	ingestProxy, httpProxy *fault.Proxy // nil unless spec.Proxy
+	// peerProxy fronts the replication plane of a cluster node under
+	// chaos: its address IS the node's cluster identity, so followers
+	// fetch WAL (and bootstrap checkpoints) through it whenever this
+	// node leads, and peer_partition severs replication without touching
+	// the client planes above.
+	peerProxy *fault.Proxy
+
+	clu *clusterWiring // nil outside cluster mode
 
 	mu    sync.Mutex
 	srv   *server.Server
 	alive bool
+}
+
+// clusterWiring is one node's slice of the fleet topology, fixed before
+// any node starts: its identity, the full peer list, and the replication
+// knobs shared by every node.
+type clusterWiring struct {
+	nodeID    string
+	peers     []string
+	replicas  int
+	heartbeat time.Duration
 }
 
 func newDaemon(spec DaemonSpec, dataDir string) *daemon {
@@ -58,6 +78,12 @@ func (d *daemon) config() server.Config {
 		cfg.CheckpointEvery = d.spec.CheckpointEvery.Duration
 		cfg.WALNoSync = d.spec.WALNoSync
 		cfg.FS = d.inj
+	}
+	if d.clu != nil {
+		cfg.NodeID = d.clu.nodeID
+		cfg.Peers = d.clu.peers
+		cfg.Replicas = d.clu.replicas
+		cfg.RepHeartbeat = d.clu.heartbeat
 	}
 	return cfg
 }
@@ -116,6 +142,18 @@ func (d *daemon) kill() {
 	if d.ingestProxy != nil {
 		d.ingestProxy.DropAll()
 	}
+	if d.peerProxy != nil {
+		// Sever live replication streams too, so the followers' appliers
+		// notice the dead leader immediately and start their redial loop.
+		d.peerProxy.DropAll()
+	}
+}
+
+// server returns the live server handle, if the daemon is up.
+func (d *daemon) server() (*server.Server, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.srv, d.alive
 }
 
 // checkpoint forces a checkpoint of every session (the "checkpoint"
@@ -145,6 +183,9 @@ func (d *daemon) shutdown(timeout time.Duration) error {
 	if d.ingestProxy != nil {
 		d.ingestProxy.Close()
 		d.httpProxy.Close()
+	}
+	if d.peerProxy != nil {
+		d.peerProxy.Close()
 	}
 	return err
 }
@@ -186,6 +227,14 @@ func (d *daemon) applyFault(f FaultSpec, on bool) {
 		} else {
 			d.ingestProxy.SetDelay(0)
 		}
+	case "peer_partition":
+		// Replication plane only: followers replicating (or bootstrapping)
+		// from this node lose their streams and their redials hang, while
+		// client ingest and queries continue on the other proxies.
+		d.peerProxy.Partition(on)
+		if on {
+			d.peerProxy.DropAll()
+		}
 	case "drop_conns":
 		if on {
 			d.ingestProxy.DropAll()
@@ -216,6 +265,10 @@ func (d *daemon) clearFaults() {
 		d.ingestProxy.SetDelay(0)
 		d.httpProxy.Partition(false)
 		d.httpProxy.SetDelay(0)
+	}
+	if d.peerProxy != nil {
+		d.peerProxy.Partition(false)
+		d.peerProxy.SetDelay(0)
 	}
 }
 

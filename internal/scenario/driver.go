@@ -22,21 +22,34 @@ type phaseAccum struct {
 	seconds float64
 }
 
+// ingestSession is the slice of the client surface the drivers use — a
+// single-node Session, or a ClusterSession that re-routes around leader
+// changes. Both flavors keep the exactly-once resend guarantees.
+type ingestSession interface {
+	Send(edges []streamcover.Edge) error
+	Flush() error
+	Query() (client.Result, error)
+}
+
 // fleet drives the generated stream into the daemon over Connections
 // parallel client connections, each with its own pacer (the phase's
 // target rate split evenly) and its own round-robin slice of the stream.
+// In cluster mode every connection is its own cluster-aware client (own
+// source identity, own failover state) routed at the session leader.
 //
 // Accounting is client-side on purpose: server /metrics counters reset
 // across a kill/restart, but the ack observer sees every successfully
 // acknowledged batch regardless of how many reconnects and replays it
 // took — so per-phase throughput and latency survive daemon lifecycles.
 type fleet struct {
-	spec    FleetSpec
-	clients []*client.Client
-	sess    []*client.Session
-	streams [][]streamcover.Edge
-	pacers  []*workload.Pacer
-	sent    []int64 // edges handed to Send, per connection (owner-written)
+	spec     FleetSpec
+	clients  []*client.Client
+	clusters []*client.Cluster
+	sess     []ingestSession
+	csess    []*client.ClusterSession // parallel to sess in cluster mode
+	streams  [][]streamcover.Edge
+	pacers   []*workload.Pacer
+	sent     []int64 // edges handed to Send, per connection (owner-written)
 
 	phaseIdx atomic.Int64
 	phases   []*phaseAccum
@@ -48,13 +61,12 @@ type fleet struct {
 
 // newFleet dials the fleet and creates (or attaches to) the session. The
 // first connection creates; the rest attach by issuing the same Create,
-// which the server treats as idempotent for identical dimensions.
-func newFleet(spec *Spec, addr string, edges []streamcover.Edge, m, n, k int) (*fleet, error) {
+// which the server treats as idempotent for identical dimensions. nodes
+// is nil for a single daemon; non-nil switches to cluster routing.
+func newFleet(spec *Spec, addr string, nodes []client.ClusterNode, edges []streamcover.Edge, m, n, k int) (*fleet, error) {
 	conns := spec.Fleet.Connections
 	f := &fleet{
 		spec:    spec.Fleet,
-		clients: make([]*client.Client, 0, conns),
-		sess:    make([]*client.Session, 0, conns),
 		streams: make([][]streamcover.Edge, conns),
 		pacers:  make([]*workload.Pacer, conns),
 		sent:    make([]int64, conns),
@@ -85,23 +97,44 @@ func newFleet(spec *Spec, addr string, edges []streamcover.Edge, m, n, k int) (*
 	dialOpts := []client.Option{
 		client.WithBatchSize(spec.Fleet.BatchEdges),
 		client.WithMaxPending(spec.Fleet.MaxPending),
+		client.WithBackoff(20*time.Millisecond, 500*time.Millisecond),
+		client.WithDialTimeout(2 * time.Second),
+		client.WithOpTimeout(5 * time.Second),
+		// Paced phases trickle batches below the pipeline window;
+		// without a flush cadence they would sit in the write buffer
+		// and neither arrive nor ack until the next blast.
+		client.WithFlushInterval(2 * time.Millisecond),
+		client.WithAckObserver(obs),
 	}
 	if spec.Fleet.Wire == "row" {
 		dialOpts = append(dialOpts, client.WithRowWire())
 	}
 	for i := 0; i < conns; i++ {
 		f.pacers[i] = workload.NewPacer(0)
-		cl, err := client.Dial(addr, append(dialOpts,
-			client.WithReconnect(100000),
-			client.WithBackoff(20*time.Millisecond, 500*time.Millisecond),
-			client.WithDialTimeout(2*time.Second),
-			client.WithOpTimeout(5*time.Second),
-			// Paced phases trickle batches below the pipeline window;
-			// without a flush cadence they would sit in the write buffer
-			// and neither arrive nor ack until the next blast.
-			client.WithFlushInterval(2*time.Millisecond),
-			client.WithAckObserver(obs),
-		)...)
+		if nodes != nil {
+			// A finite reconnect budget is load-bearing here: exhausting
+			// it against a dead leader is what surfaces the failoverable
+			// error that makes the ClusterSession re-resolve placement.
+			// The Cluster re-dials replaced clients, so the budget bounds
+			// one outage's patience, not the run's.
+			cl, err := client.DialCluster(nodes, spec.Cluster.Replicas,
+				append(dialOpts, client.WithReconnect(8))...)
+			if err != nil {
+				f.closeAll()
+				return nil, fmt.Errorf("fleet cluster dial %d: %w", i, err)
+			}
+			cl.FailoverWait = 30 * time.Second
+			f.clusters = append(f.clusters, cl)
+			cs, err := cl.Create(spec.Name, m, n, k, spec.Workload.Alpha, spec.Seed)
+			if err != nil {
+				f.closeAll()
+				return nil, fmt.Errorf("fleet cluster create %d: %w", i, err)
+			}
+			f.sess = append(f.sess, cs)
+			f.csess = append(f.csess, cs)
+			continue
+		}
+		cl, err := client.Dial(addr, append(dialOpts, client.WithReconnect(100000))...)
 		if err != nil {
 			f.closeAll()
 			return nil, fmt.Errorf("fleet dial %d: %w", i, err)
@@ -222,6 +255,9 @@ func (f *fleet) totalSent() int64 {
 
 func (f *fleet) closeAll() {
 	for _, cl := range f.clients {
+		cl.Close()
+	}
+	for _, cl := range f.clusters {
 		cl.Close()
 	}
 }

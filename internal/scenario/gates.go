@@ -4,8 +4,10 @@ import "fmt"
 
 // evaluateGates turns the spec's GateSpec into pass/fail rows against the
 // measured report. Zero-valued limits are skipped entirely — a scenario
-// only answers for the gates it declares.
-func evaluateGates(spec *Spec, rep *ScenarioReport, refMatch *bool, baseline *ScenarioReport) []GateResult {
+// only answers for the gates it declares. replicaConv carries the cluster
+// convergence verdict (nil when the check could not run), replicaDetail
+// the divergence, if any.
+func evaluateGates(spec *Spec, rep *ScenarioReport, refMatch *bool, replicaConv *bool, replicaDetail string, baseline *ScenarioReport) []GateResult {
 	g := spec.Gates
 	var out []GateResult
 
@@ -78,6 +80,19 @@ func evaluateGates(spec *Spec, rep *ScenarioReport, refMatch *bool, baseline *Sc
 			r.Actual = 1
 		} else {
 			r.Detail = "server result differs from the same-seed reference estimator"
+		}
+		out = append(out, r)
+	}
+
+	if g.RequireReplicaConvergence {
+		r := GateResult{Name: "require_replica_convergence"}
+		if replicaConv == nil {
+			r.Detail = "convergence check did not run (earlier failure)"
+		} else if *replicaConv {
+			r.Pass = true
+			r.Actual = float64(len(rep.Replicas))
+		} else {
+			r.Detail = replicaDetail
 		}
 		out = append(out, r)
 	}

@@ -29,26 +29,38 @@ type ScenarioReport struct {
 	Phases         []PhaseReport     `json:"phases"`
 	Faults         []FaultReport     `json:"faults,omitempty"`
 	Lifecycle      []LifecycleReport `json:"lifecycle,omitempty"`
-	ServerCounters map[string]int64  `json:"server_counters,omitempty"`
-	Gates          []GateResult      `json:"gates"`
-	Pass           bool              `json:"pass"`
-	Error          string            `json:"error,omitempty"`
+	// Leader and Replicas are cluster-mode only: the session's final
+	// leader and the end-of-run convergence snapshot of every live node.
+	Leader         string           `json:"leader,omitempty"`
+	Replicas       []ReplicaReport  `json:"replicas,omitempty"`
+	ServerCounters map[string]int64 `json:"server_counters,omitempty"`
+	Gates          []GateResult     `json:"gates"`
+	Pass           bool             `json:"pass"`
+	Error          string           `json:"error,omitempty"`
 }
 
-// PhaseReport is the client-observed view of one phase: edges acked
-// during the phase and first-write-to-ack latency percentiles (which
-// include busy-park and reconnect time — the latency a caller feels).
+// PhaseReport is the per-phase view from both vantage points: edges acked
+// during the phase and first-write-to-ack latency percentiles on the
+// client side (which include busy-park and reconnect time — the latency a
+// caller feels), and the server-side ingest-batch percentiles from the
+// /metrics histogram diff across the phase boundary. P99GapMillis is the
+// client p99 minus the server p99 — everything the server never sees:
+// network, wire framing, client queuing and park/reconnect windows.
 type PhaseReport struct {
-	Name        string  `json:"name"`
-	Seconds     float64 `json:"seconds"`
-	TargetRate  float64 `json:"target_rate,omitempty"`
-	EdgesAcked  int64   `json:"edges_acked"`
-	Batches     int64   `json:"batches_acked"`
-	EdgesPerSec float64 `json:"edges_per_sec"`
-	P50Millis   float64 `json:"p50_ms"`
-	P95Millis   float64 `json:"p95_ms"`
-	P99Millis   float64 `json:"p99_ms"`
-	MeanMillis  float64 `json:"mean_ms"`
+	Name            string  `json:"name"`
+	Seconds         float64 `json:"seconds"`
+	TargetRate      float64 `json:"target_rate,omitempty"`
+	EdgesAcked      int64   `json:"edges_acked"`
+	Batches         int64   `json:"batches_acked"`
+	EdgesPerSec     float64 `json:"edges_per_sec"`
+	P50Millis       float64 `json:"p50_ms"`
+	P95Millis       float64 `json:"p95_ms"`
+	P99Millis       float64 `json:"p99_ms"`
+	MeanMillis      float64 `json:"mean_ms"`
+	ServerP50Millis float64 `json:"server_p50_ms,omitempty"`
+	ServerP95Millis float64 `json:"server_p95_ms,omitempty"`
+	ServerP99Millis float64 `json:"server_p99_ms,omitempty"`
+	P99GapMillis    float64 `json:"p99_gap_ms,omitempty"`
 }
 
 // FaultReport records when a fault window actually ran and how long the
@@ -56,6 +68,7 @@ type PhaseReport struct {
 // RecoveryMillis is -1 when the daemon never recovered before shutdown.
 type FaultReport struct {
 	Kind           string  `json:"kind"`
+	Node           int     `json:"node,omitempty"`
 	StartSeconds   float64 `json:"start_seconds"`
 	EndSeconds     float64 `json:"end_seconds"`
 	RecoveryMillis float64 `json:"recovery_ms"`
@@ -63,10 +76,25 @@ type FaultReport struct {
 
 // LifecycleReport records a lifecycle action; RecoveryMillis is set for
 // restarts (time from restart to the first healthy scrape, -1 if never).
+// Leader is set for failovers: the identity of the promoted node.
 type LifecycleReport struct {
 	Action         string  `json:"action"`
+	Node           int     `json:"node,omitempty"`
 	AtSeconds      float64 `json:"at_seconds"`
 	RecoveryMillis float64 `json:"recovery_ms,omitempty"`
+	Leader         string  `json:"leader,omitempty"`
+}
+
+// ReplicaReport is one live node's row in the cluster convergence
+// snapshot: its role, applied watermark, and the SHA-256 digest of its
+// per-worker estimator state — byte-equal digests across the fleet are
+// the replication subsystem's correctness claim.
+type ReplicaReport struct {
+	Node             string  `json:"node"`
+	Role             string  `json:"role"`
+	Applied          uint64  `json:"applied"`
+	Digest           string  `json:"digest"`
+	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
 }
 
 // GateResult is one evaluated gate.

@@ -1,11 +1,9 @@
 package scenario
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
-	"net/http"
 	"os"
 	"slices"
 	"sort"
@@ -103,29 +101,59 @@ func Run(spec *Spec, opts Options) (*ScenarioReport, error) {
 		defer os.RemoveAll(dir)
 		dataDir = dir
 	}
-	d := newDaemon(spec.Daemon, dataDir)
-	if err := d.start(); err != nil {
+	ns, err := newNodeSet(spec, dataDir)
+	if err != nil {
+		return nil, fmt.Errorf("node set: %w", err)
+	}
+	if err := ns.startAll(); err != nil {
 		return nil, fmt.Errorf("daemon start: %w", err)
 	}
-	defer d.shutdown(30 * time.Second)
+	defer ns.shutdownAll(30 * time.Second)
 
-	coll := newCollector(d.healthAddr(), opts.PollInterval)
+	// One health collector per node, each at the proxied vantage point —
+	// recovery time for a fault on node i is read from node i's timeline.
+	colls := make([]*collector, len(ns.nodes))
+	for i, d := range ns.nodes {
+		colls[i] = newCollector(d.healthAddr(), opts.PollInterval)
+	}
+	haltColls := func() {
+		for _, c := range colls {
+			if c != nil {
+				c.halt()
+			}
+		}
+	}
 
-	fl, err := newFleet(spec, d.clientAddr(), edges, m, n, k)
+	var fl *fleet
+	if spec.clustered() {
+		fl, err = newFleet(spec, "", ns.clientNodes(), edges, m, n, k)
+	} else {
+		fl, err = newFleet(spec, ns.nodes[0].clientAddr(), nil, edges, m, n, k)
+	}
 	if err != nil {
-		coll.halt()
+		haltColls()
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	defer fl.closeAll()
 
+	// Server latency histograms are snapshotted at every phase boundary
+	// so each phase gets its own server-side percentile diff. The first
+	// snapshot lands before the fleet starts — the drivers run unpaced
+	// until the first setPhase, so the scrape must not widen that window.
+	snaps := make([]serverHists, 0, len(spec.Phases)+1)
+	snaps = append(snaps, scrapeHists(ns.liveHTTPAddrs()))
+
 	runStart := time.Now()
-	sched := newScheduler(spec, d, fl, runStart, opts)
+	sched := newScheduler(spec, ns, runStart, opts)
 	sched.start()
 	fl.start()
 
 	// Drive the phases: ack accounting and pacing switch at each
 	// boundary; the wall clock is authoritative for phase length.
 	for pi, ph := range spec.Phases {
+		if pi > 0 {
+			snaps = append(snaps, scrapeHists(ns.liveHTTPAddrs()))
+		}
 		phStart := time.Now()
 		fl.setPhase(pi, ph.Rate)
 		opts.logf("[%s] phase %q: %v at %s", spec.Name, ph.Name, ph.Duration.Duration, rateStr(ph.Rate))
@@ -137,16 +165,26 @@ func Run(spec *Spec, opts Options) (*ScenarioReport, error) {
 	sched.wait()
 	// Residual safety: no fault may outlive the run, whatever the
 	// schedule did.
-	d.clearFaults()
+	ns.clearAllFaults()
 
 	// The barrier: every sent edge acknowledged (replaying through any
-	// remaining busy window), then the daemon observed healthy — which is
-	// also what closes out the recovery-time measurements.
+	// remaining busy window), then every live daemon observed healthy —
+	// which is also what closes out the recovery-time measurements.
 	flushErr := fl.flushAll()
-	healthy := coll.waitHealthy(30 * time.Second)
+	// The last phase's server-side window closes after the flush so its
+	// diff covers the batches the flush replayed.
+	snaps = append(snaps, scrapeHists(ns.liveHTTPAddrs()))
+	healthy := true
+	for i, d := range ns.nodes {
+		if _, ok := d.server(); ok && !colls[i].waitHealthy(30*time.Second) {
+			healthy = false
+		}
+	}
 	rep.ElapsedSeconds = time.Since(runStart).Seconds()
 
-	// Per-phase client-side accounting.
+	// Per-phase accounting: the client-observed view from the ack
+	// observer, and the server-side ingest percentiles from the
+	// /metrics histogram diff across the phase boundary.
 	for pi, ph := range spec.Phases {
 		acc := fl.phases[pi]
 		pr := PhaseReport{
@@ -165,12 +203,20 @@ func Run(spec *Spec, opts Options) (*ScenarioReport, error) {
 			pr.P99Millis = float64(acc.hist.Quantile(0.99)) / 1e6
 			pr.MeanMillis = float64(acc.hist.Mean()) / 1e6
 		}
+		if sh := snaps[pi+1].diff(snaps[pi])["ingest_batch_nanos"]; len(sh) > 0 {
+			pr.ServerP50Millis = histQuantile(sh, 0.50) / 1e6
+			pr.ServerP95Millis = histQuantile(sh, 0.95) / 1e6
+			pr.ServerP99Millis = histQuantile(sh, 0.99) / 1e6
+			if pr.P99Millis > 0 {
+				pr.P99GapMillis = pr.P99Millis - pr.ServerP99Millis
+			}
+		}
 		rep.Phases = append(rep.Phases, pr)
 	}
 
 	// Fault and lifecycle outcomes, with recovery measured from the
-	// collector's timeline.
-	rep.Faults, rep.Lifecycle = sched.reports(coll, runStart)
+	// target node's collector timeline.
+	rep.Faults, rep.Lifecycle = sched.reports(colls, runStart)
 
 	var gateErrs []string
 	sched.mu.Lock()
@@ -183,16 +229,20 @@ func Run(spec *Spec, opts Options) (*ScenarioReport, error) {
 		gateErrs = append(gateErrs, fmt.Sprintf("flush: %v", flushErr))
 	}
 	if !healthy {
-		gateErrs = append(gateErrs, "daemon never returned to healthy after the run")
+		gateErrs = append(gateErrs, "a daemon never returned to healthy after the run")
 	}
 
 	// Server-side truth: the applied edge count and the estimate.
 	var refMatch *bool
+	var res client.Result
+	queried := false
 	if flushErr == nil && driveErr == nil {
-		res, qerr := fl.sess[0].Query()
+		var qerr error
+		res, qerr = fl.sess[0].Query()
 		if qerr != nil {
 			gateErrs = append(gateErrs, fmt.Sprintf("final query: %v", qerr))
 		} else {
+			queried = true
 			rep.EdgesApplied = int64(res.Edges)
 			rep.EdgesSent = fl.totalSent()
 			rep.Coverage = res.Coverage
@@ -207,11 +257,38 @@ func Run(spec *Spec, opts Options) (*ScenarioReport, error) {
 	} else {
 		rep.EdgesSent = fl.totalSent()
 	}
-	rep.ServerCounters = scrapeCounters(d.httpAddr)
 
-	coll.halt()
+	// Cluster runs close with the convergence protocol: wait for every
+	// follower to reach the leader's durable head with a byte-equal
+	// digest, then prove a staleness-bounded follower read answers
+	// exactly like the leader.
+	var replicaConv *bool
+	var replicaDetail string
+	if spec.clustered() {
+		rows, leader, cerr := ns.awaitConvergence(spec.Name, 30*time.Second)
+		rep.Replicas, rep.Leader = rows, leader
+		if queried {
+			ok := cerr == nil
+			if cerr != nil {
+				replicaDetail = cerr.Error()
+			} else if sres, serr := fl.csess[0].QueryStale(spec.Cluster.MaxStale.Duration); serr != nil {
+				ok, replicaDetail = false, fmt.Sprintf("follower read: %v", serr)
+			} else if sres.Coverage != res.Coverage || sres.Edges != res.Edges {
+				ok, replicaDetail = false, fmt.Sprintf(
+					"follower read {cov=%g edges=%d} != leader {cov=%g edges=%d}",
+					sres.Coverage, sres.Edges, res.Coverage, res.Edges)
+			}
+			replicaConv = &ok
+			if !ok {
+				opts.logf("[%s] replica divergence: %s", spec.Name, replicaDetail)
+			}
+		}
+	}
+	rep.ServerCounters = sumCounters(ns.liveHTTPAddrs())
 
-	rep.Gates = evaluateGates(spec, rep, refMatch, opts.Baseline)
+	haltColls()
+
+	rep.Gates = evaluateGates(spec, rep, refMatch, replicaConv, replicaDetail, opts.Baseline)
 	rep.Pass = len(gateErrs) == 0
 	for _, g := range rep.Gates {
 		if !g.Pass {
@@ -282,24 +359,6 @@ func referenceMatch(spec *Spec, fl *fleet, m, n, k int, got client.Result) (bool
 	return true, ""
 }
 
-// scrapeCounters reads the final /metrics counters directly (not through
-// the proxy — faults are cleared by now and we want the unfiltered view).
-func scrapeCounters(httpAddr string) map[string]int64 {
-	hc := &http.Client{Timeout: 2 * time.Second}
-	resp, err := hc.Get("http://" + httpAddr + "/metrics")
-	if err != nil {
-		return nil
-	}
-	defer resp.Body.Close()
-	var body struct {
-		Counters map[string]int64 `json:"counters"`
-	}
-	if json.NewDecoder(resp.Body).Decode(&body) != nil {
-		return nil
-	}
-	return body.Counters
-}
-
 // scheduler fires the spec's fault windows and lifecycle events at their
 // offsets from run start, on one goroutine, and records when each
 // actually ran.
@@ -324,25 +383,29 @@ type schedEvent struct {
 
 type faultRec struct {
 	kind       string
+	node       int
 	start, end time.Time
 }
 
 type lifeRec struct {
 	action string
+	node   int
+	leader string // failover: the promoted node
 	at     time.Time
 }
 
-func newScheduler(spec *Spec, d *daemon, fl *fleet, runStart time.Time, opts Options) *scheduler {
+func newScheduler(spec *Spec, ns *nodeSet, runStart time.Time, opts Options) *scheduler {
 	s := &scheduler{opts: opts, name: spec.Name, start0: runStart, done: make(chan struct{})}
 	for _, f := range spec.Faults {
 		f := f
+		d := ns.nodes[f.Node]
 		idx := -1 // resolved at start-fire time
 		s.events = append(s.events, schedEvent{
 			at:   f.At.Duration,
-			desc: "fault " + f.Kind + " on",
+			desc: fmt.Sprintf("fault %s on (node %d)", f.Kind, f.Node),
 			fire: func(s *scheduler, now time.Time) {
 				s.mu.Lock()
-				s.faultRecs = append(s.faultRecs, faultRec{kind: f.Kind, start: now})
+				s.faultRecs = append(s.faultRecs, faultRec{kind: f.Kind, node: f.Node, start: now})
 				idx = len(s.faultRecs) - 1
 				s.mu.Unlock()
 				d.applyFault(f, true)
@@ -359,7 +422,7 @@ func newScheduler(spec *Spec, d *daemon, fl *fleet, runStart time.Time, opts Opt
 		}
 		s.events = append(s.events, schedEvent{
 			at:   f.At.Duration + f.Duration.Duration,
-			desc: "fault " + f.Kind + " off",
+			desc: fmt.Sprintf("fault %s off (node %d)", f.Kind, f.Node),
 			fire: func(s *scheduler, now time.Time) {
 				d.applyFault(f, false)
 				s.mu.Lock()
@@ -377,16 +440,22 @@ func newScheduler(spec *Spec, d *daemon, fl *fleet, runStart time.Time, opts Opt
 			desc: "lifecycle " + e.Action,
 			fire: func(s *scheduler, now time.Time) {
 				var err error
+				rec := lifeRec{action: e.Action, node: e.Node, at: now}
 				switch e.Action {
 				case "kill":
-					d.kill()
+					ns.nodes[e.Node].kill()
 				case "restart":
-					err = d.start()
+					err = ns.nodes[e.Node].start()
 				case "checkpoint":
-					err = d.checkpoint()
+					err = ns.nodes[e.Node].checkpoint()
+				case "failover":
+					rec.leader, err = ns.failover(spec.Name)
+					if err == nil {
+						s.opts.logf("[%s] failover: promoted %s", s.name, rec.leader)
+					}
 				}
 				s.mu.Lock()
-				s.lifeRecs = append(s.lifeRecs, lifeRec{action: e.Action, at: now})
+				s.lifeRecs = append(s.lifeRecs, rec)
 				if err != nil {
 					s.errs = append(s.errs, fmt.Sprintf("%s: %v", e.Action, err))
 				}
@@ -413,18 +482,19 @@ func (s *scheduler) start() {
 func (s *scheduler) wait() { <-s.done }
 
 // reports turns the recorded timeline into report rows, deriving each
-// recovery time from the collector's health samples.
-func (s *scheduler) reports(coll *collector, runStart time.Time) ([]FaultReport, []LifecycleReport) {
+// recovery time from the target node's collector samples.
+func (s *scheduler) reports(colls []*collector, runStart time.Time) ([]FaultReport, []LifecycleReport) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var faults []FaultReport
 	for _, r := range s.faultRecs {
 		fr := FaultReport{
 			Kind:         r.kind,
+			Node:         r.node,
 			StartSeconds: r.start.Sub(runStart).Seconds(),
 			EndSeconds:   r.end.Sub(runStart).Seconds(),
 		}
-		if rec := coll.recoveryAfter(r.end); rec >= 0 {
+		if rec := colls[r.node].recoveryAfter(r.end); rec >= 0 {
 			fr.RecoveryMillis = float64(rec) / 1e6
 		} else {
 			fr.RecoveryMillis = -1
@@ -433,9 +503,9 @@ func (s *scheduler) reports(coll *collector, runStart time.Time) ([]FaultReport,
 	}
 	var life []LifecycleReport
 	for _, r := range s.lifeRecs {
-		lr := LifecycleReport{Action: r.action, AtSeconds: r.at.Sub(runStart).Seconds()}
+		lr := LifecycleReport{Action: r.action, Node: r.node, AtSeconds: r.at.Sub(runStart).Seconds(), Leader: r.leader}
 		if r.action == "restart" {
-			if rec := coll.recoveryAfter(r.at); rec >= 0 {
+			if rec := colls[r.node].recoveryAfter(r.at); rec >= 0 {
 				lr.RecoveryMillis = float64(rec) / 1e6
 			} else {
 				lr.RecoveryMillis = -1

@@ -163,3 +163,74 @@ func TestRunKillRestartMini(t *testing.T) {
 		t.Fatalf("restart recovery not measured: %+v", restart)
 	}
 }
+
+// TestRunClusterFailoverMini is the harness-level acceptance slice: a
+// 3-node fleet ingests through overlapping replication partitions (every
+// node's peer plane cut in turn, so the whole plane is severed whatever
+// the placement chose) and an orderly leader failover, and must still end
+// with every surviving replica byte-equal to the fault-free single-node
+// reference, every edge applied exactly once, and a staleness-bounded
+// follower read agreeing with the leader.
+func TestRunClusterFailoverMini(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end cluster scenario run")
+	}
+	spec, err := ParseSpec([]byte(`{
+		"name": "cluster-failover-mini", "seed": 17,
+		"workload": {"family": "uniform", "n": 2000, "m": 200, "k": 10},
+		"fleet": {"connections": 2, "batch_edges": 256},
+		"daemon": {"durable": true, "wal_nosync": true, "proxy": true, "checkpoint_every": "500ms"},
+		"cluster": {"nodes": 3, "heartbeat": "25ms", "max_stale": "5s"},
+		"phases": [
+			{"name": "warm", "duration": "1s", "rate": 3000},
+			{"name": "chaos", "duration": "2s", "rate": 2000},
+			{"name": "settle", "duration": "1500ms", "rate": 1000}
+		],
+		"faults": [
+			{"kind": "peer_partition", "at": "1s", "duration": "600ms", "node": 0},
+			{"kind": "peer_partition", "at": "1200ms", "duration": "600ms", "node": 1},
+			{"kind": "peer_partition", "at": "1400ms", "duration": "600ms", "node": 2}
+		],
+		"lifecycle": [{"at": "3200ms", "action": "failover"}],
+		"gates": {"require_exactly_once": true, "require_reference_match": true, "require_replica_convergence": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, Options{PollInterval: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("cluster failover mini failed: %+v error=%s", rep.Gates, rep.Error)
+	}
+	if rep.EdgesSent == 0 || rep.EdgesApplied != rep.EdgesSent {
+		t.Fatalf("sent=%d applied=%d", rep.EdgesSent, rep.EdgesApplied)
+	}
+	if len(rep.Lifecycle) != 1 || rep.Lifecycle[0].Action != "failover" || rep.Lifecycle[0].Leader == "" {
+		t.Fatalf("failover not recorded with the promoted leader: %+v", rep.Lifecycle)
+	}
+	if rep.Leader != rep.Lifecycle[0].Leader {
+		t.Fatalf("final leader %q != promoted %q", rep.Leader, rep.Lifecycle[0].Leader)
+	}
+	// One node died in the failover; the two survivors must both report,
+	// byte-equal, with exactly one of them leading.
+	if len(rep.Replicas) != 2 {
+		t.Fatalf("replica snapshot: %+v", rep.Replicas)
+	}
+	leaders := 0
+	for _, r := range rep.Replicas {
+		if r.Role == "leader" {
+			leaders++
+		}
+		if r.Digest != rep.Replicas[0].Digest {
+			t.Fatalf("survivors diverged: %+v", rep.Replicas)
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders in the final snapshot: %+v", leaders, rep.Replicas)
+	}
+	if len(rep.Faults) != 3 {
+		t.Fatalf("faults: %+v", rep.Faults)
+	}
+}

@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// Server-side latency scraping: /metrics exposes raw power-of-two latency
+// buckets (histInfo: parallel upper-bound and count slices). The harness
+// snapshots them at every phase boundary and diffs, which yields true
+// per-phase server-side percentiles to sit next to the client-observed
+// ones in the report — the gap between the two is the latency the server
+// never sees (network, wire framing, client queuing, busy-park and
+// reconnect windows).
+
+// serverHists is one scrape, merged across nodes: histogram name ->
+// bucket upper bound (nanos) -> count.
+type serverHists map[string]map[int64]int64
+
+var scrapeClient = &http.Client{Timeout: 2 * time.Second}
+
+// scrapeHists reads /metrics latency_buckets from every address and merges
+// the bucket counts. Unreachable nodes contribute nothing — the diff
+// below clamps at zero, so a node restarting (histogram reset) or dying
+// between snapshots degrades the phase's server percentiles instead of
+// corrupting them.
+func scrapeHists(addrs []string) serverHists {
+	out := serverHists{}
+	for _, addr := range addrs {
+		resp, err := scrapeClient.Get("http://" + addr + "/metrics")
+		if err != nil {
+			continue
+		}
+		var body struct {
+			Hists map[string]struct {
+				Uppers []int64 `json:"uppers"`
+				Counts []int64 `json:"counts"`
+			} `json:"latency_buckets"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for name, h := range body.Hists {
+			m := out[name]
+			if m == nil {
+				m = map[int64]int64{}
+				out[name] = m
+			}
+			for i, up := range h.Uppers {
+				if i < len(h.Counts) {
+					m[up] += h.Counts[i]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// diff returns the per-bucket growth from prev to h, clamped at zero.
+func (h serverHists) diff(prev serverHists) serverHists {
+	out := serverHists{}
+	for name, cur := range h {
+		m := map[int64]int64{}
+		for up, c := range cur {
+			if p := prev[name][up]; c > p {
+				m[up] = c - p
+			}
+		}
+		if len(m) > 0 {
+			out[name] = m
+		}
+	}
+	return out
+}
+
+// histQuantile estimates the q-quantile (nanos) of one diffed histogram,
+// interpolating linearly inside the landing bucket. Buckets are
+// power-of-two: a bucket's lower bound is half its upper bound (0 for the
+// first). Returns 0 for an empty histogram.
+func histQuantile(h map[int64]int64, q float64) float64 {
+	if len(h) == 0 {
+		return 0
+	}
+	uppers := make([]int64, 0, len(h))
+	var total int64
+	for up, c := range h {
+		uppers = append(uppers, up)
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Slice(uppers, func(i, j int) bool { return uppers[i] < uppers[j] })
+	target := q * float64(total)
+	var cum float64
+	for _, up := range uppers {
+		c := float64(h[up])
+		if cum+c >= target {
+			lower := float64(up) / 2
+			if up == uppers[0] {
+				lower = 0
+			}
+			frac := (target - cum) / c
+			return lower + (float64(up)-lower)*frac
+		}
+		cum += c
+	}
+	return float64(uppers[len(uppers)-1])
+}
+
+// sumCounters scrapes /metrics counters from every address and sums them
+// per key — in cluster mode the rep_* counters then describe the fleet,
+// not one node. Returns nil if no node answered.
+func sumCounters(addrs []string) map[string]int64 {
+	var out map[string]int64
+	for _, addr := range addrs {
+		resp, err := scrapeClient.Get("http://" + addr + "/metrics")
+		if err != nil {
+			continue
+		}
+		var body struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		if out == nil {
+			out = map[string]int64{}
+		}
+		for k, v := range body.Counters {
+			out[k] += v
+		}
+	}
+	return out
+}

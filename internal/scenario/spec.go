@@ -52,10 +52,42 @@ type Spec struct {
 	Workload    WorkloadSpec `json:"workload"`
 	Fleet       FleetSpec    `json:"fleet"`
 	Daemon      DaemonSpec   `json:"daemon"`
+	Cluster     *ClusterSpec `json:"cluster,omitempty"`
 	Phases      []PhaseSpec  `json:"phases"`
 	Lifecycle   []LifeEvent  `json:"lifecycle,omitempty"`
 	Faults      []FaultSpec  `json:"faults,omitempty"`
 	Gates       GateSpec     `json:"gates"`
+}
+
+// ClusterSpec turns the managed daemon into an N-node replication fleet:
+// every node runs the same DaemonSpec, sessions place onto Replicas of
+// them by consistent hash (leader + followers, WAL shipping), and the
+// fleet drives ingest through the cluster-aware client. Cluster mode
+// requires daemon.durable (replication ships the WAL). With daemon.proxy
+// each node gets independent proxy planes: client proxies for ingest and
+// HTTP (the existing partition/net_delay/drop_conns kinds) and a peer
+// proxy that the other nodes dial for replication, so the peer_partition
+// fault severs WAL shipping without touching client traffic.
+type ClusterSpec struct {
+	Nodes    int `json:"nodes"`
+	Replicas int `json:"replicas,omitempty"` // placement width (default min(3, nodes))
+	// Heartbeat is the leader shipper's cadence while followers are caught
+	// up — it bounds follower staleness resolution (default 50ms).
+	Heartbeat Duration `json:"heartbeat,omitempty"`
+	// MaxStale is the staleness bound the harness's end-of-run follower
+	// read is issued with (default 2s).
+	MaxStale Duration `json:"max_stale,omitempty"`
+}
+
+// clustered reports whether the spec runs a multi-node fleet.
+func (s *Spec) clustered() bool { return s.Cluster != nil }
+
+// nodeCount is the number of managed daemons the run starts.
+func (s *Spec) nodeCount() int {
+	if s.Cluster != nil {
+		return s.Cluster.Nodes
+	}
+	return 1
 }
 
 // WorkloadSpec names a generator family (internal/workload.FromFamily) and
@@ -118,11 +150,17 @@ type PhaseSpec struct {
 
 // LifeEvent schedules a daemon lifecycle action at an offset from run
 // start: "kill" (SIGKILL-style abort, no checkpoint), "restart" (start a
-// fresh daemon on the same address and data dir — crash recovery), or
-// "checkpoint" (force a checkpoint of every session).
+// fresh daemon on the same address and data dir — crash recovery),
+// "checkpoint" (force a checkpoint of every session), or — cluster mode
+// only — "failover" (kill the session's current leader, whichever node
+// that is, and promote the most caught-up live replica; the killed node
+// stays down for the rest of the run). Node selects which daemon a
+// kill/restart/checkpoint targets in cluster mode (default 0); failover
+// resolves its own target.
 type LifeEvent struct {
 	At     Duration `json:"at"`
 	Action string   `json:"action"`
+	Node   int      `json:"node,omitempty"`
 }
 
 // FaultSpec is one scheduled fault window. Windowed kinds apply at At and
@@ -135,12 +173,26 @@ type LifeEvent struct {
 //	partition   — proxy black-holes new connections and drops live ones
 //	net_delay   — proxy delays each forwarded chunk by Delay
 //
+// Cluster-only (needs cluster + daemon.proxy):
+//
+//	peer_partition — black-holes the node's peer proxy: replication
+//	                 streams served BY this node (followers fetching WAL
+//	                 from it while it leads) are severed while client
+//	                 ingest and queries keep flowing; target every node
+//	                 in overlapping windows to cut the whole plane
+//	                 whatever the placement chose
+//
 // drop_conns is instantaneous (Duration must be 0): sever every proxied
 // connection once, a network blip.
+//
+// Node selects which daemon the fault applies to in cluster mode
+// (default 0). Same-kind windows may overlap across different nodes, but
+// not on one node.
 type FaultSpec struct {
 	Kind     string   `json:"kind"`
 	At       Duration `json:"at"`
 	Duration Duration `json:"duration,omitempty"`
+	Node     int      `json:"node,omitempty"`
 	Budget   int64    `json:"budget,omitempty"`
 	Count    int      `json:"count,omitempty"`
 	Delay    Duration `json:"delay,omitempty"`
@@ -154,6 +206,11 @@ type GateSpec struct {
 	MaxRecoveryMillis     float64 `json:"max_recovery_ms,omitempty"`
 	RequireExactlyOnce    bool    `json:"require_exactly_once,omitempty"`
 	RequireReferenceMatch bool    `json:"require_reference_match,omitempty"`
+	// RequireReplicaConvergence (cluster only) fails the run unless, after
+	// the final flush, every live replica's applied watermark reaches the
+	// leader's durable head, all estimator digests are byte-equal, and a
+	// staleness-bounded follower read agrees with the leader's answer.
+	RequireReplicaConvergence bool `json:"require_replica_convergence,omitempty"`
 	// MaxThroughputDropPct fails the run when overall acked throughput
 	// drops more than this percentage below the same scenario in the
 	// baseline report (kcoverload -baseline).
@@ -162,7 +219,7 @@ type GateSpec struct {
 
 var validOrders = map[string]bool{"set": true, "shuffled": true, "element": true, "roundrobin": true}
 
-var proxyFaults = map[string]bool{"partition": true, "net_delay": true, "drop_conns": true}
+var proxyFaults = map[string]bool{"partition": true, "net_delay": true, "drop_conns": true, "peer_partition": true}
 var durableFaults = map[string]bool{"disk_full": true, "fail_syncs": true, "fail_writes": true, "io_latency": true}
 
 // ParseSpec strictly decodes and validates one scenario spec: unknown
@@ -238,6 +295,19 @@ func (s *Spec) applyDefaults() {
 	if s.Daemon.RetryMax.Duration == 0 {
 		s.Daemon.RetryMax.Duration = 500 * time.Millisecond
 	}
+	if c := s.Cluster; c != nil {
+		if c.Replicas == 0 {
+			if c.Replicas = 3; c.Nodes < 3 {
+				c.Replicas = c.Nodes
+			}
+		}
+		if c.Heartbeat.Duration == 0 {
+			c.Heartbeat.Duration = 50 * time.Millisecond
+		}
+		if c.MaxStale.Duration == 0 {
+			c.MaxStale.Duration = 2 * time.Second
+		}
+	}
 }
 
 // TotalDuration is the sum of the phase durations — the run's length.
@@ -274,6 +344,23 @@ func (s *Spec) validate() error {
 	}
 	if s.Fleet.Wire != "columnar" && s.Fleet.Wire != "row" {
 		return fmt.Errorf("unknown fleet wire %q (columnar|row)", s.Fleet.Wire)
+	}
+	if c := s.Cluster; c != nil {
+		if c.Nodes < 2 || c.Nodes > 9 {
+			return fmt.Errorf("cluster.nodes %d out of range (2..9)", c.Nodes)
+		}
+		if c.Replicas < 2 || c.Replicas > c.Nodes {
+			return fmt.Errorf("cluster.replicas %d out of range (2..nodes)", c.Replicas)
+		}
+		if c.Heartbeat.Duration <= 0 || c.MaxStale.Duration <= 0 {
+			return fmt.Errorf("cluster heartbeat and max_stale must be positive")
+		}
+		if !s.Daemon.Durable {
+			return fmt.Errorf("cluster mode needs daemon.durable (replication ships the WAL)")
+		}
+	}
+	if s.Gates.RequireReplicaConvergence && !s.clustered() {
+		return fmt.Errorf("gate require_replica_convergence needs a cluster block")
 	}
 	if len(s.Phases) == 0 {
 		return fmt.Errorf("no phases")
@@ -313,7 +400,14 @@ func (s *Spec) validate() error {
 func (s *Spec) validateLifecycle(total time.Duration) error {
 	evs := append([]LifeEvent(nil), s.Lifecycle...)
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At.Duration < evs[j].At.Duration })
-	alive := true
+	// Per-node liveness walk. A failover kills whichever node leads at
+	// fire time — unknowable statically — so mixing it with node-targeted
+	// kill/restart would make this walk meaningless; forbid the mix.
+	alive := make([]bool, s.nodeCount())
+	for i := range alive {
+		alive[i] = true
+	}
+	failovers, killRestarts := 0, 0
 	for _, e := range evs {
 		if e.At.Duration < 0 {
 			return fmt.Errorf("lifecycle %s: negative offset %v", e.Action, e.At.Duration)
@@ -321,27 +415,47 @@ func (s *Spec) validateLifecycle(total time.Duration) error {
 		if e.At.Duration >= total {
 			return fmt.Errorf("lifecycle %s at %v lands after the run ends (%v)", e.Action, e.At.Duration, total)
 		}
+		if e.Node < 0 || e.Node >= s.nodeCount() {
+			return fmt.Errorf("lifecycle %s: node %d out of range (cluster has %d)", e.Action, e.Node, s.nodeCount())
+		}
 		switch e.Action {
 		case "kill":
-			if !alive {
+			if !alive[e.Node] {
 				return fmt.Errorf("lifecycle: kill at %v while the daemon is already down", e.At.Duration)
 			}
-			alive = false
+			alive[e.Node] = false
+			killRestarts++
 		case "restart":
-			if alive {
+			if alive[e.Node] {
 				return fmt.Errorf("lifecycle: restart at %v without a preceding kill", e.At.Duration)
 			}
-			alive = true
+			alive[e.Node] = true
+			killRestarts++
 		case "checkpoint":
-			if !alive {
+			if !alive[e.Node] {
 				return fmt.Errorf("lifecycle: checkpoint at %v while the daemon is down", e.At.Duration)
 			}
+		case "failover":
+			if !s.clustered() {
+				return fmt.Errorf("lifecycle: failover needs a cluster block")
+			}
+			failovers++
 		default:
-			return fmt.Errorf("lifecycle: unknown action %q (kill|restart|checkpoint)", e.Action)
+			return fmt.Errorf("lifecycle: unknown action %q (kill|restart|checkpoint|failover)", e.Action)
 		}
 	}
-	if !alive {
-		return fmt.Errorf("lifecycle: the daemon is left dead (kill without restart)")
+	for i, a := range alive {
+		if !a && !s.clustered() {
+			return fmt.Errorf("lifecycle: the daemon is left dead (kill without restart)")
+		} else if !a {
+			return fmt.Errorf("lifecycle: node %d is left dead (kill without restart)", i)
+		}
+	}
+	if failovers > 0 && killRestarts > 0 {
+		return fmt.Errorf("lifecycle: failover cannot be mixed with kill/restart (the killed leader is resolved at run time)")
+	}
+	if s.Cluster != nil && failovers > s.Cluster.Replicas-1 {
+		return fmt.Errorf("lifecycle: %d failovers would exhaust the placement (%d replicas)", failovers, s.Cluster.Replicas)
 	}
 	if !s.Daemon.Durable && s.Gates.RequireExactlyOnce {
 		// A kill without durability silently loses applied edges; the
@@ -383,13 +497,19 @@ func (s *Spec) validateFaults(total time.Duration) error {
 		if durableFaults[f.Kind] && !s.Daemon.Durable {
 			return fmt.Errorf("fault %s needs daemon.durable", f.Kind)
 		}
+		if f.Kind == "peer_partition" && !s.clustered() {
+			return fmt.Errorf("fault peer_partition needs a cluster block")
+		}
+		if f.Node < 0 || f.Node >= s.nodeCount() {
+			return fmt.Errorf("fault %s: node %d out of range (cluster has %d)", f.Kind, f.Node, s.nodeCount())
+		}
 		if f.Kind == "disk_full" && f.Budget <= 0 {
 			return fmt.Errorf("fault disk_full: budget (bytes) must be positive")
 		}
 		if (f.Kind == "io_latency" || f.Kind == "net_delay") && f.Delay.Duration <= 0 {
 			return fmt.Errorf("fault %s: delay must be positive", f.Kind)
 		}
-		byKind[f.Kind] = append(byKind[f.Kind], f)
+		byKind[fmt.Sprintf("%s@%d", f.Kind, f.Node)] = append(byKind[fmt.Sprintf("%s@%d", f.Kind, f.Node)], f)
 	}
 	for kind, fs := range byKind {
 		sort.Slice(fs, func(i, j int) bool { return fs[i].At.Duration < fs[j].At.Duration })

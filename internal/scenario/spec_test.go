@@ -189,6 +189,64 @@ func TestParseSpecErrors(t *testing.T) {
 			json: `{"name":"t","workload":{"family":"uniform"},"phases":[{"name":"p","duration":"1s"}],"gates":{"max_p99_ms":-1}}`,
 			want: "gate max_p99_ms is negative",
 		},
+		{
+			name: "cluster with one node",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"cluster":{"nodes":1},"phases":[{"name":"p","duration":"1s"}]}`,
+			want: "cluster.nodes 1 out of range",
+		},
+		{
+			name: "cluster with too many nodes",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"cluster":{"nodes":12},"phases":[{"name":"p","duration":"1s"}]}`,
+			want: "cluster.nodes 12 out of range",
+		},
+		{
+			name: "replicas wider than the fleet",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"cluster":{"nodes":3,"replicas":4},"phases":[{"name":"p","duration":"1s"}]}`,
+			want: "cluster.replicas 4 out of range",
+		},
+		{
+			name: "cluster without durability",
+			json: `{"name":"t","workload":{"family":"uniform"},"cluster":{"nodes":3},"phases":[{"name":"p","duration":"1s"}]}`,
+			want: "needs daemon.durable",
+		},
+		{
+			name: "peer_partition without cluster",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true,"proxy":true},"phases":[{"name":"p","duration":"2s"}],"faults":[{"kind":"peer_partition","at":"0s","duration":"1s"}]}`,
+			want: "needs a cluster block",
+		},
+		{
+			name: "failover without cluster",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"phases":[{"name":"p","duration":"2s"}],"lifecycle":[{"at":"1s","action":"failover"}]}`,
+			want: "needs a cluster block",
+		},
+		{
+			name: "failover mixed with kill",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true,"proxy":true},"cluster":{"nodes":3},"phases":[{"name":"p","duration":"5s"}],"lifecycle":[
+				{"at":"1s","action":"failover"},
+				{"at":"2s","action":"kill","node":1},{"at":"3s","action":"restart","node":1}]}`,
+			want: "cannot be mixed",
+		},
+		{
+			name: "too many failovers for the placement",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"cluster":{"nodes":3,"replicas":2},"phases":[{"name":"p","duration":"5s"}],"lifecycle":[
+				{"at":"1s","action":"failover"},{"at":"2s","action":"failover"}]}`,
+			want: "exhaust the placement",
+		},
+		{
+			name: "fault node out of range",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true,"proxy":true},"cluster":{"nodes":3},"phases":[{"name":"p","duration":"2s"}],"faults":[{"kind":"partition","at":"0s","duration":"1s","node":3}]}`,
+			want: "node 3 out of range",
+		},
+		{
+			name: "lifecycle node out of range",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"cluster":{"nodes":3},"phases":[{"name":"p","duration":"2s"}],"lifecycle":[{"at":"1s","action":"checkpoint","node":5}]}`,
+			want: "node 5 out of range",
+		},
+		{
+			name: "convergence gate without cluster",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"phases":[{"name":"p","duration":"1s"}],"gates":{"require_replica_convergence":true}}`,
+			want: "needs a cluster block",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -220,11 +278,51 @@ func TestParseSpecValidSchedules(t *testing.T) {
 		`{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"phases":[{"name":"p","duration":"10s"}],"lifecycle":[
 			{"at":"1s","action":"kill"},{"at":"2s","action":"restart"},
 			{"at":"4s","action":"kill"},{"at":"5s","action":"restart"}]}`,
+		// Cluster: per-node same-kind windows may overlap across nodes, a
+		// failover rides with peer partitions, and the cluster gates apply.
+		`{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true,"proxy":true},"cluster":{"nodes":3},"phases":[{"name":"p","duration":"20s"}],"faults":[
+			{"kind":"peer_partition","at":"1s","duration":"3s","node":0},
+			{"kind":"peer_partition","at":"2s","duration":"3s","node":1},
+			{"kind":"peer_partition","at":"3s","duration":"3s","node":2}],
+			"lifecycle":[{"at":"10s","action":"failover"}],
+			"gates":{"require_exactly_once":true,"require_replica_convergence":true}}`,
 	}
 	for i, j := range good {
 		if _, err := ParseSpec([]byte(j)); err != nil {
 			t.Fatalf("valid spec %d rejected: %v", i, err)
 		}
+	}
+}
+
+// TestParseSpecClusterDefaults pins the cluster block's derived defaults:
+// placement width min(3, nodes), shipper heartbeat, and the follower-read
+// staleness bound — and that they survive a marshal/parse round trip.
+func TestParseSpecClusterDefaults(t *testing.T) {
+	s, err := ParseSpec([]byte(`{"name":"t","seed":7,"workload":{"family":"uniform"},"daemon":{"durable":true},
+		"cluster":{"nodes":2},"phases":[{"name":"p","duration":"1s"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Cluster
+	if c.Replicas != 2 {
+		t.Fatalf("replicas default = %d, want min(3, nodes)=2", c.Replicas)
+	}
+	if c.Heartbeat.Duration != 50*time.Millisecond || c.MaxStale.Duration != 2*time.Second {
+		t.Fatalf("cluster timing defaults not applied: %+v", c)
+	}
+	if !s.clustered() || s.nodeCount() != 2 {
+		t.Fatalf("clustered()=%v nodeCount()=%d", s.clustered(), s.nodeCount())
+	}
+	blob, err := marshalSpec(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ParseSpec(blob)
+	if err != nil {
+		t.Fatalf("round-tripped cluster spec rejected: %v\n%s", err, blob)
+	}
+	if *rt.Cluster != *c {
+		t.Fatalf("cluster block changed across round trip: %+v != %+v", rt.Cluster, c)
 	}
 }
 
@@ -237,6 +335,12 @@ func FuzzParseSpec(f *testing.F) {
 		"faults":[{"kind":"partition","at":"500ms","duration":"1s"}],
 		"lifecycle":[{"at":"2100ms","action":"checkpoint"}],
 		"gates":{"require_exactly_once":true,"max_recovery_ms":5000}}`))
+	f.Add([]byte(`{"name":"c","workload":{"family":"uniform"},"daemon":{"durable":true,"proxy":true},
+		"cluster":{"nodes":3,"replicas":2,"heartbeat":"25ms","max_stale":"1s"},
+		"phases":[{"name":"p","duration":"5s"}],
+		"faults":[{"kind":"peer_partition","at":"1s","duration":"1s","node":1}],
+		"lifecycle":[{"at":"3s","action":"failover"}],
+		"gates":{"require_replica_convergence":true}}`))
 	f.Add([]byte(`{"name":""}`))
 	f.Add([]byte(`{`))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,508 @@
+// Cluster mode. A server becomes a cluster node when Config.Peers names
+// the member set: session leadership is placed on a consistent-hash ring
+// over the peer IDs, leaders stream their sessions' WALs to subscribed
+// followers (internal/replica), and followers mirror each record into
+// their own log at the same position before applying it through the
+// replay path. Because replay is bit-identical at a fixed worker count,
+// a caught-up follower's estimators — and its on-disk checkpoint+WAL —
+// are byte-for-byte the leader's, which is why Promote can reuse the
+// crash-recovery path verbatim and why convergence is checkable by
+// comparing SessionDigest across nodes.
+//
+// There is no consensus protocol. The control plane (scenario harness,
+// HTTP endpoints, an operator) decides membership and failover; the
+// data plane only guarantees that "caught up" means "byte-equal".
+package server
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"streamcover/internal/replica"
+	"streamcover/internal/snapshot"
+	"streamcover/internal/stream"
+	"streamcover/internal/wal"
+	"streamcover/internal/wire"
+)
+
+// notLeaderError rejects leader-only work sent to a follower; ack turns
+// it into a TErrNotLeader frame naming the leader so the client can
+// re-route without re-resolving placement out of band.
+type notLeaderError struct{ leader string }
+
+func (e *notLeaderError) Error() string {
+	return fmt.Sprintf("server: not the leader for this session (leader %q)", e.leader)
+}
+
+// clustered reports whether this server runs as a cluster node.
+func (s *Server) clustered() bool { return s.ring != nil }
+
+// leaderOf names the session's leader node: a failover override when one
+// was recorded, otherwise the ring placement.
+func (s *Server) leaderOf(name string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leaderOfLocked(name)
+}
+
+func (s *Server) leaderOfLocked(name string) string {
+	if addr, ok := s.leaders[name]; ok {
+		return addr
+	}
+	if s.ring == nil {
+		return s.cfg.NodeID
+	}
+	return s.ring.Leader(name)
+}
+
+// shipSource adapts one leader session to the replica shipper.
+type shipSource struct {
+	sess    *session
+	metrics *Metrics
+}
+
+func (src *shipSource) Log() *wal.Log { return src.sess.dur.wal }
+
+// Snapshot forces a fresh checkpoint and returns its blob: the persisted
+// checkpoint file is re-read and re-decoded so the reported WAL position
+// is exactly the one inside the blob, with no race against a concurrent
+// checkpoint advancing it.
+func (src *shipSource) Snapshot() (uint64, []byte, error) {
+	d := src.sess.dur
+	if err := src.sess.checkpoint(src.metrics); err != nil {
+		return 0, nil, err
+	}
+	payload, err := snapshot.ReadFileFS(d.fs, filepath.Join(d.dir, checkpointFile))
+	if err != nil {
+		return 0, nil, err
+	}
+	st, err := decodeCheckpoint(payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	return st.walPos, payload, nil
+}
+
+// serveShip turns one accepted connection into a replication stream for
+// the subscribed session. The connection is dedicated from here on: no
+// more frames are read, and writes go through a per-write deadline so a
+// stalled follower is reaped rather than parking the handler.
+func (s *Server) serveShip(conn net.Conn, bw *bufio.Writer, payload []byte) {
+	bw.Flush() // settle any response buffered before the subscribe
+	w := bufio.NewWriterSize(&deadlineConn{Conn: conn, timeout: s.cfg.WriteTimeout}, 1<<16)
+	fail := func(typ byte, msg []byte) {
+		if typ == wire.TErr {
+			s.metrics.Errors.Add(1)
+		}
+		wire.WriteFrame(w, typ, msg)
+		w.Flush()
+	}
+	name, applied, err := wire.DecodeSubscribe(payload)
+	if err != nil {
+		fail(wire.TErr, []byte(err.Error()))
+		return
+	}
+	sess, err := s.session(name)
+	if err != nil {
+		if errors.Is(err, ErrDegraded) {
+			fail(wire.TErrRetry, []byte(err.Error()))
+		} else {
+			fail(wire.TErr, []byte(err.Error()))
+		}
+		return
+	}
+	if sess.follower.Load() {
+		fail(wire.TErrNotLeader, wire.EncodeNotLeader(s.leaderOf(name)))
+		return
+	}
+	if sess.dur == nil {
+		fail(wire.TErr, []byte(fmt.Sprintf("server: session %q has no WAL to replicate", name)))
+		return
+	}
+	conn.SetReadDeadline(time.Time{}) // one-way from here
+	s.metrics.RepStreams.Add(1)
+	defer s.metrics.RepStreams.Add(-1)
+	replica.Ship(w, &shipSource{sess: sess, metrics: &s.metrics}, applied, nil, replica.ShipOptions{
+		HeartbeatEvery: s.cfg.RepHeartbeat,
+	})
+}
+
+// deadlineConn arms a write deadline before every Write, so the shipper's
+// long-lived one-way stream cannot block forever on a dead peer.
+type deadlineConn struct {
+	net.Conn
+	timeout time.Duration
+}
+
+func (c *deadlineConn) Write(p []byte) (int, error) {
+	if c.timeout > 0 {
+		c.Conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	}
+	return c.Conn.Write(p)
+}
+
+// followerTarget adapts one follower session to the replica applier. All
+// methods run on the applier's single goroutine, so the decode arena is
+// owned, not shared.
+type followerTarget struct {
+	s    *Server
+	sess *session
+	cols stream.Columns
+}
+
+func (t *followerTarget) Applied() uint64 { return t.sess.dur.wal.LastPos() }
+
+func (t *followerTarget) Bootstrap(walPos uint64, ckpt []byte) error {
+	return t.sess.rebootstrap(t.s.cfg, walPos, ckpt, &t.s.metrics)
+}
+
+// Apply mirrors one leader WAL record: append it to the local log (it
+// must land at the leader's position — the logs are byte-identical), then
+// run it through the same dedup check and shard dispatch recovery replay
+// uses. Unlike leader ingest, the append is not overlapped with the
+// dispatch: the estimators must never get ahead of the mirror, or a
+// follower crash could recover to a state its own log cannot reproduce.
+func (t *followerTarget) Apply(pos uint64, rec []byte) error {
+	sess := t.sess
+	if err := sess.begin(); err != nil {
+		return err
+	}
+	defer sess.ops.Done()
+	d := sess.dur
+	d.pmu.RLock()
+	defer d.pmu.RUnlock()
+	if err := sess.degraded(); err != nil {
+		return err
+	}
+	source, seq, err := decodeWALRecord(rec, sess.name, sess.m, sess.n, &t.cols)
+	if err != nil {
+		return err
+	}
+	got, err := d.wal.Append(rec)
+	if err != nil {
+		if sess.metrics != nil {
+			sess.metrics.WALAppendFailures.Add(1)
+		}
+		sess.degrade(err)
+		return sess.degraded()
+	}
+	if got != pos {
+		err := fmt.Errorf("server: replica %q mirror landed at %d, leader logged %d", sess.name, got, pos)
+		sess.degrade(err)
+		return err
+	}
+	skip := false
+	if source != 0 {
+		sess.dmu.Lock()
+		if prev := sess.dedup[source]; seq <= prev.seq {
+			skip = true // the leader logged and skipped this duplicate; mirror the skip
+		} else {
+			sess.dedup[source] = dedupEntry{seq: seq}
+		}
+		sess.dmu.Unlock()
+	}
+	if !skip {
+		sess.dispatch(t.cols.Sets, t.cols.Elems)
+		t.s.metrics.RepEdgesApplied.Add(int64(t.cols.Len()))
+	}
+	t.s.metrics.RepEntriesApplied.Add(1)
+	return nil
+}
+
+// attachFollower marks sess a follower of leaderID and starts its
+// replication stream.
+func (s *Server) attachFollower(sess *session, leaderID string) {
+	sess.follower.Store(true)
+	a := replica.NewApplier(sess.name, leaderID, &followerTarget{s: s, sess: sess}, replica.ApplyOptions{
+		ReadTimeout: s.cfg.RepReadTimeout,
+	})
+	sess.appMu.Lock()
+	sess.applier = a
+	sess.appMu.Unlock()
+	a.Start()
+}
+
+// repairFollowerWAL fixes the one inconsistency an interrupted bootstrap
+// can leave on disk: the leader checkpoint persisted but the log not yet
+// re-based under it. Recovery then restored the checkpoint and replayed
+// nothing (the stale records sit below its position), so the log just
+// needs the re-base finished.
+func (s *Server) repairFollowerWAL(sess *session) error {
+	d := sess.dur
+	if d == nil {
+		return nil
+	}
+	if ckpt := d.ckptPos.Load(); d.wal.LastPos() < ckpt {
+		if err := d.wal.ResetTo(ckpt + 1); err != nil {
+			return fmt.Errorf("server: session %q: re-basing follower wal: %w", sess.name, err)
+		}
+	}
+	return nil
+}
+
+// rebootstrap replaces the session's state with a leader checkpoint: stop
+// and rebuild the worker estimators from its parts, adopt its dedup
+// horizons, persist it, and re-base the mirror log at its WAL position.
+// Runs on the applier goroutine; ckptMu excludes concurrent checkpoints
+// and swapMu excludes query clone enqueues during the worker swap.
+func (s *session) rebootstrap(cfg Config, walPos uint64, payload []byte, metrics *Metrics) error {
+	st, err := decodeCheckpoint(payload)
+	if err != nil {
+		return err
+	}
+	if st.name != s.name || st.m != s.m || st.n != s.n || st.k != s.k || st.alpha != s.alpha || st.seed != s.seed {
+		return fmt.Errorf("server: bootstrap checkpoint is for session %q (%d,%d,%d), want %q (%d,%d,%d)",
+			st.name, st.m, st.n, st.k, s.name, s.m, s.n, s.k)
+	}
+	ests, err := estimatorsFromCheckpoint(st, cfg)
+	if err != nil {
+		return err
+	}
+	if err := s.begin(); err != nil {
+		return err
+	}
+	defer s.ops.Done()
+	d := s.dur
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+
+	// Drain and stop the old workers, release their estimators, start the
+	// replacements. Clone requests already queued are still answered — a
+	// worker consumes its whole queue before exiting.
+	for _, ch := range s.workers {
+		close(ch)
+	}
+	s.wg.Wait()
+	for _, est := range s.ests {
+		est.Close()
+	}
+	w := len(ests)
+	s.ests = ests
+	s.hdrPool = sync.Pool{New: func() any { h := make([]colShard, w); return &h }}
+	s.workers = make([]chan workerMsg, w)
+	s.recycle = make([]chan colShard, w)
+	for i, est := range ests {
+		ch := make(chan workerMsg, s.queueDepth)
+		s.workers[i] = ch
+		s.recycle[i] = make(chan colShard, s.queueDepth+1)
+		s.wg.Add(1)
+		go s.runWorker(est, ch, s.recycle[i])
+	}
+	s.dmu.Lock()
+	s.dedup = make(map[uint64]dedupEntry, len(st.dedup))
+	for src, seq := range st.dedup {
+		s.dedup[src] = dedupEntry{seq: seq}
+	}
+	s.dmu.Unlock()
+	var total int64
+	for _, est := range ests {
+		total += int64(est.Edges())
+	}
+	s.edges.Store(total)
+
+	// Persist the checkpoint, then re-base the log under it. A crash
+	// between the two leaves the checkpoint ahead of the log — recovery
+	// restores the checkpoint, replays nothing (the stale records sit
+	// below its position), and repairFollowerWAL finishes the re-base.
+	if err := snapshot.WriteFileFS(d.fs, filepath.Join(d.dir, checkpointFile), payload); err != nil {
+		s.degrade(err)
+		return err
+	}
+	d.pmu.Lock()
+	err = d.wal.ResetTo(walPos + 1)
+	d.pmu.Unlock()
+	if err != nil {
+		s.degrade(err)
+		return err
+	}
+	d.ckptPos.Store(walPos)
+	d.lastCkptNanos.Store(time.Now().UnixNano())
+	if metrics != nil {
+		metrics.RepBootstraps.Add(1)
+	}
+	return nil
+}
+
+// Promote turns a follower session into the leader replica on this node.
+// The mirror's checkpoint and WAL tail are byte-identical to the dead
+// leader's, so promotion is literally the crash-recovery path: close the
+// follower (stopping its replication stream), recover the session from
+// its own data directory, and record the leadership override. Lookups
+// during the window answer with the transient degraded error, so clients
+// park and resend rather than failing.
+func (s *Server) Promote(name string) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: shutting down")
+	}
+	sess, ok := s.sessions[name]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("server: no session %q", name)
+	}
+	if !sess.follower.Load() {
+		s.mu.Unlock()
+		return nil // already the leader
+	}
+	if s.promoting[name] {
+		s.mu.Unlock()
+		return fmt.Errorf("server: session %q is already promoting", name)
+	}
+	s.promoting[name] = true
+	s.mu.Unlock()
+
+	sess.close() // stops the applier, drains workers
+	dir := sess.dur.dir
+	sess.dur.close()
+	fresh, err := recoverSession(dir, s.cfg, &s.metrics)
+	if err == nil && fresh == nil {
+		err = fmt.Errorf("server: session %q has no checkpoint to promote from", name)
+	}
+
+	s.mu.Lock()
+	delete(s.promoting, name)
+	if err == nil {
+		s.sessions[name] = fresh
+		s.leaders[name] = s.cfg.NodeID
+		s.metrics.RepPromotions.Add(1)
+	} else {
+		delete(s.sessions, name) // wedged; a closed husk must not serve
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// Fence freezes a leader session's log ahead of an orderly failover: new
+// ingest is rejected with the not-leader redirect (clients park the batch
+// and re-resolve), while queries and the replication streams keep
+// running, so followers drain the remaining tail from a head that can no
+// longer move. Shipping is asynchronous — without the fence, a kill can
+// strand the last few acked batches on the dead node's disk, and the
+// promoted follower would never see them. Fencing a follower is a no-op;
+// a fenced node is expected to be retired, not unfenced.
+func (s *Server) Fence(name string) error {
+	sess, err := s.session(name)
+	if err != nil {
+		return err
+	}
+	sess.fenced.Store(true)
+	return nil
+}
+
+// SetSessionLeader records a failover override: name is now led by
+// leaderID. On a follower the live replication stream is retargeted
+// immediately.
+func (s *Server) SetSessionLeader(name, leaderID string) {
+	s.mu.Lock()
+	s.leaders[name] = leaderID
+	sess := s.sessions[name]
+	s.mu.Unlock()
+	if sess == nil || !sess.follower.Load() || leaderID == s.cfg.NodeID {
+		return
+	}
+	if a := sess.getApplier(); a != nil {
+		a.SetLeader(leaderID)
+	}
+}
+
+// SessionRole reports this node's view of one session: its role, who it
+// believes leads, its applied watermark, and (followers) its staleness.
+func (s *Server) SessionRole(name string) (wire.RoleInfo, error) {
+	sess, err := s.session(name)
+	if err != nil {
+		return wire.RoleInfo{}, err
+	}
+	info := wire.RoleInfo{Role: wire.RoleLeader, LeaderAddr: s.leaderOf(name)}
+	if sess.follower.Load() {
+		info.Role = wire.RoleFollower
+		if a := sess.getApplier(); a != nil {
+			info.LeaderAddr = a.Leader()
+			info.Applied = a.Applied()
+			info.StalenessNanos = int64(a.Staleness())
+		}
+	} else if d := sess.dur; d != nil {
+		info.Applied = d.wal.LastPos()
+		if sess.fenced.Load() {
+			// A fenced leader no longer claims the role — probes must not
+			// route writes back here — but its frozen durable head is still
+			// what a draining follower has to reach before promotion.
+			info.Role = wire.RoleFollower
+		}
+	}
+	return info, nil
+}
+
+// queryStaleSession is the staleness-bounded read: leaders always
+// qualify; a follower answers only while its watermark age is within the
+// client's bound, else the transient retry error (the replica may catch
+// up, or the client can fall back to the leader).
+func (s *Server) queryStaleSession(name string, maxStale time.Duration) (wire.Result, error) {
+	sess, err := s.session(name)
+	if err != nil {
+		return wire.Result{}, err
+	}
+	if sess.follower.Load() {
+		a := sess.getApplier()
+		if a == nil {
+			return wire.Result{}, fmt.Errorf("server: %w: session %q has no replication stream", ErrDegraded, name)
+		}
+		if st := a.Staleness(); st > maxStale {
+			s.metrics.StaleRejects.Add(1)
+			return wire.Result{}, fmt.Errorf("server: %w: replica %v stale, bound %v",
+				ErrDegraded, st.Round(time.Millisecond), maxStale)
+		}
+	}
+	s.metrics.Queries.Add(1)
+	return sess.query(&s.metrics)
+}
+
+// SessionDigest hashes the session's live state: SHA-256 over the
+// per-worker estimator encodings in worker order. Replicas with the same
+// worker count converge to the same digest exactly when their estimators
+// are byte-identical — the replication invariant, made checkable in one
+// comparison.
+func (s *Server) SessionDigest(name string) (string, error) {
+	sess, err := s.session(name)
+	if err != nil {
+		return "", err
+	}
+	return sess.digest()
+}
+
+func (s *session) digest() (string, error) {
+	if err := s.begin(); err != nil {
+		return "", err
+	}
+	defer s.ops.Done()
+	s.swapMu.RLock()
+	replies := make([]chan cloneReply, len(s.workers))
+	for i, ch := range s.workers {
+		r := make(chan cloneReply, 1)
+		replies[i] = r
+		ch <- workerMsg{clone: r}
+	}
+	s.swapMu.RUnlock()
+	h := sha256.New()
+	for _, r := range replies {
+		rep := <-r
+		if rep.err != nil {
+			return "", rep.err
+		}
+		blob, err := rep.est.Encode()
+		if err != nil {
+			return "", err
+		}
+		h.Write(blob)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

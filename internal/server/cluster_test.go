@@ -1,0 +1,559 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"streamcover"
+	"streamcover/internal/client"
+	"streamcover/internal/fault"
+	"streamcover/internal/wire"
+)
+
+const (
+	cluM     = 64
+	cluN     = 512
+	cluK     = 4
+	cluAlpha = 4.0
+	cluSeed  = 9
+	// All replicas (and the single-node reference) must share one worker
+	// count: byte-identical replay is defined at a fixed shard fan-out.
+	cluWorkers = 4
+)
+
+// reserveAddrs grabs n distinct loopback addresses. Cluster node IDs are
+// peer-dialable addresses that must be known before the servers start, so
+// the test reserves ports first and hands them back for the real listens.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs
+}
+
+func startClusterNode(t *testing.T, nodeID string, peers []string) *Server {
+	t.Helper()
+	srv := New(Config{
+		Workers:         cluWorkers,
+		QueueDepth:      16,
+		DataDir:         t.TempDir(),
+		WALNoSync:       true,
+		CheckpointEvery: -1,
+		NodeID:          nodeID,
+		Peers:           peers,
+		RepHeartbeat:    25 * time.Millisecond,
+		RepReadTimeout:  500 * time.Millisecond,
+		RetryMin:        10 * time.Millisecond,
+		RetryMax:        50 * time.Millisecond,
+	})
+	if err := srv.Start(nodeID, ""); err != nil {
+		t.Fatalf("start cluster node %s: %v", nodeID, err)
+	}
+	t.Cleanup(func() { srv.Abort() })
+	return srv
+}
+
+// clusterEdges generates a deterministic edge stream (splitmix64 walk).
+func clusterEdges(seed uint64, count int) []streamcover.Edge {
+	edges := make([]streamcover.Edge, count)
+	x := seed
+	for i := range edges {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		edges[i] = streamcover.Edge{Set: uint32(z % cluM), Elem: uint32((z >> 32) % cluN)}
+	}
+	return edges
+}
+
+// clusterReference runs the same edges through a fault-free single-node
+// in-memory server with the same worker count and returns its query
+// result and state digest — the byte-level ground truth every replica
+// must converge to.
+func clusterReference(t *testing.T, name string, edges []streamcover.Edge) (client.Result, string) {
+	t.Helper()
+	srv := New(Config{Workers: cluWorkers, QueueDepth: 16})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Abort() })
+	c, err := client.Dial(srv.TCPAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Create(name, cluM, cluN, cluK, cluAlpha, cluSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Send(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest, err := srv.SessionDigest(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, digest
+}
+
+// waitClusterConverged waits until exactly one server leads the session
+// and every follower's applied watermark equals the leader's WAL head,
+// then returns the leader's index and head position.
+func waitClusterConverged(t *testing.T, servers []*Server, name string, timeout time.Duration) (int, uint64) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var lastState string
+	for time.Now().Before(deadline) {
+		leaderIdx, head := -1, uint64(0)
+		followers := make(map[int]uint64)
+		ok := true
+		for i, srv := range servers {
+			ri, err := srv.SessionRole(name)
+			if err != nil {
+				ok = false
+				lastState = fmt.Sprintf("node %d: %v", i, err)
+				break
+			}
+			if ri.Role == wire.RoleLeader {
+				if leaderIdx >= 0 {
+					ok = false
+					lastState = fmt.Sprintf("two leaders: %d and %d", leaderIdx, i)
+					break
+				}
+				leaderIdx, head = i, ri.Applied
+			} else {
+				followers[i] = ri.Applied
+			}
+		}
+		if ok && leaderIdx >= 0 && head > 0 {
+			converged := true
+			for i, applied := range followers {
+				if applied != head {
+					converged = false
+					lastState = fmt.Sprintf("follower %d applied %d, leader head %d", i, applied, head)
+				}
+			}
+			if converged {
+				return leaderIdx, head
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("cluster never converged on %q: %s", name, lastState)
+	return -1, 0
+}
+
+func requireClusterResult(t *testing.T, got, want client.Result, what string) {
+	t.Helper()
+	if got.Coverage != want.Coverage || got.Feasible != want.Feasible || got.Edges != want.Edges {
+		t.Fatalf("%s: result (cov=%v feasible=%v edges=%d) != reference (cov=%v feasible=%v edges=%d)",
+			what, got.Coverage, got.Feasible, got.Edges, want.Coverage, want.Feasible, want.Edges)
+	}
+	if len(got.SetIDs) != len(want.SetIDs) {
+		t.Fatalf("%s: %d set IDs, reference has %d", what, len(got.SetIDs), len(want.SetIDs))
+	}
+	for i := range got.SetIDs {
+		if got.SetIDs[i] != want.SetIDs[i] {
+			t.Fatalf("%s: set IDs %v != reference %v", what, got.SetIDs, want.SetIDs)
+		}
+	}
+}
+
+// TestClusterThreeNodeConvergence is the replication smoke test: a
+// three-node fleet ingests through the cluster client, every replica
+// converges to the byte-exact state of a fault-free single-node run,
+// followers answer staleness-bounded reads with the leader's numbers and
+// reject both unbounded-staleness violations and direct writes.
+func TestClusterThreeNodeConvergence(t *testing.T) {
+	addrs := reserveAddrs(t, 3)
+	servers := make([]*Server, 3)
+	for i, addr := range addrs {
+		servers[i] = startClusterNode(t, addr, addrs)
+	}
+	nodes := make([]client.ClusterNode, 3)
+	for i, addr := range addrs {
+		nodes[i] = client.ClusterNode{ID: addr, Addr: addr}
+	}
+	cl, err := client.DialCluster(nodes, 3, client.WithBatchSize(256), client.WithOpTimeout(3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const name = "conv"
+	cs, err := cl.Create(name, cluM, cluN, cluK, cluAlpha, cluSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := clusterEdges(101, 4096)
+	if err := cs.Send(edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	leaderIdx, head := waitClusterConverged(t, servers, name, 15*time.Second)
+	if head == 0 {
+		t.Fatal("leader WAL head is 0 after ingest")
+	}
+
+	// Byte-exact convergence: every replica's digest equals the fault-free
+	// single-node reference.
+	wantRes, wantDigest := clusterReference(t, name, edges)
+	for i, srv := range servers {
+		digest, err := srv.SessionDigest(name)
+		if err != nil {
+			t.Fatalf("node %d digest: %v", i, err)
+		}
+		if digest != wantDigest {
+			t.Fatalf("node %d digest %s != reference %s", i, digest, wantDigest)
+		}
+	}
+
+	// The leader's query and a follower's staleness-bounded read both
+	// return the reference result.
+	res, err := cs.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClusterResult(t, res, wantRes, "leader query")
+	fres, err := cs.QueryStale(5 * time.Second)
+	if err != nil {
+		t.Fatalf("follower stale query: %v", err)
+	}
+	requireClusterResult(t, fres, wantRes, "follower stale query")
+
+	// Direct follower access: a 1ns staleness bound is rejected as
+	// transient (the watermark is only re-proven at heartbeat cadence),
+	// and a write is redirected at the leader.
+	followerIdx := (leaderIdx + 1) % 3
+	fc, err := client.Dial(addrs[followerIdx], client.WithBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if _, err := fc.QueryStale(name, time.Nanosecond); !errors.Is(err, client.ErrServerBusy) {
+		t.Fatalf("1ns-bound follower read: err = %v, want ErrServerBusy", err)
+	}
+	fsess, err := fc.Create(name, cluM, cluN, cluK, cluAlpha, cluSeed)
+	if err != nil {
+		t.Fatalf("idempotent create on follower: %v", err)
+	}
+	if err := fsess.Send(clusterEdges(7, 8)); err != nil {
+		t.Fatalf("buffering on follower session: %v", err)
+	}
+	err = fsess.Flush()
+	if !errors.Is(err, client.ErrNotLeader) {
+		t.Fatalf("write to follower: err = %v, want ErrNotLeader", err)
+	}
+	if hint := fc.LeaderHint(); hint != addrs[leaderIdx] {
+		t.Fatalf("follower redirect hint %q, want leader %q", hint, addrs[leaderIdx])
+	}
+}
+
+// TestClusterFailoverExactlyOnce kills the leader with an unacked batch
+// in flight — accepted, but parked before its WAL append, with the ack
+// path already severed — promotes the most-caught-up follower, and
+// requires the cluster client to re-route and resend so that the fleet
+// ends byte-identical to a fault-free single-node run over every batch
+// exactly once.
+func TestClusterFailoverExactlyOnce(t *testing.T) {
+	addrs := reserveAddrs(t, 3)
+	servers := make([]*Server, 3)
+	for i, addr := range addrs {
+		servers[i] = startClusterNode(t, addr, addrs)
+	}
+	// Client traffic goes through per-node proxies so the leader's ack
+	// path can be cut independently of the (direct) replication links.
+	proxies := make([]*fault.Proxy, 3)
+	nodes := make([]client.ClusterNode, 3)
+	for i, addr := range addrs {
+		p, err := fault.NewProxy(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
+		proxies[i] = p
+		nodes[i] = client.ClusterNode{ID: addr, Addr: p.Addr()}
+	}
+	const batch = 128
+	cl, err := client.DialCluster(nodes, 3,
+		client.WithBatchSize(batch),
+		// Short enough that the severed ack path is detected well inside
+		// FailoverWait; long enough that creates and pings survive the
+		// race detector's overhead.
+		client.WithOpTimeout(time.Second),
+		client.WithReconnect(2),
+		client.WithBackoff(10*time.Millisecond, 40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.FailoverWait = 20 * time.Second
+
+	const name = "failover"
+	cs, err := cl.Create(name, cluM, cluN, cluK, cluAlpha, cluSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := clusterEdges(33, 10*batch)
+	if err := cs.Send(pre); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	leaderIdx, _ := waitClusterConverged(t, servers, name, 15*time.Second)
+	if got := cs.Leader(); got != addrs[leaderIdx] {
+		t.Fatalf("client routes to %q, servers say leader is %q", got, addrs[leaderIdx])
+	}
+
+	// Park the next sequenced batch on the leader after it is accepted
+	// (dedup-claimed) but before its WAL append — in flight, unacked.
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	released := false
+	defer func() {
+		if !released {
+			close(release)
+		}
+	}()
+	var once sync.Once
+	testHookAfterAccept = func(source, seq uint64) {
+		once.Do(func() {
+			close(parked)
+			<-release
+		})
+	}
+	defer func() { testHookAfterAccept = nil }()
+
+	tail := clusterEdges(77, batch)
+	flushDone := make(chan error, 1)
+	go func() {
+		if err := cs.Send(tail); err != nil {
+			flushDone <- err
+			return
+		}
+		flushDone <- cs.Flush()
+	}()
+	<-parked
+
+	// Sever the ack path deterministically, then let the leader finish
+	// applying and die. The ack can no longer reach the client, so the
+	// batch stays parked in its resend buffer — whether the followers
+	// received the entry before the crash is exactly the race the dedup
+	// horizon must absorb.
+	proxies[leaderIdx].Partition(true)
+	proxies[leaderIdx].DropAll()
+	released = true
+	close(release)
+	servers[leaderIdx].Abort()
+
+	// Control plane: promote the most-caught-up survivor, retarget the
+	// other.
+	survivors := []int{}
+	for i := range servers {
+		if i != leaderIdx {
+			survivors = append(survivors, i)
+		}
+	}
+	promoteIdx := survivors[0]
+	var best uint64
+	for _, i := range survivors {
+		if ri, err := servers[i].SessionRole(name); err == nil && ri.Applied > best {
+			best, promoteIdx = ri.Applied, i
+		}
+	}
+	if err := servers[promoteIdx].Promote(name); err != nil {
+		t.Fatalf("promote node %d: %v", promoteIdx, err)
+	}
+	for _, i := range survivors {
+		if i != promoteIdx {
+			servers[i].SetSessionLeader(name, addrs[promoteIdx])
+		}
+	}
+
+	select {
+	case err := <-flushDone:
+		if err != nil {
+			t.Fatalf("flush across failover: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("flush never completed after promotion")
+	}
+
+	// The fleet must end byte-identical to a fault-free single-node run
+	// over all eleven batches, each applied exactly once.
+	all := append(append([]streamcover.Edge{}, pre...), tail...)
+	wantRes, wantDigest := clusterReference(t, name, all)
+	alive := []*Server{servers[survivors[0]], servers[survivors[1]]}
+	waitClusterConverged(t, alive, name, 15*time.Second)
+	for _, i := range survivors {
+		digest, err := servers[i].SessionDigest(name)
+		if err != nil {
+			t.Fatalf("node %d digest: %v", i, err)
+		}
+		if digest != wantDigest {
+			t.Fatalf("node %d digest %s != fault-free reference %s (exactly-once violated)", i, digest, wantDigest)
+		}
+	}
+	res, err := cs.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClusterResult(t, res, wantRes, "post-failover query")
+	if got := servers[promoteIdx].Metrics().RepPromotions.Load(); got != 1 {
+		t.Fatalf("promotions on new leader = %d, want 1", got)
+	}
+	if got := cs.Leader(); got != addrs[promoteIdx] {
+		t.Fatalf("client routes to %q after failover, want %q", got, addrs[promoteIdx])
+	}
+}
+
+// TestClusterFenceDrainPromote exercises the orderly failover primitive:
+// a fenced leader rejects new writes with the not-leader redirect while
+// its replication streams keep shipping the frozen tail, a follower
+// drains to the fenced head, and promoting it loses nothing — the final
+// state is byte-equal to a fault-free single-node run.
+func TestClusterFenceDrainPromote(t *testing.T) {
+	addrs := reserveAddrs(t, 3)
+	servers := make([]*Server, 3)
+	for i, addr := range addrs {
+		servers[i] = startClusterNode(t, addr, addrs)
+	}
+	nodes := make([]client.ClusterNode, 3)
+	for i, addr := range addrs {
+		nodes[i] = client.ClusterNode{ID: addr, Addr: addr}
+	}
+	cl, err := client.DialCluster(nodes, 3,
+		client.WithBatchSize(256),
+		client.WithOpTimeout(2*time.Second),
+		client.WithBackoff(10*time.Millisecond, 40*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.FailoverWait = 15 * time.Second
+
+	const name = "fence"
+	cs, err := cl.Create(name, cluM, cluN, cluK, cluAlpha, cluSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := clusterEdges(55, 4096)
+	if err := cs.Send(pre); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	leaderIdx, _ := waitClusterConverged(t, servers, name, 15*time.Second)
+
+	if err := servers[leaderIdx].Fence(name); err != nil {
+		t.Fatalf("fence: %v", err)
+	}
+	// The fenced leader stops claiming the role and rejects direct writes.
+	ri, err := servers[leaderIdx].SessionRole(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Role == wire.RoleLeader {
+		t.Fatal("fenced leader still reports RoleLeader")
+	}
+	head := ri.Applied
+	if head == 0 {
+		t.Fatal("fenced head is 0 after ingest")
+	}
+	dc, err := client.Dial(addrs[leaderIdx], client.WithBatchSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dc.Close()
+	dsess, err := dc.Create(name, cluM, cluN, cluK, cluAlpha, cluSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dsess.Send(clusterEdges(3, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsess.Flush(); !errors.Is(err, client.ErrNotLeader) {
+		t.Fatalf("write to fenced leader: err = %v, want ErrNotLeader", err)
+	}
+
+	// Shipping continues against the frozen head: a follower drains to it.
+	drained := -1
+	deadline := time.Now().Add(10 * time.Second)
+	for drained < 0 && time.Now().Before(deadline) {
+		for i, srv := range servers {
+			if i == leaderIdx {
+				continue
+			}
+			if fi, err := srv.SessionRole(name); err == nil && fi.Applied >= head {
+				drained = i
+				break
+			}
+		}
+		if drained < 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if drained < 0 {
+		t.Fatalf("no follower drained to the fenced head %d", head)
+	}
+
+	servers[leaderIdx].Abort()
+	if err := servers[drained].Promote(name); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	for i, srv := range servers {
+		if i != drained && i != leaderIdx {
+			srv.SetSessionLeader(name, addrs[drained])
+		}
+	}
+
+	// The cluster client re-routes; post-fence traffic lands on the new
+	// leader and the final state matches the full fault-free reference.
+	post := clusterEdges(66, 2048)
+	if err := cs.Send(post); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	wantRes, wantDigest := clusterReference(t, name, append(append([]streamcover.Edge{}, pre...), post...))
+	res, err := cs.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireClusterResult(t, res, wantRes, "post-promotion query")
+	digest, err := servers[drained].SessionDigest(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != wantDigest {
+		t.Fatalf("promoted leader digest %s != reference %s", digest, wantDigest)
+	}
+}

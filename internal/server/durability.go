@@ -316,39 +316,9 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 	if err != nil {
 		return nil, fmt.Errorf("server: %s: %w", dir, err)
 	}
-	ests := make([]*streamcover.Estimator, 0, len(st.parts))
-	for i, part := range st.parts {
-		est, err := streamcover.DecodeEstimator(part)
-		if err != nil {
-			return nil, fmt.Errorf("server: %s: worker %d: %w", dir, i, err)
-		}
-		// Parallelism is an execution knob the snapshot deliberately omits;
-		// apply this server's setting before the replay below.
-		est.SetParallelism(cfg.EngineWorkers)
-		ests = append(ests, est)
-	}
-	// The snapshot is per-worker. With the same worker count the restored
-	// daemon is bit-identical to the uninterrupted one; with a different
-	// count, merge everything into one worker and let fresh same-seed
-	// estimators absorb the future shards (still a correct summary — the
-	// query path merges all workers anyway).
-	if cfg.Workers != len(ests) {
-		merged := ests[0]
-		for _, est := range ests[1:] {
-			if err := merged.Merge(est); err != nil {
-				return nil, fmt.Errorf("server: %s: merging snapshot parts: %w", dir, err)
-			}
-		}
-		ests = make([]*streamcover.Estimator, cfg.Workers)
-		ests[0] = merged
-		for i := 1; i < cfg.Workers; i++ {
-			est, err := streamcover.NewEstimator(st.m, st.n, st.k, st.alpha,
-				streamcover.WithSeed(st.seed), streamcover.WithParallelism(cfg.EngineWorkers))
-			if err != nil {
-				return nil, err
-			}
-			ests[i] = est
-		}
+	ests, err := estimatorsFromCheckpoint(st, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("server: %s: %w", dir, err)
 	}
 	log, err := wal.Open(filepath.Join(dir, "wal"), wal.Options{SegmentBytes: cfg.WALSegmentBytes, NoSync: cfg.WALNoSync, FS: fsys})
 	if err != nil {
@@ -403,6 +373,45 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 	}
 	sess.edges.Store(total)
 	return sess, nil
+}
+
+// estimatorsFromCheckpoint decodes a checkpoint's per-worker estimator
+// parts into this server's worker layout. The snapshot is per-worker:
+// with the same worker count the restored state is bit-identical to the
+// uninterrupted one; with a different count, everything merges into one
+// worker and fresh same-seed estimators absorb the future shards (still
+// a correct summary — the query path merges all workers anyway).
+// Parallelism is an execution knob the snapshot deliberately omits; this
+// server's setting is applied to every decoded part.
+func estimatorsFromCheckpoint(st checkpointState, cfg Config) ([]*streamcover.Estimator, error) {
+	ests := make([]*streamcover.Estimator, 0, len(st.parts))
+	for i, part := range st.parts {
+		est, err := streamcover.DecodeEstimator(part)
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", i, err)
+		}
+		est.SetParallelism(cfg.EngineWorkers)
+		ests = append(ests, est)
+	}
+	if cfg.Workers != len(ests) {
+		merged := ests[0]
+		for _, est := range ests[1:] {
+			if err := merged.Merge(est); err != nil {
+				return nil, fmt.Errorf("merging snapshot parts: %w", err)
+			}
+		}
+		ests = make([]*streamcover.Estimator, cfg.Workers)
+		ests[0] = merged
+		for i := 1; i < cfg.Workers; i++ {
+			est, err := streamcover.NewEstimator(st.m, st.n, st.k, st.alpha,
+				streamcover.WithSeed(st.seed), streamcover.WithParallelism(cfg.EngineWorkers))
+			if err != nil {
+				return nil, err
+			}
+			ests[i] = est
+		}
+	}
+	return ests, nil
 }
 
 // decodeWALRecord parses one logged batch into cols: a frame-type byte

@@ -6,6 +6,8 @@ import (
 	"net/http/pprof"
 	"sort"
 	"time"
+
+	"streamcover/internal/wire"
 )
 
 // sessionInfo is one row of the /sessions listing.
@@ -161,7 +163,109 @@ func (s *Server) httpHandler() http.Handler {
 		}
 		writeJSON(w, map[string]any{"checkpointed": true})
 	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		info := clusterInfo{Node: s.cfg.NodeID, Sessions: map[string]clusterSessionInfo{}}
+		if s.ring != nil {
+			info.Peers = s.ring.Members()
+		}
+		s.mu.Lock()
+		names := make([]string, 0, len(s.sessions))
+		for name := range s.sessions {
+			names = append(names, name)
+		}
+		s.mu.Unlock()
+		for _, name := range names {
+			ri, err := s.SessionRole(name)
+			if err != nil {
+				continue // closed or promoting between the listing and here
+			}
+			row := clusterSessionInfo{
+				Role:    "leader",
+				Leader:  ri.LeaderAddr,
+				Applied: ri.Applied,
+			}
+			if ri.Role == wire.RoleFollower {
+				row.Role = "follower"
+				row.StalenessSeconds = time.Duration(ri.StalenessNanos).Seconds()
+			}
+			info.Sessions[name] = row
+		}
+		writeJSON(w, info)
+	})
+	mux.HandleFunc("/digest", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("session")
+		if name == "" {
+			http.Error(w, "missing ?session=", http.StatusBadRequest)
+			return
+		}
+		digest, err := s.SessionDigest(name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]string{"session": name, "digest": digest})
+	})
+	mux.HandleFunc("/fence", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		name := r.URL.Query().Get("session")
+		if name == "" {
+			http.Error(w, "missing ?session=", http.StatusBadRequest)
+			return
+		}
+		if err := s.Fence(name); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]any{"session": name, "fenced": true})
+	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		name := r.URL.Query().Get("session")
+		if name == "" {
+			http.Error(w, "missing ?session=", http.StatusBadRequest)
+			return
+		}
+		if err := s.Promote(name); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, map[string]any{"session": name, "promoted": true, "leader": s.cfg.NodeID})
+	})
+	mux.HandleFunc("/leader", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		name, leader := r.URL.Query().Get("session"), r.URL.Query().Get("leader")
+		if name == "" || leader == "" {
+			http.Error(w, "missing ?session= or ?leader=", http.StatusBadRequest)
+			return
+		}
+		s.SetSessionLeader(name, leader)
+		writeJSON(w, map[string]any{"session": name, "leader": leader})
+	})
 	return mux
+}
+
+// clusterInfo is the /cluster payload: this node's identity and its view
+// of every local session's role and replication progress.
+type clusterInfo struct {
+	Node     string                        `json:"node,omitempty"`
+	Peers    []string                      `json:"peers,omitempty"`
+	Sessions map[string]clusterSessionInfo `json:"sessions"`
+}
+
+type clusterSessionInfo struct {
+	Role             string  `json:"role"`
+	Leader           string  `json:"leader"`
+	Applied          uint64  `json:"applied"`
+	StalenessSeconds float64 `json:"staleness_seconds,omitempty"`
 }
 
 // histInfo is one latency histogram in the /metrics payload: parallel

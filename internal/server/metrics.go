@@ -57,6 +57,17 @@ type Metrics struct {
 	BusyRejects          atomic.Int64
 	DeadlineReaps        atomic.Int64
 
+	// Cluster replication. RepStreams is a live gauge of open shipping
+	// streams (leader side); the applied counters cover the follower side;
+	// StaleRejects counts follower reads bounced for exceeding the
+	// client's staleness bound.
+	RepStreams        atomic.Int64
+	RepEntriesApplied atomic.Int64
+	RepEdgesApplied   atomic.Int64
+	RepBootstraps     atomic.Int64
+	RepPromotions     atomic.Int64
+	StaleRejects      atomic.Int64
+
 	// Latency histograms. IngestHist records each worker's per-shard
 	// ProcessBatch time; QueryHist records each query's merge+finalize
 	// time. Both in nanoseconds.
@@ -96,6 +107,13 @@ func (m *Metrics) snapshot() map[string]int64 {
 		"disk_full_sessions":    m.DiskFullSessions.Load(),
 		"busy_rejects":          m.BusyRejects.Load(),
 		"deadline_reaps":        m.DeadlineReaps.Load(),
+
+		"rep_streams":         m.RepStreams.Load(),
+		"rep_entries_applied": m.RepEntriesApplied.Load(),
+		"rep_edges_applied":   m.RepEdgesApplied.Load(),
+		"rep_bootstraps":      m.RepBootstraps.Load(),
+		"rep_promotions":      m.RepPromotions.Load(),
+		"stale_rejects":       m.StaleRejects.Load(),
 	}
 	if n := m.ReplayNanos.Load(); n > 0 {
 		s["replay_edges_per_sec"] = int64(float64(m.ReplayEdges.Load()) / (float64(n) / 1e9))

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"streamcover/internal/fault"
+	"streamcover/internal/replica"
 	"streamcover/internal/stream"
 	"streamcover/internal/wire"
 )
@@ -81,6 +82,23 @@ type Config struct {
 	// through. Default the real filesystem; tests inject faults by
 	// passing a *fault.Injector.
 	FS fault.FS
+
+	// Cluster mode (see cluster.go), enabled when Peers is non-empty.
+	// NodeID is this node's identity — its peer-facing TCP address, as the
+	// other nodes should dial it — and must appear in Peers, the full
+	// member list every node and client builds the placement ring from.
+	// Cluster mode requires a DataDir: replication is WAL shipping.
+	NodeID string
+	Peers  []string
+	// Replicas is the placement width: each session lives on this many
+	// nodes (leader + followers). Default: min(3, len(Peers)).
+	Replicas int
+	// RepHeartbeat is the shipper's heartbeat cadence while a follower is
+	// caught up; follower staleness has this resolution. Default 250ms.
+	RepHeartbeat time.Duration
+	// RepReadTimeout bounds the gap between leader frames on a follower's
+	// replication stream — the leader-death detector. Default 2s.
+	RepReadTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -111,6 +129,19 @@ func (c Config) withDefaults() Config {
 	if c.FS == nil {
 		c.FS = fault.OS()
 	}
+	if len(c.Peers) > 0 {
+		if c.Replicas <= 0 {
+			if c.Replicas = 3; len(c.Peers) < 3 {
+				c.Replicas = len(c.Peers)
+			}
+		}
+		if c.RepHeartbeat <= 0 {
+			c.RepHeartbeat = 250 * time.Millisecond
+		}
+		if c.RepReadTimeout <= 0 {
+			c.RepReadTimeout = 2 * time.Second
+		}
+	}
 	return c
 }
 
@@ -118,15 +149,18 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg     Config
 	metrics Metrics
+	ring    *replica.Ring // nil outside cluster mode; set once in Start
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	creating map[string]chan struct{} // names being built outside mu
-	closed   bool
-	tcpLn    net.Listener
-	httpSrv  *http.Server
-	httpLn   net.Listener
-	conns    map[net.Conn]struct{}
+	mu        sync.Mutex
+	sessions  map[string]*session
+	creating  map[string]chan struct{} // names being built outside mu
+	leaders   map[string]string        // failover overrides: session → leader node ID
+	promoting map[string]bool          // sessions mid-promotion (lookups answer transient)
+	closed    bool
+	tcpLn     net.Listener
+	httpSrv   *http.Server
+	httpLn    net.Listener
+	conns     map[net.Conn]struct{}
 
 	connWG   sync.WaitGroup
 	acceptWG sync.WaitGroup
@@ -139,10 +173,12 @@ type Server struct {
 // to begin accepting.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg:      cfg.withDefaults(),
-		sessions: make(map[string]*session),
-		creating: make(map[string]chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		cfg:       cfg.withDefaults(),
+		sessions:  make(map[string]*session),
+		creating:  make(map[string]chan struct{}),
+		leaders:   make(map[string]string),
+		promoting: make(map[string]bool),
+		conns:     make(map[net.Conn]struct{}),
 	}
 	s.metrics.start = time.Now()
 	return s
@@ -155,8 +191,50 @@ func (s *Server) Metrics() *Metrics { return &s.metrics }
 // non-empty, on httpAddr for the HTTP endpoint, then serves both in
 // background goroutines until Shutdown.
 func (s *Server) Start(tcpAddr, httpAddr string) error {
+	if len(s.cfg.Peers) > 0 {
+		if s.cfg.DataDir == "" {
+			return errors.New("server: cluster mode requires a data dir (replication ships the WAL)")
+		}
+		if s.cfg.NodeID == "" {
+			return errors.New("server: cluster mode requires a node id")
+		}
+		ring, err := replica.NewRing(s.cfg.Peers, 0)
+		if err != nil {
+			return err
+		}
+		member := false
+		for _, p := range ring.Members() {
+			if p == s.cfg.NodeID {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return fmt.Errorf("server: node id %q is not in the peer list", s.cfg.NodeID)
+		}
+		s.ring = ring
+	}
 	if err := s.recover(); err != nil {
 		return err
+	}
+	// Recovered sessions this node does not lead resume as followers:
+	// finish any interrupted bootstrap re-base, then reattach the stream
+	// at the mirror's watermark.
+	if s.clustered() {
+		s.mu.Lock()
+		recovered := make([]*session, 0, len(s.sessions))
+		for _, sess := range s.sessions {
+			recovered = append(recovered, sess)
+		}
+		s.mu.Unlock()
+		for _, sess := range recovered {
+			if lead := s.leaderOf(sess.name); lead != s.cfg.NodeID {
+				if err := s.repairFollowerWAL(sess); err != nil {
+					return err
+				}
+				s.attachFollower(sess, lead)
+			}
+		}
 	}
 	ln, err := net.Listen("tcp", tcpAddr)
 	if err != nil {
@@ -397,6 +475,50 @@ func (s *Server) handleConn(conn net.Conn) {
 			} else if !respond(wire.TResult, res.Encode()) {
 				return
 			}
+		case wire.TQueryStale:
+			name, maxStale, derr := wire.DecodeQueryStale(payload)
+			if !join() {
+				return
+			}
+			var res wire.Result
+			if derr == nil {
+				res, derr = s.queryStaleSession(name, time.Duration(maxStale))
+			}
+			if derr != nil {
+				if errors.Is(derr, ErrDegraded) {
+					if !respond(wire.TErrRetry, []byte(derr.Error())) {
+						return
+					}
+				} else if !respond(wire.TErr, []byte(derr.Error())) {
+					return
+				}
+			} else if !respond(wire.TResult, res.Encode()) {
+				return
+			}
+		case wire.TRole:
+			name, derr := wire.DecodeRef(payload)
+			if !join() {
+				return
+			}
+			var info wire.RoleInfo
+			if derr == nil {
+				info, derr = s.SessionRole(name)
+			}
+			if derr != nil {
+				if !respond(wire.TErr, []byte(derr.Error())) {
+					return
+				}
+			} else if !respond(wire.TRoleInfo, info.Encode()) {
+				return
+			}
+		case wire.TRepSubscribe:
+			if !join() {
+				return
+			}
+			// The connection becomes a one-way replication stream; this
+			// handler never reads another frame from it.
+			s.serveShip(conn, bw, payload)
+			return
 		case wire.TPing:
 			if !join() {
 				return
@@ -433,6 +555,10 @@ func (s *Server) ack(respond func(byte, []byte) bool, err error) bool {
 		// TErrRetry: the client keeps the batch and retries.
 		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrReadOnly) {
 			return respond(wire.TErrRetry, []byte(err.Error()))
+		}
+		var nl *notLeaderError
+		if errors.As(err, &nl) {
+			return respond(wire.TErrNotLeader, wire.EncodeNotLeader(nl.leader))
 		}
 		return respond(wire.TErr, []byte(err.Error()))
 	}
@@ -482,7 +608,20 @@ func (s *Server) createSession(c wire.Create) error {
 		s.creating[c.Name] = pending
 		s.mu.Unlock()
 
+		// In cluster mode a create lands on every placement node; the ones
+		// that don't lead the session build it as a follower replica. The
+		// role is set before the session is published, so no ingest can
+		// slip in while the node still looks like a leader.
+		followerOf := ""
+		if s.clustered() {
+			if lead := s.leaderOf(c.Name); lead != s.cfg.NodeID {
+				followerOf = lead
+			}
+		}
 		sess, err := s.buildSession(c)
+		if err == nil && followerOf != "" {
+			sess.follower.Store(true)
+		}
 
 		s.mu.Lock()
 		delete(s.creating, c.Name)
@@ -500,6 +639,9 @@ func (s *Server) createSession(c wire.Create) error {
 		if aborted {
 			sess.close()
 			sess.dur.close()
+		}
+		if err == nil && followerOf != "" {
+			s.attachFollower(sess, followerOf)
 		}
 		return err
 	}
@@ -603,6 +745,11 @@ func (s *Server) session(name string) (*session, error) {
 		// after reconnecting.
 		return nil, fmt.Errorf("server: %w: shutting down", ErrDegraded)
 	}
+	if s.promoting[name] {
+		// Mid-promotion the old follower session is torn down and its
+		// replacement not yet registered; transient, like a dying server.
+		return nil, fmt.Errorf("server: %w: session %q is being promoted", ErrDegraded, name)
+	}
 	sess, ok := s.sessions[name]
 	if !ok {
 		return nil, fmt.Errorf("server: no session %q", name)
@@ -663,6 +810,13 @@ func (s *Server) prepareIngest(typ byte, payload []byte, cols *stream.Columns) (
 	if m != sess.m || n != sess.n {
 		return ingestJob{}, fmt.Errorf("server: batch dims (%d,%d) != session %q dims (%d,%d)",
 			m, n, name, sess.m, sess.n)
+	}
+	if sess.follower.Load() || sess.fenced.Load() {
+		// Followers take writes only from the replication stream — a
+		// client write here would fork the replica from the leader's log.
+		// A fenced leader rejects too: its log is frozen so a follower can
+		// drain the tail and take over without losing an acked batch.
+		return ingestJob{}, &notLeaderError{leader: s.leaderOf(name)}
 	}
 	j.sess = sess
 	j.rec = walRecord(sess, typ, payload)

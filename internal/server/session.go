@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"streamcover"
+	"streamcover/internal/replica"
 	"streamcover/internal/wire"
 )
 
@@ -51,6 +52,29 @@ type session struct {
 
 	dmu   sync.Mutex
 	dedup map[uint64]dedupEntry // client source → replay horizon
+
+	// omu orders durable ingest: WAL position assignment and worker
+	// dispatch are one atomic step (see logAndDispatch), so the log's
+	// replay order — the only order replicas and crash recovery ever see —
+	// is the order the leader's own estimators saw.
+	omu sync.Mutex
+
+	// Cluster role (see cluster.go). A session is born leader; on nodes
+	// that do not lead it, the server marks it a follower and attaches an
+	// applier pulling the leader's WAL. swapMu guards the worker/estimator
+	// set against replacement: a bootstrap swaps it wholesale, so clone
+	// enqueues (query, digest) hold the read side. queueDepth is kept so
+	// the swap can rebuild the queues at the configured capacity.
+	// fenced stops a leader from accepting new writes ahead of an orderly
+	// failover: acks are durable the moment they are sent, but shipping is
+	// asynchronous, so a promotion is lossless only if the leader first
+	// stops acking and the chosen follower drains the remaining tail.
+	follower   atomic.Bool
+	fenced     atomic.Bool
+	appMu      sync.Mutex
+	applier    *replica.Applier
+	swapMu     sync.RWMutex
+	queueDepth int
 
 	mu     sync.Mutex
 	closed bool
@@ -119,6 +143,7 @@ func newSessionWith(name string, m, n, k int, alpha float64, seed int64, queueDe
 		name: name, m: m, n: n, k: k, alpha: alpha, seed: seed,
 		metrics: metrics, dedup: make(map[uint64]dedupEntry), ests: ests,
 		recStop: make(chan struct{}), retryMin: 50 * time.Millisecond, retryMax: 5 * time.Second,
+		queueDepth: queueDepth,
 	}
 	w := len(ests)
 	s.hdrPool.New = func() any { h := make([]colShard, w); return &h }
@@ -186,25 +211,44 @@ func (s *session) begin() error {
 	return nil
 }
 
-// appendOverlapped starts the WAL append on its own goroutine so the
-// caller can dispatch the batch to the workers while the group-commit
-// fsync is in flight — the two dominate ingest latency and are
-// independent, so overlapping them hides the shorter behind the longer.
-// The returned channel delivers the append's error; the caller must
-// receive from it before acknowledging (an ack still implies durability)
-// and before releasing pmu (the checkpoint invariant requires no
-// in-flight append under pmu.Lock).
-func (d *durability) appendOverlapped(rec []byte) <-chan error {
+// logAndDispatch logs one batch and shards it to the workers, returning
+// a channel that delivers the append's durability error. The WAL position
+// assignment and the dispatch happen as one atomic step under omu:
+// replicas (and crash recovery) replay the log in position order on a
+// single goroutine, so the leader's own per-worker apply order must equal
+// log order — otherwise two concurrent connections could interleave into
+// the worker queues in one order and into the log in the other, and the
+// leader's estimator bytes would diverge from every follower's. Only the
+// group-commit fsync — the slow half — runs outside the lock, so it still
+// overlaps the dispatch and later batches. The caller must receive from
+// the channel before acknowledging (an ack still implies durability) and
+// before releasing pmu (the checkpoint invariant requires no in-flight
+// append under pmu.Lock).
+func (s *session) logAndDispatch(d *durability, rec []byte, sets, elems []uint32) <-chan error {
 	ch := make(chan error, 1)
-	go func() {
-		var err error
-		if d.appendFn != nil {
-			_, err = d.appendFn(rec)
-		} else {
-			_, err = d.wal.Append(rec)
-		}
+	s.omu.Lock()
+	if d.appendFn != nil {
+		// Test seam: appendFn stands in for the whole append (write and
+		// fsync both), so it keeps the fully-overlapped shape.
+		go func() {
+			_, err := d.appendFn(rec)
+			ch <- err
+		}()
+		s.dispatch(sets, elems)
+		s.omu.Unlock()
+		return ch
+	}
+	_, wait, err := d.wal.AppendStart(rec)
+	// Dispatch even when the write failed: the degrade path treats the
+	// batch as applied-but-not-durable either way, and recovery's fresh
+	// checkpoint re-anchors the log at the applied state.
+	s.dispatch(sets, elems)
+	s.omu.Unlock()
+	if err != nil {
 		ch <- err
-	}()
+		return ch
+	}
+	go func() { ch <- wait() }()
 	return ch
 }
 
@@ -228,8 +272,7 @@ func (s *session) ingest(sets, elems []uint32, rec []byte) error {
 	if err := s.degraded(); err != nil {
 		return err
 	}
-	appended := d.appendOverlapped(rec)
-	s.dispatch(sets, elems)
+	appended := s.logAndDispatch(d, rec, sets, elems)
 	if err := <-appended; err != nil {
 		// The batch is applied but not durable; no future ack may claim
 		// otherwise. Degrade (recovery will re-checkpoint the applied
@@ -316,8 +359,7 @@ func (s *session) ingestSeq(source, seq uint64, rec []byte, sets, elems []uint32
 			s.dispatch(sets, elems)
 			return true, nil
 		}
-		appended := d.appendOverlapped(rec)
-		s.dispatch(sets, elems)
+		appended := s.logAndDispatch(d, rec, sets, elems)
 		err := <-appended
 		if err != nil {
 			// Applied but not durable: count the ingest here (the handler
@@ -436,12 +478,17 @@ func (s *session) query(metrics *Metrics) (wire.Result, error) {
 	}
 	defer s.ops.Done()
 	s.queries.Add(1)
+	// The read lock covers only the enqueue: once the clone requests are
+	// queued they are answered even if a bootstrap swaps the workers out —
+	// an exiting worker drains its whole queue first.
+	s.swapMu.RLock()
 	replies := make([]chan cloneReply, len(s.workers))
 	for i, ch := range s.workers {
 		r := make(chan cloneReply, 1)
 		replies[i] = r
 		ch <- workerMsg{clone: r}
 	}
+	s.swapMu.RUnlock()
 	start := time.Now()
 	var merged *streamcover.Estimator
 	for _, r := range replies {
@@ -483,6 +530,10 @@ func (s *session) close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Stop the replication stream first (followers): its in-flight Apply
+	// finishes (it began before closed was set), the next one fails begin,
+	// and the applier's loop exits.
+	s.stopApplier()
 	s.ops.Wait()
 	s.stopRecovery()
 	for _, ch := range s.workers {
@@ -496,9 +547,29 @@ func (s *session) close() {
 
 // queueDepths reports the live per-worker queue occupancy.
 func (s *session) queueDepths() []int {
+	s.swapMu.RLock()
+	defer s.swapMu.RUnlock()
 	d := make([]int, len(s.workers))
 	for i, ch := range s.workers {
 		d[i] = len(ch)
 	}
 	return d
+}
+
+// getApplier returns the session's replication applier, nil on leaders.
+func (s *session) getApplier() *replica.Applier {
+	s.appMu.Lock()
+	defer s.appMu.Unlock()
+	return s.applier
+}
+
+// stopApplier detaches and stops the replication stream, if any.
+func (s *session) stopApplier() {
+	s.appMu.Lock()
+	a := s.applier
+	s.applier = nil
+	s.appMu.Unlock()
+	if a != nil {
+		a.Stop()
+	}
 }

@@ -86,6 +86,10 @@ type Log struct {
 	synced     uint64     // highest position known durable
 	appended   uint64     // highest position written to the OS
 	syncActive bool
+
+	// pins maps each open Reader to its cursor position; TruncateBefore
+	// never deletes a segment holding records at or beyond the minimum.
+	pins map[*Reader]uint64
 }
 
 // Open opens (or creates) the log in dir and prepares it for appending.
@@ -233,8 +237,23 @@ func segName(firstPos uint64) string {
 // the record is durable — possibly having ridden another appender's
 // fsync.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	pos, wait, err := l.AppendStart(payload)
+	if err != nil {
+		return pos, err
+	}
+	return pos, wait()
+}
+
+// AppendStart writes one record and assigns its position, returning
+// before durability: the wait function blocks until the record is durable
+// (riding the group commit; immediate under NoSync). It exists for
+// callers that must make the position assignment atomic with an external
+// ordering commitment — e.g. a replicated session, whose replay order is
+// log order, applying the record to its own state — while still
+// overlapping the fsync with that work.
+func (l *Log) AppendStart(payload []byte) (uint64, func() error, error) {
 	if len(payload) > MaxRecord {
-		return 0, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
+		return 0, nil, fmt.Errorf("wal: record of %d bytes exceeds limit %d", len(payload), MaxRecord)
 	}
 	var hdr [recHeader]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
@@ -244,23 +263,23 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	if l.syncErr != nil {
 		err := l.syncErr
 		l.mu.Unlock()
-		return 0, err
+		return 0, nil, err
 	}
 	if err := l.ensureSegmentLocked(); err != nil {
 		l.mu.Unlock()
-		return 0, err
+		return 0, nil, err
 	}
 	pos := l.next
 	file := l.file
 	if _, err := file.Write(hdr[:]); err != nil {
 		l.syncErr = fmt.Errorf("wal: %w", err)
 		l.mu.Unlock()
-		return 0, l.syncErr
+		return 0, nil, l.syncErr
 	}
 	if _, err := file.Write(payload); err != nil {
 		l.syncErr = fmt.Errorf("wal: %w", err)
 		l.mu.Unlock()
-		return 0, l.syncErr
+		return 0, nil, l.syncErr
 	}
 	l.next++
 	l.size += recHeader + int64(len(payload))
@@ -268,9 +287,9 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.mu.Unlock()
 
 	if l.opts.NoSync {
-		return pos, nil
+		return pos, func() error { return nil }, nil
 	}
-	return pos, l.waitDurable(pos)
+	return pos, func() error { return l.waitDurable(pos) }, nil
 }
 
 // waitDurable blocks until pos is durable, electing this goroutine as the
@@ -429,7 +448,10 @@ func (l *Log) Replay(from uint64, fn func(pos uint64, payload []byte) error) err
 // TruncateBefore deletes whole segments every record of which has
 // position < pos. Records at or above pos are always retained; some
 // records below pos usually survive in the segment that straddles the
-// boundary.
+// boundary. Segments still needed by an open Reader (a shipping
+// replication stream, say) are also retained: the effective truncation
+// point is clamped to the lowest reader cursor, so a checkpoint racing a
+// lagging shipper never deletes records the shipper has yet to deliver.
 func (l *Log) TruncateBefore(pos uint64) error {
 	segs, err := listSegments(l.fs, l.dir)
 	if err != nil {
@@ -437,6 +459,11 @@ func (l *Log) TruncateBefore(pos uint64) error {
 	}
 	l.mu.Lock()
 	activePos, next, hasFile := l.segPos, l.next, l.file != nil
+	for _, cursor := range l.pins {
+		if cursor < pos {
+			pos = cursor
+		}
+	}
 	l.mu.Unlock()
 	for i, seg := range segs {
 		if hasFile && seg.firstPos >= activePos {
@@ -456,11 +483,92 @@ func (l *Log) TruncateBefore(pos uint64) error {
 	return syncDir(l.fs, l.dir)
 }
 
+// InitPos places an empty log's position space so that the next Append
+// receives position next. A follower bootstrapping from a leader
+// checkpoint at WAL position p calls InitPos(p+1) so that mirrored
+// appends land at the same positions as the leader's originals — the two
+// logs then stay byte-identical segment for segment. It is an error on a
+// log that already holds records.
+func (l *Log) InitPos(next uint64) error {
+	if next == 0 {
+		return fmt.Errorf("wal: InitPos(0): positions are 1-based")
+	}
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(segs) > 0 || l.next != 1 || l.file != nil {
+		return fmt.Errorf("wal: InitPos on non-empty log (next=%d)", l.next)
+	}
+	l.next = next
+	l.segPos = next
+	l.synced = next - 1
+	l.appended = next - 1
+	return nil
+}
+
+// ResetTo discards every record and re-bases the position space so the
+// next Append lands at next — a follower being re-bootstrapped from a
+// leader checkpoint covering position next-1 calls this to make its
+// mirror consistent again. It refuses while readers are open (their
+// cursors would dangle) and must not race Append; the caller holds the
+// session frozen.
+func (l *Log) ResetTo(next uint64) error {
+	if next == 0 {
+		return fmt.Errorf("wal: ResetTo(0): positions are 1-based")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.pins) > 0 {
+		return fmt.Errorf("wal: ResetTo with %d open readers", len(l.pins))
+	}
+	for l.syncActive {
+		l.flushCond.Wait()
+	}
+	if l.file != nil {
+		l.file.Close()
+		l.file = nil
+	}
+	segs, err := listSegments(l.fs, l.dir)
+	if err != nil {
+		return err
+	}
+	for _, seg := range segs {
+		if err := l.fs.Remove(filepath.Join(l.dir, seg.name)); err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	if err := syncDir(l.fs, l.dir); err != nil {
+		return err
+	}
+	l.next = next
+	l.segPos = next
+	l.size = 0
+	l.syncErr = nil
+	l.synced = next - 1
+	l.appended = next - 1
+	l.flushCond.Broadcast()
+	return nil
+}
+
 // LastPos reports the position of the most recent append (0 when empty).
 func (l *Log) LastPos() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.next - 1
+}
+
+// DurablePos reports the highest position a Reader can currently deliver
+// (the durability watermark: synced in sync mode, appended with NoSync).
+func (l *Log) DurablePos() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.opts.NoSync {
+		return l.appended
+	}
+	return l.synced
 }
 
 // Depth reports how many records the retained segments hold at or above
