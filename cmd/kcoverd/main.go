@@ -28,6 +28,16 @@
 // in read-only mode until space frees. /healthz reports ok, degraded or
 // read-only (HTTP 503 for the latter two).
 //
+// Multi-tenancy: with -mem-budget BYTES (requires -data) the daemon
+// oversubscribes sessions against a fixed memory budget — cold sessions
+// are LRU-evicted down to their checkpoints (workers stopped, estimators
+// freed, WAL parked) and transparently rehydrated on their next ingest or
+// query, bit-identical to never having been evicted. -session-quota caps
+// one session's serialized size; -rehydrate-concurrency bounds
+// simultaneous rehydrations (excess wakers get a retryable busy answer).
+// /sessions and /metrics report per-session residency and the
+// eviction/rehydration counters.
+//
 // Cluster mode: with -peers (and -node-id naming this node's entry in
 // that list) the daemon joins an N-node replication fleet. Sessions place
 // onto -replicas nodes by consistent hash; the placement's first node
@@ -75,6 +85,10 @@ func main() {
 		walSegment = flag.Int64("wal-segment", 0, "WAL segment size in bytes (0 = default)")
 		walNoSync  = flag.Bool("wal-nosync", false, "skip fsync on WAL appends (fast, loses acked batches on power loss)")
 
+		memBudget    = flag.Int64("mem-budget", 0, "session memory budget in bytes: LRU-evict cold sessions to their checkpoints past this (0 disables; requires -data)")
+		sessionQuota = flag.Int64("session-quota", 0, "per-session serialized-size cap in bytes; ingest over quota is rejected (0 = no cap)")
+		rehydrateC   = flag.Int("rehydrate-concurrency", 2, "simultaneous session rehydrations; excess wakers get a retryable busy rejection")
+
 		readTimeout  = flag.Duration("read-timeout", 5*time.Minute, "per-frame read deadline; idle or hung peers are reaped after this (<=0 disables)")
 		writeTimeout = flag.Duration("write-timeout", time.Minute, "per-response write deadline (<=0 disables)")
 		retryMin     = flag.Duration("retry-min", 50*time.Millisecond, "minimum backoff of a degraded session's durability-recovery loop")
@@ -98,6 +112,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kcoverd: cluster mode (-peers) requires -data (replication ships the WAL)")
 		os.Exit(2)
 	}
+	if *memBudget > 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "kcoverd: -mem-budget requires -data (eviction parks sessions at their checkpoints)")
+		os.Exit(2)
+	}
 
 	if *readTimeout <= 0 {
 		*readTimeout = -1 // Config treats 0 as "use default": make <=0 mean off
@@ -111,19 +129,22 @@ func main() {
 	}
 	srv := server.New(server.Config{
 		Workers: *workers, EngineWorkers: *engineW, QueueDepth: *queue,
-		DataDir:         *dataDir,
-		CheckpointEvery: *checkpoint,
-		WALSegmentBytes: *walSegment,
-		WALNoSync:       *walNoSync,
-		ReadTimeout:     *readTimeout,
-		WriteTimeout:    *writeTimeout,
-		RetryMin:        *retryMin,
-		RetryMax:        *retryMax,
-		NodeID:          *nodeID,
-		Peers:           peerList,
-		Replicas:        *replicas,
-		RepHeartbeat:    *repHeartbeat,
-		RepReadTimeout:  *repReadTimeout,
+		DataDir:              *dataDir,
+		CheckpointEvery:      *checkpoint,
+		WALSegmentBytes:      *walSegment,
+		WALNoSync:            *walNoSync,
+		ReadTimeout:          *readTimeout,
+		WriteTimeout:         *writeTimeout,
+		RetryMin:             *retryMin,
+		RetryMax:             *retryMax,
+		MemBudget:            *memBudget,
+		SessionQuota:         *sessionQuota,
+		RehydrateConcurrency: *rehydrateC,
+		NodeID:               *nodeID,
+		Peers:                peerList,
+		Replicas:             *replicas,
+		RepHeartbeat:         *repHeartbeat,
+		RepReadTimeout:       *repReadTimeout,
 	})
 	if err := srv.Start(*listen, *httpA); err != nil {
 		fmt.Fprintln(os.Stderr, "kcoverd:", err)

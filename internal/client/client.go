@@ -1086,30 +1086,51 @@ func (s *Session) Flush() error {
 	}
 }
 
+// queryBusyRetries bounds Query's in-call retries of transient busy
+// answers (a degraded session mid-recovery, or a rehydration backlog on
+// an oversubscribed server). Past the bound the typed ErrServerBusy
+// surfaces and the caller owns the retry policy.
+const queryBusyRetries = 8
+
 // Query flushes buffered edges and returns the live coverage estimate
 // over everything this and every other client has fed the session.
+// Transient busy rejections — the server is rehydrating an evicted
+// session or repairing a degraded one — are retried with backoff a
+// bounded number of times before surfacing as ErrServerBusy.
 func (s *Session) Query() (Result, error) {
 	if err := s.flushBatch(); err != nil {
 		return Result{}, err
 	}
-	resp, err := s.c.roundTrip(wire.TQuery, wire.EncodeRef(s.name))
-	if err != nil {
-		return Result{}, err
+	backoff := s.c.backoffMin
+	for attempt := 0; ; attempt++ {
+		resp, err := s.c.roundTrip(wire.TQuery, wire.EncodeRef(s.name))
+		if err != nil {
+			// Busy without a dead connection: the session exists and will
+			// answer shortly; retrying here spares every caller the loop.
+			if errors.Is(err, ErrServerBusy) && !errors.Is(err, ErrSessionClosed) && attempt < queryBusyRetries {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > s.c.backoffMax {
+					backoff = s.c.backoffMax
+				}
+				continue
+			}
+			return Result{}, err
+		}
+		if resp.typ != wire.TResult {
+			return Result{}, fmt.Errorf("client: unexpected response 0x%02x to query", resp.typ)
+		}
+		wr, err := wire.DecodeResult(resp.payload)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Coverage:   wr.Coverage,
+			Feasible:   wr.Feasible,
+			SetIDs:     wr.SetIDs,
+			SpaceWords: wr.SpaceWords,
+			Edges:      wr.Edges,
+		}, nil
 	}
-	if resp.typ != wire.TResult {
-		return Result{}, fmt.Errorf("client: unexpected response 0x%02x to query", resp.typ)
-	}
-	wr, err := wire.DecodeResult(resp.payload)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{
-		Coverage:   wr.Coverage,
-		Feasible:   wr.Feasible,
-		SetIDs:     wr.SetIDs,
-		SpaceWords: wr.SpaceWords,
-		Edges:      wr.Edges,
-	}, nil
 }
 
 // CloseSession flushes buffered edges and deletes the session server-side

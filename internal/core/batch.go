@@ -46,6 +46,12 @@ type Prepass struct {
 	sets  hash.Interner // distinct set IDs + per-edge positions
 	elems hash.Interner // distinct element IDs + per-edge positions
 
+	// arena, when set, is the shared pool the interner tables are leased
+	// from at the top of Index/IndexColumns and returned to by release().
+	// Reset clears a leased table before use, so pooling cannot change
+	// interning results.
+	arena *hash.Arena
+
 	// setIDs is the chunk's raw set-ID column in arrival order — the
 	// per-edge view processChunkUnit replays when rebuilding each unit's
 	// reduced edges. IndexColumns aliases the caller's column directly
@@ -60,6 +66,8 @@ type Prepass struct {
 // safe provided they synchronize with the indexing goroutine (the engine
 // publishes the Prepass through a channel send).
 func (p *Prepass) Index(edges []stream.Edge) {
+	p.arena.Lease(&p.sets)
+	p.arena.Lease(&p.elems)
 	p.sets.Reset()
 	p.elems.Reset()
 	if cap(p.setBuf) < len(edges) {
@@ -81,6 +89,8 @@ func (p *Prepass) Index(edges []stream.Edge) {
 // each column contiguously; the resulting prepass is identical to Index
 // over the corresponding edge structs.
 func (p *Prepass) IndexColumns(sets, elems []uint32) {
+	p.arena.Lease(&p.sets)
+	p.arena.Lease(&p.elems)
 	p.sets.Reset()
 	p.elems.Reset()
 	for _, s := range sets {
@@ -90,6 +100,13 @@ func (p *Prepass) IndexColumns(sets, elems []uint32) {
 		p.elems.Add(e)
 	}
 	p.setIDs = sets
+}
+
+// release returns both interners' storage to the arena (no-op without
+// one). The prepass must not be indexed concurrently.
+func (p *Prepass) release() {
+	p.arena.Return(&p.sets)
+	p.arena.Return(&p.elems)
 }
 
 // BatchScratch is the reusable per-batch working memory of the batched
@@ -294,6 +311,7 @@ func (est *Estimator) ProcessBatch(edges []stream.Edge) {
 	}
 	if est.scratch == nil {
 		est.scratch = NewBatchScratch()
+		est.scratch.pre.arena = est.arena
 	}
 	for start := 0; start < len(edges); start += maxBatchChunk {
 		end := start + maxBatchChunk
@@ -322,6 +340,7 @@ func (est *Estimator) ProcessColumns(sets, elems []uint32) {
 	}
 	if est.scratch == nil {
 		est.scratch = NewBatchScratch()
+		est.scratch.pre.arena = est.arena
 	}
 	for start := 0; start < len(sets); start += maxBatchChunk {
 		end := start + maxBatchChunk

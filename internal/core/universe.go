@@ -36,6 +36,11 @@ type Estimator struct {
 	// (see internal/core/batch.go).
 	scratch *BatchScratch
 
+	// arena, when set, pools the scratch's interner tables across
+	// co-resident estimators (see hash.Arena); ReleaseScratch hands the
+	// storage back when the owner goes idle.
+	arena *hash.Arena
+
 	// Parallel batch engine state (see internal/core/engine.go). par is
 	// the target worker count for ProcessBatch (≤1 means sequential; the
 	// default). unitList flattens the (guess, repetition) grid once;
@@ -182,10 +187,46 @@ func (est *Estimator) SetParallelism(p int) {
 // pool lazily); Close exists so long-lived owners (the server's sessions)
 // can release goroutines when a session ends.
 func (est *Estimator) Close() {
+	if est.scratch != nil {
+		// Hand the interner tables back to the shared arena (no-op without
+		// one) so an evicted session's scratch immediately re-seeds the
+		// next rehydration instead of dying with the estimator.
+		est.scratch.pre.release()
+		est.scratch = nil
+	}
 	if est.eng != nil {
 		est.eng.close()
 		est.eng = nil
 	}
+}
+
+// SetInternArena points the estimator's batch scratch at a shared
+// interner-table pool. Pooling is invisible to results (leased tables are
+// cleared before every batch); it only changes where the scratch's dedup
+// tables come from and go back to. Call before ingest, or between batches
+// — an already-allocated scratch adopts the arena on its next release/
+// lease cycle only if set before the scratch exists, so owners set it
+// right after construction.
+func (est *Estimator) SetInternArena(a *hash.Arena) {
+	est.arena = a
+	if est.scratch != nil {
+		est.scratch.pre.arena = a
+	}
+}
+
+// ReleaseScratch drops the batched ingest path's transient working
+// memory: interner tables return to the arena (when one is set) and the
+// scratch itself is released for the GC. The estimator remains fully
+// usable — the next ProcessBatch reallocates lazily. Owners with many
+// idle estimators (the server's evictable sessions) call this when an
+// estimator's queue drains so steady-state memory is sketch state only.
+// Not safe concurrently with ProcessBatch/ProcessColumns.
+func (est *Estimator) ReleaseScratch() {
+	if est.scratch == nil {
+		return
+	}
+	est.scratch.pre.release()
+	est.scratch = nil
 }
 
 // ProcessAllParallel consumes an entire in-memory edge stream using up to

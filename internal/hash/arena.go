@@ -1,0 +1,113 @@
+package hash
+
+import "sync"
+
+// Arena is a shared pool of interner working memory for co-resident
+// estimator sessions. Every hydrated session needs interner tables only
+// while a batch is actually being indexed; between batches the tables are
+// pure capacity. Without sharing, a node holding thousands of sessions
+// pays that capacity thousands of times over. With an Arena, a session
+// leases a block when a batch arrives and returns it when its queue goes
+// idle, so steady-state interner memory scales with *concurrently active*
+// sessions, not resident ones.
+//
+// A block is the backing storage of one Interner: the open-addressed
+// table plus the Keys/Pos slices. Leasing adopts a block into an Interner
+// whose storage is nil; returning strips the storage back out. The
+// Interner's Reset clears the adopted table before every batch, so a
+// block carries no information between sessions — bit-identity of results
+// is unaffected by which block (or none) a session happens to hold.
+//
+// The free list is bounded: beyond maxBlocks, returned storage is dropped
+// for the GC. All methods are safe for concurrent use.
+type Arena struct {
+	mu        sync.Mutex
+	free      []internBlock
+	maxBlocks int
+
+	leases   uint64 // total Lease calls that adopted or created storage
+	hits     uint64 // leases satisfied from the free list
+	returns  uint64 // blocks handed back (kept or dropped)
+	retained int    // blocks currently on the free list (== len(free))
+}
+
+type internBlock struct {
+	tab  []int32
+	keys []uint64
+	pos  []int32
+}
+
+// NewArena returns an arena retaining at most maxBlocks returned blocks
+// (maxBlocks <= 0 selects a default of 64).
+func NewArena(maxBlocks int) *Arena {
+	if maxBlocks <= 0 {
+		maxBlocks = 64
+	}
+	return &Arena{maxBlocks: maxBlocks}
+}
+
+// Lease ensures it has backing storage, adopting a pooled block when one
+// is available. An Interner that already holds storage is left alone, so
+// calling Lease before every batch is cheap. The adopted table is cleared
+// by the caller's subsequent Reset, not here.
+func (a *Arena) Lease(it *Interner) {
+	if a == nil || it == nil || it.tab != nil {
+		return
+	}
+	a.mu.Lock()
+	a.leases++
+	if n := len(a.free); n > 0 {
+		b := a.free[n-1]
+		a.free[n-1] = internBlock{}
+		a.free = a.free[:n-1]
+		a.retained = len(a.free)
+		a.hits++
+		a.mu.Unlock()
+		it.tab = b.tab
+		it.mask = uint64(len(b.tab)) - 1
+		it.Keys = b.keys[:0]
+		it.Pos = b.pos[:0]
+		return
+	}
+	a.mu.Unlock()
+	// No pooled block: let the Interner's own Reset allocate fresh
+	// storage at its default size on first use.
+}
+
+// Return strips it's backing storage into the pool and leaves it empty
+// (as if freshly zero-valued). Safe to call on an Interner with no
+// storage. The table is cleared on return so a pooled block never leaks
+// one session's IDs into another's timing or debugging view.
+func (a *Arena) Return(it *Interner) {
+	if a == nil || it == nil || it.tab == nil {
+		return
+	}
+	b := internBlock{tab: it.tab, keys: it.Keys, pos: it.Pos}
+	it.tab, it.mask, it.Keys, it.Pos = nil, 0, nil, nil
+	clear(b.tab)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.returns++
+	if len(a.free) < a.maxBlocks {
+		a.free = append(a.free, b)
+		a.retained = len(a.free)
+	}
+}
+
+// ArenaStats is a point-in-time snapshot of arena traffic.
+type ArenaStats struct {
+	Leases   uint64 // Lease calls on storage-less interners
+	Hits     uint64 // of those, satisfied from the free list
+	Returns  uint64 // blocks handed back
+	Retained int    // blocks currently pooled
+}
+
+// Stats returns a snapshot of arena counters.
+func (a *Arena) Stats() ArenaStats {
+	if a == nil {
+		return ArenaStats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return ArenaStats{Leases: a.leases, Hits: a.hits, Returns: a.returns, Retained: a.retained}
+}

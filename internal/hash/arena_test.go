@@ -1,0 +1,137 @@
+package hash
+
+import (
+	"sync"
+	"testing"
+)
+
+// Interning through an arena-leased block must produce exactly the same
+// dense indices as a private interner: block adoption is invisible to
+// results.
+func TestArenaLeaseBitIdentical(t *testing.T) {
+	ids := make([]uint32, 0, 4096)
+	x := uint32(12345)
+	for i := 0; i < 4096; i++ {
+		x = x*1664525 + 1013904223
+		ids = append(ids, x%257) // heavy duplication
+	}
+
+	var ref Interner
+	ref.Reset()
+	refPos := make([]int32, 0, len(ids))
+	for _, id := range ids {
+		refPos = append(refPos, ref.Add(id))
+	}
+
+	a := NewArena(4)
+	// Warm the pool so the second lease adopts a used block.
+	var warm Interner
+	a.Lease(&warm)
+	warm.Reset()
+	for _, id := range ids {
+		warm.Add(id)
+	}
+	a.Return(&warm)
+	if warm.tab != nil {
+		t.Fatalf("Return left storage attached")
+	}
+
+	var it Interner
+	a.Lease(&it)
+	it.Reset()
+	for i, id := range ids {
+		if got := it.Add(id); got != refPos[i] {
+			t.Fatalf("Add(%d) at %d = %d, want %d", id, i, got, refPos[i])
+		}
+	}
+	if len(it.Keys) != len(ref.Keys) {
+		t.Fatalf("Keys len %d, want %d", len(it.Keys), len(ref.Keys))
+	}
+	for i := range it.Keys {
+		if it.Keys[i] != ref.Keys[i] {
+			t.Fatalf("Keys[%d] = %d, want %d", i, it.Keys[i], ref.Keys[i])
+		}
+	}
+
+	st := a.Stats()
+	if st.Leases != 2 || st.Hits != 1 || st.Returns != 1 {
+		t.Fatalf("stats = %+v, want 2 leases / 1 hit / 1 return", st)
+	}
+}
+
+// The free list must stay bounded at maxBlocks no matter how many blocks
+// come back.
+func TestArenaBoundedFreeList(t *testing.T) {
+	a := NewArena(2)
+	for i := 0; i < 8; i++ {
+		var it Interner
+		it.Reset()
+		it.Add(uint32(i))
+		a.Return(&it)
+	}
+	if st := a.Stats(); st.Retained != 2 || st.Returns != 8 {
+		t.Fatalf("stats = %+v, want retained=2 returns=8", st)
+	}
+}
+
+// Lease on an interner that already has storage is a no-op.
+func TestArenaLeaseKeepsExistingStorage(t *testing.T) {
+	a := NewArena(2)
+	var it Interner
+	it.Reset()
+	tab := &it.tab[0]
+	a.Lease(&it)
+	if &it.tab[0] != tab {
+		t.Fatalf("Lease replaced existing storage")
+	}
+	if st := a.Stats(); st.Leases != 0 {
+		t.Fatalf("Lease on stocked interner counted: %+v", st)
+	}
+}
+
+// Nil arena and nil interner are safe everywhere (sessions without a
+// shared arena pass nil through the whole plumbing).
+func TestArenaNilSafety(t *testing.T) {
+	var a *Arena
+	var it Interner
+	a.Lease(&it)
+	a.Return(&it)
+	if got := a.Stats(); got != (ArenaStats{}) {
+		t.Fatalf("nil arena stats = %+v", got)
+	}
+	na := NewArena(1)
+	na.Lease(nil)
+	na.Return(nil)
+}
+
+// Concurrent lease/return traffic from many goroutines must be safe and
+// keep each goroutine's interning correct (run under -race).
+func TestArenaConcurrent(t *testing.T) {
+	a := NewArena(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				var it Interner
+				a.Lease(&it)
+				it.Reset()
+				for i := 0; i < 100; i++ {
+					id := uint32(g*1000 + i%17)
+					idx := it.Add(id)
+					if it.Keys[idx] != uint64(id) {
+						t.Errorf("g%d: Keys[%d] = %d, want %d", g, idx, it.Keys[idx], id)
+						return
+					}
+				}
+				a.Return(&it)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := a.Stats()
+	if st.Retained > 4 {
+		t.Fatalf("retained %d > maxBlocks 4", st.Retained)
+	}
+}

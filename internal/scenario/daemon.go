@@ -78,6 +78,7 @@ func (d *daemon) config() server.Config {
 		cfg.CheckpointEvery = d.spec.CheckpointEvery.Duration
 		cfg.WALNoSync = d.spec.WALNoSync
 		cfg.FS = d.inj
+		cfg.MemBudget = d.spec.MemBudget
 	}
 	if d.clu != nil {
 		cfg.NodeID = d.clu.nodeID

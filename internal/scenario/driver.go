@@ -45,11 +45,12 @@ type fleet struct {
 	spec     FleetSpec
 	clients  []*client.Client
 	clusters []*client.Cluster
-	sess     []ingestSession
+	sess     [][]ingestSession        // [connection][tenant] session handles
 	csess    []*client.ClusterSession // parallel to sess in cluster mode
 	streams  [][]streamcover.Edge
 	pacers   []*workload.Pacer
-	sent     []int64 // edges handed to Send, per connection (owner-written)
+	pickers  []*workload.TenantPicker // per-connection tenant routing
+	sent     []int64                  // edges handed to Send, per connection (owner-written)
 
 	phaseIdx atomic.Int64
 	phases   []*phaseAccum
@@ -59,16 +60,21 @@ type fleet struct {
 	errs chan error
 }
 
-// newFleet dials the fleet and creates (or attaches to) the session. The
+// newFleet dials the fleet and creates (or attaches to) the sessions. The
 // first connection creates; the rest attach by issuing the same Create,
 // which the server treats as idempotent for identical dimensions. nodes
-// is nil for a single daemon; non-nil switches to cluster routing.
+// is nil for a single daemon; non-nil switches to cluster routing. With
+// tenants > 1 every connection carries one handle per tenant session
+// (sessionName) on the same wire, and a per-connection seeded picker
+// routes each chunk — the whole tenant fan-out stays a pure function of
+// the spec's seed.
 func newFleet(spec *Spec, addr string, nodes []client.ClusterNode, edges []streamcover.Edge, m, n, k int) (*fleet, error) {
 	conns := spec.Fleet.Connections
 	f := &fleet{
 		spec:    spec.Fleet,
 		streams: make([][]streamcover.Edge, conns),
 		pacers:  make([]*workload.Pacer, conns),
+		pickers: make([]*workload.TenantPicker, conns),
 		sent:    make([]int64, conns),
 		phases:  make([]*phaseAccum, len(spec.Phases)),
 		stop:    make(chan struct{}),
@@ -111,6 +117,7 @@ func newFleet(spec *Spec, addr string, nodes []client.ClusterNode, edges []strea
 	}
 	for i := 0; i < conns; i++ {
 		f.pacers[i] = workload.NewPacer(0)
+		f.pickers[i] = workload.NewTenantPicker(spec.Fleet.Tenants, spec.Fleet.Skew, spec.Seed+int64(i))
 		if nodes != nil {
 			// A finite reconnect budget is load-bearing here: exhausting
 			// it against a dead leader is what surfaces the failoverable
@@ -130,7 +137,7 @@ func newFleet(spec *Spec, addr string, nodes []client.ClusterNode, edges []strea
 				f.closeAll()
 				return nil, fmt.Errorf("fleet cluster create %d: %w", i, err)
 			}
-			f.sess = append(f.sess, cs)
+			f.sess = append(f.sess, []ingestSession{cs})
 			f.csess = append(f.csess, cs)
 			continue
 		}
@@ -140,14 +147,29 @@ func newFleet(spec *Spec, addr string, nodes []client.ClusterNode, edges []strea
 			return nil, fmt.Errorf("fleet dial %d: %w", i, err)
 		}
 		f.clients = append(f.clients, cl)
-		sess, err := cl.Create(spec.Name, m, n, k, spec.Workload.Alpha, spec.Seed)
-		if err != nil {
-			f.closeAll()
-			return nil, fmt.Errorf("fleet create %d: %w", i, err)
+		row := make([]ingestSession, 0, spec.Fleet.Tenants)
+		for t := 0; t < spec.Fleet.Tenants; t++ {
+			sess, err := cl.Create(sessionName(spec, t), m, n, k, spec.Workload.Alpha, spec.Seed)
+			if err != nil {
+				f.closeAll()
+				return nil, fmt.Errorf("fleet create %d tenant %d: %w", i, t, err)
+			}
+			row = append(row, sess)
 		}
-		f.sess = append(f.sess, sess)
+		f.sess = append(f.sess, row)
 	}
 	return f, nil
+}
+
+// sessionName is tenant t's server-side session name. A single-tenant run
+// keeps the bare spec name (every pre-existing spec is unchanged); a
+// fan-out suffixes the tenant index so sessions stay addressable from
+// /sessions and the query endpoints.
+func sessionName(spec *Spec, t int) string {
+	if spec.Fleet.Tenants <= 1 {
+		return spec.Name
+	}
+	return fmt.Sprintf("%s-t%d", spec.Name, t)
 }
 
 // start launches one driver goroutine per connection.
@@ -170,9 +192,12 @@ func (f *fleet) start() {
 // cycling back to the start when the slice is exhausted — a timed phase
 // must never run out of load, and re-sending the same edges is safe
 // because max-coverage ingest is idempotent on the multiset level (the
-// reference estimator replays the identical cycled sequence).
+// reference estimator replays the identical cycled sequence). Each chunk
+// goes to the tenant session the connection's seeded picker chooses, so a
+// skewed fan-out leaves cold tenants idle for long stretches — exactly
+// the access pattern that exercises eviction and rehydration.
 func (f *fleet) drive(ci int) error {
-	sess := f.sess[ci]
+	row := f.sess[ci]
 	edges := f.streams[ci]
 	if len(edges) == 0 {
 		return nil
@@ -197,7 +222,7 @@ func (f *fleet) drive(ci int) error {
 			return nil
 		default:
 		}
-		if err := sess.Send(chunk); err != nil {
+		if err := row[f.pickers[ci].Pick()].Send(chunk); err != nil {
 			return err
 		}
 		f.sent[ci] += int64(len(chunk))
@@ -237,12 +262,34 @@ func (f *fleet) halt() error {
 // flushAll barriers every connection: all buffered and in-flight batches
 // acknowledged (replaying through restarts and busy windows as needed).
 func (f *fleet) flushAll() error {
-	for i, s := range f.sess {
-		if err := s.Flush(); err != nil {
-			return fmt.Errorf("conn %d flush: %w", i, err)
+	for i, row := range f.sess {
+		for t, s := range row {
+			if err := s.Flush(); err != nil {
+				return fmt.Errorf("conn %d tenant %d flush: %w", i, t, err)
+			}
 		}
 	}
 	return nil
+}
+
+// queryApplied reads the server-side truth after the final flush: the
+// summed applied edge count across every tenant session (through conn 0's
+// handles — all connections address the same server sessions) and tenant
+// 0's full result for the report's coverage row. With one tenant this is
+// exactly the old single-session query, so the exactly-once gate keeps
+// its meaning: sum(per-tenant applied) == edges handed to Send.
+func (f *fleet) queryApplied() (first client.Result, applied int64, err error) {
+	for t, s := range f.sess[0] {
+		r, qerr := s.Query()
+		if qerr != nil {
+			return client.Result{}, 0, fmt.Errorf("tenant %d query: %w", t, qerr)
+		}
+		if t == 0 {
+			first = r
+		}
+		applied += int64(r.Edges)
+	}
+	return first, applied, nil
 }
 
 func (f *fleet) totalSent() int64 {

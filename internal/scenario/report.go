@@ -20,8 +20,11 @@ type ScenarioReport struct {
 	Seed        int64  `json:"seed"`
 	// StreamDigest is the order-sensitive FNV-1a digest of the generated
 	// edge stream — two same-seed runs must report the same value.
-	StreamDigest   string            `json:"stream_digest"`
-	EdgesGenerated int               `json:"edges_generated"`
+	StreamDigest   string `json:"stream_digest"`
+	EdgesGenerated int    `json:"edges_generated"`
+	// Tenants is set when the fleet fanned the stream across multiple
+	// sessions; EdgesApplied is then the sum over all of them.
+	Tenants        int               `json:"tenants,omitempty"`
 	EdgesSent      int64             `json:"edges_sent"`
 	EdgesApplied   int64             `json:"edges_applied"`
 	Coverage       float64           `json:"coverage"`

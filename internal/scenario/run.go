@@ -89,6 +89,9 @@ func Run(spec *Spec, opts Options) (*ScenarioReport, error) {
 	}
 	rep.StreamDigest = fmt.Sprintf("%016x", digest)
 	rep.EdgesGenerated = len(edges)
+	if spec.Fleet.Tenants > 1 {
+		rep.Tenants = spec.Fleet.Tenants
+	}
 	opts.logf("[%s] workload: %d edges over m=%d n=%d k=%d (digest %s)",
 		spec.Name, len(edges), m, n, k, rep.StreamDigest)
 
@@ -238,12 +241,13 @@ func Run(spec *Spec, opts Options) (*ScenarioReport, error) {
 	queried := false
 	if flushErr == nil && driveErr == nil {
 		var qerr error
-		res, qerr = fl.sess[0].Query()
+		var applied int64
+		res, applied, qerr = fl.queryApplied()
 		if qerr != nil {
 			gateErrs = append(gateErrs, fmt.Sprintf("final query: %v", qerr))
 		} else {
 			queried = true
-			rep.EdgesApplied = int64(res.Edges)
+			rep.EdgesApplied = applied
 			rep.EdgesSent = fl.totalSent()
 			rep.Coverage = res.Coverage
 			if spec.Gates.RequireReferenceMatch {

@@ -164,6 +164,48 @@ func TestRunKillRestartMini(t *testing.T) {
 	}
 }
 
+// TestRunTenantChurnMini fans a Zipf-skewed tenant workload across many
+// sessions on a memory-budgeted durable daemon: the budget is far below
+// the fleet's total footprint, so cold tenants must evict to their
+// checkpoints and rehydrate on their next touch mid-drive. The exactly-
+// once gate (summed across tenants) plus live eviction/rehydration
+// counters are the harness-level proof that oversubscription loses
+// nothing: every acked edge lands in exactly one tenant's estimator, no
+// matter how many times that tenant was parked and revived.
+func TestRunTenantChurnMini(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end scenario run")
+	}
+	spec, err := ParseSpec([]byte(`{
+		"name": "tenant-churn-mini", "seed": 23,
+		"workload": {"family": "uniform", "n": 500, "m": 60, "k": 5},
+		"fleet": {"connections": 2, "batch_edges": 256, "tenants": 12, "skew": 1.1},
+		"daemon": {"durable": true, "wal_nosync": true, "workers": 1, "checkpoint_every": "250ms", "mem_budget": 2000000},
+		"phases": [{"name": "churn", "duration": "3s"}],
+		"gates": {"require_exactly_once": true}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(spec, Options{PollInterval: 50e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Pass {
+		t.Fatalf("tenant churn mini failed: %+v error=%s", rep.Gates, rep.Error)
+	}
+	if rep.Tenants != 12 {
+		t.Fatalf("tenants not reported: %+v", rep)
+	}
+	if rep.EdgesSent == 0 || rep.EdgesApplied != rep.EdgesSent {
+		t.Fatalf("sent=%d applied=%d", rep.EdgesSent, rep.EdgesApplied)
+	}
+	if rep.ServerCounters["evictions_total"] == 0 || rep.ServerCounters["rehydrations_total"] == 0 {
+		t.Fatalf("budget never forced churn: evictions=%d rehydrations=%d",
+			rep.ServerCounters["evictions_total"], rep.ServerCounters["rehydrations_total"])
+	}
+}
+
 // TestRunClusterFailoverMini is the harness-level acceptance slice: a
 // 3-node fleet ingests through overlapping replication partitions (every
 // node's peer plane cut in turn, so the whole plane is severed whatever

@@ -114,12 +114,20 @@ type WorkloadSpec struct {
 
 // FleetSpec shapes the client side: how many connections, how many edges
 // per wire batch, how deep each connection pipelines, and which wire
-// layout batches use.
+// layout batches use. Tenants > 1 fans the same workload across that many
+// server-side sessions (named <spec.Name>-t<i>): each connection keeps
+// one handle per tenant and routes every chunk by a seeded
+// workload.TenantPicker — Zipf-skewed when Skew > 0, uniform otherwise —
+// which is the access pattern session oversubscription (daemon.mem_budget)
+// is built for: a few hot tenants stay resident while the long tail
+// evicts to checkpoints and rehydrates on touch.
 type FleetSpec struct {
-	Connections int    `json:"connections,omitempty"` // default 2
-	BatchEdges  int    `json:"batch_edges,omitempty"` // default 2048
-	MaxPending  int    `json:"max_pending,omitempty"` // default 32
-	Wire        string `json:"wire,omitempty"`        // columnar|row (default columnar)
+	Connections int     `json:"connections,omitempty"` // default 2
+	BatchEdges  int     `json:"batch_edges,omitempty"` // default 2048
+	MaxPending  int     `json:"max_pending,omitempty"` // default 32
+	Wire        string  `json:"wire,omitempty"`        // columnar|row (default columnar)
+	Tenants     int     `json:"tenants,omitempty"`     // sessions to spread load over (default 1)
+	Skew        float64 `json:"skew,omitempty"`        // tenant-pick Zipf exponent (0 = uniform)
 }
 
 // DaemonSpec shapes the managed kcoverd instance. Proxy routes both the
@@ -135,6 +143,10 @@ type DaemonSpec struct {
 	RetryMin        Duration `json:"retry_min,omitempty"`        // degraded-recovery backoff floor (default 25ms)
 	RetryMax        Duration `json:"retry_max,omitempty"`        // degraded-recovery backoff ceiling (default 500ms)
 	Proxy           bool     `json:"proxy,omitempty"`            // required by partition/net_delay/drop_conns faults
+	// MemBudget oversubscribes sessions against a byte budget: cold ones
+	// LRU-evict to their checkpoints and rehydrate on the next touch.
+	// Requires durable (eviction parks a session at its checkpoint).
+	MemBudget int64 `json:"mem_budget,omitempty"`
 }
 
 // PhaseSpec is one timed segment of the drive: a name, a duration, and a
@@ -277,6 +289,9 @@ func (s *Spec) applyDefaults() {
 	if s.Fleet.Wire == "" {
 		s.Fleet.Wire = "columnar"
 	}
+	if s.Fleet.Tenants == 0 {
+		s.Fleet.Tenants = 1
+	}
 	if s.Daemon.Workers == 0 {
 		s.Daemon.Workers = 2
 	}
@@ -344,6 +359,31 @@ func (s *Spec) validate() error {
 	}
 	if s.Fleet.Wire != "columnar" && s.Fleet.Wire != "row" {
 		return fmt.Errorf("unknown fleet wire %q (columnar|row)", s.Fleet.Wire)
+	}
+	if s.Fleet.Tenants < 0 {
+		return fmt.Errorf("fleet.tenants is negative")
+	}
+	if s.Fleet.Skew < 0 {
+		return fmt.Errorf("fleet.skew is negative")
+	}
+	if s.Fleet.Tenants > 1 {
+		if s.clustered() {
+			return fmt.Errorf("fleet.tenants > 1 cannot be combined with a cluster block (the convergence protocol tracks one session)")
+		}
+		if s.Gates.RequireReferenceMatch {
+			// The reference replay reconstructs one session's multiset from
+			// the per-connection cycles; a tenant fan-out splits the stream
+			// across sessions, so the gate's single-estimator comparison no
+			// longer applies (exactly-once still does: it sums per-tenant
+			// applied counts).
+			return fmt.Errorf("gate require_reference_match cannot be combined with fleet.tenants > 1")
+		}
+	}
+	if s.Daemon.MemBudget < 0 {
+		return fmt.Errorf("daemon.mem_budget is negative")
+	}
+	if s.Daemon.MemBudget > 0 && !s.Daemon.Durable {
+		return fmt.Errorf("daemon.mem_budget needs daemon.durable (eviction parks sessions at their checkpoints)")
 	}
 	if c := s.Cluster; c != nil {
 		if c.Nodes < 2 || c.Nodes > 9 {

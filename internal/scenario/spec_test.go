@@ -247,6 +247,31 @@ func TestParseSpecErrors(t *testing.T) {
 			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true},"phases":[{"name":"p","duration":"1s"}],"gates":{"require_replica_convergence":true}}`,
 			want: "needs a cluster block",
 		},
+		{
+			name: "mem_budget without durability",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"mem_budget":1048576},"phases":[{"name":"p","duration":"1s"}]}`,
+			want: "needs daemon.durable",
+		},
+		{
+			name: "negative mem_budget",
+			json: `{"name":"t","workload":{"family":"uniform"},"daemon":{"durable":true,"mem_budget":-1},"phases":[{"name":"p","duration":"1s"}]}`,
+			want: "mem_budget is negative",
+		},
+		{
+			name: "negative tenant skew",
+			json: `{"name":"t","workload":{"family":"uniform"},"fleet":{"tenants":4,"skew":-1},"phases":[{"name":"p","duration":"1s"}]}`,
+			want: "fleet.skew is negative",
+		},
+		{
+			name: "tenants with reference match",
+			json: `{"name":"t","workload":{"family":"uniform"},"fleet":{"tenants":4},"phases":[{"name":"p","duration":"1s"}],"gates":{"require_reference_match":true}}`,
+			want: "cannot be combined with fleet.tenants",
+		},
+		{
+			name: "tenants with cluster",
+			json: `{"name":"t","workload":{"family":"uniform"},"fleet":{"tenants":4},"daemon":{"durable":true},"cluster":{"nodes":3},"phases":[{"name":"p","duration":"1s"}]}`,
+			want: "cannot be combined with a cluster block",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -171,10 +171,14 @@ func (t *followerTarget) Bootstrap(walPos uint64, ckpt []byte) error {
 // follower crash could recover to a state its own log cannot reproduce.
 func (t *followerTarget) Apply(pos uint64, rec []byte) error {
 	sess := t.sess
-	if err := sess.begin(); err != nil {
+	// Followers are never evicted (the overseer skips them), so this is
+	// the hydrated fast path; beginResident keeps the invariant explicit
+	// and the LRU clock honest.
+	release, err := sess.beginResident()
+	if err != nil {
 		return err
 	}
-	defer sess.ops.Done()
+	defer release()
 	d := sess.dur
 	d.pmu.RLock()
 	defer d.pmu.RUnlock()
@@ -369,6 +373,12 @@ func (s *Server) Promote(name string) error {
 		err = fmt.Errorf("server: session %q has no checkpoint to promote from", name)
 	}
 
+	if err == nil {
+		fresh.ovs = s.ovs
+		if s.ovs != nil {
+			s.ovs.residentBytes.Add(fresh.residentBytes.Load())
+		}
+	}
 	s.mu.Lock()
 	delete(s.promoting, name)
 	if err == nil {
@@ -480,10 +490,13 @@ func (s *Server) SessionDigest(name string) (string, error) {
 }
 
 func (s *session) digest() (string, error) {
-	if err := s.begin(); err != nil {
+	// beginResident: digesting an evicted session rehydrates it first
+	// (clone requests need live workers).
+	release, err := s.beginResident()
+	if err != nil {
 		return "", err
 	}
-	defer s.ops.Done()
+	defer release()
 	s.swapMu.RLock()
 	replies := make([]chan cloneReply, len(s.workers))
 	for i, ch := range s.workers {

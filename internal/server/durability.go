@@ -229,7 +229,23 @@ func decodeCheckpoint(data []byte) (checkpointState, error) {
 // WAL position and dedup map, enqueue a clone request behind every queued
 // batch, unfreeze, then encode and write the snapshot off the ingest path
 // and drop WAL segments the snapshot has subsumed.
+//
+// An evicted session needs no checkpoint — the checkpoint file on disk IS
+// its entire state (eviction wrote it before stopping the workers), so the
+// cadence ticker and CheckpointAll skip it rather than rehydrate it.
 func (s *session) checkpoint(metrics *Metrics) error {
+	s.resMu.RLock()
+	defer s.resMu.RUnlock()
+	if s.evicted {
+		return nil
+	}
+	return s.checkpointLocked(metrics)
+}
+
+// checkpointLocked is checkpoint's body, for callers that already hold a
+// side of resMu and know the session is hydrated (eviction holds the write
+// side and checkpoints as its first step).
+func (s *session) checkpointLocked(metrics *Metrics) error {
 	d := s.dur
 	if d == nil {
 		return nil
@@ -272,6 +288,10 @@ func (s *session) checkpoint(metrics *Metrics) error {
 		}
 		parts[i] = blob
 	}
+	var encoded int64
+	for _, p := range parts {
+		encoded += int64(len(p))
+	}
 	payload := encodeCheckpoint(checkpointState{
 		name: s.name, m: s.m, n: s.n, k: s.k, alpha: s.alpha, seed: s.seed,
 		walPos: pos, dedup: dedup, parts: parts,
@@ -284,6 +304,9 @@ func (s *session) checkpoint(metrics *Metrics) error {
 	}
 	d.ckptPos.Store(pos)
 	d.lastCkptNanos.Store(time.Now().UnixNano())
+	// The summed estimator blobs are the session's real serialized size —
+	// the budget the overseer charges it against while hydrated.
+	s.setResidentBytes(encoded)
 	if metrics != nil {
 		metrics.Checkpoints.Add(1)
 		metrics.CheckpointNanos.Add(time.Since(start).Nanoseconds())
@@ -305,16 +328,12 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 	if _, err := snapshot.SweepTemps(fsys, dir, checkpointFile); err != nil {
 		return nil, fmt.Errorf("server: %s: %w", dir, err)
 	}
-	payload, err := snapshot.ReadFileFS(fsys, filepath.Join(dir, checkpointFile))
-	if os.IsNotExist(err) {
+	st, ok, err := loadCheckpoint(fsys, dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: %s: %w", dir, err)
+	}
+	if !ok {
 		return nil, nil
-	}
-	if err != nil {
-		return nil, fmt.Errorf("server: %s: %w", dir, err)
-	}
-	st, err := decodeCheckpoint(payload)
-	if err != nil {
-		return nil, fmt.Errorf("server: %s: %w", dir, err)
 	}
 	ests, err := estimatorsFromCheckpoint(st, cfg)
 	if err != nil {
@@ -324,33 +343,9 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 	if err != nil {
 		return nil, fmt.Errorf("server: %s: %w", dir, err)
 	}
-	start := time.Now()
-	var batches, edgesReplayed int64
-	var cols stream.Columns // reused decode arena across the whole tail
-	err = log.Replay(st.walPos+1, func(pos uint64, rec []byte) error {
-		source, seq, err := decodeWALRecord(rec, st.name, st.m, st.n, &cols)
-		if err != nil {
-			return fmt.Errorf("record %d: %w", pos, err)
-		}
-		if source != 0 {
-			if seq <= st.dedup[source] {
-				return nil // duplicate was logged and skipped live, skip again
-			}
-			st.dedup[source] = seq
-		}
-		replayBatch(ests, cols.Sets, cols.Elems)
-		batches++
-		edgesReplayed += int64(cols.Len())
-		return nil
-	})
-	if err != nil {
+	if err := replayTail(log, &st, ests, metrics); err != nil {
 		log.Close()
 		return nil, fmt.Errorf("server: %s: wal replay: %w", dir, err)
-	}
-	if metrics != nil {
-		metrics.ReplayBatches.Add(batches)
-		metrics.ReplayEdges.Add(edgesReplayed)
-		metrics.ReplayNanos.Add(time.Since(start).Nanoseconds())
 	}
 	d := &durability{dir: dir, wal: log, fs: fsys}
 	d.ckptPos.Store(st.walPos)
@@ -372,7 +367,69 @@ func recoverSession(dir string, cfg Config, metrics *Metrics) (*session, error) 
 		total += int64(est.Edges())
 	}
 	sess.edges.Store(total)
+	// Seed the resident footprint from the snapshot we just restored; the
+	// caller attaches the overseer (none exists yet here) and folds this
+	// into the budget total.
+	var encoded int64
+	for _, p := range st.parts {
+		encoded += int64(len(p))
+	}
+	sess.residentBytes.Store(encoded)
 	return sess, nil
+}
+
+// loadCheckpoint reads and decodes a session directory's checkpoint.
+// ok=false (no error) means the directory has none — a crash between
+// directory creation and the initial checkpoint.
+func loadCheckpoint(fsys fault.FS, dir string) (checkpointState, bool, error) {
+	payload, err := snapshot.ReadFileFS(fsys, filepath.Join(dir, checkpointFile))
+	if os.IsNotExist(err) {
+		return checkpointState{}, false, nil
+	}
+	if err != nil {
+		return checkpointState{}, false, err
+	}
+	st, err := decodeCheckpoint(payload)
+	if err != nil {
+		return checkpointState{}, false, err
+	}
+	return st, true, nil
+}
+
+// replayTail replays the WAL tail past st.walPos into ests through the
+// same shard-and-batch path the live server uses, advancing st.dedup to
+// the replayed horizon. Shared by crash recovery and rehydration: an
+// evicted session's parked WAL replays through the identical code, so a
+// rehydrated estimator is bit-identical to one that was never evicted.
+func replayTail(log *wal.Log, st *checkpointState, ests []*streamcover.Estimator, metrics *Metrics) error {
+	start := time.Now()
+	var batches, edgesReplayed int64
+	var cols stream.Columns // reused decode arena across the whole tail
+	err := log.Replay(st.walPos+1, func(pos uint64, rec []byte) error {
+		source, seq, err := decodeWALRecord(rec, st.name, st.m, st.n, &cols)
+		if err != nil {
+			return fmt.Errorf("record %d: %w", pos, err)
+		}
+		if source != 0 {
+			if seq <= st.dedup[source] {
+				return nil // duplicate was logged and skipped live, skip again
+			}
+			st.dedup[source] = seq
+		}
+		replayBatch(ests, cols.Sets, cols.Elems)
+		batches++
+		edgesReplayed += int64(cols.Len())
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if metrics != nil {
+		metrics.ReplayBatches.Add(batches)
+		metrics.ReplayEdges.Add(edgesReplayed)
+		metrics.ReplayNanos.Add(time.Since(start).Nanoseconds())
+	}
+	return nil
 }
 
 // estimatorsFromCheckpoint decodes a checkpoint's per-worker estimator
@@ -391,6 +448,7 @@ func estimatorsFromCheckpoint(st checkpointState, cfg Config) ([]*streamcover.Es
 			return nil, fmt.Errorf("worker %d: %w", i, err)
 		}
 		est.SetParallelism(cfg.EngineWorkers)
+		est.SetInternArena(cfg.arena)
 		ests = append(ests, est)
 	}
 	if cfg.Workers != len(ests) {
@@ -408,6 +466,7 @@ func estimatorsFromCheckpoint(st checkpointState, cfg Config) ([]*streamcover.Es
 			if err != nil {
 				return nil, err
 			}
+			est.SetInternArena(cfg.arena)
 			ests[i] = est
 		}
 	}

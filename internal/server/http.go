@@ -22,6 +22,13 @@ type sessionInfo struct {
 	Batches     int64   `json:"batches"`
 	Queries     int64   `json:"queries"`
 	QueueDepths []int   `json:"queue_depths"`
+
+	// Residency (oversubscription). Hydrated sessions have live workers;
+	// evicted ones are parked at their checkpoints until the next op.
+	Hydrated      bool    `json:"hydrated"`
+	ResidentBytes int64   `json:"resident_bytes"`
+	LastAccessAge float64 `json:"last_access_age_seconds,omitempty"`
+	Rehydrations  int64   `json:"rehydrations"`
 }
 
 // queryResponse is the JSON shape of /query.
@@ -71,18 +78,26 @@ func (s *Server) httpHandler() http.Handler {
 		s.mu.Lock()
 		infos := make([]sessionInfo, 0, len(s.sessions))
 		for _, sess := range s.sessions {
-			infos = append(infos, sessionInfo{
-				Name:        sess.name,
-				M:           sess.m,
-				N:           sess.n,
-				K:           sess.k,
-				Alpha:       sess.alpha,
-				Seed:        sess.seed,
-				Edges:       sess.edges.Load(),
-				Batches:     sess.batches.Load(),
-				Queries:     sess.queries.Load(),
-				QueueDepths: sess.queueDepths(),
-			})
+			hydrated, bytes, last, rehyd := sess.residency()
+			info := sessionInfo{
+				Name:          sess.name,
+				M:             sess.m,
+				N:             sess.n,
+				K:             sess.k,
+				Alpha:         sess.alpha,
+				Seed:          sess.seed,
+				Edges:         sess.edges.Load(),
+				Batches:       sess.batches.Load(),
+				Queries:       sess.queries.Load(),
+				QueueDepths:   sess.queueDepths(),
+				Hydrated:      hydrated,
+				ResidentBytes: bytes,
+				Rehydrations:  rehyd,
+			}
+			if last > 0 {
+				info.LastAccessAge = time.Since(time.Unix(0, last)).Seconds()
+			}
+			infos = append(infos, info)
 		}
 		s.mu.Unlock()
 		sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
@@ -92,6 +107,7 @@ func (s *Server) httpHandler() http.Handler {
 		counters := s.metrics.snapshot()
 		queues := map[string][]int{}
 		durability := map[string]durabilityInfo{}
+		var hydrated, evicted, residentBytes int64
 		s.mu.Lock()
 		for name, sess := range s.sessions {
 			queues[name] = sess.queueDepths()
@@ -104,8 +120,26 @@ func (s *Server) httpHandler() http.Handler {
 					CheckpointAge: time.Since(time.Unix(0, d.lastCkptNanos.Load())).Seconds(),
 				}
 			}
+			if h, bytes, _, _ := sess.residency(); h {
+				hydrated++
+				residentBytes += bytes
+			} else {
+				evicted++
+			}
 		}
 		s.mu.Unlock()
+		// Residency gauges are computed live from the session map rather
+		// than counter-maintained across every close/evict path.
+		counters["resident_sessions"] = hydrated
+		counters["evicted_sessions"] = evicted
+		counters["resident_bytes"] = residentBytes
+		counters["mem_budget_bytes"] = s.cfg.MemBudget
+		if st := s.cfg.arena.Stats(); st.Leases > 0 {
+			counters["intern_arena_leases"] = int64(st.Leases)
+			counters["intern_arena_hits"] = int64(st.Hits)
+			counters["intern_arena_returns"] = int64(st.Returns)
+			counters["intern_arena_retained"] = int64(st.Retained)
+		}
 		out := map[string]any{"counters": counters, "queue_depths": queues}
 		if len(durability) > 0 {
 			out["durability"] = durability
@@ -119,6 +153,9 @@ func (s *Server) httpHandler() http.Handler {
 		}
 		if up, ct := s.metrics.QueryHist.Buckets(); len(up) > 0 {
 			hists["query_merge_nanos"] = histInfo{Uppers: up, Counts: ct}
+		}
+		if up, ct := s.metrics.RehydrateHist.Buckets(); len(up) > 0 {
+			hists["rehydration_nanos"] = histInfo{Uppers: up, Counts: ct}
 		}
 		if len(hists) > 0 {
 			out["latency_buckets"] = hists

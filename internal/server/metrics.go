@@ -68,11 +68,26 @@ type Metrics struct {
 	RepPromotions     atomic.Int64
 	StaleRejects      atomic.Int64
 
+	// Oversubscription (see oversub.go). EvictionsTotal counts sessions
+	// parked at their checkpoints; RehydrationsTotal counts them brought
+	// back (RehydrationNanos is the cumulative wall time). RehydrateRejects
+	// counts wakers bounced by the admission gate, QuotaRejects ingests
+	// bounced by the per-session quota, OrphansSwept checkpoint-less
+	// session directories reclaimed at startup.
+	EvictionsTotal    atomic.Int64
+	RehydrationsTotal atomic.Int64
+	RehydrationNanos  atomic.Int64
+	RehydrateRejects  atomic.Int64
+	QuotaRejects      atomic.Int64
+	OrphansSwept      atomic.Int64
+
 	// Latency histograms. IngestHist records each worker's per-shard
 	// ProcessBatch time; QueryHist records each query's merge+finalize
-	// time. Both in nanoseconds.
-	IngestHist phist.Hist
-	QueryHist  phist.Hist
+	// time; RehydrateHist each checkpoint-restore + tail-replay. All in
+	// nanoseconds.
+	IngestHist    phist.Hist
+	QueryHist     phist.Hist
+	RehydrateHist phist.Hist
 
 	start time.Time // set by Server.New; anchors the edges/sec rate
 }
@@ -114,6 +129,13 @@ func (m *Metrics) snapshot() map[string]int64 {
 		"rep_bootstraps":      m.RepBootstraps.Load(),
 		"rep_promotions":      m.RepPromotions.Load(),
 		"stale_rejects":       m.StaleRejects.Load(),
+
+		"evictions_total":    m.EvictionsTotal.Load(),
+		"rehydrations_total": m.RehydrationsTotal.Load(),
+		"rehydration_nanos":  m.RehydrationNanos.Load(),
+		"rehydrate_rejects":  m.RehydrateRejects.Load(),
+		"quota_rejects":      m.QuotaRejects.Load(),
+		"orphans_swept":      m.OrphansSwept.Load(),
 	}
 	if n := m.ReplayNanos.Load(); n > 0 {
 		s["replay_edges_per_sec"] = int64(float64(m.ReplayEdges.Load()) / (float64(n) / 1e9))
@@ -132,6 +154,11 @@ func (m *Metrics) snapshot() map[string]int64 {
 		s["query_merge_p50_nanos"] = m.QueryHist.Quantile(0.50)
 		s["query_merge_p95_nanos"] = m.QueryHist.Quantile(0.95)
 		s["query_merge_p99_nanos"] = m.QueryHist.Quantile(0.99)
+	}
+	if m.RehydrateHist.Count() > 0 {
+		s["rehydration_p50_nanos"] = m.RehydrateHist.Quantile(0.50)
+		s["rehydration_p95_nanos"] = m.RehydrateHist.Quantile(0.95)
+		s["rehydration_p99_nanos"] = m.RehydrateHist.Quantile(0.99)
 	}
 	if !m.start.IsZero() {
 		up := time.Since(m.start)

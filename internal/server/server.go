@@ -31,6 +31,7 @@ import (
 	"sync"
 	"time"
 
+	"streamcover"
 	"streamcover/internal/fault"
 	"streamcover/internal/replica"
 	"streamcover/internal/stream"
@@ -83,6 +84,26 @@ type Config struct {
 	// passing a *fault.Injector.
 	FS fault.FS
 
+	// MemBudget, when positive, enables session oversubscription: the
+	// summed serialized size of hydrated sessions is kept at or under this
+	// many bytes by evicting the least-recently-used sessions down to
+	// their checkpoints; the next operation rehydrates them transparently.
+	// Requires a DataDir (eviction parks state on disk). 0: every session
+	// stays hydrated.
+	MemBudget int64
+	// SessionQuota, when positive, caps one session's serialized size (as
+	// of its last checkpoint): ingest into a session over quota is
+	// rejected permanently until it shrinks. 0: no per-session cap.
+	SessionQuota int64
+	// RehydrateConcurrency bounds simultaneous rehydrations; excess wakers
+	// get a typed transient rejection (retry) instead of stacking decoded
+	// estimator state on top of the budget. Default 2.
+	RehydrateConcurrency int
+
+	// arena is the shared interner-table pool co-resident sessions draw
+	// their batch-scratch tables from; built by withDefaults.
+	arena *streamcover.InternArena
+
 	// Cluster mode (see cluster.go), enabled when Peers is non-empty.
 	// NodeID is this node's identity — its peer-facing TCP address, as the
 	// other nodes should dial it — and must appear in Peers, the full
@@ -129,6 +150,12 @@ func (c Config) withDefaults() Config {
 	if c.FS == nil {
 		c.FS = fault.OS()
 	}
+	if c.RehydrateConcurrency <= 0 {
+		c.RehydrateConcurrency = 2
+	}
+	if c.arena == nil {
+		c.arena = streamcover.NewInternArena(0)
+	}
 	if len(c.Peers) > 0 {
 		if c.Replicas <= 0 {
 			if c.Replicas = 3; len(c.Peers) < 3 {
@@ -150,6 +177,7 @@ type Server struct {
 	cfg     Config
 	metrics Metrics
 	ring    *replica.Ring // nil outside cluster mode; set once in Start
+	ovs     *overseer     // nil without a memory budget (see oversub.go)
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -181,7 +209,22 @@ func New(cfg Config) *Server {
 		conns:     make(map[net.Conn]struct{}),
 	}
 	s.metrics.start = time.Now()
+	if s.cfg.MemBudget > 0 && s.cfg.DataDir != "" {
+		s.ovs = newOverseer(s)
+	}
 	return s
+}
+
+// listSessions snapshots the live session set (for the overseer's LRU
+// scan and the HTTP listings).
+func (s *Server) listSessions() []*session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	return sessions
 }
 
 // Metrics exposes the live counters (read with atomic loads).
@@ -469,7 +512,14 @@ func (s *Server) handleConn(conn net.Conn) {
 				res, derr = s.querySession(name)
 			}
 			if derr != nil {
-				if !respond(wire.TErr, []byte(derr.Error())) {
+				// A rehydration backlog (or a degraded session mid-recovery)
+				// is transient: tell the client to retry rather than fail
+				// the query.
+				if errors.Is(derr, ErrDegraded) || errors.Is(derr, ErrOverloaded) {
+					if !respond(wire.TErrRetry, []byte(derr.Error())) {
+						return
+					}
+				} else if !respond(wire.TErr, []byte(derr.Error())) {
 					return
 				}
 			} else if !respond(wire.TResult, res.Encode()) {
@@ -485,7 +535,7 @@ func (s *Server) handleConn(conn net.Conn) {
 				res, derr = s.queryStaleSession(name, time.Duration(maxStale))
 			}
 			if derr != nil {
-				if errors.Is(derr, ErrDegraded) {
+				if errors.Is(derr, ErrDegraded) || errors.Is(derr, ErrOverloaded) {
 					if !respond(wire.TErrRetry, []byte(derr.Error())) {
 						return
 					}
@@ -550,10 +600,11 @@ func (s *Server) handleConn(conn net.Conn) {
 
 func (s *Server) ack(respond func(byte, []byte) bool, err error) bool {
 	if err != nil {
-		// Degraded / read-only rejections are transient by construction
-		// (a recovery loop is working on the cause), so they go out as
-		// TErrRetry: the client keeps the batch and retries.
-		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrReadOnly) {
+		// Degraded / read-only / overloaded rejections are transient by
+		// construction (a recovery loop or the rehydration gate is working
+		// on the cause), so they go out as TErrRetry: the client keeps the
+		// batch and retries.
+		if errors.Is(err, ErrDegraded) || errors.Is(err, ErrReadOnly) || errors.Is(err, ErrOverloaded) {
 			return respond(wire.TErrRetry, []byte(err.Error()))
 		}
 		var nl *notLeaderError
@@ -643,6 +694,10 @@ func (s *Server) createSession(c wire.Create) error {
 		if err == nil && followerOf != "" {
 			s.attachFollower(sess, followerOf)
 		}
+		if err == nil && !aborted && s.ovs != nil {
+			// The newcomer's footprint may push the fleet over budget.
+			s.ovs.maybeEvict()
+		}
 		return err
 	}
 }
@@ -652,11 +707,12 @@ func (s *Server) createSession(c wire.Create) error {
 // cadence tick still recovers the session (and its WAL tail). Runs with
 // no server locks held; the caller's per-name guard keeps it single.
 func (s *Server) buildSession(c wire.Create) (*session, error) {
-	sess, err := newSession(c.Name, c.M, c.N, c.K, c.Alpha, c.Seed, s.cfg.Workers, s.cfg.EngineWorkers, s.cfg.QueueDepth, &s.metrics)
+	sess, err := newSession(c.Name, c.M, c.N, c.K, c.Alpha, c.Seed, s.cfg.Workers, s.cfg.EngineWorkers, s.cfg.QueueDepth, &s.metrics, s.cfg.arena)
 	if err != nil {
 		return nil, err
 	}
 	sess.retryMin, sess.retryMax = s.cfg.RetryMin, s.cfg.RetryMax
+	sess.ovs = s.ovs // before the first checkpoint, which charges the budget
 	if s.cfg.DataDir != "" {
 		dur, err := openDurability(s.cfg.DataDir, c.Name, s.cfg.WALSegmentBytes, s.cfg.WALNoSync, s.cfg.FS)
 		if err != nil {
@@ -692,16 +748,33 @@ func (s *Server) recover() error {
 		if !e.IsDir() {
 			continue
 		}
-		sess, err := recoverSession(filepath.Join(s.cfg.DataDir, e.Name()), s.cfg, &s.metrics)
+		dir := filepath.Join(s.cfg.DataDir, e.Name())
+		sess, err := recoverSession(dir, s.cfg, &s.metrics)
 		if err != nil {
 			return err
 		}
 		if sess == nil {
+			// No checkpoint: a crash between directory creation and the
+			// initial checkpoint. Nothing acknowledged lived here (every
+			// session checkpoints before it is published), so the directory
+			// is unreachable garbage — reclaim it rather than let dead WAL
+			// segments accrete across restarts.
+			if rmErr := os.RemoveAll(dir); rmErr == nil {
+				s.metrics.OrphansSwept.Add(1)
+			}
 			continue
+		}
+		sess.ovs = s.ovs
+		if s.ovs != nil {
+			s.ovs.residentBytes.Add(sess.residentBytes.Load())
 		}
 		s.mu.Lock()
 		s.sessions[sess.name] = sess
 		s.mu.Unlock()
+	}
+	if s.ovs != nil {
+		// A fleet larger than the budget must not come back fully hydrated.
+		s.ovs.maybeEvict()
 	}
 	return nil
 }
@@ -728,6 +801,11 @@ func (s *Server) CheckpointAll() error {
 				first = err
 			}
 		}
+	}
+	if s.ovs != nil {
+		// Checkpoints refresh every resident footprint (sessions grow
+		// between cadence ticks); re-enforce the budget on the new totals.
+		s.ovs.maybeEvict()
 	}
 	return first
 }
@@ -817,6 +895,9 @@ func (s *Server) prepareIngest(typ byte, payload []byte, cols *stream.Columns) (
 		// A fenced leader rejects too: its log is frozen so a follower can
 		// drain the tail and take over without losing an acked batch.
 		return ingestJob{}, &notLeaderError{leader: s.leaderOf(name)}
+	}
+	if err := s.ovs.checkQuota(sess); err != nil {
+		return ingestJob{}, err
 	}
 	j.sess = sess
 	j.rec = walRecord(sess, typ, payload)

@@ -76,6 +76,28 @@ type session struct {
 	swapMu     sync.RWMutex
 	queueDepth int
 
+	// Residency (oversubscription; see oversub.go). A session is born
+	// hydrated; the overseer may evict it down to its canonical checkpoint
+	// — workers stopped, estimators freed, WAL parked — and any later
+	// operation rehydrates it. evicted is guarded by resMu: operations pin
+	// residency with the read side for their whole duration, eviction and
+	// rehydration take the write side, so workers can never disappear
+	// under a dispatch. The zero value (hydrated, no overseer) keeps every
+	// pre-oversubscription construction path valid.
+	resMu         sync.RWMutex
+	evicted       bool
+	ovs           *overseer    // nil when the server runs without a budget
+	residentBytes atomic.Int64 // last checkpoint's encoded size (0 while evicted)
+	lastAccess    atomic.Int64 // unix nanos of the last op touch (LRU clock)
+	rehydrations  atomic.Int64
+	// wakers counts operations between arrival and their residency pin —
+	// including the unlocked instant after a successful rehydration but
+	// before the waker re-acquires the read side. Eviction refuses while
+	// wakers > 0: without this, concurrent rehydrations of sibling
+	// sessions under a tight budget can evict each other in that window
+	// forever, a livelock in which no operation ever completes.
+	wakers atomic.Int32
+
 	mu     sync.Mutex
 	closed bool
 	ops    sync.WaitGroup // in-flight ingest/query dispatches
@@ -123,7 +145,7 @@ type dedupEntry struct {
 // group-commit fsync.
 var testHookAfterAccept func(source, seq uint64)
 
-func newSession(name string, m, n, k int, alpha float64, seed int64, workers, engineWorkers, queueDepth int, metrics *Metrics) (*session, error) {
+func newSession(name string, m, n, k int, alpha float64, seed int64, workers, engineWorkers, queueDepth int, metrics *Metrics, arena *streamcover.InternArena) (*session, error) {
 	ests := make([]*streamcover.Estimator, workers)
 	for i := range ests {
 		est, err := streamcover.NewEstimator(m, n, k, alpha,
@@ -131,6 +153,7 @@ func newSession(name string, m, n, k int, alpha float64, seed int64, workers, en
 		if err != nil {
 			return nil, err
 		}
+		est.SetInternArena(arena)
 		ests[i] = est
 	}
 	return newSessionWith(name, m, n, k, alpha, seed, queueDepth, metrics, ests), nil
@@ -147,21 +170,82 @@ func newSessionWith(name string, m, n, k int, alpha float64, seed int64, queueDe
 	}
 	w := len(ests)
 	s.hdrPool.New = func() any { h := make([]colShard, w); return &h }
-	s.workers = make([]chan workerMsg, w)
-	s.recycle = make([]chan colShard, w)
-	for i, est := range ests {
-		ch := make(chan workerMsg, queueDepth)
-		s.workers[i] = ch
-		s.recycle[i] = make(chan colShard, queueDepth+1)
-		s.wg.Add(1)
-		go s.runWorker(est, ch, s.recycle[i])
-	}
+	s.startWorkers(ests)
 	return s
 }
 
+// startWorkers builds the worker channel set around ests and starts one
+// goroutine per estimator. Takes the swap lock: the worker set is the
+// same one queries and queue-depth probes read under swapMu.RLock. The
+// worker count must match the hdrPool's width (eviction and rehydration
+// always rebuild at the configured count, so this holds).
+func (s *session) startWorkers(ests []*streamcover.Estimator) {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	s.ests = ests
+	s.workers = make([]chan workerMsg, len(ests))
+	s.recycle = make([]chan colShard, len(ests))
+	for i, est := range ests {
+		ch := make(chan workerMsg, s.queueDepth)
+		s.workers[i] = ch
+		s.recycle[i] = make(chan colShard, s.queueDepth+1)
+		s.wg.Add(1)
+		go s.runWorker(est, ch, s.recycle[i])
+	}
+}
+
+// stopWorkers drains and stops the worker set: queues close, each worker
+// exits after consuming what was already enqueued, and the estimators
+// release their engines. Idempotent — close after evict (or vice versa)
+// finds no workers and returns. Callers must exclude concurrent
+// dispatches (close does it via ops.Wait; eviction via resMu).
+func (s *session) stopWorkers() {
+	s.swapMu.Lock()
+	workers, ests := s.workers, s.ests
+	s.workers, s.ests, s.recycle = nil, nil, nil
+	s.swapMu.Unlock()
+	for _, ch := range workers {
+		close(ch)
+	}
+	s.wg.Wait()
+	for _, est := range ests {
+		est.Close()
+	}
+}
+
+// scratchIdleAfter is how long a worker sits without traffic before it
+// hands its batch scratch (interner tables) back to the shared arena. The
+// delay keeps a single busy session from thrashing its scratch — release
+// on every queue-empty observation would reallocate per batch — while an
+// idle one among thousands still returns its working memory for the
+// active sessions to reuse.
+const scratchIdleAfter = 250 * time.Millisecond
+
 func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg, recycle chan colShard) {
 	defer s.wg.Done()
-	for msg := range ch {
+	idle := time.NewTimer(scratchIdleAfter)
+	defer idle.Stop()
+	for {
+		var msg workerMsg
+		select {
+		case m, ok := <-ch:
+			// A closed channel still drains its buffered messages first, so
+			// this keeps the drain-everything-then-exit contract.
+			if !ok {
+				return
+			}
+			msg = m
+		case <-idle.C:
+			est.ReleaseScratch()
+			continue // timer not reset: release once, then block on ch
+		}
+		if !idle.Stop() {
+			select {
+			case <-idle.C:
+			default:
+			}
+		}
+		idle.Reset(scratchIdleAfter)
 		if msg.clone != nil {
 			c, err := est.Clone()
 			msg.clone <- cloneReply{c, err}
@@ -189,6 +273,24 @@ func (s *session) runWorker(est *streamcover.Estimator, ch chan workerMsg, recyc
 		default:
 		}
 	}
+}
+
+// setResidentBytes records the session's resident footprint and keeps the
+// overseer's global total in sync.
+func (s *session) setResidentBytes(n int64) {
+	old := s.residentBytes.Swap(n)
+	if s.ovs != nil {
+		s.ovs.residentBytes.Add(n - old)
+	}
+}
+
+// residency reports the session's oversubscription state for /sessions
+// and /metrics.
+func (s *session) residency() (resident bool, bytes, lastAccess, rehydrations int64) {
+	s.resMu.RLock()
+	resident = !s.evicted
+	s.resMu.RUnlock()
+	return resident, s.residentBytes.Load(), s.lastAccess.Load(), s.rehydrations.Load()
 }
 
 // splitmix64 is the edge-shard hash: cheap, stateless, and well mixed so
@@ -258,10 +360,11 @@ func (s *session) logAndDispatch(d *durability, rec []byte, sets, elems []uint32
 // the batch (type byte + wire payload), ignored when the session has no
 // durability.
 func (s *session) ingest(sets, elems []uint32, rec []byte) error {
-	if err := s.begin(); err != nil {
+	release, err := s.beginResident()
+	if err != nil {
 		return err
 	}
-	defer s.ops.Done()
+	defer release()
 	d := s.dur
 	if d == nil {
 		s.dispatch(sets, elems)
@@ -313,10 +416,11 @@ func (s *session) ingest(sets, elems []uint32, rec []byte) error {
 // error rather than a false durability ack, and recovery's fresh
 // checkpoint makes the applied batch durable before ingest resumes.
 func (s *session) ingestSeq(source, seq uint64, rec []byte, sets, elems []uint32) (bool, error) {
-	if err := s.begin(); err != nil {
+	release, err := s.beginResident()
+	if err != nil {
 		return false, err
 	}
-	defer s.ops.Done()
+	defer release()
 	d := s.dur
 	if d != nil {
 		d.pmu.RLock()
@@ -473,10 +577,11 @@ func (s *session) dispatch(sets, elems []uint32) {
 // batches, so everything acked before the query is included), then merges
 // the clones and finalizes off the ingest path.
 func (s *session) query(metrics *Metrics) (wire.Result, error) {
-	if err := s.begin(); err != nil {
+	release, err := s.beginResident()
+	if err != nil {
 		return wire.Result{}, err
 	}
-	defer s.ops.Done()
+	defer release()
 	s.queries.Add(1)
 	// The read lock covers only the enqueue: once the clone requests are
 	// queued they are answered even if a bootstrap swaps the workers out —
@@ -536,12 +641,43 @@ func (s *session) close() {
 	s.stopApplier()
 	s.ops.Wait()
 	s.stopRecovery()
-	for _, ch := range s.workers {
-		close(ch)
+	// resMu serializes against a concurrent eviction or rehydration;
+	// stopWorkers is idempotent, so closing an evicted session (workers
+	// already gone, state safe in the checkpoint) is a no-op here.
+	s.resMu.Lock()
+	s.stopWorkers()
+	s.resMu.Unlock()
+	// A closed session no longer counts against the memory budget.
+	s.setResidentBytes(0)
+}
+
+// beginResident registers an operation AND pins the session hydrated,
+// rehydrating it first when it is parked at its checkpoint. The returned
+// release func drops both; callers must invoke it exactly once. Pinning
+// is the read side of resMu, so any number of operations share a
+// hydrated session while an eviction (write side) waits them out.
+func (s *session) beginResident() (func(), error) {
+	if err := s.begin(); err != nil {
+		return nil, err
 	}
-	s.wg.Wait()
-	for _, est := range s.ests {
-		est.Close()
+	s.wakers.Add(1)
+	defer s.wakers.Add(-1)
+	for {
+		s.resMu.RLock()
+		if !s.evicted {
+			s.lastAccess.Store(time.Now().UnixNano())
+			return func() { s.resMu.RUnlock(); s.ops.Done() }, nil
+		}
+		s.resMu.RUnlock()
+		if s.ovs == nil {
+			// Unreachable: only an overseer evicts. Fail loudly, not nil-deref.
+			s.ops.Done()
+			return nil, fmt.Errorf("server: session %q evicted with no overseer", s.name)
+		}
+		if err := s.ovs.rehydrate(s); err != nil {
+			s.ops.Done()
+			return nil, err
+		}
 	}
 }
 

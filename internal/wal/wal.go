@@ -483,6 +483,17 @@ func (l *Log) TruncateBefore(pos uint64) error {
 	return syncDir(l.fs, l.dir)
 }
 
+// Pins reports the number of open Readers currently pinning segments (a
+// shipping replication stream holds one for its whole life). Callers that
+// want to take a log fully cold — session eviction, say — check Pins()==0
+// first; TruncateBefore already clamps to pinned cursors, so this is a
+// policy signal, not a safety requirement.
+func (l *Log) Pins() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.pins)
+}
+
 // InitPos places an empty log's position space so that the next Append
 // receives position next. A follower bootstrapping from a leader
 // checkpoint at WAL position p calls InitPos(p+1) so that mirrored

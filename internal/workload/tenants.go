@@ -1,0 +1,48 @@
+package workload
+
+import "math/rand"
+
+// TenantPicker selects which of N tenants (sessions) the next batch goes
+// to — the access-pattern half of a multi-tenant workload, decoupled from
+// the instance generators above, which decide what the batch contains.
+// With a positive skew the draw is Zipf (a few hot tenants take most of
+// the traffic; the long tail goes cold — the regime session
+// oversubscription exploits); with skew <= 0 it is uniform. Seeded and
+// deterministic: the same (tenants, skew, seed) triple yields the same
+// pick sequence, so load runs replay exactly.
+type TenantPicker struct {
+	n    int
+	rng  *rand.Rand
+	zipf *rand.Zipf // nil: uniform
+}
+
+// NewTenantPicker builds a picker over tenants ∈ [0, tenants). skew is
+// the Zipf exponent (clamped up to 1.01, matching the element generators
+// above); skew <= 0 selects the uniform distribution.
+func NewTenantPicker(tenants int, skew float64, seed int64) *TenantPicker {
+	if tenants < 1 {
+		tenants = 1
+	}
+	p := &TenantPicker{n: tenants, rng: rand.New(rand.NewSource(seed))}
+	if skew > 0 && tenants > 1 {
+		if skew < 1.01 {
+			skew = 1.01
+		}
+		p.zipf = rand.NewZipf(p.rng, skew, 1, uint64(tenants-1))
+	}
+	return p
+}
+
+// Pick returns the next tenant index in [0, Tenants()).
+func (p *TenantPicker) Pick() int {
+	if p.zipf != nil {
+		return int(p.zipf.Uint64())
+	}
+	if p.n == 1 {
+		return 0
+	}
+	return p.rng.Intn(p.n)
+}
+
+// Tenants reports the tenant count.
+func (p *TenantPicker) Tenants() int { return p.n }

@@ -1,0 +1,65 @@
+package workload
+
+import "testing"
+
+// Same (tenants, skew, seed) must replay the same pick sequence.
+func TestTenantPickerDeterministic(t *testing.T) {
+	a := NewTenantPicker(64, 1.2, 7)
+	b := NewTenantPicker(64, 1.2, 7)
+	for i := 0; i < 10_000; i++ {
+		if x, y := a.Pick(), b.Pick(); x != y {
+			t.Fatalf("pick %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}
+
+// A skewed picker must concentrate traffic: tenant 0 hotter than the
+// median tenant, and a hot minority carrying the majority of picks.
+func TestTenantPickerSkewConcentrates(t *testing.T) {
+	const tenants, picks = 100, 50_000
+	p := NewTenantPicker(tenants, 1.1, 1)
+	counts := make([]int, tenants)
+	for i := 0; i < picks; i++ {
+		idx := p.Pick()
+		if idx < 0 || idx >= tenants {
+			t.Fatalf("pick %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] <= counts[tenants/2] {
+		t.Fatalf("tenant 0 (%d picks) not hotter than median tenant (%d picks)", counts[0], counts[tenants/2])
+	}
+	hot := 0
+	for i := 0; i < tenants/10; i++ {
+		hot += counts[i]
+	}
+	if hot*2 < picks {
+		t.Fatalf("hottest 10%% of tenants took %d/%d picks, want a majority", hot, picks)
+	}
+}
+
+// skew <= 0 is uniform: every tenant sees traffic, no tenant dominates.
+func TestTenantPickerUniform(t *testing.T) {
+	const tenants, picks = 16, 32_000
+	p := NewTenantPicker(tenants, 0, 3)
+	counts := make([]int, tenants)
+	for i := 0; i < picks; i++ {
+		counts[p.Pick()]++
+	}
+	want := picks / tenants
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("tenant %d got %d picks, want roughly %d", i, c, want)
+		}
+	}
+}
+
+// Degenerate configurations stay safe.
+func TestTenantPickerDegenerate(t *testing.T) {
+	if got := NewTenantPicker(1, 2.0, 9).Pick(); got != 0 {
+		t.Fatalf("single tenant pick = %d, want 0", got)
+	}
+	if got := NewTenantPicker(0, 0, 9).Tenants(); got != 1 {
+		t.Fatalf("tenants clamped to %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"streamcover/internal/core"
+	"streamcover/internal/hash"
 	"streamcover/internal/setsystem"
 	"streamcover/internal/stream"
 )
@@ -250,6 +251,57 @@ func (e *Estimator) SetParallelism(workers int) { e.inner.SetParallelism(workers
 // batch — so Close is an optional courtesy for long-lived owners that
 // retire estimators (kcoverd sessions call it on session close).
 func (e *Estimator) Close() { e.inner.Close() }
+
+// InternArena is a shared pool of batch-scratch interner tables for
+// co-resident estimators (a node running thousands of sessions). Leased
+// tables are cleared before every batch, so pooling never changes
+// results; it only caps steady-state working memory at the number of
+// *concurrently active* estimators rather than the number alive.
+type InternArena struct{ a *hash.Arena }
+
+// InternArenaStats mirrors the arena's traffic counters.
+type InternArenaStats struct {
+	Leases   uint64 // lease calls on storage-less interners
+	Hits     uint64 // of those, satisfied from the free list
+	Returns  uint64 // blocks handed back
+	Retained int    // blocks currently pooled
+}
+
+// NewInternArena returns an arena retaining at most maxBlocks returned
+// interner blocks (≤ 0 selects a default).
+func NewInternArena(maxBlocks int) *InternArena {
+	return &InternArena{a: hash.NewArena(maxBlocks)}
+}
+
+// Stats snapshots the arena's counters.
+func (ia *InternArena) Stats() InternArenaStats {
+	if ia == nil {
+		return InternArenaStats{}
+	}
+	st := ia.a.Stats()
+	return InternArenaStats{Leases: st.Leases, Hits: st.Hits, Returns: st.Returns, Retained: st.Retained}
+}
+
+// SetInternArena points the estimator's batch scratch at a shared pool.
+// Call right after construction, before ingest. A nil arena is allowed
+// and means private allocation (the default).
+func (e *Estimator) SetInternArena(ia *InternArena) {
+	if ia == nil {
+		e.inner.SetInternArena(nil)
+		return
+	}
+	e.inner.SetInternArena(ia.a)
+}
+
+// ReleaseScratch drops the estimator's transient batch working memory,
+// returning pooled interner tables to the arena when one is set. The
+// estimator stays fully usable (the next batch reallocates lazily);
+// owners call this when an estimator goes idle so a parked session costs
+// sketch state only. Not safe concurrently with Process* calls.
+func (e *Estimator) ReleaseScratch() {
+	e.inner.ReleaseScratch()
+	e.conv = nil
+}
 
 // ProcessAllParallel consumes an in-memory edge slice using up to
 // `workers` goroutines (the coverage-guess ladder is embarrassingly
